@@ -1,0 +1,489 @@
+(* Benchmark harness regenerating every figure of the paper's evaluation
+   (§6, Figures 5a-5f and 6a-6b, plus the two in-text results and a few
+   ablations).  Shapes, not absolute numbers, are the reproduction target:
+   the substrate is a simulated NVM on a shared-nothing container, not a
+   2x20-core Optane testbed.
+
+     dune exec bench/main.exe                      # everything
+     dune exec bench/main.exe -- --only fig5a      # one figure
+     dune exec bench/main.exe -- --threads 1,2,4 --scale 0.5
+     dune exec bench/main.exe -- --bechamel        # per-op latency suite
+     dune exec bench/main.exe -- --csv results.csv *)
+
+let mb = 1 lsl 20
+
+type ctx = {
+  threads : int list;
+  scale : float;
+  csv : out_channel option;
+}
+
+let scaled ctx n = max 1 (int_of_float (float_of_int n *. ctx.scale))
+
+let emit ctx row =
+  Workloads.Harness.print_row row;
+  match ctx.csv with
+  | Some oc ->
+    output_string oc (Workloads.Harness.row_to_csv row);
+    output_char oc '\n'
+  | None -> ()
+
+(* Run one allocator benchmark over the line-up x thread sweep. *)
+let sweep ctx ~figure ~title ~allocators ~heap_mb ~metric f =
+  Workloads.Harness.print_header figure title;
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun name ->
+          let alloc = Baselines.Allocators.make name ~size:(heap_mb * mb) in
+          let before = Alloc_iface.stats alloc in
+          let value = f alloc ~threads in
+          let after = Alloc_iface.stats alloc in
+          let d = Pmem.Stats.diff after before in
+          emit ctx
+            {
+              Workloads.Harness.figure;
+              allocator = name;
+              threads;
+              metric;
+              value;
+              flushes = d.flushes;
+              fences = d.fences;
+            };
+          Gc.full_major ())
+        allocators)
+    ctx.threads
+
+let fig5a ctx =
+  let p =
+    {
+      Workloads.Threadtest.iterations = scaled ctx 50;
+      objects_per_iter = 2000;
+      object_size = 64;
+    }
+  in
+  sweep ctx ~figure:"fig5a" ~title:"Threadtest (lower is better)"
+    ~allocators:Baselines.Allocators.benchmark_names ~heap_mb:64
+    ~metric:"seconds" (fun alloc ~threads ->
+      Workloads.Threadtest.run alloc ~threads p)
+
+let fig5b ctx =
+  let p = { Workloads.Shbench.default with iterations = scaled ctx 60_000 } in
+  sweep ctx ~figure:"fig5b" ~title:"Shbench (lower is better)"
+    ~allocators:Baselines.Allocators.benchmark_names ~heap_mb:64
+    ~metric:"seconds" (fun alloc ~threads ->
+      Workloads.Shbench.run alloc ~threads p)
+
+let larson ctx ~figure ~title p =
+  sweep ctx ~figure ~title ~allocators:Baselines.Allocators.benchmark_names
+    ~heap_mb:128 ~metric:"Mops/s" (fun alloc ~threads ->
+      Workloads.Larson.run alloc ~threads p)
+
+let fig5c ctx =
+  larson ctx ~figure:"fig5c" ~title:"Larson 64-400B (higher is better)"
+    { Workloads.Larson.default with duration = 0.5 *. ctx.scale }
+
+let larson_medium ctx =
+  larson ctx ~figure:"larson_med"
+    ~title:"Larson 64-2048B, Makalu medium-size collapse (higher is better)"
+    { Workloads.Larson.medium with duration = 0.5 *. ctx.scale }
+
+let fig5d ctx =
+  let p =
+    { Workloads.Prodcon.objects_total = scaled ctx 100_000; object_size = 64 }
+  in
+  sweep ctx ~figure:"fig5d" ~title:"Prod-con (lower is better)"
+    ~allocators:Baselines.Allocators.benchmark_names ~heap_mb:128
+    ~metric:"seconds" (fun alloc ~threads ->
+      Workloads.Prodcon.run alloc ~threads p)
+
+let fig5e ctx =
+  let p =
+    {
+      Workloads.Vacation.relations = 16384;
+      transactions = scaled ctx 20_000;
+      queries = 5;
+    }
+  in
+  sweep ctx ~figure:"fig5e"
+    ~title:"Vacation OLTP, persistent allocators (lower is better)"
+    ~allocators:Baselines.Allocators.persistent_names ~heap_mb:128
+    ~metric:"seconds" (fun alloc ~threads ->
+      Workloads.Vacation.run alloc ~threads p)
+
+let memcached ctx ~figure ~title workload =
+  let p =
+    {
+      Workloads.Memcached.records = scaled ctx 20_000;
+      operations = scaled ctx 40_000;
+      value_size = 100;
+      workload;
+    }
+  in
+  sweep ctx ~figure ~title ~allocators:Baselines.Allocators.benchmark_names
+    ~heap_mb:128 ~metric:"Kops/s" (fun alloc ~threads ->
+      Workloads.Memcached.run alloc ~threads p)
+
+let fig5f ctx =
+  memcached ctx ~figure:"fig5f" ~title:"Memcached YCSB-A 50/50 (higher is better)"
+    Workloads.Ycsb.workload_a
+
+let fig5f_read_b ctx =
+  memcached ctx ~figure:"fig5f_B"
+    ~title:"Memcached YCSB-B 95/5 (higher is better)" Workloads.Ycsb.workload_b
+
+let fig6 ctx ~figure ~title structure =
+  Workloads.Harness.print_header figure title;
+  let sweep_blocks =
+    List.map (scaled ctx) [ 20_000; 50_000; 100_000; 200_000; 400_000 ]
+  in
+  List.iter
+    (fun blocks ->
+      let r = Workloads.Recovery_bench.run structure ~blocks in
+      emit ctx
+        {
+          Workloads.Harness.figure;
+          allocator = Workloads.Recovery_bench.structure_name structure;
+          threads = r.reachable (* column reused: reachable blocks *);
+          metric = "seconds";
+          value = r.total_seconds;
+          flushes = 0;
+          fences = 0;
+        };
+      Gc.full_major ())
+    sweep_blocks
+
+let fig6a ctx =
+  fig6 ctx ~figure:"fig6a"
+    ~title:"GC/recovery time vs reachable blocks, Treiber stack"
+    Workloads.Recovery_bench.Stack
+
+let fig6b ctx =
+  fig6 ctx ~figure:"fig6b"
+    ~title:"GC/recovery time vs reachable blocks, Natarajan-Mittal tree"
+    Workloads.Recovery_bench.Tree
+
+let ablation_filter ctx =
+  Workloads.Harness.print_header "abl_filter"
+    "Filtered vs conservative recovery GC (seconds; lower is better)";
+  List.iter
+    (fun (structure, use_filter) ->
+      let blocks = scaled ctx 200_000 in
+      let r = Workloads.Recovery_bench.run ~use_filter structure ~blocks in
+      emit ctx
+        {
+          Workloads.Harness.figure = "abl_filter";
+          allocator =
+            Workloads.Recovery_bench.structure_name structure
+            ^ (if use_filter then "+filter" else "+conserv");
+          threads = r.reachable;
+          metric = "seconds";
+          value = r.total_seconds;
+          flushes = 0;
+          fences = 0;
+        };
+      Gc.full_major ())
+    [
+      (Workloads.Recovery_bench.Stack, true);
+      (Workloads.Recovery_bench.Stack, false);
+      (Workloads.Recovery_bench.Tree, true);
+      (Workloads.Recovery_bench.Tree, false);
+      (Workloads.Recovery_bench.Fat_stack, true);
+      (Workloads.Recovery_bench.Fat_stack, false);
+    ]
+
+let ablation_flush_cost ctx =
+  (* the paper's central claim made visible: persistence operations per
+     malloc/free pair, per allocator *)
+  Workloads.Harness.print_header "abl_flush"
+    "Persistence ops per malloc/free pair (1 thread)";
+  let ops = scaled ctx 50_000 in
+  List.iter
+    (fun name ->
+      let alloc = Baselines.Allocators.make name ~size:(64 * mb) in
+      let warm = Alloc_iface.malloc alloc 64 in
+      Alloc_iface.free alloc warm;
+      let before = Alloc_iface.stats alloc in
+      for _ = 1 to ops do
+        let va = Alloc_iface.malloc alloc 64 in
+        Alloc_iface.free alloc va
+      done;
+      let d = Pmem.Stats.diff (Alloc_iface.stats alloc) before in
+      emit ctx
+        {
+          Workloads.Harness.figure = "abl_flush";
+          allocator = name;
+          threads = 1;
+          metric = "flush/pair";
+          value = float_of_int d.flushes /. float_of_int ops;
+          flushes = d.flushes;
+          fences = d.fences;
+        };
+      Gc.full_major ())
+    Baselines.Allocators.names
+
+let ablation_expansion ctx =
+  (* paper §4.4: "we did not observe significant changes in performance
+     with larger or smaller expansion sizes" — check that claim *)
+  Workloads.Harness.print_header "abl_expand"
+    "Ralloc expansion batch size (Threadtest seconds, 2 threads)";
+  let p =
+    {
+      Workloads.Threadtest.iterations = scaled ctx 25;
+      objects_per_iter = 2000;
+      object_size = 64;
+    }
+  in
+  List.iter
+    (fun expansion_sbs ->
+      let heap =
+        Ralloc.create ~name:"expand" ~size:(64 * mb) ~expansion_sbs ()
+      in
+      let module A = Baselines.Allocators.Ralloc_alloc in
+      let alloc = Alloc_iface.I ((module A), heap) in
+      let v = Workloads.Threadtest.run alloc ~threads:2 p in
+      emit ctx
+        {
+          Workloads.Harness.figure = "abl_expand";
+          allocator = Printf.sprintf "exp=%d" expansion_sbs;
+          threads = 2;
+          metric = "seconds";
+          value = v;
+          flushes = 0;
+          fences = 0;
+        };
+      Gc.full_major ())
+    [ 1; 4; 16; 64 ]
+
+let ablation_parallel_recovery ctx =
+  (* the paper's §6.4 future work, implemented: parallelize reconstruction
+     across superblocks (on this 1-core container the interest is the
+     overhead, not the speedup) *)
+  Workloads.Harness.print_header "abl_par_rec"
+    "Parallel recovery reconstruction (seconds; trace stays sequential)";
+  List.iter
+    (fun domains ->
+      let blocks = scaled ctx 300_000 in
+      let heap = Ralloc.create ~name:"par-rec" ~size:(blocks * 32) () in
+      let s = Dstruct.Pstack.create heap ~root:0 in
+      for i = 1 to blocks do
+        ignore (Dstruct.Pstack.push s i)
+      done;
+      let heap, _ = Ralloc.crash_and_reopen heap in
+      ignore (Dstruct.Pstack.attach heap ~root:0);
+      let r = Ralloc.recover ~domains heap in
+      emit ctx
+        {
+          Workloads.Harness.figure = "abl_par_rec";
+          allocator = Printf.sprintf "domains=%d" domains;
+          threads = r.reachable_blocks;
+          metric = "seconds";
+          value = r.trace_seconds +. r.rebuild_seconds;
+          flushes = 0;
+          fences = 0;
+        };
+      Gc.full_major ())
+    [ 1; 2; 4 ]
+
+let ablation_latency ctx =
+  (* sensitivity to the NVM cost model: as flush+fence latency grows, the
+     eager-flushing allocators slow down linearly while Ralloc does not —
+     the mechanism behind every Fig. 5 gap.  Latencies in ns. *)
+  Workloads.Harness.print_header "abl_latency"
+    "Threadtest (1 thread) vs simulated flush/fence latency";
+  let p =
+    {
+      Workloads.Threadtest.iterations = scaled ctx 25;
+      objects_per_iter = 2000;
+      object_size = 64;
+    }
+  in
+  List.iter
+    (fun (flush_ns, fence_ns) ->
+      Pmem.set_latency ~flush_ns ~fence_ns;
+      List.iter
+        (fun name ->
+          let alloc = Baselines.Allocators.make name ~size:(64 * mb) in
+          let v = Workloads.Threadtest.run alloc ~threads:1 p in
+          emit ctx
+            {
+              Workloads.Harness.figure = "abl_latency";
+              allocator = Printf.sprintf "%s@%dns" name (flush_ns + fence_ns);
+              threads = 1;
+              metric = "seconds";
+              value = v;
+              flushes = 0;
+              fences = 0;
+            };
+          Gc.full_major ())
+        [ "ralloc"; "makalu"; "pmdk" ])
+    [ (0, 0); (50, 70); (90, 140); (200, 300); (400, 600) ];
+  Pmem.set_latency ~flush_ns:90 ~fence_ns:140
+
+let ablation_tcache ctx =
+  (* thread caching is what separates LRMalloc (and hence Ralloc) from
+     Michael's 2004 allocator (paper §3): same data structures, but one
+     anchor CAS per op instead of a cache hit *)
+  Workloads.Harness.print_header "abl_tcache"
+    "Thread-cache ablation: LRMalloc vs Michael's allocator (Threadtest)";
+  let p =
+    {
+      Workloads.Threadtest.iterations = scaled ctx 25;
+      objects_per_iter = 2000;
+      object_size = 64;
+    }
+  in
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun name ->
+          let alloc = Baselines.Allocators.make name ~size:(64 * mb) in
+          let v = Workloads.Threadtest.run alloc ~threads p in
+          emit ctx
+            {
+              Workloads.Harness.figure = "abl_tcache";
+              allocator = name;
+              threads;
+              metric = "seconds";
+              value = v;
+              flushes = 0;
+              fences = 0;
+            };
+          Gc.full_major ())
+        [ "lrmalloc"; "michael"; "ralloc" ])
+    [ 1; 2; 4 ]
+
+let figures =
+  [
+    ("fig5a", fig5a);
+    ("fig5b", fig5b);
+    ("fig5c", fig5c);
+    ("fig5d", fig5d);
+    ("fig5e", fig5e);
+    ("fig5f", fig5f);
+    ("fig5f_B", fig5f_read_b);
+    ("larson_med", larson_medium);
+    ("fig6a", fig6a);
+    ("fig6b", fig6b);
+    ("abl_filter", ablation_filter);
+    ("abl_flush", ablation_flush_cost);
+    ("abl_expand", ablation_expansion);
+    ("abl_par_rec", ablation_parallel_recovery);
+    ("abl_latency", ablation_latency);
+    ("abl_tcache", ablation_tcache);
+  ]
+
+(* ------------------------- Bechamel micro-suite ------------------------- *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  let mk_sized name size =
+    let alloc = Baselines.Allocators.make name ~size:(64 * mb) in
+    Test.make ~name:(Printf.sprintf "%s/malloc-free-%dB" name size)
+      (Staged.stage (fun () ->
+           let va = Alloc_iface.malloc alloc size in
+           Alloc_iface.free alloc va))
+  in
+  let tests =
+    Test.make_grouped ~name:"per-op"
+      (List.map (fun n -> mk_sized n 64) Baselines.Allocators.names
+      @ List.concat_map
+          (fun s -> [ mk_sized "ralloc" s; mk_sized "makalu" s ])
+          [ 400; 4096 ])
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let res = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name o acc ->
+        match Analyze.OLS.estimates o with
+        | Some (t :: _) -> (name, t) :: acc
+        | _ -> acc)
+      res []
+  in
+  Printf.printf "\n== bechamel: single-thread per-op latency ==\n";
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-36s %10.1f ns/op\n" name ns)
+    (List.sort compare rows)
+
+(* ------------------------- CLI ------------------------- *)
+
+let run_bench only threads scale csv_path bechamel =
+  let csv =
+    Option.map
+      (fun path ->
+        let oc = open_out path in
+        output_string oc Workloads.Harness.csv_header;
+        output_char oc '\n';
+        oc)
+      csv_path
+  in
+  let ctx = { threads; scale; csv } in
+  (* untimed warmup: the very first rows otherwise pay one-off process
+     costs (page-fault machinery, lazy code paths) *)
+  let warm = Baselines.Allocators.make "ralloc" ~size:(8 * mb) in
+  ignore
+    (Workloads.Threadtest.run warm ~threads:1
+       { iterations = 2; objects_per_iter = 1000; object_size = 64 });
+  Gc.full_major ();
+  let selected =
+    match only with
+    | [] -> figures
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n figures with
+          | Some f -> (n, f)
+          | None ->
+            Printf.eprintf "unknown figure %s (known: %s)\n" n
+              (String.concat ", " (List.map fst figures));
+            exit 2)
+        names
+  in
+  if bechamel then bechamel_suite ()
+  else List.iter (fun (_, f) -> f ctx) selected;
+  Option.iter close_out csv
+
+let () =
+  let open Cmdliner in
+  let only =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "only" ] ~docv:"FIG,..."
+          ~doc:"Run only the listed figures (e.g. fig5a,fig6b).")
+  in
+  let threads =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8 ]
+      & info [ "threads" ] ~docv:"N,..." ~doc:"Thread counts to sweep.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ]
+          ~doc:"Scale factor on iteration counts (0.1 = fast smoke run).")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH" ~doc:"Also write rows as CSV.")
+  in
+  let bechamel =
+    Arg.(
+      value & flag
+      & info [ "bechamel" ] ~doc:"Run the Bechamel per-op latency suite.")
+  in
+  let term = Term.(const run_bench $ only $ threads $ scale $ csv $ bechamel) in
+  let info =
+    Cmd.info "ralloc-bench"
+      ~doc:"Regenerate the figures of the Ralloc paper's evaluation"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,1 @@
+bin/pkv.ml: Arg Cmd Cmdliner Dstruct Filename Printf Ralloc Term

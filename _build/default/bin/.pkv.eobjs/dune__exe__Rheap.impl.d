@@ -1,0 +1,1 @@
+bin/rheap.ml: Arg Cmd Cmdliner Format Printf Ralloc Sys Term

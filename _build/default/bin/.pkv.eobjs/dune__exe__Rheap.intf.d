@@ -1,0 +1,1 @@
+bin/rheap.mli:

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Domain Dstruct List Printf Ralloc

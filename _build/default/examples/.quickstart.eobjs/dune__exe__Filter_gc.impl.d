@@ -1,0 +1,1 @@
+examples/filter_gc.ml: Pptr Printf Ralloc

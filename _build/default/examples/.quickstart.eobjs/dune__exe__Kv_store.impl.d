@@ -1,0 +1,1 @@
+examples/kv_store.ml: Dstruct Filename List Printf Ralloc Unix

@@ -1,0 +1,1 @@
+examples/position_independence.ml: Array List Printf Ralloc String

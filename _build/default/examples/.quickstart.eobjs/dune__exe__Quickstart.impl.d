@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename List Printf Ralloc Sys

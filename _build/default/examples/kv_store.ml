@@ -1,0 +1,69 @@
+(* A crash-safe ordered key-value store in ~60 lines of application code:
+   the Natarajan-Mittal tree over Ralloc, file-backed.
+
+     dune exec examples/kv_store.exe
+
+   First run populates; it then simulates a crash in the middle of a batch
+   of writes and shows that recovery restores a consistent store.  Run it
+   again and the data is still there (the heap files persist in /tmp). *)
+
+let path = Filename.concat (Filename.get_temp_dir_name ()) "ralloc-kv"
+let size = 16 * 1024 * 1024
+
+let () =
+  let heap, status = Ralloc.init ~path ~size () in
+  let store =
+    match status with
+    | Ralloc.Fresh ->
+      print_endline "fresh store";
+      Dstruct.Nmtree.create heap ~root:0
+    | Ralloc.Clean_restart ->
+      print_endline "clean restart";
+      Dstruct.Nmtree.attach heap ~root:0
+    | Ralloc.Dirty_restart ->
+      print_endline "dirty restart: recovering";
+      let s = Dstruct.Nmtree.attach heap ~root:0 in
+      let r = Ralloc.recover heap in
+      Printf.printf "  recovered %d blocks in %.4fs\n" r.reachable_blocks
+        (r.trace_seconds +. r.rebuild_seconds);
+      s
+  in
+  Printf.printf "store currently holds %d entries\n"
+    (Dstruct.Nmtree.size store);
+
+  (* write a batch of fresh entries *)
+  let stamp = int_of_float (Unix.time ()) mod 100_000 in
+  for i = 0 to 99 do
+    ignore (Dstruct.Nmtree.insert store ((stamp * 1000) + i) i)
+  done;
+  Printf.printf "inserted 100 entries under stamp %d\n" stamp;
+
+  (* read a few back *)
+  List.iter
+    (fun i ->
+      match Dstruct.Nmtree.find store ((stamp * 1000) + i) with
+      | Some v -> Printf.printf "  key %d -> %d\n" ((stamp * 1000) + i) v
+      | None -> Printf.printf "  key %d missing!\n" ((stamp * 1000) + i))
+    [ 0; 42; 99 ];
+
+  (* crash in the middle of another batch... *)
+  for i = 100 to 149 do
+    ignore (Dstruct.Nmtree.insert store ((stamp * 1000) + i) i)
+  done;
+  let heap, _ = Ralloc.crash_and_reopen heap in
+  let store = Dstruct.Nmtree.attach heap ~root:0 in
+  let r = Ralloc.recover heap in
+  Printf.printf "crashed mid-batch; recovery found %d blocks\n"
+    r.reachable_blocks;
+  Printf.printf "store holds %d entries; key %d -> %s\n"
+    (Dstruct.Nmtree.size store)
+    ((stamp * 1000) + 120)
+    (match Dstruct.Nmtree.find store ((stamp * 1000) + 120) with
+    | Some v -> string_of_int v
+    | None -> "absent");
+  Dstruct.Nmtree.check_invariants store;
+  print_endline "tree invariants hold after recovery";
+
+  (* close cleanly so the next run is a Clean_restart *)
+  Ralloc.close heap;
+  Printf.printf "closed; run me again to re-open %s.{meta,desc,sb}\n" path

@@ -1,0 +1,51 @@
+(** Common allocator interface.
+
+    Every allocator evaluated in the paper (Ralloc, LRMalloc, Makalu, PMDK,
+    JEMalloc, Mnemosyne's built-in) is exposed through this signature so
+    that the benchmark workloads (§6.2–6.3) are generic in the allocator.
+    Blocks are designated by virtual addresses inside the allocator's
+    simulated-NVM region; the [load]/[store]/[cas] operations let workloads
+    actually use the memory they allocate. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val persistent : bool
+  (** Whether the allocator pays for crash consistency (flushes/fences). *)
+
+  val create : size:int -> t
+  (** Fresh heap with a data capacity of [size] bytes. *)
+
+  val malloc : t -> int -> int
+  (** Allocate; returns the block's virtual address, 0 when exhausted. *)
+
+  val free : t -> int -> unit
+
+  val load : t -> int -> int
+  (** Read the 8-aligned word at a virtual address within a block. *)
+
+  val store : t -> int -> int -> unit
+  val cas : t -> int -> expected:int -> desired:int -> bool
+
+  val thread_exit : t -> unit
+  (** Give back any per-domain caches; call before a worker domain ends. *)
+
+  val stats : t -> Pmem.Stats.snapshot
+  (** Persistence-operation counts since creation. *)
+end
+
+type instance = I : (module S with type t = 'a) * 'a -> instance
+(** An allocator packaged with a live heap, for heterogeneous lists of
+    allocators under test. *)
+
+let name (I ((module A), _)) = A.name
+let persistent (I ((module A), _)) = A.persistent
+let malloc (I ((module A), t)) size = A.malloc t size
+let free (I ((module A), t)) va = A.free t va
+let load (I ((module A), t)) va = A.load t va
+let store (I ((module A), t)) va v = A.store t va v
+let cas (I ((module A), t)) va ~expected ~desired = A.cas t va ~expected ~desired
+let thread_exit (I ((module A), t)) = A.thread_exit t
+let stats (I ((module A), t)) = A.stats t

@@ -1,0 +1,1 @@
+lib/baselines/allocators.mli: Alloc_iface Jemalloc_sim Lockalloc Ralloc

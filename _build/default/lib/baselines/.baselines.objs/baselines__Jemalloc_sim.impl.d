@@ -1,0 +1,1 @@
+lib/baselines/jemalloc_sim.ml: Array Atomic Domain List Mutex Pmem Ralloc

@@ -1,0 +1,1 @@
+lib/baselines/jemalloc_sim.mli: Pmem

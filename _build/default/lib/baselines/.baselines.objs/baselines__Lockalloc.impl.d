@@ -1,0 +1,1 @@
+lib/baselines/lockalloc.ml: Array Domain Mutex Pmem Ralloc

@@ -1,0 +1,41 @@
+(** Registry of the allocators evaluated in the paper (§6.1), each behind
+    {!Alloc_iface.S}:
+
+    - ["ralloc"] — this paper's contribution;
+    - ["lrmalloc"] — Ralloc without flush and fence (the paper's phrasing);
+    - ["makalu"] — lock-based persistent allocator with eager logging, a
+      half-returning thread cache, and a slow "medium-size" path;
+    - ["pmdk"] — libpmemobj-style malloc-to/free-from with redo logging
+      under a global lock;
+    - ["mnemosyne"] — Mnemosyne's built-in persistent allocator (Vacation
+      only, Fig. 5e);
+    - ["jemalloc"] — transient high-performance comparator. *)
+
+module Ralloc_alloc : Alloc_iface.S with type t = Ralloc.t
+module Lrmalloc_alloc : Alloc_iface.S with type t = Ralloc.t
+module Makalu_alloc : Alloc_iface.S with type t = Lockalloc.t
+module Pmdk_alloc : Alloc_iface.S with type t = Lockalloc.t
+module Mnemosyne_alloc : Alloc_iface.S with type t = Lockalloc.t
+module Jemalloc_alloc : Alloc_iface.S with type t = Jemalloc_sim.t
+
+module Michael_alloc : Alloc_iface.S with type t = Ralloc.t
+(** Michael's 2004 lock-free allocator: Ralloc with thread caches
+    disabled — every operation is an anchor CAS (paper §3). *)
+
+val makalu_config : Lockalloc.config
+val pmdk_config : Lockalloc.config
+val mnemosyne_config : Lockalloc.config
+
+val names : string list
+(** All seven allocator names. *)
+
+val benchmark_names : string list
+(** The paper's line-up for the allocator benchmarks (Figs. 5a–5d):
+    ralloc, makalu, pmdk, lrmalloc, jemalloc. *)
+
+val persistent_names : string list
+(** Persistent allocators only, for Vacation (Fig. 5e). *)
+
+val make : string -> size:int -> Alloc_iface.instance
+(** [make name ~size] builds a fresh heap of the named allocator.
+    @raise Invalid_argument on unknown names. *)

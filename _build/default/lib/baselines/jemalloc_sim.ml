@@ -1,0 +1,154 @@
+(* A transient high-performance allocator in the spirit of JEMalloc:
+   per-domain arenas (size-classed free lists kept entirely in transient
+   OCaml memory), batched refills from a central pool, and no persistence
+   work whatsoever.  It serves blocks from a simulated-NVM region only so
+   that workloads can exercise the memory uniformly across allocators. *)
+
+module Size_class = Ralloc.Size_class
+
+type cache = { lists : int list array; counts : int array }
+
+type t = {
+  mem : Pmem.t;
+  base : int;
+  capacity : int;
+  wilderness : int Atomic.t; (* transient watermark: no flushes needed *)
+  central_lock : Mutex.t;
+  central : int list array; (* shared overflow lists, index 0 = large *)
+  dls : cache Domain.DLS.key;
+}
+
+let refill_batch = 32
+let cache_limit = 256
+let name = "jemalloc"
+
+let create ~size =
+  let mem = Pmem.create ~name ~size_bytes:size () in
+  {
+    mem;
+    base = 0x3_0000_0000;
+    capacity = size;
+    wilderness = Atomic.make 8 (* byte 0 stays unused so 0 can mean null *);
+    central_lock = Mutex.create ();
+    central = Array.make (Size_class.count + 1) [];
+    dls =
+      Domain.DLS.new_key (fun () ->
+          {
+            lists = Array.make (Size_class.count + 1) [];
+            counts = Array.make (Size_class.count + 1) 0;
+          });
+  }
+
+let word t va = (va - t.base) lsr 3
+let load t va = Pmem.load t.mem (word t va)
+let store t va v = Pmem.store t.mem (word t va) v
+let cas t va ~expected ~desired = Pmem.cas t.mem (word t va) ~expected ~desired
+
+(* Blocks carry a one-word header with the payload size, written once when
+   the block is carved. *)
+let carve t payload_bytes n =
+  let slot = 8 + payload_bytes in
+  let rec claim () =
+    let off = Atomic.get t.wilderness in
+    let take = min n (max 1 ((t.capacity - off) / slot)) in
+    if off + slot > t.capacity then []
+    else if Atomic.compare_and_set t.wilderness off (off + (take * slot)) then begin
+      List.init take (fun i ->
+          let o = off + (i * slot) in
+          Pmem.store t.mem (o lsr 3) payload_bytes;
+          t.base + o + 8)
+    end
+    else claim ()
+  in
+  claim ()
+
+let refill t c cache =
+  (* try the central pool first, then the wilderness *)
+  Mutex.lock t.central_lock;
+  let rec take n acc =
+    if n = 0 then acc
+    else
+      match t.central.(c) with
+      | va :: rest ->
+        t.central.(c) <- rest;
+        take (n - 1) (va :: acc)
+      | [] -> acc
+  in
+  let got = take refill_batch [] in
+  Mutex.unlock t.central_lock;
+  let got =
+    if got = [] then carve t (Size_class.block_size c) refill_batch else got
+  in
+  cache.lists.(c) <- got;
+  cache.counts.(c) <- List.length got;
+  cache.counts.(c) > 0
+
+let malloc_small t c =
+  let cache = Domain.DLS.get t.dls in
+  let rec pop () =
+    match cache.lists.(c) with
+    | va :: rest ->
+      cache.lists.(c) <- rest;
+      cache.counts.(c) <- cache.counts.(c) - 1;
+      va
+    | [] -> if refill t c cache then pop () else 0
+  in
+  pop ()
+
+let malloc_large t size =
+  (* large blocks: central list first fit, else carve *)
+  Mutex.lock t.central_lock;
+  let rec scan acc = function
+    | [] -> (0, List.rev acc)
+    | va :: rest ->
+      if load t (va - 8) >= size then (va, List.rev_append acc rest)
+      else scan (va :: acc) rest
+  in
+  let found, rest = scan [] t.central.(0) in
+  if found <> 0 then t.central.(0) <- rest;
+  Mutex.unlock t.central_lock;
+  if found <> 0 then found
+  else match carve t size 1 with [ va ] -> va | _ -> 0
+
+let malloc t size =
+  if size < 0 then invalid_arg "Jemalloc_sim.malloc";
+  if size > Size_class.max_small_size then malloc_large t ((size + 7) / 8 * 8)
+  else malloc_small t (Size_class.of_size size)
+
+let spill t c cache n =
+  Mutex.lock t.central_lock;
+  for _ = 1 to n do
+    match cache.lists.(c) with
+    | va :: rest ->
+      cache.lists.(c) <- rest;
+      cache.counts.(c) <- cache.counts.(c) - 1;
+      t.central.(c) <- va :: t.central.(c)
+    | [] -> ()
+  done;
+  Mutex.unlock t.central_lock
+
+let free t va =
+  if va <> 0 then begin
+    let size = load t (va - 8) in
+    if size > Size_class.max_small_size then begin
+      Mutex.lock t.central_lock;
+      t.central.(0) <- va :: t.central.(0);
+      Mutex.unlock t.central_lock
+    end
+    else begin
+      let c = Size_class.of_size size in
+      let cache = Domain.DLS.get t.dls in
+      cache.lists.(c) <- va :: cache.lists.(c);
+      cache.counts.(c) <- cache.counts.(c) + 1;
+      if cache.counts.(c) > cache_limit then spill t c cache (cache_limit / 2)
+    end
+  end
+
+let thread_exit t =
+  let cache = Domain.DLS.get t.dls in
+  for c = 1 to Size_class.count do
+    if cache.counts.(c) > 0 then spill t c cache cache.counts.(c)
+  done
+
+let stats t = Pmem.Stats.read t.mem
+let persistent = false

@@ -1,0 +1,19 @@
+(** A transient high-performance allocator in the spirit of JEMalloc
+    (Evans, BSDCan'06), the paper's fast non-persistent comparator:
+    per-domain size-classed arenas kept entirely in transient memory,
+    batched refills from a central pool, no flushes or fences ever.  It
+    serves blocks from a simulated-NVM region only so workloads can use
+    the memory uniformly across allocators. *)
+
+type t
+
+val name : string
+val persistent : bool
+val create : size:int -> t
+val malloc : t -> int -> int
+val free : t -> int -> unit
+val load : t -> int -> int
+val store : t -> int -> int -> unit
+val cas : t -> int -> expected:int -> desired:int -> bool
+val thread_exit : t -> unit
+val stats : t -> Pmem.Stats.snapshot

@@ -1,0 +1,277 @@
+module Size_class = Ralloc.Size_class
+
+type config = {
+  cfg_name : string;
+  global_lock : bool;
+  log_words : int;
+  log_flushes : int;
+  metadata_flushes : int;
+  tcache_capacity : int;
+  half_return : bool;
+  persist_pointer_on_malloc : bool;
+  medium_threshold : int;
+  medium_extra_flushes : int;
+}
+
+type cache = { lists : int list array; counts : int array }
+
+type t = {
+  cfg : config;
+  mem : Pmem.t;
+  base : int;
+  capacity : int; (* region bytes *)
+  locks : Mutex.t array; (* index 0: large allocations / global lock *)
+  dls : cache Domain.DLS.key;
+}
+
+(* Region layout (word indices):
+     0                  wilderness watermark (byte offset of next carve)
+     8 + c              persistent free-list head for class c (0 = large)
+     1024 + 8*slot      per-domain log lines (128 slots)
+   Data starts at byte [data_start].  Every block is preceded by a one-word
+   header holding its payload size in bytes. *)
+
+let used_word = 0
+let head_word c = 8 + c
+let log_base_word = 1024
+let log_slots = 128
+let data_start = (log_base_word + (log_slots * 8)) * 8
+
+let create cfg ~size =
+  let mem = Pmem.create ~name:cfg.cfg_name ~size_bytes:(size + data_start) () in
+  Pmem.store mem used_word data_start;
+  let nlocks = if cfg.global_lock then 1 else Size_class.count + 1 in
+  {
+    cfg;
+    mem;
+    base = 0x2_0000_0000;
+    capacity = size + data_start;
+    locks = Array.init nlocks (fun _ -> Mutex.create ());
+    dls =
+      Domain.DLS.new_key (fun () ->
+          {
+            lists = Array.make (Size_class.count + 1) [];
+            counts = Array.make (Size_class.count + 1) 0;
+          });
+  }
+
+let name t = t.cfg.cfg_name
+let word t va = (va - t.base) lsr 3
+let load t va = Pmem.load t.mem (word t va)
+let store t va v = Pmem.store t.mem (word t va) v
+let cas t va ~expected ~desired = Pmem.cas t.mem (word t va) ~expected ~desired
+let lock_of t c = if t.cfg.global_lock then t.locks.(0) else t.locks.(c)
+let domain_slot () = (Domain.self () :> int) land (log_slots - 1)
+
+(* Write a log record for this operation and make it durable.  These
+   allocators log eagerly so that their metadata is always recoverable
+   without a trace; that is exactly the per-operation cost Ralloc avoids. *)
+let log_op t opcode va =
+  if t.cfg.log_words > 0 then begin
+    let slot = log_base_word + (domain_slot () * 8) in
+    for i = 0 to t.cfg.log_words - 1 do
+      Pmem.store t.mem (slot + (i land 7)) (opcode lxor (va + i))
+    done;
+    for _ = 1 to t.cfg.log_flushes do
+      Pmem.flush t.mem slot;
+      Pmem.fence t.mem
+    done
+  end
+
+let persist_head t c =
+  for _ = 1 to t.cfg.metadata_flushes do
+    Pmem.flush t.mem (head_word c);
+    Pmem.fence t.mem
+  done
+
+(* Carve a fresh block (header + payload) from the wilderness; caller holds
+   a lock covering the watermark (any class lock would race, so carving is
+   always done under lock 0 when locks are per-class). *)
+let carve_locked t payload_bytes =
+  let slot = 8 + payload_bytes in
+  let off = Pmem.load t.mem used_word in
+  if off + slot > t.capacity then 0
+  else begin
+    Pmem.store t.mem used_word (off + slot);
+    Pmem.flush t.mem used_word;
+    Pmem.fence t.mem;
+    Pmem.store t.mem (off lsr 3) payload_bytes (* header *);
+    t.base + off + 8
+  end
+
+let carve t payload_bytes =
+  if t.cfg.global_lock then carve_locked t payload_bytes
+  else begin
+    Mutex.lock t.locks.(0);
+    let r = carve_locked t payload_bytes in
+    Mutex.unlock t.locks.(0);
+    r
+  end
+
+(* Persistent free lists: free blocks reuse payload word 0 as the link. *)
+
+let pop_list t c =
+  let h = Pmem.load t.mem (head_word c) in
+  if h = 0 then 0
+  else begin
+    Pmem.store t.mem (head_word c) (load t h);
+    h
+  end
+
+let push_list t c va =
+  store t va (Pmem.load t.mem (head_word c));
+  Pmem.store t.mem (head_word c) va
+
+(* Make the freshly allocated pointer durable at its destination, as
+   PMDK's malloc-to does (the benchmarks use a dummy destination, exactly
+   as the paper had to, §6.1). *)
+let persist_pointer t va =
+  if t.cfg.persist_pointer_on_malloc then begin
+    let slot = log_base_word + (domain_slot () * 8) + 7 in
+    Pmem.store t.mem slot va;
+    Pmem.flush t.mem slot;
+    Pmem.fence t.mem
+  end
+
+let malloc_slow t c =
+  let bsz = Size_class.block_size c in
+  let lock = lock_of t c in
+  Mutex.lock lock;
+  let va =
+    let h = pop_list t c in
+    if h <> 0 then begin
+      persist_head t c;
+      h
+    end
+    else if t.cfg.global_lock then carve_locked t bsz
+    else carve t bsz
+  in
+  Mutex.unlock lock;
+  va
+
+(* Makalu treats "medium" blocks (> 400 B) through a slower seglist path
+   with additional persistent bookkeeping; the paper observes it collapses
+   on 64-2048 B Larson (§6.2).  Modeled as extra flush+fence pairs. *)
+let medium_penalty t c =
+  if
+    t.cfg.medium_extra_flushes > 0
+    && Size_class.block_size c > t.cfg.medium_threshold
+  then begin
+    let slot = log_base_word + (domain_slot () * 8) in
+    for _ = 1 to t.cfg.medium_extra_flushes do
+      Pmem.flush t.mem slot;
+      Pmem.fence t.mem
+    done
+  end
+
+let malloc_small t c =
+  log_op t 0x1111 c;
+  medium_penalty t c;
+  let va =
+    if t.cfg.tcache_capacity = 0 then malloc_slow t c
+    else begin
+      let cache = Domain.DLS.get t.dls in
+      if cache.counts.(c) > 0 then begin
+        match cache.lists.(c) with
+        | va :: rest ->
+          cache.lists.(c) <- rest;
+          cache.counts.(c) <- cache.counts.(c) - 1;
+          va
+        | [] -> assert false
+      end
+      else malloc_slow t c
+    end
+  in
+  persist_pointer t va;
+  va
+
+let malloc_large t size =
+  log_op t 0x2222 size;
+  let lock = t.locks.(0) in
+  Mutex.lock lock;
+  (* first fit on the persistent large list, no splitting *)
+  let va =
+    let rec scan prev h =
+      if h = 0 then 0
+      else
+        let hsize = load t (h - 8) in
+        if hsize >= size then begin
+          let next = load t h in
+          if prev = 0 then Pmem.store t.mem (head_word 0) next
+          else store t prev next;
+          persist_head t 0;
+          h
+        end
+        else scan h (load t h)
+    in
+    let found = scan 0 (Pmem.load t.mem (head_word 0)) in
+    if found <> 0 then found else carve_locked t size
+  in
+  Mutex.unlock lock;
+  persist_pointer t va;
+  va
+
+let malloc t size =
+  if size < 0 then invalid_arg "Lockalloc.malloc";
+  if size > Size_class.max_small_size then malloc_large t ((size + 7) / 8 * 8)
+  else malloc_small t (Size_class.of_size size)
+
+(* Return [n] blocks from the cache to the persistent list of class [c]. *)
+let return_blocks t c cache n =
+  let lock = lock_of t c in
+  Mutex.lock lock;
+  for _ = 1 to n do
+    match cache.lists.(c) with
+    | va :: rest ->
+      cache.lists.(c) <- rest;
+      cache.counts.(c) <- cache.counts.(c) - 1;
+      push_list t c va
+    | [] -> ()
+  done;
+  persist_head t c;
+  Mutex.unlock lock
+
+let free t va =
+  if va <> 0 then begin
+    let size = load t (va - 8) in
+    log_op t 0x3333 va;
+    if size > Size_class.max_small_size then begin
+      Mutex.lock t.locks.(0);
+      push_list t 0 va;
+      persist_head t 0;
+      Mutex.unlock t.locks.(0)
+    end
+    else begin
+      let c = Size_class.of_size size in
+      medium_penalty t c;
+      if t.cfg.tcache_capacity = 0 then begin
+        let lock = lock_of t c in
+        Mutex.lock lock;
+        push_list t c va;
+        persist_head t c;
+        Mutex.unlock lock
+      end
+      else begin
+        let cache = Domain.DLS.get t.dls in
+        cache.lists.(c) <- va :: cache.lists.(c);
+        cache.counts.(c) <- cache.counts.(c) + 1;
+        if cache.counts.(c) > t.cfg.tcache_capacity then begin
+          let n =
+            if t.cfg.half_return then t.cfg.tcache_capacity / 2
+            else cache.counts.(c)
+          in
+          return_blocks t c cache n
+        end
+      end
+    end
+  end
+
+let thread_exit t =
+  if t.cfg.tcache_capacity > 0 then begin
+    let cache = Domain.DLS.get t.dls in
+    for c = 1 to Size_class.count do
+      if cache.counts.(c) > 0 then return_blocks t c cache cache.counts.(c)
+    done
+  end
+
+let stats t = Pmem.Stats.read t.mem

@@ -1,0 +1,40 @@
+(** A configurable lock-based persistent allocator, used to model the cost
+    structure of the paper's lock-based comparators (Makalu, PMDK's
+    libpmemobj, Mnemosyne's built-in allocator).
+
+    Unlike Ralloc, these systems persist their metadata eagerly: every
+    allocation and deallocation writes a log record and updates persistent
+    free-list heads, with the corresponding flushes and fences, under a
+    lock.  The [config] knobs reproduce each system's published behaviour:
+    how many words are logged, how many flush+fence pairs are issued, the
+    locking granularity, and (for Makalu) a thread-local free-list cache
+    that returns only half its contents when over-full. *)
+
+type config = {
+  cfg_name : string;
+  global_lock : bool;  (** one lock for everything (PMDK) vs per-class *)
+  log_words : int;  (** words written to the redo/undo log per operation *)
+  log_flushes : int;  (** flush+fence pairs devoted to the log per op *)
+  metadata_flushes : int;  (** flush+fence pairs for the free-list update *)
+  tcache_capacity : int;  (** thread-local cache size; 0 disables it *)
+  half_return : bool;  (** over-full cache returns half (Makalu) vs all *)
+  persist_pointer_on_malloc : bool;
+      (** model PMDK's [malloc-to]: durably store the destination pointer *)
+  medium_threshold : int;
+      (** block sizes above this take the slow "medium" path *)
+  medium_extra_flushes : int;
+      (** extra flush+fence pairs on the medium path (Makalu's collapse on
+          64-2048 B Larson, paper §6.2); 0 disables *)
+}
+
+type t
+
+val create : config -> size:int -> t
+val name : t -> string
+val malloc : t -> int -> int
+val free : t -> int -> unit
+val load : t -> int -> int
+val store : t -> int -> int -> unit
+val cas : t -> int -> expected:int -> desired:int -> bool
+val thread_exit : t -> unit
+val stats : t -> Pmem.Stats.snapshot

@@ -1,0 +1,1 @@
+lib/dstruct/hashmap.ml: Alloc_iface Array Char Mutex String

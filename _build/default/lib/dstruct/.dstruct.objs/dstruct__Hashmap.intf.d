@@ -1,0 +1,1 @@
+lib/dstruct/hashmap.mli: Alloc_iface

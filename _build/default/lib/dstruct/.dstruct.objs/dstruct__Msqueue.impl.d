@@ -1,0 +1,1 @@
+lib/dstruct/msqueue.ml: Alloc_iface Atomic

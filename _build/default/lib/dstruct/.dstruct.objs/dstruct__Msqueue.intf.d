@@ -1,0 +1,1 @@
+lib/dstruct/msqueue.mli: Alloc_iface

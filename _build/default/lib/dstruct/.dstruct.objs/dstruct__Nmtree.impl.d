@@ -1,0 +1,1 @@
+lib/dstruct/nmtree.ml: Ebr List Pptr Printf Ralloc

@@ -1,0 +1,1 @@
+lib/dstruct/nmtree.mli: Ebr Ralloc

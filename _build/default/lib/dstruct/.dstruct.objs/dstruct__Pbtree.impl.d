@@ -1,0 +1,1 @@
+lib/dstruct/pbtree.ml: Mutex Ralloc Txn

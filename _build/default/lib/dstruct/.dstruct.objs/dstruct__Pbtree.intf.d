@@ -1,0 +1,1 @@
+lib/dstruct/pbtree.mli: Ralloc Txn

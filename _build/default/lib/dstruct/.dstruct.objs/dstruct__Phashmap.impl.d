@@ -1,0 +1,1 @@
+lib/dstruct/phashmap.ml: Char Pptr Ralloc String

@@ -1,0 +1,1 @@
+lib/dstruct/plog.ml: Char List Ralloc String

@@ -1,0 +1,1 @@
+lib/dstruct/plog.mli: Ralloc

@@ -1,0 +1,1 @@
+lib/dstruct/plru.ml: Char Fun Hashtbl List Mutex Ralloc String Txn

@@ -1,0 +1,1 @@
+lib/dstruct/plru.mli: Ralloc Txn

@@ -1,0 +1,1 @@
+lib/dstruct/pset.ml: Ebr List Pptr Ralloc

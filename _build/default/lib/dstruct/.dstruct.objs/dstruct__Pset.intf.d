@@ -1,0 +1,1 @@
+lib/dstruct/pset.mli: Ebr Ralloc

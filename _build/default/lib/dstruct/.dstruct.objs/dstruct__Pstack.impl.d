@@ -1,0 +1,1 @@
+lib/dstruct/pstack.ml: Ebr Pptr Ralloc

@@ -1,0 +1,1 @@
+lib/dstruct/pstack.mli: Ebr Ralloc

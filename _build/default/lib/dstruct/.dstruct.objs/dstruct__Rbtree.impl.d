@@ -1,0 +1,1 @@
+lib/dstruct/rbtree.ml: Alloc_iface Printf

@@ -1,0 +1,1 @@
+lib/dstruct/rbtree.mli: Alloc_iface

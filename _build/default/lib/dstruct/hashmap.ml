@@ -1,0 +1,177 @@
+(* A chained hash table with per-bucket locks and string keys/values,
+   standing in for memcached's item table (paper §6.3, Fig. 5f).  Generic
+   over the allocator under test: every node, key and value is a block
+   from that allocator, so a YCSB run generates exactly the allocation
+   traffic the paper measures.
+
+   Node layout (48 B): [0] next, [1] hash, [2] key va, [3] key length,
+   [4] value va, [5] value length.  Strings are packed 7 bytes per word so
+   that every word stays within the simulated NVM's 62-bit payload. *)
+
+module Make (A : Alloc_iface.S) = struct
+  type t = {
+    a : A.t;
+    buckets : int; (* power of two *)
+    table : int; (* va of the bucket array block *)
+    locks : Mutex.t array;
+  }
+
+  let node_bytes = 48
+
+  let create a ~buckets =
+    let buckets =
+      (* round up to a power of two *)
+      let rec up n = if n >= buckets then n else up (n * 2) in
+      up 16
+    in
+    let table = A.malloc a (buckets * 8) in
+    if table = 0 then failwith "Hashmap.create: out of memory";
+    for i = 0 to buckets - 1 do
+      A.store a (table + (8 * i)) 0
+    done;
+    { a; buckets; table; locks = Array.init 64 (fun _ -> Mutex.create ()) }
+
+  let hash_string s =
+    let h = ref 0x3bf29ce484222325 in
+    String.iter
+      (fun c ->
+        h := (!h lxor Char.code c) * 0x100000001b3;
+        h := !h land max_int)
+      s;
+    !h land max_int
+
+  (* 7 bytes per word keeps the payload within 62 bits *)
+  let bytes_per_word = 7
+
+  let words_for len = (len + bytes_per_word - 1) / bytes_per_word
+
+  let store_bytes t va s =
+    let len = String.length s in
+    for w = 0 to words_for len - 1 do
+      let v = ref 0 in
+      for b = bytes_per_word - 1 downto 0 do
+        let i = (w * bytes_per_word) + b in
+        if i < len then v := (!v lsl 8) lor Char.code s.[i]
+        else v := !v lsl 8
+      done;
+      A.store t.a (va + (8 * w)) !v
+    done
+
+  let load_bytes t va len =
+    String.init len (fun i ->
+        let w = i / bytes_per_word and b = i mod bytes_per_word in
+        Char.chr ((A.load t.a (va + (8 * w)) lsr (8 * b)) land 0xFF))
+
+  let bucket_of t h = t.table + (8 * (h land (t.buckets - 1)))
+  let lock_of t h = t.locks.(h land 63)
+
+  let node_key t n =
+    load_bytes t (A.load t.a (n + 16)) (A.load t.a (n + 24))
+
+  let find_node t bucket h key =
+    let rec walk n =
+      if n = 0 then 0
+      else if A.load t.a (n + 8) = h && String.equal (node_key t n) key then n
+      else walk (A.load t.a n)
+    in
+    walk (A.load t.a bucket)
+
+  let alloc_string t s =
+    let len = String.length s in
+    let va = A.malloc t.a (max 8 (words_for len * 8)) in
+    if va = 0 then failwith "Hashmap: out of memory";
+    store_bytes t va s;
+    va
+
+  (* Insert or update.  Returns true iff the key was new. *)
+  let set t key value =
+    let h = hash_string key in
+    let bucket = bucket_of t h in
+    let lock = lock_of t h in
+    Mutex.lock lock;
+    let fresh =
+      let n = find_node t bucket h key in
+      if n <> 0 then begin
+        (* replace the value block *)
+        let old_va = A.load t.a (n + 32) in
+        let va = alloc_string t value in
+        A.store t.a (n + 32) va;
+        A.store t.a (n + 40) (String.length value);
+        A.free t.a old_va;
+        false
+      end
+      else begin
+        let n = A.malloc t.a node_bytes in
+        if n = 0 then failwith "Hashmap: out of memory";
+        A.store t.a (n + 8) h;
+        A.store t.a (n + 16) (alloc_string t key);
+        A.store t.a (n + 24) (String.length key);
+        A.store t.a (n + 32) (alloc_string t value);
+        A.store t.a (n + 40) (String.length value);
+        A.store t.a n (A.load t.a bucket);
+        A.store t.a bucket n;
+        true
+      end
+    in
+    Mutex.unlock lock;
+    fresh
+
+  let get t key =
+    let h = hash_string key in
+    let bucket = bucket_of t h in
+    let lock = lock_of t h in
+    Mutex.lock lock;
+    let r =
+      let n = find_node t bucket h key in
+      if n = 0 then None
+      else Some (load_bytes t (A.load t.a (n + 32)) (A.load t.a (n + 40)))
+    in
+    Mutex.unlock lock;
+    r
+
+  let mem t key = get t key <> None
+
+  let delete t key =
+    let h = hash_string key in
+    let bucket = bucket_of t h in
+    let lock = lock_of t h in
+    Mutex.lock lock;
+    let r =
+      let rec unlink prev n =
+        if n = 0 then false
+        else if A.load t.a (n + 8) = h && String.equal (node_key t n) key
+        then begin
+          let next = A.load t.a n in
+          if prev = 0 then A.store t.a bucket next else A.store t.a prev next;
+          A.free t.a (A.load t.a (n + 16));
+          A.free t.a (A.load t.a (n + 32));
+          A.free t.a n;
+          true
+        end
+        else unlink n (A.load t.a n)
+      in
+      unlink 0 (A.load t.a bucket)
+    in
+    Mutex.unlock lock;
+    r
+
+  let length t =
+    let total = ref 0 in
+    for i = 0 to t.buckets - 1 do
+      let rec count n acc = if n = 0 then acc else count (A.load t.a n) (acc + 1) in
+      total := !total + count (A.load t.a (t.table + (8 * i))) 0
+    done;
+    !total
+
+  let iter f t =
+    for i = 0 to t.buckets - 1 do
+      let rec walk n =
+        if n <> 0 then begin
+          f (node_key t n)
+            (load_bytes t (A.load t.a (n + 32)) (A.load t.a (n + 40)));
+          walk (A.load t.a n)
+        end
+      in
+      walk (A.load t.a (t.table + (8 * i)))
+    done
+end

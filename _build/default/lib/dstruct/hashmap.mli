@@ -1,0 +1,31 @@
+(** A chained hash table with per-bucket locks and string keys/values,
+    standing in for memcached's item table (paper §6.3, Fig. 5f).
+    Generic over the allocator under test: every node, key and value is a
+    block from that allocator, so a YCSB run generates exactly the
+    allocation traffic the paper measures (an update = free + malloc of
+    the value block).
+
+    Pointers are raw addresses (transient-style benchmark structure);
+    strings are packed 7 bytes per word to stay within the simulated
+    NVM's 62-bit payload. *)
+
+module Make (A : Alloc_iface.S) : sig
+  type t
+
+  val create : A.t -> buckets:int -> t
+  (** [buckets] is rounded up to a power of two (min 16).
+      @raise Failure when the heap is exhausted. *)
+
+  val set : t -> string -> string -> bool
+  (** Insert or replace; true iff the key was new.  Replacement frees the
+      old value block. *)
+
+  val get : t -> string -> string option
+  val mem : t -> string -> bool
+
+  val delete : t -> string -> bool
+  (** False if absent.  Frees the node and both string blocks. *)
+
+  val length : t -> int
+  val iter : (string -> string -> unit) -> t -> unit
+end

@@ -1,0 +1,41 @@
+(* Node: word 0 = next (raw virtual address, transient), word 1 = value. *)
+
+type t = {
+  alloc : Alloc_iface.instance;
+  head : int Atomic.t; (* consumer-owned: points at the dummy *)
+  tail : int Atomic.t; (* producer-owned: last node *)
+}
+
+let node_bytes = 16
+
+let create alloc =
+  let dummy = Alloc_iface.malloc alloc node_bytes in
+  if dummy = 0 then failwith "Msqueue.create: out of memory";
+  Alloc_iface.store alloc dummy 0;
+  { alloc; head = Atomic.make dummy; tail = Atomic.make dummy }
+
+let enqueue t v =
+  let node = Alloc_iface.malloc t.alloc node_bytes in
+  if node = 0 then false
+  else begin
+    Alloc_iface.store t.alloc node 0;
+    Alloc_iface.store t.alloc (node + 8) v;
+    let tl = Atomic.get t.tail in
+    Alloc_iface.store t.alloc tl node;
+    (* release: link visible before tail moves *)
+    Atomic.set t.tail node;
+    true
+  end
+
+let dequeue t =
+  let hd = Atomic.get t.head in
+  let next = Alloc_iface.load t.alloc hd in
+  if next = 0 then None
+  else begin
+    let v = Alloc_iface.load t.alloc (next + 8) in
+    Atomic.set t.head next;
+    Alloc_iface.free t.alloc hd;
+    Some v
+  end
+
+let is_empty t = Alloc_iface.load t.alloc (Atomic.get t.head) = 0

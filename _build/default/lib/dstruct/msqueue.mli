@@ -1,0 +1,21 @@
+(** A single-producer / single-consumer Michael–Scott-style queue used by
+    the Prod-con benchmark (paper §6.2, Fig. 5d).
+
+    Nodes are allocated by the producer and freed by the consumer through
+    the allocator under test — the "bleeding" pattern whose allocation
+    traffic the benchmark measures.  With exactly one producer and one
+    consumer, head and tail are each single-writer, so the queue needs no
+    CAS and is immune to ABA despite immediate [free]. *)
+
+type t
+
+val create : Alloc_iface.instance -> t
+(** @raise Failure if the allocator cannot provide the dummy node. *)
+
+val enqueue : t -> int -> bool
+(** Producer side only.  False iff out of memory. *)
+
+val dequeue : t -> int option
+(** Consumer side only.  Frees the retired node through the allocator. *)
+
+val is_empty : t -> bool

@@ -1,0 +1,392 @@
+(* CLRS B-tree with minimum degree T = 4: nodes hold 3..7 keys (root may
+   hold fewer), internals hold nkeys+1 children.
+
+   Node layout (18 words = 144 B):
+     [0] is_leaf   [1] nkeys
+     [2..8]   keys
+     [9..15]  values (leaf) — kept for internals too (simplifies moves)
+     hmm, values must exist for every key in this B-tree variant (we store
+     key/value pairs in every node, CLRS-style), so:
+     [2..8] keys, [9..15] values, [16..23] child pointers (off-holders).
+   That is 24 words = 192 B.
+
+   Header block: [0] root pptr, [1] size.
+
+   Every mutation runs inside one Txn.run: all node stores are buffered
+   and land atomically, so splits and merges can never be half-visible.
+   Reads outside a transaction go straight to the heap. *)
+
+type t = { heap : Ralloc.t; mgr : Txn.t; header : int; lock : Mutex.t }
+
+let degree = 4 (* CLRS t *)
+let max_keys = (2 * degree) - 1
+let node_words = 24
+let node_bytes = node_words * 8
+let w_leaf = 0
+let w_nkeys = 8
+let w_key i = 8 * (2 + i)
+let w_value i = 8 * (9 + i)
+let w_child i = 8 * (16 + i)
+
+(* -------- field access, transactional and direct -------- *)
+
+let t_leaf tx n = Txn.load tx (n + w_leaf) = 1
+let t_nkeys tx n = Txn.load tx (n + w_nkeys)
+let t_set_nkeys tx n v = Txn.store tx (n + w_nkeys) v
+let t_key tx n i = Txn.load tx (n + w_key i)
+let t_set_key tx n i v = Txn.store tx (n + w_key i) v
+let t_value tx n i = Txn.load tx (n + w_value i)
+let t_set_value tx n i v = Txn.store tx (n + w_value i) v
+let t_child tx n i = Txn.load_ptr tx (n + w_child i)
+let t_set_child tx n i c = Txn.store_ptr tx ~at:(n + w_child i) ~target:c
+
+let d_leaf heap n = Ralloc.load heap (n + w_leaf) = 1
+let d_nkeys heap n = Ralloc.load heap (n + w_nkeys)
+let d_key heap n i = Ralloc.load heap (n + w_key i)
+let d_value heap n i = Ralloc.load heap (n + w_value i)
+let d_child heap n i = Ralloc.read_ptr heap (n + w_child i)
+
+let rec node_filter heap (gc : Ralloc.gc) va =
+  if not (d_leaf heap va) then
+    for i = 0 to d_nkeys heap va do
+      let c = d_child heap va i in
+      if c <> 0 then gc.visit ~filter:(node_filter heap) c
+    done
+
+let header_filter heap (gc : Ralloc.gc) va =
+  let root = Ralloc.read_ptr heap va in
+  if root <> 0 then gc.visit ~filter:(node_filter heap) root
+
+let filter heap gc va = header_filter heap gc va
+
+let alloc_node tx ~leaf =
+  let n = Txn.malloc tx node_bytes in
+  if n = 0 then failwith "Pbtree: out of memory";
+  Txn.store tx (n + w_leaf) (if leaf then 1 else 0);
+  t_set_nkeys tx n 0;
+  n
+
+let create heap mgr ~root =
+  let t = { heap; mgr; header = 0; lock = Mutex.create () } in
+  let header = ref 0 in
+  Txn.run mgr (fun tx ->
+      let h = Txn.malloc tx 16 in
+      let r = alloc_node tx ~leaf:true in
+      if h = 0 then failwith "Pbtree.create: out of memory";
+      Txn.store_ptr tx ~at:h ~target:r;
+      Txn.store tx (h + 8) 0;
+      header := h);
+  Ralloc.set_root heap root !header;
+  ignore (Ralloc.get_root ~filter:(filter heap) heap root);
+  { t with header = !header }
+
+let attach heap mgr ~root =
+  let header = Ralloc.get_root ~filter:(filter heap) heap root in
+  if header = 0 then invalid_arg "Pbtree.attach: root is unset";
+  { heap; mgr; header; lock = Mutex.create () }
+
+let root t = Ralloc.read_ptr t.heap t.header
+
+(* -------- search (direct reads, under the caller's lock) -------- *)
+
+let rec find_in t n key =
+  let nk = d_nkeys t.heap n in
+  let rec scan i =
+    if i < nk && d_key t.heap n i < key then scan (i + 1) else i
+  in
+  let i = scan 0 in
+  if i < nk && d_key t.heap n i = key then Some (d_value t.heap n i)
+  else if d_leaf t.heap n then None
+  else find_in t (d_child t.heap n i) key
+
+let find t key =
+  Mutex.lock t.lock;
+  let r = find_in t (root t) key in
+  Mutex.unlock t.lock;
+  r
+
+let mem t key = find t key <> None
+let size t = Ralloc.load t.heap (t.header + 8)
+
+(* -------- insertion (preemptive split on the way down) -------- *)
+
+(* Split full child [c] = child[i] of non-full [n]. *)
+let split_child tx n i c =
+  let leaf = t_leaf tx c in
+  let z = alloc_node tx ~leaf in
+  let t' = degree in
+  t_set_nkeys tx z (t' - 1);
+  for j = 0 to t' - 2 do
+    t_set_key tx z j (t_key tx c (j + t'));
+    t_set_value tx z j (t_value tx c (j + t'))
+  done;
+  if not leaf then
+    for j = 0 to t' - 1 do
+      t_set_child tx z j (t_child tx c (j + t'))
+    done;
+  t_set_nkeys tx c (t' - 1);
+  let nk = t_nkeys tx n in
+  for j = nk downto i + 1 do
+    t_set_child tx n (j + 1) (t_child tx n j)
+  done;
+  t_set_child tx n (i + 1) z;
+  for j = nk - 1 downto i do
+    t_set_key tx n (j + 1) (t_key tx n j);
+    t_set_value tx n (j + 1) (t_value tx n j)
+  done;
+  t_set_key tx n i (t_key tx c (t' - 1));
+  t_set_value tx n i (t_value tx c (t' - 1));
+  t_set_nkeys tx n (nk + 1)
+
+(* Insert into non-full [n]; returns true iff the key was new. *)
+let rec insert_nonfull tx n key value =
+  let nk = t_nkeys tx n in
+  let rec scan i = if i < nk && t_key tx n i < key then scan (i + 1) else i in
+  let i = scan 0 in
+  if i < nk && t_key tx n i = key then begin
+    t_set_value tx n i value;
+    false
+  end
+  else if t_leaf tx n then begin
+    for j = nk - 1 downto i do
+      t_set_key tx n (j + 1) (t_key tx n j);
+      t_set_value tx n (j + 1) (t_value tx n j)
+    done;
+    t_set_key tx n i key;
+    t_set_value tx n i value;
+    t_set_nkeys tx n (nk + 1);
+    true
+  end
+  else begin
+    let c = t_child tx n i in
+    if t_nkeys tx c = max_keys then begin
+      split_child tx n i c;
+      (* the median moved up into n at index i *)
+      if t_key tx n i = key then begin
+        t_set_value tx n i value;
+        false
+      end
+      else
+        let i = if key > t_key tx n i then i + 1 else i in
+        insert_nonfull tx (t_child tx n i) key value
+    end
+    else insert_nonfull tx c key value
+  end
+
+let insert t key value =
+  Mutex.lock t.lock;
+  let fresh =
+    Txn.run t.mgr (fun tx ->
+        let r = Txn.load_ptr tx t.header in
+        let r =
+          if t_nkeys tx r = max_keys then begin
+            (* grow: new root with the old root as its only child *)
+            let s = alloc_node tx ~leaf:false in
+            t_set_child tx s 0 r;
+            split_child tx s 0 r;
+            Txn.store_ptr tx ~at:t.header ~target:s;
+            s
+          end
+          else r
+        in
+        let fresh = insert_nonfull tx r key value in
+        if fresh then Txn.store tx (t.header + 8) (Txn.load tx (t.header + 8) + 1);
+        fresh)
+  in
+  Mutex.unlock t.lock;
+  fresh
+
+(* -------- deletion (CLRS, with rebalancing on the way down) -------- *)
+
+let rec max_kv tx n =
+  if t_leaf tx n then
+    let nk = t_nkeys tx n in
+    (t_key tx n (nk - 1), t_value tx n (nk - 1))
+  else max_kv tx (t_child tx n (t_nkeys tx n))
+
+let rec min_kv tx n =
+  if t_leaf tx n then (t_key tx n 0, t_value tx n 0)
+  else min_kv tx (t_child tx n 0)
+
+(* Merge child[i], key[i] of n, and child[i+1] into child[i]; frees the
+   right child (deferred by the transaction). *)
+let merge_children tx n i =
+  let y = t_child tx n i and z = t_child tx n (i + 1) in
+  let ynk = t_nkeys tx y and znk = t_nkeys tx z in
+  t_set_key tx y ynk (t_key tx n i);
+  t_set_value tx y ynk (t_value tx n i);
+  for j = 0 to znk - 1 do
+    t_set_key tx y (ynk + 1 + j) (t_key tx z j);
+    t_set_value tx y (ynk + 1 + j) (t_value tx z j)
+  done;
+  if not (t_leaf tx y) then
+    for j = 0 to znk do
+      t_set_child tx y (ynk + 1 + j) (t_child tx z j)
+    done;
+  t_set_nkeys tx y (ynk + 1 + znk);
+  let nk = t_nkeys tx n in
+  for j = i to nk - 2 do
+    t_set_key tx n j (t_key tx n (j + 1));
+    t_set_value tx n j (t_value tx n (j + 1))
+  done;
+  for j = i + 1 to nk - 1 do
+    t_set_child tx n j (t_child tx n (j + 1))
+  done;
+  t_set_nkeys tx n (nk - 1);
+  Txn.free tx z;
+  y
+
+(* Ensure child[i] of n has at least [degree] keys before descending. *)
+let rebalance_child tx n i =
+  let c = t_child tx n i in
+  if t_nkeys tx c >= degree then (c, i)
+  else begin
+    let nk = t_nkeys tx n in
+    let left = if i > 0 then t_child tx n (i - 1) else 0 in
+    let right = if i < nk then t_child tx n (i + 1) else 0 in
+    if left <> 0 && t_nkeys tx left >= degree then begin
+      (* rotate right: left's last key moves up, n's separator moves down *)
+      let lnk = t_nkeys tx left and cnk = t_nkeys tx c in
+      for j = cnk - 1 downto 0 do
+        t_set_key tx c (j + 1) (t_key tx c j);
+        t_set_value tx c (j + 1) (t_value tx c j)
+      done;
+      if not (t_leaf tx c) then
+        for j = cnk downto 0 do
+          t_set_child tx c (j + 1) (t_child tx c j)
+        done;
+      t_set_key tx c 0 (t_key tx n (i - 1));
+      t_set_value tx c 0 (t_value tx n (i - 1));
+      if not (t_leaf tx c) then t_set_child tx c 0 (t_child tx left lnk);
+      t_set_key tx n (i - 1) (t_key tx left (lnk - 1));
+      t_set_value tx n (i - 1) (t_value tx left (lnk - 1));
+      t_set_nkeys tx left (lnk - 1);
+      t_set_nkeys tx c (cnk + 1);
+      (c, i)
+    end
+    else if right <> 0 && t_nkeys tx right >= degree then begin
+      (* rotate left *)
+      let rnk = t_nkeys tx right and cnk = t_nkeys tx c in
+      t_set_key tx c cnk (t_key tx n i);
+      t_set_value tx c cnk (t_value tx n i);
+      if not (t_leaf tx c) then t_set_child tx c (cnk + 1) (t_child tx right 0);
+      t_set_key tx n i (t_key tx right 0);
+      t_set_value tx n i (t_value tx right 0);
+      for j = 0 to rnk - 2 do
+        t_set_key tx right j (t_key tx right (j + 1));
+        t_set_value tx right j (t_value tx right (j + 1))
+      done;
+      if not (t_leaf tx right) then
+        for j = 0 to rnk - 1 do
+          t_set_child tx right j (t_child tx right (j + 1))
+        done;
+      t_set_nkeys tx right (rnk - 1);
+      t_set_nkeys tx c (cnk + 1);
+      (c, i)
+    end
+    else if left <> 0 then (merge_children tx n (i - 1), i - 1)
+    else (merge_children tx n i, i)
+  end
+
+let rec delete_from tx n key =
+  let nk = t_nkeys tx n in
+  let rec scan i = if i < nk && t_key tx n i < key then scan (i + 1) else i in
+  let i = scan 0 in
+  if i < nk && t_key tx n i = key then
+    if t_leaf tx n then begin
+      for j = i to nk - 2 do
+        t_set_key tx n j (t_key tx n (j + 1));
+        t_set_value tx n j (t_value tx n (j + 1))
+      done;
+      t_set_nkeys tx n (nk - 1);
+      true
+    end
+    else begin
+      let y = t_child tx n i and z = t_child tx n (i + 1) in
+      if t_nkeys tx y >= degree then begin
+        let pk, pv = max_kv tx y in
+        t_set_key tx n i pk;
+        t_set_value tx n i pv;
+        delete_from tx y pk
+      end
+      else if t_nkeys tx z >= degree then begin
+        let sk, sv = min_kv tx z in
+        t_set_key tx n i sk;
+        t_set_value tx n i sv;
+        delete_from tx z sk
+      end
+      else begin
+        let y = merge_children tx n i in
+        delete_from tx y key
+      end
+    end
+  else if t_leaf tx n then false
+  else begin
+    let c, _ = rebalance_child tx n i in
+    delete_from tx c key
+  end
+
+let delete t key =
+  Mutex.lock t.lock;
+  let removed =
+    Txn.run t.mgr (fun tx ->
+        let r = Txn.load_ptr tx t.header in
+        let removed = delete_from tx r key in
+        (* shrink: an empty internal root hands over to its only child *)
+        let r = Txn.load_ptr tx t.header in
+        if t_nkeys tx r = 0 && not (t_leaf tx r) then begin
+          Txn.store_ptr tx ~at:t.header ~target:(t_child tx r 0);
+          Txn.free tx r
+        end;
+        if removed then
+          Txn.store tx (t.header + 8) (Txn.load tx (t.header + 8) - 1);
+        removed)
+  in
+  Mutex.unlock t.lock;
+  removed
+
+(* -------- iteration & checking (direct reads) -------- *)
+
+let iter f t =
+  let rec walk n =
+    let nk = d_nkeys t.heap n in
+    if d_leaf t.heap n then
+      for i = 0 to nk - 1 do
+        f (d_key t.heap n i) (d_value t.heap n i)
+      done
+    else begin
+      for i = 0 to nk - 1 do
+        walk (d_child t.heap n i);
+        f (d_key t.heap n i) (d_value t.heap n i)
+      done;
+      walk (d_child t.heap n nk)
+    end
+  in
+  walk (root t)
+
+let check_invariants t =
+  let heap = t.heap in
+  let leaf_depth = ref (-1) in
+  let rec walk n lo hi depth =
+    let nk = d_nkeys heap n in
+    if n <> root t && nk < degree - 1 then
+      failwith "Pbtree: underfull non-root node";
+    if nk > max_keys then failwith "Pbtree: overfull node";
+    for i = 0 to nk - 1 do
+      let k = d_key heap n i in
+      if not (lo < k && k < hi) then failwith "Pbtree: key out of range";
+      if i > 0 && d_key heap n (i - 1) >= k then
+        failwith "Pbtree: keys not ascending"
+    done;
+    if d_leaf heap n then begin
+      if !leaf_depth = -1 then leaf_depth := depth
+      else if !leaf_depth <> depth then failwith "Pbtree: uneven leaf depth"
+    end
+    else
+      for i = 0 to nk do
+        let lo = if i = 0 then lo else d_key heap n (i - 1) in
+        let hi = if i = nk then hi else d_key heap n i in
+        walk (d_child heap n i) lo hi (depth + 1)
+      done
+  in
+  walk (root t) min_int max_int 0

@@ -1,0 +1,42 @@
+(** A persistent B-tree whose structural updates are failure-atomic
+    {e by construction}: every insert and delete — including cascading
+    node splits, rotations and merges — runs inside one {!Txn} redo-log
+    transaction, so a crash at any instant leaves the previous or the new
+    tree, never a torn one.  This is the programming model PMDK promotes
+    (paper §2.2), demonstrated on a nontrivial structure, and it composes
+    with the allocator's recoverability: nodes allocated by a transaction
+    that never commits are collected by the post-crash GC.
+
+    Minimum degree 4 (3..7 keys per node, 8 children).  Writers serialize
+    on an internal mutex (transactions provide atomicity, not isolation);
+    reads take the same mutex for simplicity.  Pointers are
+    position-independent off-holders. *)
+
+type t
+
+val create : Ralloc.t -> Txn.t -> root:int -> t
+(** [root] stores the tree's header; the transaction manager must have
+    its own root (see {!Txn.create}). *)
+
+val attach : Ralloc.t -> Txn.t -> root:int -> t
+(** Re-attach after a restart; call {!Txn.attach} first so that a
+    mid-apply transaction is replayed before the tree is used. *)
+
+val insert : t -> int -> int -> bool
+(** Insert or update; true iff the key was new. *)
+
+val find : t -> int -> int option
+val mem : t -> int -> bool
+
+val delete : t -> int -> bool
+(** False if absent.  Frees nodes emptied by merges (deferred to after
+    the transaction commits, as {!Txn.free} requires). *)
+
+val size : t -> int
+val iter : (int -> int -> unit) -> t -> unit
+(** Ascending key order. *)
+
+val check_invariants : t -> unit
+(** Key order, occupancy bounds, and uniform leaf depth.  For tests. *)
+
+val filter : Ralloc.t -> Ralloc.filter

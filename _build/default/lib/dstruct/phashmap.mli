@@ -1,0 +1,47 @@
+(** A persistent, position-independent string hash map on Ralloc — the
+    crash-recoverable counterpart of {!Hashmap}, suitable for a durable
+    memcached-style store.
+
+    Buckets are Harris-style lock-free chains: inserts CAS onto the
+    bucket head, deletes mark the victim's next word (spare bit of the
+    off-holder) before a best-effort physical unlink.  [set] inserts the
+    new binding at the head and then marks the older binding, so reads
+    always observe the newest value for a key (last-write-wins under
+    concurrency).
+
+    Durability: nodes and their key/value blocks are flushed before they
+    are published, link words after, so every completed [set]/[delete]
+    survives a crash.  String blocks carry arbitrary bytes, so the map's
+    filter function is essential: it traces the real pointers and shields
+    the collector from misreading string data (paper §4.5.1).
+
+    Reclamation: as elsewhere, unlinked nodes are freed immediately only
+    when [reclaim] is set (single-domain use); otherwise they are leaked
+    to the next post-crash GC. *)
+
+type t
+
+val create : ?reclaim:bool -> Ralloc.t -> root:int -> buckets:int -> t
+(** [buckets] is rounded up to a power of two (min 16). *)
+
+val attach : ?reclaim:bool -> Ralloc.t -> root:int -> t
+(** Re-attach after a restart; registers the filter function, so call
+    before {!Ralloc.recover} on a dirty heap. *)
+
+val set : t -> string -> string -> bool
+(** Durable insert-or-replace; true iff the key was new. *)
+
+val get : t -> string -> string option
+val mem : t -> string -> bool
+
+val delete : t -> string -> bool
+(** Durable delete; false if the key was absent. *)
+
+val length : t -> int
+(** Number of live bindings, computed from the chains (O(n)); exact when
+    quiescent and correct across crashes. *)
+
+val iter : (string -> string -> unit) -> t -> unit
+(** Quiescent-use iteration over live bindings. *)
+
+val filter : Ralloc.t -> Ralloc.filter

@@ -1,0 +1,142 @@
+(* Layout.
+   Header (32 B): [0] head segment pptr, [1] tail segment pptr,
+   [2] committed record count, [3] segment payload bytes.
+   Segment: [0] next segment pptr, [1] used payload bytes (the commit
+   point), payload from byte 16.
+   Record: [length word][checksum word][length bytes, padded to words]. *)
+
+type t = { heap : Ralloc.t; header : int }
+
+let default_segment_bytes = 8192
+let seg_payload_off = 16
+
+let checksum s =
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x100000001b3;
+      h := !h land max_int)
+    s;
+  !h lxor String.length s land max_int
+
+let rec segment_filter heap (gc : Ralloc.gc) va =
+  (* only word 0 is a pointer; the payload is raw bytes *)
+  let next = Ralloc.read_ptr heap va in
+  if next <> 0 then gc.visit ~filter:(segment_filter heap) next
+
+let header_filter heap (gc : Ralloc.gc) va =
+  List.iter
+    (fun field ->
+      let target = Ralloc.read_ptr heap (va + (8 * field)) in
+      if target <> 0 then gc.visit ~filter:(segment_filter heap) target)
+    [ 0; 1 ]
+
+let filter heap gc va = header_filter heap gc va
+
+let alloc_segment t =
+  let payload = Ralloc.load t.heap (t.header + 24) in
+  let seg = Ralloc.malloc t.heap (seg_payload_off + payload) in
+  if seg <> 0 then begin
+    Ralloc.write_ptr t.heap ~at:seg ~target:0;
+    Ralloc.store t.heap (seg + 8) 0;
+    Ralloc.flush_block_range t.heap seg 16;
+    Ralloc.fence t.heap
+  end;
+  seg
+
+let create ?(segment_bytes = default_segment_bytes) heap ~root =
+  if segment_bytes < 64 then invalid_arg "Plog.create: segment too small";
+  let header = Ralloc.malloc heap 32 in
+  if header = 0 then failwith "Plog.create: out of memory";
+  Ralloc.store heap (header + 16) 0;
+  Ralloc.store heap (header + 24) segment_bytes;
+  let t = { heap; header } in
+  let seg = alloc_segment t in
+  if seg = 0 then failwith "Plog.create: out of memory";
+  Ralloc.write_ptr heap ~at:header ~target:seg;
+  Ralloc.write_ptr heap ~at:(header + 8) ~target:seg;
+  Ralloc.flush_block_range heap header 32;
+  Ralloc.fence heap;
+  Ralloc.set_root heap root header;
+  ignore (Ralloc.get_root ~filter:(filter heap) heap root);
+  t
+
+let attach heap ~root =
+  let header = Ralloc.get_root ~filter:(filter heap) heap root in
+  if header = 0 then invalid_arg "Plog.attach: root is unset";
+  { heap; header }
+
+let record_slot_bytes len = 16 + ((len + 7) / 8 * 8)
+
+let append t record =
+  let payload = Ralloc.load t.heap (t.header + 24) in
+  let slot = record_slot_bytes (String.length record) in
+  if slot > payload then
+    invalid_arg "Plog.append: record exceeds segment payload";
+  let tail = Ralloc.read_ptr t.heap (t.header + 8) in
+  let used = Ralloc.load t.heap (tail + 8) in
+  let tail, used =
+    if used + slot <= payload then (tail, used)
+    else begin
+      (* seal this segment and grow the log *)
+      let seg = alloc_segment t in
+      if seg = 0 then (0, 0)
+      else begin
+        Ralloc.write_ptr t.heap ~at:tail ~target:seg;
+        Ralloc.flush t.heap tail;
+        Ralloc.write_ptr t.heap ~at:(t.header + 8) ~target:seg;
+        Ralloc.flush t.heap (t.header + 8);
+        Ralloc.fence t.heap;
+        (seg, 0)
+      end
+    end
+  in
+  if tail = 0 then false
+  else begin
+    let base = tail + seg_payload_off + used in
+    Ralloc.store t.heap base (String.length record);
+    Ralloc.store t.heap (base + 8) (checksum record);
+    Ralloc.store_string t.heap (base + 16) record;
+    Ralloc.flush_block_range t.heap base slot;
+    Ralloc.fence t.heap;
+    (* the commit point: advance the watermark durably *)
+    Ralloc.store t.heap (tail + 8) (used + slot);
+    Ralloc.flush t.heap (tail + 8);
+    Ralloc.fence t.heap;
+    Ralloc.store t.heap (t.header + 16) (Ralloc.load t.heap (t.header + 16) + 1);
+    Ralloc.flush t.heap (t.header + 16);
+    Ralloc.fence t.heap;
+    true
+  end
+
+let length t = Ralloc.load t.heap (t.header + 16)
+
+let fold_records f acc t =
+  let rec seg_loop acc seg =
+    if seg = 0 then acc
+    else begin
+      let used = Ralloc.load t.heap (seg + 8) in
+      let rec rec_loop acc off =
+        if off >= used then acc
+        else begin
+          let base = seg + seg_payload_off + off in
+          let len = Ralloc.load t.heap base in
+          let stored_sum = Ralloc.load t.heap (base + 8) in
+          let data = Ralloc.load_string t.heap (base + 16) len in
+          rec_loop (f acc data stored_sum) (off + record_slot_bytes len)
+        end
+      in
+      seg_loop (rec_loop acc 0) (Ralloc.read_ptr t.heap seg)
+    end
+  in
+  seg_loop acc (Ralloc.read_ptr t.heap t.header)
+
+let iter f t = fold_records (fun () data _ -> f data) () t
+let fold f acc t = fold_records (fun acc data _ -> f acc data) acc t
+let to_list t = List.rev (fold (fun acc r -> r :: acc) [] t)
+
+let verify t =
+  fold_records
+    (fun (ok, bad) data stored_sum ->
+      if checksum data = stored_sum then (ok + 1, bad) else (ok, bad + 1))
+    (0, 0) t

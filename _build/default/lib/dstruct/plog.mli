@@ -1,0 +1,42 @@
+(** A persistent append-only record log on Ralloc: segments of packed,
+    checksummed byte records with atomic appends.
+
+    Write-ahead and event logs are the canonical persistent-memory
+    structure; this one shows the allocator's recoverability composing
+    with application-level durability.  A record becomes visible only
+    when the segment's [used] watermark is durably advanced past it, so
+    an append is crash-atomic: after any crash the log contains exactly
+    the records whose [append] returned.  Each record carries a checksum
+    as defense in depth — {!verify} is an fsck for the log, and a torn or
+    corrupted tail is detected rather than served.
+
+    Single appender at a time (serialize externally); any number of
+    concurrent readers.  Segments are allocated from the heap as needed
+    and traced by the log's filter function. *)
+
+type t
+
+val create : ?segment_bytes:int -> Ralloc.t -> root:int -> t
+(** [segment_bytes] is the payload capacity per segment (default 8 KB);
+    records longer than that are rejected. *)
+
+val attach : Ralloc.t -> root:int -> t
+
+val append : t -> string -> bool
+(** Durably append a record; false when the heap is exhausted.
+    @raise Invalid_argument if the record exceeds the segment payload. *)
+
+val length : t -> int
+(** Number of committed records. *)
+
+val iter : (string -> unit) -> t -> unit
+(** All committed records, oldest first. *)
+
+val fold : ('a -> string -> 'a) -> 'a -> t -> 'a
+val to_list : t -> string list
+
+val verify : t -> int * int
+(** Recompute every record's checksum: [(valid, corrupt)] counts.  A
+    healthy log has [corrupt = 0]. *)
+
+val filter : Ralloc.t -> Ralloc.filter

@@ -1,0 +1,283 @@
+(* Layout.
+   Header (48 B): [0] capacity, [1] count, [2] head (MRU) pptr,
+   [3] tail (LRU) pptr, [4] buckets pptr, [5] nbuckets.
+   Buckets block: nbuckets off-holder chain heads.
+   Node (64 B): [0] hash-chain next, [1] hash, [2] prev, [3] next,
+   [4] key pptr, [5] key len, [6] value pptr, [7] value len.
+   All pointers are off-holders; every mutation runs inside one
+   transaction. *)
+
+type t = { heap : Ralloc.t; mgr : Txn.t; header : int; lock : Mutex.t }
+
+let node_bytes = 64
+
+let hash_string s =
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x100000001b3;
+      h := !h land max_int)
+    s;
+  !h land max_int
+
+(* --------------------------- filter --------------------------- *)
+
+let opaque_filter (_ : Ralloc.gc) (_ : int) = ()
+
+let rec node_filter heap (gc : Ralloc.gc) va =
+  (* follow the recency list only (it covers every node); strings are
+     opaque; the hash chain is redundant coverage *)
+  let next = Ralloc.read_ptr heap (va + 24) in
+  if next <> 0 then gc.visit ~filter:(node_filter heap) next;
+  let key = Ralloc.read_ptr heap (va + 32) in
+  if key <> 0 then gc.visit ~filter:opaque_filter key;
+  let value = Ralloc.read_ptr heap (va + 48) in
+  if value <> 0 then gc.visit ~filter:opaque_filter value
+
+let header_filter heap (gc : Ralloc.gc) va =
+  let buckets = Ralloc.read_ptr heap (va + 32) in
+  if buckets <> 0 then gc.visit ~filter:opaque_filter buckets;
+  let head = Ralloc.read_ptr heap (va + 16) in
+  if head <> 0 then gc.visit ~filter:(node_filter heap) head
+
+let filter heap gc va = header_filter heap gc va
+
+(* --------------------------- lifecycle --------------------------- *)
+
+let create heap mgr ~root ~capacity ~buckets =
+  if capacity < 1 then invalid_arg "Plru.create: capacity must be positive";
+  let buckets =
+    let rec up n = if n >= buckets then n else up (n * 2) in
+    up 16
+  in
+  let header = ref 0 in
+  Txn.run mgr (fun tx ->
+      let h = Txn.malloc tx 48 in
+      let table = Txn.malloc tx (buckets * 8) in
+      if h = 0 || table = 0 then failwith "Plru.create: out of memory";
+      Txn.store tx h capacity;
+      Txn.store tx (h + 8) 0;
+      Txn.store_ptr tx ~at:(h + 16) ~target:0;
+      Txn.store_ptr tx ~at:(h + 24) ~target:0;
+      Txn.store_ptr tx ~at:(h + 32) ~target:table;
+      Txn.store tx (h + 40) buckets;
+      for i = 0 to buckets - 1 do
+        Txn.store_ptr tx ~at:(table + (8 * i)) ~target:0
+      done;
+      header := h);
+  Ralloc.set_root heap root !header;
+  ignore (Ralloc.get_root ~filter:(filter heap) heap root);
+  { heap; mgr; header = !header; lock = Mutex.create () }
+
+let attach heap mgr ~root =
+  let header = Ralloc.get_root ~filter:(filter heap) heap root in
+  if header = 0 then invalid_arg "Plru.attach: root is unset";
+  { heap; mgr; header; lock = Mutex.create () }
+
+let capacity t = Ralloc.load t.heap t.header
+let length t = Ralloc.load t.heap (t.header + 8)
+
+let bucket_word_of t h =
+  let table = Ralloc.read_ptr t.heap (t.header + 32) in
+  let n = Ralloc.load t.heap (t.header + 40) in
+  table + (8 * (h land (n - 1)))
+
+let node_key t n =
+  Ralloc.load_string t.heap (Ralloc.read_ptr t.heap (n + 32)) (Ralloc.load t.heap (n + 40))
+
+let node_value t n =
+  Ralloc.load_string t.heap (Ralloc.read_ptr t.heap (n + 48)) (Ralloc.load t.heap (n + 56))
+
+(* direct (read-only) hash-chain lookup *)
+let find_node t h key =
+  let rec walk n =
+    if n = 0 then 0
+    else if Ralloc.load t.heap (n + 8) = h && String.equal (node_key t n) key
+    then n
+    else walk (Ralloc.read_ptr t.heap n)
+  in
+  walk (Ralloc.read_ptr t.heap (bucket_word_of t h))
+
+(* ------------------ transactional list surgery ------------------ *)
+
+(* All of these read through the transaction so they see earlier writes
+   in the same transaction. *)
+
+let tx_unlink_recency t tx n =
+  let prev = Txn.load_ptr tx (n + 16) and next = Txn.load_ptr tx (n + 24) in
+  if prev = 0 then Txn.store_ptr tx ~at:(t.header + 16) ~target:next
+  else Txn.store_ptr tx ~at:(prev + 24) ~target:next;
+  if next = 0 then Txn.store_ptr tx ~at:(t.header + 24) ~target:prev
+  else Txn.store_ptr tx ~at:(next + 16) ~target:prev
+
+let tx_push_front t tx n =
+  let head = Txn.load_ptr tx (t.header + 16) in
+  Txn.store_ptr tx ~at:(n + 16) ~target:0;
+  Txn.store_ptr tx ~at:(n + 24) ~target:head;
+  if head <> 0 then Txn.store_ptr tx ~at:(head + 16) ~target:n;
+  Txn.store_ptr tx ~at:(t.header + 16) ~target:n;
+  if Txn.load_ptr tx (t.header + 24) = 0 then
+    Txn.store_ptr tx ~at:(t.header + 24) ~target:n
+
+let tx_unlink_hash t tx n h =
+  let bucket = bucket_word_of t h in
+  let rec walk holder =
+    let cur = Txn.load_ptr tx holder in
+    if cur = 0 then ()
+    else if cur = n then Txn.store_ptr tx ~at:holder ~target:(Txn.load_ptr tx n)
+    else walk cur
+  in
+  walk bucket
+
+let tx_free_node tx n =
+  Txn.free tx (Txn.load_ptr tx (n + 32));
+  Txn.free tx (Txn.load_ptr tx (n + 48));
+  Txn.free tx n
+
+let tx_alloc_string tx s =
+  let va = Txn.malloc tx (max 8 (String.length s)) in
+  if va = 0 then failwith "Plru: out of memory";
+  va
+
+(* string contents are written outside the write set (they are fresh,
+   unpublished blocks, so a crash before commit just leaks them) *)
+let write_string heap va s =
+  Ralloc.store_string heap va s;
+  Ralloc.flush_block_range heap va (String.length s);
+  Ralloc.fence heap
+
+(* ------------------------- operations ------------------------- *)
+
+let set t key value =
+  Mutex.lock t.lock;
+  let h = hash_string key in
+  let existing = find_node t h key in
+  let value_va = ref 0 in
+  Txn.run t.mgr (fun tx ->
+      if existing <> 0 then begin
+        (* replace value, promote *)
+        let old_val = Txn.load_ptr tx (existing + 48) in
+        let va = tx_alloc_string tx value in
+        value_va := va;
+        Txn.store_ptr tx ~at:(existing + 48) ~target:va;
+        Txn.store tx (existing + 56) (String.length value);
+        Txn.free tx old_val;
+        tx_unlink_recency t tx existing;
+        tx_push_front t tx existing
+      end
+      else begin
+        let n = Txn.malloc tx node_bytes in
+        if n = 0 then failwith "Plru: out of memory";
+        let kva = tx_alloc_string tx key and vva = tx_alloc_string tx value in
+        value_va := vva;
+        (* key contents can be written immediately: fresh block *)
+        write_string t.heap kva key;
+        Txn.store tx (n + 8) h;
+        Txn.store_ptr tx ~at:(n + 32) ~target:kva;
+        Txn.store tx (n + 40) (String.length key);
+        Txn.store_ptr tx ~at:(n + 48) ~target:vva;
+        Txn.store tx (n + 56) (String.length value);
+        (* hash chain *)
+        let bucket = bucket_word_of t h in
+        Txn.store_ptr tx ~at:n ~target:(Txn.load_ptr tx bucket);
+        Txn.store_ptr tx ~at:bucket ~target:n;
+        tx_push_front t tx n;
+        let count = Txn.load tx (t.header + 8) + 1 in
+        if count > Txn.load tx t.header then begin
+          (* evict the LRU binding *)
+          let victim = Txn.load_ptr tx (t.header + 24) in
+          tx_unlink_recency t tx victim;
+          tx_unlink_hash t tx victim (Txn.load tx (victim + 8));
+          tx_free_node tx victim;
+          Txn.store tx (t.header + 8) (count - 1)
+        end
+        else Txn.store tx (t.header + 8) count
+      end;
+      (* the new value block is fresh and unpublished until commit *)
+      write_string t.heap !value_va value);
+  Mutex.unlock t.lock
+
+let get t key =
+  Mutex.lock t.lock;
+  let h = hash_string key in
+  let n = find_node t h key in
+  let r =
+    if n = 0 then None
+    else begin
+      let v = node_value t n in
+      (* durable promotion *)
+      if Ralloc.read_ptr t.heap (t.header + 16) <> n then
+        Txn.run t.mgr (fun tx ->
+            tx_unlink_recency t tx n;
+            tx_push_front t tx n);
+      Some v
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let peek t key =
+  Mutex.lock t.lock;
+  let n = find_node t (hash_string key) key in
+  let r = if n = 0 then None else Some (node_value t n) in
+  Mutex.unlock t.lock;
+  r
+
+let delete t key =
+  Mutex.lock t.lock;
+  let h = hash_string key in
+  let n = find_node t h key in
+  let r =
+    if n = 0 then false
+    else begin
+      Txn.run t.mgr (fun tx ->
+          tx_unlink_recency t tx n;
+          tx_unlink_hash t tx n h;
+          tx_free_node tx n;
+          Txn.store tx (t.header + 8) (Txn.load tx (t.header + 8) - 1));
+      true
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let to_list t =
+  Mutex.lock t.lock;
+  let rec walk n acc =
+    if n = 0 then List.rev acc
+    else walk (Ralloc.read_ptr t.heap (n + 24)) ((node_key t n, node_value t n) :: acc)
+  in
+  let r = walk (Ralloc.read_ptr t.heap (t.header + 16)) [] in
+  Mutex.unlock t.lock;
+  r
+
+let check_invariants t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let heap = t.heap in
+      let count = length t in
+      if count > capacity t then failwith "Plru: over capacity";
+      (* walk the recency list, checking the doubly-linked structure *)
+      let seen = Hashtbl.create 64 in
+      let rec walk n prev steps =
+        if n = 0 then begin
+          if Ralloc.read_ptr heap (t.header + 24) <> prev then
+            failwith "Plru: tail pointer wrong";
+          steps
+        end
+        else begin
+          if Hashtbl.mem seen n then failwith "Plru: recency cycle";
+          Hashtbl.add seen n ();
+          if Ralloc.read_ptr heap (n + 16) <> prev then
+            failwith "Plru: prev link wrong";
+          (* the node must be findable through its hash chain *)
+          let k = node_key t n in
+          if find_node t (hash_string k) k <> n then
+            failwith "Plru: node missing from hash chain";
+          walk (Ralloc.read_ptr heap (n + 24)) n (steps + 1)
+        end
+      in
+      let steps = walk (Ralloc.read_ptr heap (t.header + 16)) 0 0 in
+      if steps <> count then failwith "Plru: count mismatch")

@@ -1,0 +1,38 @@
+(** A persistent, capacity-bounded LRU cache of string bindings — the
+    semantics memcached layers over its allocator, here crash-atomic.
+
+    Every mutation (insert, value replacement, recency promotion,
+    eviction) is one {!Txn} transaction, so the doubly-linked recency
+    list and the hash chains can never be observed torn, no matter where
+    a crash lands.  Evicted and replaced blocks are freed after commit
+    (a crash can only leak them to the GC, never dangle).
+
+    Single-writer semantics via an internal mutex; [get] mutates recency
+    and therefore also serializes. *)
+
+type t
+
+val create : Ralloc.t -> Txn.t -> root:int -> capacity:int -> buckets:int -> t
+val attach : Ralloc.t -> Txn.t -> root:int -> t
+
+val set : t -> string -> string -> unit
+(** Insert or replace, promoting the key to most-recently-used; evicts
+    the least-recently-used binding when over capacity. *)
+
+val get : t -> string -> string option
+(** Lookup; a hit is promoted to most-recently-used (durably). *)
+
+val peek : t -> string -> string option
+(** Lookup without touching recency (read-only). *)
+
+val delete : t -> string -> bool
+val length : t -> int
+val capacity : t -> int
+
+val to_list : t -> (string * string) list
+(** Most-recent first. *)
+
+val check_invariants : t -> unit
+(** List/hash coherence, capacity bound, doubly-linked integrity. *)
+
+val filter : Ralloc.t -> Ralloc.filter

@@ -1,0 +1,158 @@
+(* Header block: word 0 = head, word 1 = tail (counted off-holders).
+   Node: word 0 = next (off-holder), word 1 = value.
+   The queue always contains a dummy node; head points at it. *)
+
+type t = { heap : Ralloc.t; header : int }
+
+let node_bytes = 16
+
+let rec node_filter heap (gc : Ralloc.gc) va =
+  gc.visit ~filter:(node_filter heap) (Ralloc.read_ptr heap va)
+
+let filter heap (gc : Ralloc.gc) va =
+  (* va is the header block: both head and tail targets are traced (the
+     tail is normally reachable from the head, but trace it anyway) *)
+  List.iter
+    (fun field ->
+      let holder = va + (8 * field) in
+      let w = Pptr.strip_counter (Ralloc.load heap holder) in
+      if w <> 0 then gc.visit ~filter:(node_filter heap) (Pptr.decode ~holder w))
+    [ 0; 1 ]
+
+let create heap ~root =
+  let header = Ralloc.malloc heap 16 in
+  let dummy = Ralloc.malloc heap node_bytes in
+  if header = 0 || dummy = 0 then failwith "Pqueue.create: out of memory";
+  Ralloc.write_ptr heap ~at:dummy ~target:0;
+  Ralloc.store heap (dummy + 8) 0;
+  Ralloc.flush_block_range heap dummy node_bytes;
+  Ralloc.store heap header (Pptr.encode_counted ~holder:header ~target:dummy 0);
+  Ralloc.store heap (header + 8)
+    (Pptr.encode_counted ~holder:(header + 8) ~target:dummy 0);
+  Ralloc.flush_block_range heap header 16;
+  Ralloc.fence heap;
+  Ralloc.set_root heap root header;
+  ignore (Ralloc.get_root ~filter:(filter heap) heap root);
+  { heap; header }
+
+let attach heap ~root =
+  let header = Ralloc.get_root ~filter:(filter heap) heap root in
+  if header = 0 then invalid_arg "Pqueue.attach: root is unset";
+  { heap; header }
+
+let head_word t = t.header
+let tail_word t = t.header + 8
+
+let rec enqueue t v =
+  let node = Ralloc.malloc t.heap node_bytes in
+  if node = 0 then false
+  else begin
+    Ralloc.write_ptr t.heap ~at:node ~target:0;
+    Ralloc.store t.heap (node + 8) v;
+    Ralloc.flush_block_range t.heap node node_bytes;
+    Ralloc.fence t.heap;
+    link t node
+  end
+
+and link t node =
+  let tw = Ralloc.load t.heap (tail_word t) in
+  let tl = Pptr.decode_counted ~holder:(tail_word t) tw in
+  let next = Ralloc.read_ptr t.heap tl in
+  if next = 0 then begin
+    if
+      Ralloc.cas t.heap tl ~expected:(Pptr.null)
+        ~desired:(Pptr.encode ~holder:tl ~target:node)
+    then begin
+      Ralloc.flush t.heap tl;
+      Ralloc.fence t.heap;
+      (* swing the tail; failure means someone helped *)
+      let desired =
+        Pptr.encode_counted ~holder:(tail_word t) ~target:node
+          (Pptr.counter_of tw + 1)
+      in
+      if Ralloc.cas t.heap (tail_word t) ~expected:tw ~desired then begin
+        Ralloc.flush t.heap (tail_word t);
+        Ralloc.fence t.heap
+      end;
+      true
+    end
+    else link t node
+  end
+  else begin
+    (* tail is lagging: help swing it, then retry *)
+    let desired =
+      Pptr.encode_counted ~holder:(tail_word t) ~target:next
+        (Pptr.counter_of tw + 1)
+    in
+    ignore (Ralloc.cas t.heap (tail_word t) ~expected:tw ~desired);
+    link t node
+  end
+
+let rec dequeue t =
+  let hw = Ralloc.load t.heap (head_word t) in
+  let hd = Pptr.decode_counted ~holder:(head_word t) hw in
+  let tw = Ralloc.load t.heap (tail_word t) in
+  let tl = Pptr.decode_counted ~holder:(tail_word t) tw in
+  let next = Ralloc.read_ptr t.heap hd in
+  if hd = tl then
+    if next = 0 then None
+    else begin
+      let desired =
+        Pptr.encode_counted ~holder:(tail_word t) ~target:next
+          (Pptr.counter_of tw + 1)
+      in
+      ignore (Ralloc.cas t.heap (tail_word t) ~expected:tw ~desired);
+      dequeue t
+    end
+  else begin
+    let v = Ralloc.load t.heap (next + 8) in
+    let desired =
+      Pptr.encode_counted ~holder:(head_word t) ~target:next
+        (Pptr.counter_of hw + 1)
+    in
+    if Ralloc.cas t.heap (head_word t) ~expected:hw ~desired then begin
+      Ralloc.flush t.heap (head_word t);
+      Ralloc.fence t.heap;
+      Some (v, hd)
+    end
+    else dequeue t
+  end
+
+let dequeue_free t =
+  match dequeue t with
+  | None -> None
+  | Some (v, node) ->
+    Ralloc.free t.heap node;
+    Some v
+
+let dequeue_safe t ebr =
+  Ebr.protect ebr (fun () ->
+      match dequeue t with
+      | None -> None
+      | Some (v, node) ->
+        Ebr.retire ebr node;
+        Some v)
+
+let enqueue_safe t ebr v = Ebr.protect ebr (fun () -> enqueue t v)
+
+let is_empty t =
+  let hd = Pptr.decode_counted ~holder:(head_word t) (Ralloc.load t.heap (head_word t)) in
+  Ralloc.read_ptr t.heap hd = 0
+
+let iter f t =
+  let hd =
+    Pptr.decode_counted ~holder:(head_word t) (Ralloc.load t.heap (head_word t))
+  in
+  let rec walk va =
+    if va <> 0 then begin
+      f (Ralloc.load t.heap (va + 8));
+      walk (Ralloc.read_ptr t.heap va)
+    end
+  in
+  (* skip the dummy *)
+  walk (Ralloc.read_ptr t.heap hd)
+
+let length t =
+  let n = ref 0 in
+  iter (fun _ -> incr n) t;
+  !n

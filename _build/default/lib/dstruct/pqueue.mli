@@ -1,0 +1,31 @@
+(** A persistent Michael–Scott queue of integers on Ralloc, with
+    position-independent pointers and durably linearizable enqueue/dequeue
+    (nodes are persisted before they are linked; the linking word after).
+
+    As with {!Pstack}, safe memory reclamation is layered above the
+    allocator: [dequeue] returns the retired dummy node's address and the
+    caller frees it when safe. *)
+
+type t
+
+val create : Ralloc.t -> root:int -> t
+val attach : Ralloc.t -> root:int -> t
+
+val enqueue : t -> int -> bool
+(** False iff out of memory. *)
+
+val dequeue : t -> (int * int) option
+(** [(value, retired_node_va)]. *)
+
+val dequeue_free : t -> int option
+(** Dequeue and immediately free (single-consumer use). *)
+
+val dequeue_safe : t -> Ebr.t -> int option
+(** Dequeue under epoch protection, retiring the dummy through the SMR
+    layer: safe with any number of concurrent producers and consumers. *)
+
+val enqueue_safe : t -> Ebr.t -> int -> bool
+val is_empty : t -> bool
+val length : t -> int
+val iter : (int -> unit) -> t -> unit
+val filter : Ralloc.t -> Ralloc.filter

@@ -1,0 +1,35 @@
+(** A persistent lock-free sorted set of integers: Harris's linked list
+    (DISC'01) on Ralloc with position-independent pointers.
+
+    Deletion marks the victim's own next word (spare bit of the
+    off-holder) and traversals physically unlink marked runs as they
+    pass, so the structure is lock-free for any mix of operations.
+    Inserted nodes are persisted before linking; link words after — a
+    completed [add]/[remove] survives a crash.
+
+    Reclamation follows the library convention: pass [smr] for fully
+    concurrent reuse (nodes retire through epoch-based reclamation),
+    [reclaim] for single-domain immediate frees, or neither to leak
+    detached nodes to the next post-crash GC. *)
+
+type t
+
+val create : ?reclaim:bool -> ?smr:Ebr.t -> Ralloc.t -> root:int -> t
+val attach : ?reclaim:bool -> ?smr:Ebr.t -> Ralloc.t -> root:int -> t
+
+val add : t -> int -> bool
+(** False if already present.  @raise Failure when the heap is full. *)
+
+val remove : t -> int -> bool
+val mem : t -> int -> bool
+val size : t -> int
+val iter : (int -> unit) -> t -> unit
+(** Ascending order (quiescent use). *)
+
+val to_list : t -> int list
+
+val check_invariants : t -> unit
+(** Live keys strictly ascending (marked leftovers from raced removes are
+    skipped; the next traversal past them unlinks them). *)
+
+val filter : Ralloc.t -> Ralloc.filter

@@ -1,0 +1,111 @@
+(* Node layout: word 0 = next (off-holder), word 1 = value.
+   Header block: word 0 = head (off-holder with anti-ABA counter). *)
+
+type t = { heap : Ralloc.t; header : int }
+
+let node_bytes = 16
+
+let rec node_filter (heap : Ralloc.t) (gc : Ralloc.gc) va =
+  gc.visit ~filter:(node_filter heap) (Ralloc.read_ptr heap va)
+
+let header_filter heap (gc : Ralloc.gc) va =
+  let w = Pptr.strip_counter (Ralloc.load heap va) in
+  if w <> 0 then gc.visit ~filter:(node_filter heap) (Pptr.decode ~holder:va w)
+
+let filter heap gc va = header_filter heap gc va
+
+let create heap ~root =
+  let header = Ralloc.malloc heap 8 in
+  if header = 0 then failwith "Pstack.create: out of memory";
+  Ralloc.store heap header (Pptr.with_counter Pptr.null 0);
+  Ralloc.flush heap header;
+  Ralloc.fence heap;
+  Ralloc.set_root heap root header;
+  ignore (Ralloc.get_root ~filter:(filter heap) heap root);
+  { heap; header }
+
+let attach heap ~root =
+  let header = Ralloc.get_root ~filter:(filter heap) heap root in
+  if header = 0 then invalid_arg "Pstack.attach: root is unset";
+  { heap; header }
+
+let head t = Pptr.decode_counted ~holder:t.header (Ralloc.load t.heap t.header)
+
+let rec push t v =
+  let node = Ralloc.malloc t.heap node_bytes in
+  if node = 0 then false
+  else begin
+    Ralloc.store t.heap (node + 8) v;
+    push_node t node
+  end
+
+and push_node t node =
+  let h = Ralloc.load t.heap t.header in
+  let top = Pptr.decode_counted ~holder:t.header h in
+  Ralloc.write_ptr t.heap ~at:node ~target:top;
+  (* persist the node before publishing it, the head after *)
+  Ralloc.flush_block_range t.heap node node_bytes;
+  Ralloc.fence t.heap;
+  let desired =
+    Pptr.encode_counted ~holder:t.header ~target:node (Pptr.counter_of h + 1)
+  in
+  if Ralloc.cas t.heap t.header ~expected:h ~desired then begin
+    Ralloc.flush t.heap t.header;
+    Ralloc.fence t.heap;
+    true
+  end
+  else push_node t node
+
+let rec pop t =
+  let h = Ralloc.load t.heap t.header in
+  let top = Pptr.decode_counted ~holder:t.header h in
+  if top = 0 then None
+  else begin
+    let next = Ralloc.read_ptr t.heap top in
+    let desired =
+      Pptr.encode_counted ~holder:t.header ~target:next (Pptr.counter_of h + 1)
+    in
+    if Ralloc.cas t.heap t.header ~expected:h ~desired then begin
+      Ralloc.flush t.heap t.header;
+      Ralloc.fence t.heap;
+      Some (Ralloc.load t.heap (top + 8), top)
+    end
+    else pop t
+  end
+
+let pop_free t =
+  match pop t with
+  | None -> None
+  | Some (v, node) ->
+    Ralloc.free t.heap node;
+    Some v
+
+let pop_safe t ebr =
+  Ebr.protect ebr (fun () ->
+      match pop t with
+      | None -> None
+      | Some (v, node) ->
+        Ebr.retire ebr node;
+        Some v)
+
+let push_safe t ebr v = Ebr.protect ebr (fun () -> push t v)
+
+let peek t =
+  let top = head t in
+  if top = 0 then None else Some (Ralloc.load t.heap (top + 8))
+
+let is_empty t = head t = 0
+
+let iter f t =
+  let rec walk va =
+    if va <> 0 then begin
+      f (Ralloc.load t.heap (va + 8));
+      walk (Ralloc.read_ptr t.heap va)
+    end
+  in
+  walk (head t)
+
+let length t =
+  let n = ref 0 in
+  iter (fun _ -> incr n) t;
+  !n

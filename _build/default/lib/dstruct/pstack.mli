@@ -1,0 +1,55 @@
+(** A persistent lock-free Treiber stack of integers, built directly on
+    Ralloc with position-independent pointers (paper §6.4, Fig. 6a).
+
+    The stack is rooted in a one-word header block registered as a
+    persistent root; the head word carries a 5-bit anti-ABA counter in the
+    pointer's spare bits.  Pushes persist the node before publishing it and
+    the head after, giving durable linearizability for [push].
+
+    Memory reclamation: as in the paper, safe memory reclamation is layered
+    {e above} [free]; [pop] therefore hands the node's address back to the
+    caller, who frees it when no concurrent [pop] can still hold it (or
+    never — a crash turns unreclaimed nodes into garbage that the next
+    recovery collects). *)
+
+type t
+
+val create : Ralloc.t -> root:int -> t
+(** Allocate a fresh stack and register it at persistent root [root]. *)
+
+val attach : Ralloc.t -> root:int -> t
+(** Re-attach to a stack previously created at [root] (e.g. after a
+    restart).  Registers the stack's filter function for recovery, so call
+    this {e before} {!Ralloc.recover} on a dirty heap.
+    @raise Invalid_argument if the root is unset. *)
+
+val push : t -> int -> bool
+(** [push t v] pushes durably; false iff the heap is exhausted. *)
+
+val pop : t -> (int * int) option
+(** [pop t] returns [(value, node_va)]; the caller owns the node and may
+    [Ralloc.free] it when safe. *)
+
+val pop_free : t -> int option
+(** [pop] and immediately free the node — convenient when the caller knows
+    no other domain is popping concurrently. *)
+
+val pop_safe : t -> Ebr.t -> int option
+(** [pop] under epoch protection, retiring the node through the SMR layer:
+    safe with any number of concurrent pushers and poppers. *)
+
+val push_safe : t -> Ebr.t -> int -> bool
+(** [push] under epoch protection (pairs with {!pop_safe}: a pusher must
+    not link to a node that a popper frees under it). *)
+
+val peek : t -> int option
+val is_empty : t -> bool
+
+val length : t -> int
+(** O(n) walk; intended for tests and recovery checks. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Top-to-bottom iteration (not linearizable under concurrency). *)
+
+val filter : Ralloc.t -> Ralloc.filter
+(** The filter function for this structure's node graph. *)

@@ -1,0 +1,299 @@
+(* A classic red-black tree (CLRS) whose nodes live in the allocator under
+   test, used as the "database relation" of the Vacation workload (paper
+   §6.3, Fig. 5e — STAMP's vacation keeps its tables in red-black trees).
+   Synchronization is external (vacation wraps operations in its
+   transaction mutex), matching how STAMP uses the structure.
+
+   Node layout (48 B): [0] key, [1] value, [2] left, [3] right,
+   [4] parent, [5] color (0 = red, 1 = black).  Nil is address 0 and is
+   black by convention. *)
+
+module Make (A : Alloc_iface.S) = struct
+  type tree = { a : A.t; header : int (* word 0 = root address *) }
+
+  let node_bytes = 48
+  let red = 0
+  let black = 1
+
+  let create a =
+    let header = A.malloc a 8 in
+    if header = 0 then failwith "Rbtree.create: out of memory";
+    A.store a header 0;
+    { a; header }
+
+  let root t = A.load t.a t.header
+  let set_root t n = A.store t.a t.header n
+  let key t n = A.load t.a n
+  let value t n = A.load t.a (n + 8)
+  let set_value t n v = A.store t.a (n + 8) v
+  let left t n = A.load t.a (n + 16)
+  let set_left t n x = A.store t.a (n + 16) x
+  let right t n = A.load t.a (n + 24)
+  let set_right t n x = A.store t.a (n + 24) x
+  let parent t n = A.load t.a (n + 32)
+  let set_parent t n x = A.store t.a (n + 32) x
+  let color t n = if n = 0 then black else A.load t.a (n + 40)
+  let set_color t n c = if n <> 0 then A.store t.a (n + 40) c
+
+  let alloc_node t k v =
+    let n = A.malloc t.a node_bytes in
+    if n = 0 then failwith "Rbtree: out of memory";
+    A.store t.a n k;
+    set_value t n v;
+    set_left t n 0;
+    set_right t n 0;
+    set_parent t n 0;
+    set_color t n red;
+    n
+
+  let rotate_left t x =
+    let y = right t x in
+    set_right t x (left t y);
+    if left t y <> 0 then set_parent t (left t y) x;
+    set_parent t y (parent t x);
+    if parent t x = 0 then set_root t y
+    else if x = left t (parent t x) then set_left t (parent t x) y
+    else set_right t (parent t x) y;
+    set_left t y x;
+    set_parent t x y
+
+  let rotate_right t x =
+    let y = left t x in
+    set_left t x (right t y);
+    if right t y <> 0 then set_parent t (right t y) x;
+    set_parent t y (parent t x);
+    if parent t x = 0 then set_root t y
+    else if x = right t (parent t x) then set_right t (parent t x) y
+    else set_left t (parent t x) y;
+    set_right t y x;
+    set_parent t x y
+
+  let rec insert_fixup t z =
+    let p = parent t z in
+    if color t p = red then begin
+      let g = parent t p in
+      if p = left t g then begin
+        let u = right t g in
+        if color t u = red then begin
+          set_color t p black;
+          set_color t u black;
+          set_color t g red;
+          insert_fixup t g
+        end
+        else begin
+          let z = if z = right t p then (rotate_left t p; p) else z in
+          let p = parent t z in
+          let g = parent t p in
+          set_color t p black;
+          set_color t g red;
+          rotate_right t g;
+          insert_fixup t z
+        end
+      end
+      else begin
+        let u = left t g in
+        if color t u = red then begin
+          set_color t p black;
+          set_color t u black;
+          set_color t g red;
+          insert_fixup t g
+        end
+        else begin
+          let z = if z = left t p then (rotate_right t p; p) else z in
+          let p = parent t z in
+          let g = parent t p in
+          set_color t p black;
+          set_color t g red;
+          rotate_left t g;
+          insert_fixup t z
+        end
+      end
+    end;
+    set_color t (root t) black
+
+  (* Insert or update; returns true iff the key was new. *)
+  let insert t k v =
+    let rec descend x p =
+      if x = 0 then begin
+        let z = alloc_node t k v in
+        set_parent t z p;
+        if p = 0 then set_root t z
+        else if k < key t p then set_left t p z
+        else set_right t p z;
+        insert_fixup t z;
+        true
+      end
+      else if k = key t x then begin
+        set_value t x v;
+        false
+      end
+      else if k < key t x then descend (left t x) x
+      else descend (right t x) x
+    in
+    descend (root t) 0
+
+  let rec find_node t x k =
+    if x = 0 then 0
+    else if k = key t x then x
+    else if k < key t x then find_node t (left t x) k
+    else find_node t (right t x) k
+
+  let find t k =
+    let n = find_node t (root t) k in
+    if n = 0 then None else Some (value t n)
+
+  let mem t k = find_node t (root t) k <> 0
+
+  let rec minimum t x = if left t x = 0 then x else minimum t (left t x)
+
+  let transplant t u v =
+    if parent t u = 0 then set_root t v
+    else if u = left t (parent t u) then set_left t (parent t u) v
+    else set_right t (parent t u) v;
+    if v <> 0 then set_parent t v (parent t u)
+
+  (* CLRS delete-fixup, with explicit parent tracking because our nil is a
+     real 0 address without a parent field. *)
+  let rec delete_fixup t x p =
+    if x = root t || color t x = red then set_color t x black
+    else if x = left t p then begin
+      let w = ref (right t p) in
+      if color t !w = red then begin
+        set_color t !w black;
+        set_color t p red;
+        rotate_left t p;
+        w := right t p
+      end;
+      if color t (left t !w) = black && color t (right t !w) = black then begin
+        set_color t !w red;
+        delete_fixup t p (parent t p)
+      end
+      else begin
+        if color t (right t !w) = black then begin
+          set_color t (left t !w) black;
+          set_color t !w red;
+          rotate_right t !w;
+          w := right t p
+        end;
+        set_color t !w (color t p);
+        set_color t p black;
+        set_color t (right t !w) black;
+        rotate_left t p;
+        set_color t (root t) black
+      end
+    end
+    else begin
+      let w = ref (left t p) in
+      if color t !w = red then begin
+        set_color t !w black;
+        set_color t p red;
+        rotate_right t p;
+        w := left t p
+      end;
+      if color t (right t !w) = black && color t (left t !w) = black then begin
+        set_color t !w red;
+        delete_fixup t p (parent t p)
+      end
+      else begin
+        if color t (left t !w) = black then begin
+          set_color t (right t !w) black;
+          set_color t !w red;
+          rotate_left t !w;
+          w := left t p
+        end;
+        set_color t !w (color t p);
+        set_color t p black;
+        set_color t (left t !w) black;
+        rotate_right t p;
+        set_color t (root t) black
+      end
+    end
+
+  let delete t k =
+    let z = find_node t (root t) k in
+    if z = 0 then false
+    else begin
+      let y = ref z in
+      let y_color = ref (color t z) in
+      let x = ref 0 and xp = ref 0 in
+      if left t z = 0 then begin
+        x := right t z;
+        xp := parent t z;
+        transplant t z (right t z)
+      end
+      else if right t z = 0 then begin
+        x := left t z;
+        xp := parent t z;
+        transplant t z (left t z)
+      end
+      else begin
+        y := minimum t (right t z);
+        y_color := color t !y;
+        x := right t !y;
+        if parent t !y = z then xp := !y
+        else begin
+          xp := parent t !y;
+          transplant t !y (right t !y);
+          set_right t !y (right t z);
+          set_parent t (right t !y) !y
+        end;
+        transplant t z !y;
+        set_left t !y (left t z);
+        set_parent t (left t !y) !y;
+        set_color t !y (color t z)
+      end;
+      if !y_color = black then delete_fixup t !x !xp;
+      A.free t.a z;
+      true
+    end
+
+  let iter f t =
+    let rec walk n =
+      if n <> 0 then begin
+        walk (left t n);
+        f (key t n) (value t n);
+        walk (right t n)
+      end
+    in
+    walk (root t)
+
+  let size t =
+    let n = ref 0 in
+    iter (fun _ _ -> incr n) t;
+    !n
+
+  (* Verify the red-black invariants: BST order, no red-red edges, equal
+     black height on all paths.  Returns the black height. *)
+  let check_invariants t =
+    let rec walk n lo hi =
+      if n = 0 then 1
+      else begin
+        let k = key t n in
+        if not (lo < k && k < hi) then
+          failwith (Printf.sprintf "Rbtree: key %d outside (%d, %d)" k lo hi);
+        if color t n = red && (color t (left t n) = red || color t (right t n) = red)
+        then failwith "Rbtree: red node with red child";
+        (if left t n <> 0 && parent t (left t n) <> n then
+           failwith "Rbtree: bad parent link");
+        (if right t n <> 0 && parent t (right t n) <> n then
+           failwith "Rbtree: bad parent link");
+        let bl = walk (left t n) lo k in
+        let br = walk (right t n) k hi in
+        if bl <> br then failwith "Rbtree: unequal black heights";
+        bl + (if color t n = black then 1 else 0)
+      end
+    in
+    if color t (root t) <> black then failwith "Rbtree: red root";
+    ignore (walk (root t) min_int max_int)
+
+  let destroy t =
+    let rec walk n =
+      if n <> 0 then begin
+        walk (left t n);
+        walk (right t n);
+        A.free t.a n
+      end
+    in
+    walk (root t);
+    set_root t 0
+end

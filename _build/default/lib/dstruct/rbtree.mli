@@ -1,0 +1,36 @@
+(** A classic red-black tree (CLRS) whose nodes live in the allocator
+    under test — the "database relation" of the Vacation workload (paper
+    §6.3, Fig. 5e; STAMP's vacation keeps its tables in red-black trees).
+
+    Synchronization is external: callers serialize operations on one tree
+    (Vacation uses a per-table mutex, standing in for STAMP's STM).
+    Pointers are raw addresses, so the structure is transient-style — use
+    {!Nmtree} when position independence and crash recovery matter. *)
+
+module Make (A : Alloc_iface.S) : sig
+  type tree
+
+  val create : A.t -> tree
+  (** @raise Failure when the heap is exhausted. *)
+
+  val insert : tree -> int -> int -> bool
+  (** Insert or update; true iff the key was new. *)
+
+  val find : tree -> int -> int option
+  val mem : tree -> int -> bool
+
+  val delete : tree -> int -> bool
+  (** False if the key was absent.  Frees the removed node. *)
+
+  val iter : (int -> int -> unit) -> tree -> unit
+  (** In-order (sorted) iteration. *)
+
+  val size : tree -> int
+
+  val check_invariants : tree -> unit
+  (** Verify BST order, red-red freedom, equal black heights and parent
+      links; raises [Failure] on violation.  For tests. *)
+
+  val destroy : tree -> unit
+  (** Free every node and empty the tree. *)
+end

@@ -1,0 +1,354 @@
+type buf = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external raw_load : buf -> int -> int = "rpm_load" [@@noalloc]
+external raw_store : buf -> int -> int -> unit = "rpm_store" [@@noalloc]
+external raw_cas : buf -> int -> int -> int -> bool = "rpm_cas" [@@noalloc]
+external raw_fetch_add : buf -> int -> int -> int = "rpm_fetch_add" [@@noalloc]
+external raw_load64 : buf -> int -> int64 = "rpm_load64"
+external raw_store64 : buf -> int -> int64 -> unit = "rpm_store64" [@@noalloc]
+
+external raw_flush_line : buf -> buf -> int -> unit = "rpm_flush_line"
+[@@noalloc]
+
+external raw_sync_all : buf -> buf -> int -> int -> unit = "rpm_sync_all"
+[@@noalloc]
+
+let words_per_line = 8
+let line_bytes = 64
+
+(* ------------------------------------------------------------------ *)
+(* NVM latency model                                                   *)
+(*                                                                     *)
+(* A clwb is cheap to issue but the following sfence stalls until the  *)
+(* write-back completes; on Optane DIMMs a flush+fence pair costs a    *)
+(* few hundred nanoseconds.  The simulation charges a calibrated busy- *)
+(* wait per flush and per fence so allocators pay for persistence the  *)
+(* way real hardware makes them pay.  Defaults approximate Optane      *)
+(* App Direct numbers (Izraelevitz et al., 2019).                      *)
+(* ------------------------------------------------------------------ *)
+
+let flush_latency_ns = ref 90
+let fence_latency_ns = ref 140
+
+let set_latency ~flush_ns ~fence_ns =
+  if flush_ns < 0 || fence_ns < 0 then invalid_arg "Pmem.set_latency";
+  flush_latency_ns := flush_ns;
+  fence_latency_ns := fence_ns
+
+(* Calibrate a spin loop: how many iterations burn one nanosecond. *)
+let spin_iters_per_ns =
+  let iters = 3_000_000 in
+  let sink = ref 1 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to iters do
+    sink := (!sink * 25214903917) + i
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  ignore (Sys.opaque_identity !sink);
+  let per_ns = float_of_int iters /. (dt *. 1e9) in
+  if per_ns < 0.01 then 0.01 else per_ns
+
+let spin_ns ns =
+  if ns > 0 then begin
+    let n = int_of_float (float_of_int ns *. spin_iters_per_ns) in
+    let sink = ref 1 in
+    for i = 1 to n do
+      sink := (!sink * 25214903917) + i
+    done;
+    ignore (Sys.opaque_identity !sink)
+  end
+
+type t = {
+  region_name : string;
+  nwords : int;
+  vol : buf;  (* the CPUs' view: caches + memory *)
+  pers : buf;  (* the durable medium *)
+  mutable backing : Unix.file_descr option;
+      (* the DAX file: written through on every flush/eviction, so a process
+         that dies without closing leaves exactly the durable state behind *)
+  backing_lock : Mutex.t;
+  mutable evict_threshold : int;  (* 0 = eviction off *)
+  mutable rng : int;  (* xorshift state for eviction decisions; races are benign *)
+  flushes : int Atomic.t;
+  fences : int Atomic.t;
+  cas_ops : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+(* File layout: a 4096 B header (magic, word count, name), then the raw
+   little-endian words of the persistent view. *)
+let file_magic = "RALLOC-PMEM-2"
+let data_offset = 4096
+
+(* Copy [len] bytes of the persistent view, starting at [byte_off], out to
+   the backing file (if any).  Serialized: flushes from different domains
+   must not interleave their seek+write pairs. *)
+let write_backing t ~byte_off ~len =
+  match t.backing with
+  | None -> ()
+  | Some fd ->
+    Mutex.lock t.backing_lock;
+    let buf = Bytes.create len in
+    for i = 0 to (len / 8) - 1 do
+      Bytes.set_int64_le buf (i * 8)
+        (Bigarray.Array1.unsafe_get t.pers ((byte_off / 8) + i))
+    done;
+    ignore (Unix.lseek fd (data_offset + byte_off) Unix.SEEK_SET);
+    let rec write_all off =
+      if off < len then
+        write_all (off + Unix.write fd buf off (len - off))
+    in
+    write_all 0;
+    Mutex.unlock t.backing_lock
+
+let round_up_words size_bytes =
+  let words = (size_bytes + 7) / 8 in
+  (words + words_per_line - 1) / words_per_line * words_per_line
+
+let make_buf nwords : buf =
+  let b = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout nwords in
+  Bigarray.Array1.fill b 0L;
+  b
+
+let create ?(name = "pmem") ~size_bytes () =
+  if size_bytes <= 0 then invalid_arg "Pmem.create: size must be positive";
+  let nwords = round_up_words size_bytes in
+  {
+    region_name = name;
+    nwords;
+    vol = make_buf nwords;
+    pers = make_buf nwords;
+    backing = None;
+    backing_lock = Mutex.create ();
+    evict_threshold = 0;
+    rng = 0x1e3779b97f4a7c15;
+    flushes = Atomic.make 0;
+    fences = Atomic.make 0;
+    cas_ops = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let size_words t = t.nwords
+let size_bytes t = t.nwords * 8
+let name t = t.region_name
+
+let check_word t w =
+  if w < 0 || w >= t.nwords then
+    invalid_arg
+      (Printf.sprintf "Pmem(%s): word index %d out of bounds [0,%d)"
+         t.region_name w t.nwords)
+
+let load t w =
+  check_word t w;
+  raw_load t.vol w
+
+(* xorshift64; quality is irrelevant, speed is. *)
+let next_rng t =
+  let x = t.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  t.rng <- x;
+  x land 0x3FFFFFFF
+
+let evict_line t w =
+  Atomic.incr t.evictions;
+  let line = w / words_per_line in
+  raw_flush_line t.vol t.pers line;
+  write_backing t ~byte_off:(line * line_bytes) ~len:line_bytes
+
+let store t w v =
+  check_word t w;
+  raw_store t.vol w v;
+  if t.evict_threshold > 0 && next_rng t < t.evict_threshold then evict_line t w
+
+let cas t w ~expected ~desired =
+  check_word t w;
+  Atomic.incr t.cas_ops;
+  let ok = raw_cas t.vol w expected desired in
+  if ok && t.evict_threshold > 0 && next_rng t < t.evict_threshold then
+    evict_line t w;
+  ok
+
+let fetch_add t w d =
+  check_word t w;
+  Atomic.incr t.cas_ops;
+  raw_fetch_add t.vol w d
+
+let flush t w =
+  check_word t w;
+  Atomic.incr t.flushes;
+  let line = w / words_per_line in
+  raw_flush_line t.vol t.pers line;
+  write_backing t ~byte_off:(line * line_bytes) ~len:line_bytes;
+  spin_ns !flush_latency_ns
+
+let fence t =
+  Atomic.incr t.fences;
+  spin_ns !fence_latency_ns
+
+let flush_range t w n =
+  if n > 0 then begin
+    check_word t w;
+    check_word t (w + n - 1);
+    let first = w / words_per_line and last = (w + n - 1) / words_per_line in
+    for line = first to last do
+      Atomic.incr t.flushes;
+      raw_flush_line t.vol t.pers line
+    done;
+    write_backing t ~byte_off:(first * line_bytes)
+      ~len:((last - first + 1) * line_bytes);
+    spin_ns (!flush_latency_ns * (last - first + 1))
+  end
+
+let flush_all t =
+  raw_sync_all t.vol t.pers t.nwords 0;
+  (* write the whole image through in 1 MB chunks *)
+  if t.backing <> None then begin
+    let chunk = 1 lsl 20 in
+    let total = t.nwords * 8 in
+    let off = ref 0 in
+    while !off < total do
+      write_backing t ~byte_off:!off ~len:(min chunk (total - !off));
+      off := !off + chunk
+    done
+  end
+
+let crash t = raw_sync_all t.vol t.pers t.nwords 1
+
+let set_eviction_rate t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Pmem.set_eviction_rate";
+  t.evict_threshold <- int_of_float (p *. float_of_int 0x3FFFFFFF)
+
+(* Byte accessors go through the atomic word primitives so they stay
+   coherent with concurrent word access; a byte store is a (non-atomic)
+   word read-modify-write. *)
+
+let check_byte t off =
+  if off < 0 || off >= t.nwords * 8 then
+    invalid_arg
+      (Printf.sprintf "Pmem(%s): byte offset %d out of bounds" t.region_name off)
+
+(* Byte access needs all 64 bits of the cell (the word API's unboxed ints
+   carry only 62-bit payloads), so it goes through boxed-Int64 stubs. *)
+let load_byte t off =
+  check_byte t off;
+  let w = off lsr 3 and b = off land 7 in
+  Int64.to_int (Int64.shift_right_logical (raw_load64 t.vol w) (8 * b))
+  land 0xFF
+
+let store_byte t off v =
+  check_byte t off;
+  let w = off lsr 3 and b = off land 7 in
+  let old = raw_load64 t.vol w in
+  let mask = Int64.lognot (Int64.shift_left 0xFFL (8 * b)) in
+  let v64 = Int64.shift_left (Int64.of_int (v land 0xFF)) (8 * b) in
+  raw_store64 t.vol w (Int64.logor (Int64.logand old mask) v64);
+  if t.evict_threshold > 0 && next_rng t < t.evict_threshold then evict_line t w
+
+let store_string t off s = String.iteri (fun i c -> store_byte t (off + i) (Char.code c)) s
+
+let load_string t off len =
+  String.init len (fun i -> Char.chr (load_byte t (off + i)))
+
+let write_header fd nwords name =
+  let buf = Bytes.make data_offset '\000' in
+  Bytes.blit_string file_magic 0 buf 0 (String.length file_magic);
+  Bytes.set_int64_le buf 16 (Int64.of_int nwords);
+  let name = if String.length name > 255 then String.sub name 0 255 else name in
+  Bytes.set buf 24 (Char.chr (String.length name));
+  Bytes.blit_string name 0 buf 25 (String.length name);
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  ignore (Unix.write fd buf 0 data_offset)
+
+let read_header fd path =
+  let buf = Bytes.create data_offset in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let n = Unix.read fd buf 0 data_offset in
+  if
+    n < data_offset
+    || not
+         (String.equal
+            (Bytes.sub_string buf 0 (String.length file_magic))
+            file_magic)
+  then failwith (Printf.sprintf "Pmem.open_file: %s is not a pmem image" path);
+  let nwords = Int64.to_int (Bytes.get_int64_le buf 16) in
+  let name_len = Char.code (Bytes.get buf 24) in
+  (nwords, Bytes.sub_string buf 25 name_len)
+
+let open_file ?name ~path ~size_bytes () =
+  let existed = Sys.file_exists path in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  try
+    if existed then begin
+      let nwords, stored_name = read_header fd path in
+      let t = create ~name:(Option.value name ~default:stored_name)
+          ~size_bytes:(nwords * 8) () in
+      (* read the durable image *)
+      let chunk_bytes = 1 lsl 20 in
+      let buf = Bytes.create chunk_bytes in
+      let total = nwords * 8 in
+      let off = ref 0 in
+      ignore (Unix.lseek fd data_offset Unix.SEEK_SET);
+      while !off < total do
+        let want = min chunk_bytes (total - !off) in
+        let got = Unix.read fd buf 0 want in
+        if got = 0 then failwith ("Pmem.open_file: truncated image " ^ path);
+        for i = 0 to (got / 8) - 1 do
+          Bigarray.Array1.unsafe_set t.pers
+            ((!off / 8) + i)
+            (Bytes.get_int64_le buf (i * 8))
+        done;
+        off := !off + got
+      done;
+      crash t (* volatile view starts as the durable contents, like mmap *);
+      t.backing <- Some fd;
+      (t, true)
+    end
+    else begin
+      let t = create ?name ~size_bytes () in
+      write_header fd t.nwords t.region_name;
+      (* reserve the data area so the file has its final size *)
+      Unix.ftruncate fd (data_offset + (t.nwords * 8));
+      t.backing <- Some fd;
+      (t, false)
+    end
+  with e ->
+    Unix.close fd;
+    raise e
+
+let sync t = match t.backing with None -> () | Some fd -> Unix.fsync fd
+
+let close_file t =
+  match t.backing with
+  | None -> ()
+  | Some fd ->
+    Unix.fsync fd;
+    Unix.close fd;
+    t.backing <- None
+
+module Stats = struct
+  type snapshot = { flushes : int; fences : int; cas_ops : int; evictions : int }
+
+  let read (r : t) =
+    {
+      flushes = Atomic.get r.flushes;
+      fences = Atomic.get r.fences;
+      cas_ops = Atomic.get r.cas_ops;
+      evictions = Atomic.get r.evictions;
+    }
+
+  let reset (r : t) =
+    Atomic.set r.flushes 0;
+    Atomic.set r.fences 0;
+    Atomic.set r.cas_ops 0;
+    Atomic.set r.evictions 0
+
+  let diff a b =
+    {
+      flushes = a.flushes - b.flushes;
+      fences = a.fences - b.fences;
+      cas_ops = a.cas_ops - b.cas_ops;
+      evictions = a.evictions - b.evictions;
+    }
+end

@@ -1,0 +1,145 @@
+(** Simulated byte-addressable persistent memory (NVM).
+
+    A {e region} models a DAX-mapped persistent memory segment.  It has two
+    views:
+
+    - the {b volatile view}: what CPUs observe through loads, stores and CAS.
+      It plays the role of (memory as seen through) the cache hierarchy and
+      is lost on a crash;
+    - the {b persistent view}: the durable medium.  It receives data only
+      when a cache line is explicitly {!flush}ed (modeling [clwb]+[sfence])
+      or, if {!set_eviction_rate} is nonzero, when the simulated cache
+      spontaneously evicts a dirty line.
+
+    Memory is word-addressable: a word is 8 bytes and holds a 62-bit OCaml
+    [int] payload (every encoding in this library is designed to fit).
+    Write-back happens at cache-line (64 B = 8 words) granularity and is
+    never torn within a line, matching the failure model of the paper
+    (Cai et al., §2.1).
+
+    All word operations are sequentially-consistent-enough atomics
+    implemented in C, safe to call concurrently from any number of OCaml 5
+    domains. *)
+
+type t
+
+val words_per_line : int
+(** Words per simulated cache line (8). *)
+
+val line_bytes : int
+(** Bytes per simulated cache line (64). *)
+
+(** {1 Region lifecycle} *)
+
+val create : ?name:string -> size_bytes:int -> unit -> t
+(** [create ~size_bytes ()] makes a fresh zeroed region.  [size_bytes] is
+    rounded up to a whole number of cache lines.  [name] is used in error
+    messages and file headers. *)
+
+val size_bytes : t -> int
+val size_words : t -> int
+val name : t -> string
+
+(** {1 Word operations (volatile view)} *)
+
+val load : t -> int -> int
+(** [load t w] atomically reads word index [w]. *)
+
+val store : t -> int -> int -> unit
+(** [store t w v] atomically writes [v] to word index [w].  If the eviction
+    rate is nonzero, the containing line may spontaneously reach the
+    persistent view. *)
+
+val cas : t -> int -> expected:int -> desired:int -> bool
+(** Atomic compare-and-swap on word [w]; true iff the swap happened. *)
+
+val fetch_add : t -> int -> int -> int
+(** [fetch_add t w d] atomically adds [d] to word [w], returning the
+    previous value. *)
+
+(** {1 Persistence primitives} *)
+
+val flush : t -> int -> unit
+(** [flush t w] writes the cache line containing word [w] back to the
+    persistent view (the paper's "flush", normally a [clwb]). *)
+
+val fence : t -> unit
+(** Store fence ordering preceding flushes ([sfence]).  Synchronous in the
+    simulation, but counted: the {e number} of fences is the persistence
+    cost a real machine would pay. *)
+
+val flush_range : t -> int -> int -> unit
+(** [flush_range t w n] flushes the lines covering words [w .. w+n-1]. *)
+
+val flush_all : t -> unit
+(** Write the entire volatile view back (used by clean shutdown). *)
+
+val set_latency : flush_ns:int -> fence_ns:int -> unit
+(** Configure the simulated NVM's persistence costs, charged as a
+    calibrated busy-wait per {!flush} (per line) and per {!fence}.  The
+    defaults (90/140 ns) approximate Optane DC in App Direct mode; set
+    both to 0 to make persistence free (useful in unit tests).  Global to
+    all regions. *)
+
+(** {1 Failure injection} *)
+
+val crash : t -> unit
+(** Simulate a full-system crash: the volatile view is discarded and
+    re-initialized from the persistent view.  Anything not flushed (or
+    evicted) since creation/last crash is lost. *)
+
+val set_eviction_rate : t -> float -> unit
+(** With rate [p > 0], each store additionally writes its line back with
+    probability [p] — modeling uncontrolled cache evictions.  Recovery code
+    must be correct for any interleaving of evictions; tests use this
+    adversarially.  Default 0. *)
+
+(** {1 Byte / string helpers (non-atomic, volatile view)} *)
+
+val load_byte : t -> int -> int
+(** [load_byte t off] reads the byte at byte-offset [off]. *)
+
+val store_byte : t -> int -> int -> unit
+
+val store_string : t -> int -> string -> unit
+(** [store_string t off s] copies [s] to byte-offset [off].  Bytes within a
+    word are packed little-endian; not atomic with respect to concurrent
+    word access to the same words. *)
+
+val load_string : t -> int -> int -> string
+(** [load_string t off len] reads [len] bytes at byte-offset [off]. *)
+
+(** {1 File backing (the DAX file)}
+
+    A file-backed region writes every flushed (or evicted) line {e through}
+    to its file, so the file always equals the durable medium: a process
+    that dies without closing leaves exactly its flushed state behind, as a
+    DAX mapping would.  In-memory regions ({!create}) skip all file I/O and
+    are what the benchmarks use. *)
+
+val open_file : ?name:string -> path:string -> size_bytes:int -> unit -> t * bool
+(** [open_file ~path ~size_bytes ()] opens (or creates) the region backed
+    by [path].  Returns [(region, existed)].  When the file existed, its
+    stored size wins over [size_bytes] and the volatile view starts as the
+    durable contents. *)
+
+val sync : t -> unit
+(** [fsync] the backing file (no-op for in-memory regions). *)
+
+val close_file : t -> unit
+(** Sync and close the backing file; the region remains usable in memory. *)
+
+(** {1 Statistics} *)
+
+module Stats : sig
+  type snapshot = {
+    flushes : int;  (** explicit line write-backs *)
+    fences : int;
+    cas_ops : int;
+    evictions : int;  (** spontaneous write-backs *)
+  }
+
+  val read : t -> snapshot
+  val reset : t -> unit
+  val diff : snapshot -> snapshot -> snapshot
+end

@@ -1,0 +1,95 @@
+(* Word layout (62 bits used):
+     bits 0..40   signed 41-bit offset (off-holders: target - holder;
+                  based: byte offset within the region)
+     bits 41..56  tag pattern (distinct for off-holders and based pointers)
+     bits 57..58  region id for based pointers
+   Null is the all-zero word. *)
+
+let offset_bits = 41
+let offset_mask = (1 lsl offset_bits) - 1
+let tag_shift = offset_bits
+let tag_mask = 0xFFFF
+let offholder_tag = 0xA5C3
+let based_tag = 0x5A3C
+let region_shift = 57
+let null = 0
+let is_null w = w = 0
+
+let sign_extend_offset d =
+  (* take the low 41 bits as a two's-complement value; note lsl/asr are
+     right-associative, hence the parentheses *)
+  (d lsl (Sys.int_size - offset_bits)) asr (Sys.int_size - offset_bits)
+
+let tag_of w = (w lsr tag_shift) land tag_mask
+
+let encode ~holder ~target =
+  if target = 0 then null
+  else begin
+    let delta = target - holder in
+    if delta >= 1 lsl (offset_bits - 1) || delta < -(1 lsl (offset_bits - 1))
+    then invalid_arg "Pptr.encode: offset exceeds 1 TB";
+    (offholder_tag lsl tag_shift) lor (delta land offset_mask)
+  end
+
+let decode ~holder w =
+  if w = 0 then 0
+  else if tag_of w <> offholder_tag then
+    invalid_arg "Pptr.decode: word does not carry the off-holder tag"
+  else holder + sign_extend_offset (w land offset_mask)
+
+let looks_like_pptr w = w <> 0 && tag_of w = offholder_tag
+
+type region_id = Meta | Desc | Sb
+
+let int_of_region = function Meta -> 0 | Desc -> 1 | Sb -> 2
+let region_of_int = function 0 -> Meta | 1 -> Desc | _ -> Sb
+let based_null = null
+
+let encode_based region ~offset =
+  if offset < 0 || offset > offset_mask then
+    invalid_arg "Pptr.encode_based: offset out of range";
+  (int_of_region region lsl region_shift)
+  lor (based_tag lsl tag_shift)
+  lor offset
+
+let decode_based w =
+  if w <> 0 && tag_of w = based_tag then
+    Some (region_of_int ((w lsr region_shift) land 3), w land offset_mask)
+  else None
+
+(* RIV (Region ID in Value, Chen et al.) cross-heap pointers: bits 0..40
+   offset, 41..52 a 12-bit heap id, 53..56 the riv tag nibble.  The nibble
+   differs from the top nibble of both 16-bit tags above, so the three
+   pointer kinds are mutually distinguishable. *)
+let riv_tag = 0xB
+let riv_tag_shift = 53
+let riv_id_shift = 41
+let riv_id_mask = 0xFFF
+let max_heap_id = riv_id_mask
+
+let encode_riv ~heap_id ~offset =
+  if heap_id < 0 || heap_id > riv_id_mask then
+    invalid_arg "Pptr.encode_riv: heap id out of range";
+  if offset < 0 || offset > offset_mask then
+    invalid_arg "Pptr.encode_riv: offset out of range";
+  (riv_tag lsl riv_tag_shift) lor (heap_id lsl riv_id_shift) lor offset
+
+let looks_like_riv w =
+  w <> 0 && (w lsr riv_tag_shift) land 0xF = riv_tag
+
+let decode_riv w =
+  if looks_like_riv w then
+    Some ((w lsr riv_id_shift) land riv_id_mask, w land offset_mask)
+  else None
+
+let counter_bits = 5
+let counter_shift = 57
+let counter_mask = ((1 lsl counter_bits) - 1) lsl counter_shift
+let with_counter w c = w land lnot counter_mask lor ((c land 31) lsl counter_shift)
+let counter_of w = (w land counter_mask) lsr counter_shift
+let strip_counter w = w land lnot counter_mask
+let encode_counted ~holder ~target c = with_counter (encode ~holder ~target) c
+
+let decode_counted ~holder w =
+  let p = strip_counter w in
+  if p = 0 then 0 else decode ~holder p

@@ -1,0 +1,105 @@
+(** Position-independent persistent pointers (paper §4.6).
+
+    A persistent heap may be mapped at a different virtual address in every
+    process and every run, so pointers stored {e inside} persistent memory
+    must not be absolute.  Two representations are provided, both 62-bit
+    values that fit in one simulated-NVM word:
+
+    - {b off-holders}: the stored value encodes the signed distance from the
+      pointer's own location to its target ([target - holder]), following
+      Chen et al.  The holder's address is always at hand when loading or
+      storing through the pointer, so decoding is one addition.
+    - {b based pointers}: a region id plus an offset from that region's
+      base.  Only Ralloc's own cross-region metadata (e.g. persistent roots
+      in the metadata region that point into the superblock region) needs
+      these; application code never does.
+
+    Because the superblock region is bounded (1 TB in the paper), the
+    offset needs at most 41 signed bits; the spare bits carry an
+    {e uncommon tag pattern} that is masked away on use.  The tag makes it
+    unlikely (2{^-16}) that an arbitrary integer stored by the application
+    is misinterpreted as a pointer by the conservative post-crash GC. *)
+
+(** {1 Off-holders} *)
+
+val null : int
+(** The null pointer representation (0). *)
+
+val is_null : int -> bool
+
+val encode : holder:int -> target:int -> int
+(** [encode ~holder ~target] is the word to store at virtual address
+    [holder] to designate virtual address [target].  [target = 0] encodes
+    {!null}.  @raise Invalid_argument if the distance exceeds ±1 TB. *)
+
+val decode : holder:int -> int -> int
+(** [decode ~holder w] is the target virtual address denoted by the word
+    [w] read from address [holder]; 0 if [w] is {!null}.
+    @raise Invalid_argument if [w] does not carry the off-holder tag. *)
+
+val looks_like_pptr : int -> bool
+(** True iff [w] carries the off-holder tag pattern — the conservative
+    GC's validity pre-filter.  Null does {e not} look like a pointer. *)
+
+(** {1 Based (region-indexed) pointers} *)
+
+type region_id = Meta | Desc | Sb
+
+val encode_based : region_id -> offset:int -> int
+(** A pointer to byte [offset] within the given region, independent of
+    where the region is mapped.  [offset] must fit in 41 bits. *)
+
+val decode_based : int -> (region_id * int) option
+(** [decode_based w] is [Some (region, offset)] if [w] carries the based
+    tag, [None] otherwise (including null). *)
+
+val based_null : int
+(** A null based pointer (equal to {!null}). *)
+
+(** {1 RIV cross-heap pointers}
+
+    The paper's near-term plan (§4.6): a {e Region ID in Value} variant of
+    [pptr] that can designate a block in a {e different} persistent heap
+    while staying 64 bits wide.  The word carries a 12-bit persistent heap
+    id plus an offset into that heap's superblock region; a transient
+    registry ({!Ralloc.read_riv}) resolves ids to currently mapped heaps.
+    The three pointer kinds (off-holder, based, RIV) carry mutually
+    exclusive tags, so conservative GC never confuses them — in
+    particular, cross-heap edges do not keep local blocks alive: a block
+    referenced from another heap must also be rooted in its own. *)
+
+val max_heap_id : int
+(** 4095. *)
+
+val encode_riv : heap_id:int -> offset:int -> int
+val decode_riv : int -> (int * int) option
+(** [(heap_id, offset)] if the word carries the RIV tag. *)
+
+val looks_like_riv : int -> bool
+
+(** {1 Spare-bit utilities}
+
+    Bits 57..61 of a pointer word are ignored by {!decode} and
+    {!looks_like_pptr}, so CAS-updated pointer words can carry a small
+    anti-ABA counter (the paper gives its metadata list heads a counter
+    "as a benefit of the persistent pointers") or the flag/tag mark bits
+    of lock-free tree algorithms. *)
+
+val counter_bits : int
+(** Number of spare bits (5). *)
+
+val with_counter : int -> int -> int
+(** [with_counter w c] is [w] with the spare bits set to [c mod 32]. *)
+
+val counter_of : int -> int
+
+val strip_counter : int -> int
+(** The pointer word with all spare bits cleared (what {!decode} sees). *)
+
+val encode_counted : holder:int -> target:int -> int -> int
+(** [encode_counted ~holder ~target c]: off-holder plus counter.  A null
+    target still carries the counter, so a CAS on an emptied list head
+    remains ABA-protected. *)
+
+val decode_counted : holder:int -> int -> int
+(** Decode ignoring the counter; 0 if the pointer part is null. *)

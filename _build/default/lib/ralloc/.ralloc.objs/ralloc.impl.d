@@ -1,0 +1,1 @@
+lib/ralloc/ralloc.ml: Anchor Array Atomic Bytes Domain Filename Format Hashtbl Layout List Mutex Option Pmem Pptr Size_class Stack Sys Tcache Unix Weak

@@ -1,0 +1,1 @@
+lib/ralloc/ralloc.mli: Anchor Format Layout Pmem Size_class Tcache

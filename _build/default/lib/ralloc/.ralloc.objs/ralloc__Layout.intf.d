@@ -1,0 +1,1 @@
+lib/ralloc/layout.mli:

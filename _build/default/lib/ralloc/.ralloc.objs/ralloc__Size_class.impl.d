@@ -1,0 +1,1 @@
+lib/ralloc/size_class.ml: Array List

@@ -1,0 +1,1 @@
+lib/ralloc/tcache.ml: Array Size_class

@@ -1,0 +1,77 @@
+(** Persistent heap layout (paper §4.2, Figure 2).
+
+    A heap comprises three contiguous regions, each mapped independently:
+
+    - the {b superblock region} — [size] and [used] header words followed by
+      an array of 64 KB superblocks holding the actual data;
+    - the {b descriptor region} — one 64 B descriptor per superblock;
+      descriptor [i] describes superblock [i], so either can be found from
+      the other with bit manipulation;
+    - the {b metadata region} — dirty indicator, persistent roots, size
+      class records (block size + partial list head) and the superblock
+      free list head.
+
+    Fields persisted (flushed + fenced) online, the paper's bold fields:
+    the dirty indicator, the superblock region's [size] and [used] words,
+    each descriptor's size class and block size, and the roots. *)
+
+val superblock_bytes : int
+val superblock_words : int
+val descriptor_words : int
+val max_roots : int
+
+(** {1 Metadata region word offsets} *)
+
+val meta_magic : int
+val meta_dirty : int
+val meta_heap_size : int
+val meta_heap_id : int
+val meta_free_list_head : int
+val meta_root : int -> int
+(** [meta_root i] for [0 <= i < max_roots]. *)
+
+val meta_class_block_size : int -> int
+(** Size-class record, one cache line per class [1..Size_class.count]. *)
+
+val meta_class_partial_head : int -> int
+val meta_words : int
+val magic_value : int
+
+(** {1 Superblock region} *)
+
+val sb_size_word : int
+val sb_used_word : int
+
+val sb_first_offset : int
+(** Byte offset of superblock 0 within the region (one whole superblock of
+    header/padding, so superblock boundaries stay 64 KB-aligned). *)
+
+val superblock_offset : int -> int
+(** Byte offset of superblock [i]. *)
+
+val descriptor_of_offset : int -> int
+(** Superblock (= descriptor) index owning the given byte offset within the
+    superblock region. *)
+
+(** {1 Descriptor fields (word offsets within the descriptor region)} *)
+
+val d_anchor : int
+val d_class : int
+val d_bsize : int
+val d_next_free : int
+val d_next_partial : int
+
+val desc_word : int -> int -> int
+(** [desc_word i field] is the word index of [field] of descriptor [i]. *)
+
+(** {1 Counted list heads (anti-ABA, paper §4.2)} *)
+
+module Head : sig
+  val empty : int
+
+  val pack : count:int -> desc:int -> int
+  (** [desc] is a descriptor index, or [-1] for the empty list. *)
+
+  val unpack : int -> int * int
+  (** [(count, desc)] with [desc = -1] for empty. *)
+end

@@ -1,0 +1,980 @@
+module Size_class = Size_class
+module Anchor = Anchor
+module Layout = Layout
+module Tcache = Tcache
+
+type gc = { visit : ?filter:filter -> int -> unit }
+and filter = gc -> int -> unit
+
+type t = {
+  meta : Pmem.t;
+  desc : Pmem.t;
+  sb : Pmem.t;
+  sb_base : int;
+  persist : bool;
+  path : string option;
+  nsb : int;
+  expansion_sbs : int;
+  tcache_key : Tcache.set Domain.DLS.key;
+  use_tcache : bool;
+  filters : filter option array;
+  heap_name : string;
+  mutable closed : bool;
+}
+
+type status = Fresh | Clean_restart | Dirty_restart
+
+let max_roots = Layout.max_roots
+let name t = t.heap_name
+let persist_enabled t = t.persist
+let sb_base t = t.sb_base
+let capacity_bytes t = t.nsb * Layout.superblock_bytes
+
+let check_open t =
+  if t.closed then invalid_arg "Ralloc: heap handle has been closed"
+
+(* ------------------------------------------------------------------ *)
+(* Region access helpers                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mload t w = Pmem.load t.meta w
+let mstore t w v = Pmem.store t.meta w v
+let mcas t w ~expected ~desired = Pmem.cas t.meta w ~expected ~desired
+
+let persist_meta t w =
+  if t.persist then begin
+    Pmem.flush t.meta w;
+    Pmem.fence t.meta
+  end
+
+let dload t i f = Pmem.load t.desc (Layout.desc_word i f)
+let dstore t i f v = Pmem.store t.desc (Layout.desc_word i f) v
+
+(* Persist the bold fields of descriptor [i] (size class and block size
+   share the descriptor's single cache line). *)
+let persist_desc t i =
+  if t.persist then begin
+    Pmem.flush t.desc (Layout.desc_word i 0);
+    Pmem.fence t.desc
+  end
+
+let anchor_load t i = Anchor.unpack (Pmem.load t.desc (Layout.desc_word i Layout.d_anchor))
+let anchor_store t i a = Pmem.store t.desc (Layout.desc_word i Layout.d_anchor) (Anchor.pack a)
+
+let anchor_cas t i ~expected ~desired =
+  Pmem.cas t.desc
+    (Layout.desc_word i Layout.d_anchor)
+    ~expected:(Anchor.pack expected) ~desired:(Anchor.pack desired)
+
+let used_bytes t = Pmem.load t.sb Layout.sb_used_word
+
+(* Application-visible memory access (superblock region). *)
+
+let sb_word t va = (va - t.sb_base) lsr 3
+let load t va = Pmem.load t.sb (sb_word t va)
+let store t va v = Pmem.store t.sb (sb_word t va) v
+let cas t va ~expected ~desired = Pmem.cas t.sb (sb_word t va) ~expected ~desired
+let fetch_add t va d = Pmem.fetch_add t.sb (sb_word t va) d
+let flush t va = if t.persist then Pmem.flush t.sb (sb_word t va)
+let fence t = if t.persist then Pmem.fence t.sb
+let read_ptr t va = Pptr.decode ~holder:va (load t va)
+let write_ptr t ~at ~target = store t at (Pptr.encode ~holder:at ~target)
+let load_byte t va = Pmem.load_byte t.sb (va - t.sb_base)
+let store_byte t va v = Pmem.store_byte t.sb (va - t.sb_base) v
+let store_string t va s = Pmem.store_string t.sb (va - t.sb_base) s
+let load_string t va len = Pmem.load_string t.sb (va - t.sb_base) len
+
+let flush_block_range t va len =
+  if t.persist && len > 0 then Pmem.flush_range t.sb (sb_word t va) ((len + 7) / 8)
+
+(* ------------------------------------------------------------------ *)
+(* Counted lock-free descriptor lists (Treiber stacks, paper §4.2)    *)
+(* ------------------------------------------------------------------ *)
+
+let rec list_push t head_word next_field d =
+  let h = mload t head_word in
+  let count, top = Layout.Head.unpack h in
+  dstore t d next_field top;
+  if
+    not
+      (mcas t head_word ~expected:h
+         ~desired:(Layout.Head.pack ~count:(count + 1) ~desc:d))
+  then list_push t head_word next_field d
+
+let rec list_pop t head_word next_field =
+  let h = mload t head_word in
+  let count, top = Layout.Head.unpack h in
+  if top < 0 then -1
+  else
+    let next = dload t top next_field in
+    if
+      mcas t head_word ~expected:h
+        ~desired:(Layout.Head.pack ~count:(count + 1) ~desc:next)
+    then top
+    else list_pop t head_word next_field
+
+let push_free t d = list_push t Layout.meta_free_list_head Layout.d_next_free d
+let pop_free t = list_pop t Layout.meta_free_list_head Layout.d_next_free
+
+let push_partial t c d =
+  list_push t (Layout.meta_class_partial_head c) Layout.d_next_partial d
+
+let pop_partial t c =
+  list_pop t (Layout.meta_class_partial_head c) Layout.d_next_partial
+
+(* ------------------------------------------------------------------ *)
+(* Region expansion (paper §4.3)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Claim [k] contiguous superblocks by CASing the used watermark forward;
+   returns the first descriptor index or -1 if the heap is exhausted.  The
+   new watermark is flushed and fenced: recovery trusts it as the bound of
+   the provisioned area. *)
+let rec expand t k =
+  let bytes = k * Layout.superblock_bytes in
+  let size = Pmem.load t.sb Layout.sb_size_word in
+  let used = used_bytes t in
+  if used + bytes > size then -1
+  else if
+    Pmem.cas t.sb Layout.sb_used_word ~expected:used ~desired:(used + bytes)
+  then begin
+    if t.persist then begin
+      Pmem.flush t.sb Layout.sb_used_word;
+      Pmem.fence t.sb
+    end;
+    Layout.descriptor_of_offset used
+  end
+  else expand t k
+
+(* Get one free superblock, refilling the free list by a batch expansion
+   when it is empty. *)
+let take_free_sb t =
+  let d = pop_free t in
+  if d >= 0 then d
+  else begin
+    let first = expand t t.expansion_sbs in
+    if first >= 0 then begin
+      for i = first + 1 to first + t.expansion_sbs - 1 do
+        anchor_store t i { avail = Anchor.no_block; count = 0; state = Empty; tag = 0 };
+        push_free t i
+      done;
+      first
+    end
+    else
+      let single = expand t 1 in
+      if single >= 0 then single else pop_free t (* races may have refilled *)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Small allocation (paper §4.4)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let tcaches t = Domain.DLS.get t.tcache_key
+
+(* Hand a brand-new superblock to size class [c], filling the calling
+   domain's cache with every block.  The size information is persisted
+   before any block can be used (the paper's one online flush). *)
+let provision_superblock t c tc d =
+  let bsz = Size_class.block_size c in
+  dstore t d Layout.d_class c;
+  dstore t d Layout.d_bsize bsz;
+  persist_desc t d;
+  anchor_store t d { avail = Anchor.no_block; count = 0; state = Full; tag = 0 };
+  let start = t.sb_base + Layout.superblock_offset d in
+  for i = Size_class.blocks_per_superblock c - 1 downto 0 do
+    Tcache.push tc (start + (i * bsz))
+  done
+
+(* Refill the cache for class [c]: first from a partially used superblock
+   (reserving its whole free list with one CAS), else from a fresh
+   superblock.  Returns false only when the heap is exhausted. *)
+let rec refill t c tc =
+  let d = pop_partial t c in
+  if d >= 0 then begin
+    let rec reserve () =
+      let a = anchor_load t d in
+      if a.state = Empty then begin
+        (* fully freed while sitting on the partial list: retire it *)
+        push_free t d;
+        false
+      end
+      else if
+        anchor_cas t d ~expected:a
+          ~desired:
+            { avail = Anchor.no_block; count = 0; state = Full; tag = a.tag + 1 }
+      then begin
+        (* we now own the whole block free list of this superblock *)
+        let sb_off = Layout.superblock_offset d in
+        let start = t.sb_base + sb_off in
+        let bsz = dload t d Layout.d_bsize in
+        let idx = ref a.avail in
+        for _ = 1 to a.count do
+          Tcache.push tc (start + (!idx * bsz));
+          idx := Pmem.load t.sb ((sb_off + (!idx * bsz)) lsr 3)
+        done;
+        a.count > 0
+      end
+      else reserve ()
+    in
+    if reserve () then true else refill t c tc
+  end
+  else begin
+    let d = take_free_sb t in
+    if d < 0 then false
+    else begin
+      provision_superblock t c tc d;
+      true
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Deallocation (paper §4.4)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Push one block back onto its superblock's free list, mediating with a
+   CAS on the anchor, and handle the FULL->PARTIAL / ->EMPTY transitions. *)
+let rec free_block_to_sb t d va =
+  let sb_off = Layout.superblock_offset d in
+  let bsz = dload t d Layout.d_bsize in
+  let idx = (va - t.sb_base - sb_off) / bsz in
+  let max_count = Layout.superblock_bytes / bsz in
+  let a = anchor_load t d in
+  Pmem.store t.sb ((sb_off + (idx * bsz)) lsr 3) a.avail;
+  let count = a.count + 1 in
+  let state : Anchor.state =
+    if count = max_count then Empty
+    else match a.state with Full -> Partial | s -> s
+  in
+  if
+    anchor_cas t d ~expected:a ~desired:{ avail = idx; count; state; tag = a.tag + 1 }
+  then begin
+    match (a.state, state) with
+    | Full, Empty -> push_free t d
+    | Full, _ -> push_partial t (dload t d Layout.d_class) d
+    | (Empty | Partial), _ -> ()
+    (* PARTIAL -> EMPTY retires lazily, when popped from the partial list *)
+  end
+  else free_block_to_sb t d va
+
+let flush_cache_class t tc =
+  while not (Tcache.is_empty tc) do
+    let va = Tcache.pop tc in
+    let d = Layout.descriptor_of_offset (va - t.sb_base) in
+    free_block_to_sb t d va
+  done
+
+let flush_thread_cache t =
+  check_open t;
+  if t.use_tcache then begin
+    let set = tcaches t in
+    for c = 1 to Size_class.count do
+      flush_cache_class t set.(c)
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Large allocation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let malloc_large t size =
+  let k = (size + Layout.superblock_bytes - 1) / Layout.superblock_bytes in
+  let d =
+    if k = 1 then begin
+      let d = pop_free t in
+      if d >= 0 then d else expand t 1
+    end
+    else expand t k (* multi-superblock blocks need contiguity *)
+  in
+  if d < 0 then 0
+  else begin
+    dstore t d Layout.d_class 0;
+    dstore t d Layout.d_bsize (k * Layout.superblock_bytes);
+    persist_desc t d;
+    anchor_store t d { avail = Anchor.no_block; count = 0; state = Full; tag = 0 };
+    t.sb_base + Layout.superblock_offset d
+  end
+
+let free_large t d =
+  let total = dload t d Layout.d_bsize in
+  let k = total / Layout.superblock_bytes in
+  (* Invalidate the persisted large-block signature so a stale value can no
+     longer revalidate this range during conservative recovery. *)
+  dstore t d Layout.d_bsize 0;
+  persist_desc t d;
+  for i = d to d + k - 1 do
+    anchor_store t i { avail = Anchor.no_block; count = 0; state = Empty; tag = 0 };
+    push_free t i
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cache-free operation (Michael's allocator, paper §3)               *)
+(*                                                                    *)
+(* With thread caches disabled, every allocation takes exactly one    *)
+(* block from a partial superblock with an anchor CAS — the profile   *)
+(* of Michael's 2004 allocator, which LRMalloc's caching improved on. *)
+(* The anchor tag makes the read-link-then-CAS pop ABA-safe.          *)
+(* ------------------------------------------------------------------ *)
+
+let rec malloc_one t c =
+  let d = pop_partial t c in
+  if d >= 0 then begin
+    let sb_off = Layout.superblock_offset d in
+    let bsz = Size_class.block_size c in
+    let rec take () =
+      let a = anchor_load t d in
+      if a.state = Empty || a.count = 0 then begin
+        if a.state = Empty then push_free t d;
+        malloc_one t c
+      end
+      else begin
+        let next = Pmem.load t.sb ((sb_off + (a.avail * bsz)) lsr 3) in
+        let desired : Anchor.t =
+          {
+            avail = (if a.count = 1 then Anchor.no_block else next);
+            count = a.count - 1;
+            state = (if a.count = 1 then Full else Partial);
+            tag = a.tag + 1;
+          }
+        in
+        if anchor_cas t d ~expected:a ~desired then begin
+          if a.count > 1 then push_partial t c d;
+          t.sb_base + sb_off + (a.avail * bsz)
+        end
+        else take ()
+      end
+    in
+    take ()
+  end
+  else begin
+    let d = take_free_sb t in
+    if d < 0 then 0
+    else begin
+      let bsz = Size_class.block_size c in
+      dstore t d Layout.d_class c;
+      dstore t d Layout.d_bsize bsz;
+      persist_desc t d;
+      let n = Size_class.blocks_per_superblock c in
+      let sb_off = Layout.superblock_offset d in
+      (* chain blocks 1..n-1; block 0 is ours *)
+      for i = 1 to n - 1 do
+        Pmem.store t.sb
+          ((sb_off + (i * bsz)) lsr 3)
+          (if i = n - 1 then Anchor.no_block else i + 1)
+      done;
+      anchor_store t d
+        { avail = (if n > 1 then 1 else Anchor.no_block);
+          count = n - 1;
+          state = (if n > 1 then Partial else Full);
+          tag = 0 };
+      if n > 1 then push_partial t c d;
+      t.sb_base + sb_off
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public malloc / free                                               *)
+(* ------------------------------------------------------------------ *)
+
+let malloc t size =
+  check_open t;
+  if size < 0 then invalid_arg "Ralloc.malloc: negative size";
+  if size > Size_class.max_small_size then malloc_large t size
+  else begin
+    let c = Size_class.of_size size in
+    if not t.use_tcache then malloc_one t c
+    else begin
+      let tc = (tcaches t).(c) in
+      if Tcache.is_empty tc then if refill t c tc then Tcache.pop tc else 0
+      else Tcache.pop tc
+    end
+  end
+
+let free t va =
+  check_open t;
+  if va <> 0 then begin
+    let off = va - t.sb_base in
+    if off < Layout.sb_first_offset || off >= used_bytes t then
+      invalid_arg "Ralloc.free: address outside the heap";
+    let d = Layout.descriptor_of_offset off in
+    let c = dload t d Layout.d_class in
+    if c = 0 then free_large t d
+    else if not t.use_tcache then free_block_to_sb t d va
+    else begin
+      let tc = (tcaches t).(c) in
+      if Tcache.is_full tc then flush_cache_class t tc;
+      Tcache.push tc va
+    end
+  end
+
+let usable_size t va =
+  check_open t;
+  let d = Layout.descriptor_of_offset (va - t.sb_base) in
+  dload t d Layout.d_bsize
+
+(* ------------------------------------------------------------------ *)
+(* Persistent roots                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let set_root t i va =
+  check_open t;
+  if i < 0 || i >= max_roots then invalid_arg "Ralloc.set_root: bad index";
+  let w =
+    if va = 0 then Pptr.based_null
+    else Pptr.encode_based Pptr.Sb ~offset:(va - t.sb_base)
+  in
+  mstore t (Layout.meta_root i) w;
+  persist_meta t (Layout.meta_root i)
+
+let get_root ?filter t i =
+  check_open t;
+  if i < 0 || i >= max_roots then invalid_arg "Ralloc.get_root: bad index";
+  t.filters.(i) <- filter;
+  match Pptr.decode_based (mload t (Layout.meta_root i)) with
+  | Some (Pptr.Sb, off) -> t.sb_base + off
+  | Some _ | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Heap lifecycle                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let next_heap_id = Atomic.make 1
+
+(* Transient registry of mapped heaps, for resolving RIV cross-heap
+   pointers (paper §4.6 future work).  Ids are persistent; mappings are
+   per-process.  Entries are weak: the registry must never keep an
+   abandoned heap's gigabytes of simulated NVM alive. *)
+let registry : (int, t Weak.t) Hashtbl.t = Hashtbl.create 16
+let registry_lock = Mutex.create ()
+
+let heap_id t = mload t Layout.meta_heap_id
+
+let register_heap t =
+  Mutex.lock registry_lock;
+  (* drop entries whose heaps have been collected *)
+  Hashtbl.filter_map_inplace
+    (fun _ w -> if Weak.get w 0 = None then None else Some w)
+    registry;
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some t);
+  Hashtbl.replace registry (heap_id t) w;
+  Mutex.unlock registry_lock
+
+let unregister_heap t =
+  Mutex.lock registry_lock;
+  (match Hashtbl.find_opt registry (heap_id t) with
+  | Some w
+    when (match Weak.get w 0 with Some cur -> cur == t | None -> false) ->
+    Hashtbl.remove registry (heap_id t)
+  | Some _ | None -> ());
+  Mutex.unlock registry_lock
+
+let find_heap id =
+  Mutex.lock registry_lock;
+  let r =
+    match Hashtbl.find_opt registry id with
+    | None -> None
+    | Some w -> Weak.get w 0
+  in
+  Mutex.unlock registry_lock;
+  r
+
+let write_riv t ~at ~target_heap ~target =
+  let w =
+    if target = 0 then Pptr.null
+    else
+      Pptr.encode_riv ~heap_id:(heap_id target_heap)
+        ~offset:(target - target_heap.sb_base)
+  in
+  store t at w
+
+let read_riv t va =
+  match Pptr.decode_riv (load t va) with
+  | None -> None
+  | Some (id, off) -> (
+    match find_heap id with
+    | None -> None (* that heap is not currently mapped *)
+    | Some h -> Some (h, h.sb_base + off))
+
+(* A fresh virtual base on every open exercises position independence. *)
+let fresh_sb_base () =
+  let id = Atomic.fetch_and_add next_heap_id 1 in
+  0x10_0000_0000 + (id * 0x4_0000_0000)
+
+let make_handle ?(persist = true) ?sb_base ?(expansion_sbs = 16)
+    ?(tcache = true) ~path ~name ~meta ~desc ~sb () =
+  let heap_bytes = Pmem.load sb Layout.sb_size_word in
+  let nsb = (heap_bytes / Layout.superblock_bytes) - 1 in
+  let t =
+    {
+      meta;
+      desc;
+      sb;
+      sb_base = (match sb_base with Some b -> b | None -> fresh_sb_base ());
+      persist;
+      path;
+      nsb;
+      expansion_sbs;
+      tcache_key = Domain.DLS.new_key Tcache.create_set;
+      use_tcache = tcache;
+      filters = Array.make max_roots None;
+      heap_name = name;
+      closed = false;
+    }
+  in
+  register_heap t;
+  t
+
+let is_dirty t = mload t Layout.meta_dirty <> 0
+
+let mark_dirty t =
+  mstore t Layout.meta_dirty 1;
+  persist_meta t Layout.meta_dirty
+
+let region_geometry size =
+  if size <= 0 then invalid_arg "Ralloc: heap size must be positive";
+  let nsb =
+    max 1 ((size + Layout.superblock_bytes - 1) / Layout.superblock_bytes)
+  in
+  (nsb, (nsb + 1) * Layout.superblock_bytes)
+
+(* Lay down a fresh heap's persistent structure and make it durable. *)
+let format_heap ?heap_id meta sb sb_bytes =
+  let id =
+    match heap_id with
+    | Some id ->
+      if id < 0 || id > Pptr.max_heap_id then
+        invalid_arg "Ralloc: heap id out of range";
+      id
+    | None ->
+      (* best-effort default; pass ~heap_id for stable cross-heap refs *)
+      (Atomic.fetch_and_add next_heap_id 1
+      + (int_of_float (Unix.gettimeofday () *. 1e6) * 2654435761))
+      land Pptr.max_heap_id
+  in
+  Pmem.store sb Layout.sb_size_word sb_bytes;
+  Pmem.store sb Layout.sb_used_word Layout.sb_first_offset;
+  Pmem.store meta Layout.meta_magic Layout.magic_value;
+  Pmem.store meta Layout.meta_heap_size sb_bytes;
+  Pmem.store meta Layout.meta_heap_id id;
+  Pmem.store meta Layout.meta_free_list_head Layout.Head.empty;
+  for c = 1 to Size_class.count do
+    Pmem.store meta (Layout.meta_class_block_size c) (Size_class.block_size c);
+    Pmem.store meta (Layout.meta_class_partial_head c) Layout.Head.empty
+  done;
+  Pmem.store meta Layout.meta_dirty 1;
+  Pmem.flush_all meta;
+  Pmem.flush_all sb
+
+let create ?(name = "heap") ?(persist = true) ?sb_base ?expansion_sbs
+    ?heap_id ?tcache ~size () =
+  let nsb, sb_bytes = region_geometry size in
+  let meta =
+    Pmem.create ~name:(name ^ ".meta") ~size_bytes:(Layout.meta_words * 8) ()
+  in
+  let desc =
+    Pmem.create ~name:(name ^ ".desc")
+      ~size_bytes:(nsb * Layout.descriptor_words * 8)
+      ()
+  in
+  let sb = Pmem.create ~name:(name ^ ".sb") ~size_bytes:sb_bytes () in
+  format_heap ?heap_id meta sb sb_bytes;
+  make_handle ~persist ?sb_base ?expansion_sbs ?tcache ~path:None ~name ~meta
+    ~desc ~sb ()
+
+let file_names path = (path ^ ".meta", path ^ ".desc", path ^ ".sb")
+
+let init ?persist ?sb_base ?expansion_sbs ~path ~size () =
+  let m, d, s = file_names path in
+  let existing = List.filter Sys.file_exists [ m; d; s ] in
+  if List.length existing <> 0 && List.length existing <> 3 then
+    failwith ("Ralloc.init: " ^ path ^ " has a partial set of heap files");
+  let nsb, sb_bytes = region_geometry size in
+  let name = Filename.basename path in
+  let meta, existed =
+    Pmem.open_file ~name:(name ^ ".meta") ~path:m
+      ~size_bytes:(Layout.meta_words * 8) ()
+  in
+  let desc, _ =
+    Pmem.open_file ~name:(name ^ ".desc") ~path:d
+      ~size_bytes:(nsb * Layout.descriptor_words * 8)
+      ()
+  in
+  let sb, _ =
+    Pmem.open_file ~name:(name ^ ".sb") ~path:s ~size_bytes:sb_bytes ()
+  in
+  if existed && Pmem.load meta Layout.meta_magic <> Layout.magic_value then
+    failwith ("Ralloc.init: " ^ path ^ " is not a Ralloc heap");
+  if not existed then format_heap meta sb sb_bytes;
+  let t =
+    make_handle ?persist ?sb_base ?expansion_sbs ~path:(Some path) ~name ~meta
+      ~desc ~sb ()
+  in
+  if existed then begin
+    let dirty = is_dirty t in
+    mark_dirty t;
+    (t, if dirty then Dirty_restart else Clean_restart)
+  end
+  else begin
+    mark_dirty t;
+    (t, Fresh)
+  end
+
+let close t =
+  check_open t;
+  unregister_heap t;
+  flush_thread_cache t;
+  Pmem.flush_all t.meta;
+  Pmem.flush_all t.desc;
+  Pmem.flush_all t.sb;
+  mstore t Layout.meta_dirty 0;
+  Pmem.flush t.meta Layout.meta_dirty;
+  Pmem.fence t.meta;
+  List.iter Pmem.close_file [ t.meta; t.desc; t.sb ];
+  t.closed <- true
+
+let crash_and_reopen ?sb_base t =
+  Pmem.crash t.meta;
+  Pmem.crash t.desc;
+  Pmem.crash t.sb;
+  t.closed <- true;
+  let nt =
+    make_handle ~persist:t.persist ?sb_base ~expansion_sbs:t.expansion_sbs
+      ~tcache:t.use_tcache ~path:t.path ~name:t.heap_name ~meta:t.meta
+      ~desc:t.desc ~sb:t.sb ()
+  in
+  let dirty = is_dirty nt in
+  mark_dirty nt;
+  (nt, if dirty then Dirty_restart else Clean_restart)
+
+let set_eviction_rate t p =
+  Pmem.set_eviction_rate t.meta p;
+  Pmem.set_eviction_rate t.desc p;
+  Pmem.set_eviction_rate t.sb p
+
+(* ------------------------------------------------------------------ *)
+(* Recovery: tracing GC + metadata reconstruction (paper §4.5)        *)
+(* ------------------------------------------------------------------ *)
+
+(* Is [va] the start of a plausible block?  Trusts only the persisted
+   per-descriptor size information, as recovery must. *)
+let block_info t ~used va =
+  let off = va - t.sb_base in
+  if off < Layout.sb_first_offset || off >= used || off land 7 <> 0 then None
+  else begin
+    let d = Layout.descriptor_of_offset off in
+    let c = dload t d Layout.d_class in
+    let b = dload t d Layout.d_bsize in
+    if c = 0 then
+      if
+        b >= Layout.superblock_bytes
+        && b mod Layout.superblock_bytes = 0
+        && off = Layout.superblock_offset d
+        && off + b <= used
+      then Some (d, 0, b, true)
+      else None
+    else if Size_class.is_valid_class c && b = Size_class.block_size c then begin
+      let rel = off - Layout.superblock_offset d in
+      if rel mod b = 0 then Some (d, rel / b, b, false) else None
+    end
+    else None
+  end
+
+let valid_block t va =
+  check_open t;
+  block_info t ~used:(used_bytes t) va <> None
+
+type recovery_stats = {
+  reachable_blocks : int;
+  reclaimed_superblocks : int;
+  partial_superblocks : int;
+  trace_seconds : float;
+  rebuild_seconds : float;
+}
+
+(* What reconstruction must do with each descriptor, decided sequentially
+   so that multi-superblock (large) blocks are never split across parallel
+   workers. *)
+type rebuild_task =
+  | Reclaim  (* unreachable superblock: back to the free list *)
+  | Rebuild_small  (* live small-class superblock: rebuild its free list *)
+  | Large_head of int  (* live large block covering this many superblocks *)
+  | Large_body  (* interior of a live large block *)
+
+let recover ?(domains = 1) t =
+  check_open t;
+  let t_start = Unix.gettimeofday () in
+  let used = used_bytes t in
+  let used_sbs = (used - Layout.sb_first_offset) / Layout.superblock_bytes in
+  let marks : Bytes.t option array = Array.make (max used_sbs 1) None in
+  let reachable = ref 0 in
+  let pending : (int * filter option * int) Stack.t = Stack.create () in
+  let visit ?filter va =
+    match block_info t ~used va with
+    | None -> ()
+    | Some (d, idx, bsize, is_large) ->
+      let bm =
+        match marks.(d) with
+        | Some bm -> bm
+        | None ->
+          let n = if is_large then 1 else Layout.superblock_bytes / bsize in
+          let bm = Bytes.make n '\000' in
+          marks.(d) <- Some bm;
+          bm
+      in
+      if Bytes.get bm idx = '\000' then begin
+        Bytes.set bm idx '\001';
+        incr reachable;
+        Stack.push (va, filter, bsize) pending
+      end
+  in
+  let gc = { visit } in
+  (* Step 5: trace from the persistent roots. *)
+  for i = 0 to max_roots - 1 do
+    match Pptr.decode_based (mload t (Layout.meta_root i)) with
+    | Some (Pptr.Sb, off) -> visit ?filter:t.filters.(i) (t.sb_base + off)
+    | Some _ | None -> ()
+  done;
+  let conservative_scan va bsize =
+    for w = 0 to (bsize / 8) - 1 do
+      let holder = va + (8 * w) in
+      let word = load t holder in
+      if Pptr.looks_like_pptr word then visit (Pptr.decode ~holder word)
+    done
+  in
+  while not (Stack.is_empty pending) do
+    let va, filter, bsize = Stack.pop pending in
+    match filter with
+    | Some f -> f gc va
+    | None -> conservative_scan va bsize
+  done;
+  let t_trace = Unix.gettimeofday () in
+  (* Steps 3 and 6-9: empty lists, then rebuild every descriptor.  Task
+     assignment is a cheap sequential pass; the actual reconstruction can
+     be parallelized across superblocks (the paper's §6.4 future work). *)
+  mstore t Layout.meta_free_list_head Layout.Head.empty;
+  for c = 1 to Size_class.count do
+    mstore t (Layout.meta_class_partial_head c) Layout.Head.empty
+  done;
+  let tasks = Array.make (max used_sbs 1) Reclaim in
+  let d = ref 0 in
+  while !d < used_sbs do
+    (match marks.(!d) with
+    | None ->
+      tasks.(!d) <- Reclaim;
+      incr d
+    | Some _ ->
+      let c = dload t !d Layout.d_class in
+      if c = 0 then begin
+        let k = dload t !d Layout.d_bsize / Layout.superblock_bytes in
+        let k = min k (used_sbs - !d) in
+        tasks.(!d) <- Large_head k;
+        for i = !d + 1 to !d + k - 1 do
+          tasks.(i) <- Large_body
+        done;
+        d := !d + k
+      end
+      else begin
+        tasks.(!d) <- Rebuild_small;
+        incr d
+      end)
+  done;
+  let reclaimed = Atomic.make 0 and partials = Atomic.make 0 in
+  let rebuild_one d =
+    match tasks.(d) with
+    | Large_body -> ()
+    | Reclaim ->
+      (* unreachable superblock: reclaim it and erase its stale size
+         signature so it cannot revalidate dangling values later *)
+      anchor_store t d { avail = Anchor.no_block; count = 0; state = Empty; tag = 0 };
+      dstore t d Layout.d_class 0;
+      dstore t d Layout.d_bsize 0;
+      push_free t d;
+      Atomic.incr reclaimed
+    | Large_head k ->
+      for i = d to d + k - 1 do
+        anchor_store t i { avail = Anchor.no_block; count = 0; state = Full; tag = 0 }
+      done
+    | Rebuild_small ->
+      let bm = Option.get marks.(d) in
+      let c = dload t d Layout.d_class in
+      let bsz = Size_class.block_size c in
+      let n = Layout.superblock_bytes / bsz in
+      let sb_off = Layout.superblock_offset d in
+      let head = ref Anchor.no_block and nfree = ref 0 in
+      for idx = n - 1 downto 0 do
+        if Bytes.get bm idx = '\000' then begin
+          Pmem.store t.sb ((sb_off + (idx * bsz)) lsr 3) !head;
+          head := idx;
+          incr nfree
+        end
+      done;
+      if !nfree = 0 then
+        anchor_store t d { avail = Anchor.no_block; count = 0; state = Full; tag = 0 }
+      else begin
+        anchor_store t d { avail = !head; count = !nfree; state = Partial; tag = 0 };
+        push_partial t c d;
+        Atomic.incr partials
+      end
+  in
+  (if domains <= 1 || used_sbs < 2 * domains then
+     for d = 0 to used_sbs - 1 do
+       rebuild_one d
+     done
+   else begin
+     (* each worker owns a contiguous slice of descriptors; the global
+        free and partial lists are lock-free, so pushes may interleave *)
+     let chunk = (used_sbs + domains - 1) / domains in
+     let workers =
+       List.init domains (fun w ->
+           Domain.spawn (fun () ->
+               for d = w * chunk to min (((w + 1) * chunk) - 1) (used_sbs - 1)
+               do
+                 rebuild_one d
+               done))
+     in
+     List.iter Domain.join workers
+   end);
+  let reclaimed = Atomic.get reclaimed and partials = Atomic.get partials in
+  (* Step 10: flush the three regions and fence. *)
+  if t.persist then begin
+    Pmem.flush_all t.meta;
+    Pmem.flush_all t.desc;
+    Pmem.flush_all t.sb;
+    Pmem.fence t.meta
+  end;
+  let t_end = Unix.gettimeofday () in
+  {
+    reachable_blocks = !reachable;
+    reclaimed_superblocks = reclaimed;
+    partial_superblocks = partials;
+    trace_seconds = t_trace -. t_start;
+    rebuild_seconds = t_end -. t_trace;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Debug = struct
+  type class_report = {
+    size_class : int;
+    block_size : int;
+    superblocks : int;
+    full : int;
+    partial : int;
+    free_blocks : int;
+    allocated_blocks : int;
+  }
+
+  type report = {
+    provisioned_superblocks : int;
+    empty_superblocks : int;
+    large_superblocks : int;
+    total_allocated_blocks : int;
+    total_free_blocks : int;
+    classes : class_report list;
+    dirty : bool;
+  }
+
+  (* Walk every provisioned descriptor.  Quiescent use only: a concurrent
+     mutator makes the numbers approximate (never unsafe). *)
+  let report t =
+    check_open t;
+    let used = used_bytes t in
+    let used_sbs = (used - Layout.sb_first_offset) / Layout.superblock_bytes in
+    let per_class =
+      Array.init (Size_class.count + 1) (fun c ->
+          {
+            size_class = c;
+            block_size = (if Size_class.is_valid_class c then Size_class.block_size c else 0);
+            superblocks = 0;
+            full = 0;
+            partial = 0;
+            free_blocks = 0;
+            allocated_blocks = 0;
+          })
+    in
+    let empty = ref 0 and large = ref 0 in
+    let d = ref 0 in
+    while !d < used_sbs do
+      let a = anchor_load t !d in
+      let c = dload t !d Layout.d_class in
+      (match a.state with
+      | Empty ->
+        incr empty;
+        incr d
+      | Partial | Full ->
+        if c = 0 then begin
+          let k = max 1 (dload t !d Layout.d_bsize / Layout.superblock_bytes) in
+          large := !large + k;
+          d := !d + k
+        end
+        else if Size_class.is_valid_class c then begin
+          let r = per_class.(c) in
+          let max_count = Size_class.blocks_per_superblock c in
+          per_class.(c) <-
+            {
+              r with
+              superblocks = r.superblocks + 1;
+              full = (r.full + if a.state = Full then 1 else 0);
+              partial = (r.partial + if a.state = Partial then 1 else 0);
+              free_blocks = r.free_blocks + a.count;
+              allocated_blocks = r.allocated_blocks + (max_count - a.count);
+            };
+          incr d
+        end
+        else incr d);
+      ()
+    done;
+    let classes =
+      Array.to_list per_class
+      |> List.filter (fun r -> r.superblocks > 0)
+    in
+    {
+      provisioned_superblocks = used_sbs;
+      empty_superblocks = !empty;
+      large_superblocks = !large;
+      total_allocated_blocks =
+        List.fold_left (fun acc r -> acc + r.allocated_blocks) 0 classes;
+      total_free_blocks =
+        List.fold_left (fun acc r -> acc + r.free_blocks) 0 classes;
+      classes;
+      dirty = is_dirty t;
+    }
+
+  let pp_report ppf r =
+    Format.fprintf ppf
+      "heap: %d superblocks provisioned (%d empty, %d in large blocks),        dirty=%b@
+%d blocks allocated, %d free on superblock lists@
+"
+      r.provisioned_superblocks r.empty_superblocks r.large_superblocks
+      r.dirty r.total_allocated_blocks r.total_free_blocks;
+    List.iter
+      (fun c ->
+        Format.fprintf ppf
+          "  class %2d (%5d B): %3d sbs (%d full, %d partial)  alloc=%d            free=%d@
+"
+          c.size_class c.block_size c.superblocks c.full c.partial
+          c.allocated_blocks c.free_blocks)
+      r.classes
+end
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let stats t =
+  let a = Pmem.Stats.read t.meta
+  and b = Pmem.Stats.read t.desc
+  and c = Pmem.Stats.read t.sb in
+  {
+    Pmem.Stats.flushes = a.flushes + b.flushes + c.flushes;
+    fences = a.fences + b.fences + c.fences;
+    cas_ops = a.cas_ops + b.cas_ops + c.cas_ops;
+    evictions = a.evictions + b.evictions + c.evictions;
+  }
+
+let reset_stats t =
+  Pmem.Stats.reset t.meta;
+  Pmem.Stats.reset t.desc;
+  Pmem.Stats.reset t.sb

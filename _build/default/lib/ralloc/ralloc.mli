@@ -1,0 +1,277 @@
+(** Ralloc: a nonblocking {e recoverable} allocator for persistent memory.
+
+    OCaml reproduction of Cai, Wen, Beadle, Kjellqvist, Hedayati & Scott,
+    "Understanding and Optimizing Persistent Memory Allocation" (U. Rochester
+    TR #1008 / PPoPP'20 BA).  Built on the simulated NVM of {!Pmem}.
+
+    A heap lives in three persistent regions (superblocks, descriptors,
+    metadata — see {!Layout}) and is managed with lock-free operations
+    inherited from LRMalloc: per-domain caches serve most requests without
+    synchronization; slow paths use CAS on packed {!Anchor}s and counted
+    Treiber lists.  Persistence costs almost nothing online: only the
+    per-superblock size class/block size, region watermark, roots and dirty
+    flag are flushed.  After a crash, {!recover} runs a tracing GC from the
+    persistent roots and reconstructs all other metadata, so that {e all and
+    only} the reachable blocks are allocated — the paper's
+    {b recoverability} criterion.
+
+    Application data must be position independent: store pointers with
+    {!write_ptr} (off-holders; see {!Pptr}) and register every structure's
+    entry point as a persistent root. *)
+
+type t
+(** A transient handle on an open heap.  Handles are invalidated by
+    {!close} and {!crash_and_reopen}. *)
+
+type status =
+  | Fresh  (** no heap existed; a new one was created *)
+  | Clean_restart  (** heap existed and was cleanly closed *)
+  | Dirty_restart  (** heap existed and was {b not} cleanly closed:
+                       call {!get_root} for each root, then {!recover} *)
+
+(** {1 Lifecycle (paper Fig. 1)} *)
+
+val create :
+  ?name:string ->
+  ?persist:bool ->
+  ?sb_base:int ->
+  ?expansion_sbs:int ->
+  ?heap_id:int ->
+  ?tcache:bool ->
+  size:int ->
+  unit ->
+  t
+(** [create ~size ()] makes a fresh in-memory heap whose superblock region
+    is [size] bytes (rounded up to whole 64 KB superblocks; one superblock
+    is reserved for the region header).
+
+    [persist] (default [true]): when [false] the allocator issues no
+    flushes or fences — this is exactly the paper's LRMalloc baseline
+    ("Ralloc without flush and fence").
+
+    [sb_base]: virtual base address for the superblock region; defaults to
+    a fresh address, different on every open, which exercises position
+    independence.
+
+    [expansion_sbs]: superblocks added to the free list per region
+    expansion (the paper grows by 1 GB; default 16 here).
+
+    [heap_id]: the persistent 12-bit identity used by RIV cross-heap
+    pointers; defaults to a best-effort unique value — assign explicitly
+    when heaps reference each other across program runs.
+
+    [tcache] (default [true]): with [false], every operation synchronizes
+    on the superblock anchor — one-block-at-a-time CAS allocation, the
+    profile of Michael's 2004 allocator that LRMalloc's thread caching
+    improved on (paper §3).  Exposed for the [abl_tcache] ablation. *)
+
+val init :
+  ?persist:bool ->
+  ?sb_base:int ->
+  ?expansion_sbs:int ->
+  path:string ->
+  size:int ->
+  unit ->
+  t * status
+(** [init ~path ~size ()] creates or re-opens the heap backed by files at
+    [path] (the DAX-file equivalent).  On [Dirty_restart] the caller must
+    re-register filters with {!get_root} and then call {!recover} before
+    allocating. *)
+
+val close : t -> unit
+(** Graceful shutdown: returns the calling domain's cached blocks to their
+    superblocks, writes the whole heap back to NVM, clears the dirty flag,
+    and (if file-backed) saves the image.  The handle becomes invalid. *)
+
+val name : t -> string
+val is_dirty : t -> bool
+val capacity_bytes : t -> int
+val persist_enabled : t -> bool
+
+(** {1 Allocation} *)
+
+val malloc : t -> int -> int
+(** [malloc t size] allocates [size] bytes and returns the block's virtual
+    address, or 0 if the heap is exhausted.  Sizes up to 14336 B are served
+    from size-classed superblocks via the per-domain cache; larger sizes
+    get whole superblocks.  Lock-free; no flushes except when a superblock
+    is (re)provisioned. *)
+
+val free : t -> int -> unit
+(** Return a block to the allocator.  Lock-free; flush-free. *)
+
+val usable_size : t -> int -> int
+(** Actual capacity of the block at the given address. *)
+
+val flush_thread_cache : t -> unit
+(** Return the calling domain's cached blocks to their superblocks.  Worker
+    domains should call this before terminating (the moral equivalent of a
+    thread-exit hook); blocks cached by domains that die without it are
+    recovered by the next {!recover}. *)
+
+(** {1 Persistent roots and filter functions (paper §4.1, §4.5.1)} *)
+
+type gc = { visit : ?filter:filter -> int -> unit }
+(** The tracing context passed to filter functions: [gc.visit va] declares
+    that the block at [va] is reachable; the optional [filter] is the
+    filter function for {e that} block's type. *)
+
+and filter = gc -> int -> unit
+(** A filter function enumerates the pointers inside a block of its type by
+    calling [gc.visit] on each — the paper's [filter<T>].  Blocks without a
+    filter are scanned conservatively: every word carrying the off-holder
+    tag is treated as a pointer. *)
+
+val max_roots : int
+
+val set_root : t -> int -> int -> unit
+(** [set_root t i va] durably records [va] as persistent root [i]
+    (0 clears it).  Roots are stored as region-based position-independent
+    pointers and persisted immediately. *)
+
+val get_root : ?filter:filter -> t -> int -> int
+(** [get_root t i] returns root [i] (0 if unset) and — as a side effect,
+    like the paper's [getRoot<T>] — associates [filter] with that root for
+    the next {!recover}.  After a [Dirty_restart], call this for every
+    root {e before} {!recover}. *)
+
+(** {1 Recovery (paper §4.5)} *)
+
+type recovery_stats = {
+  reachable_blocks : int;  (** blocks found live by the trace *)
+  reclaimed_superblocks : int;  (** superblocks returned to the free list *)
+  partial_superblocks : int;  (** superblocks left partially allocated *)
+  trace_seconds : float;  (** time in the tracing phase (GC proper) *)
+  rebuild_seconds : float;  (** time reconstructing metadata *)
+}
+
+val recover : ?domains:int -> t -> recovery_stats
+(** Offline GC + metadata reconstruction: traces all blocks reachable from
+    the persistent roots (using registered filters, conservatively
+    otherwise), then rebuilds every anchor, free list and partial list so
+    that all and only the traced blocks are allocated.  Safe to run on a
+    clean heap too (it will simply rediscover the same state); also safe on
+    a {e live} quiescent heap whose surviving domains have all called
+    {!flush_thread_cache} — the stop-the-world collection for partial
+    (single-process) crashes of paper §4.5.2.
+
+    [domains > 1] parallelizes the reconstruction phase across that many
+    domains, each rebuilding a slice of the superblocks (the paper's §6.4
+    future work; the trace remains sequential). *)
+
+(** {1 Failure injection} *)
+
+val crash_and_reopen : ?sb_base:int -> t -> t * status
+(** Simulate a full-system crash and remap: all unflushed (un-evicted)
+    data is lost, all transient state (thread caches, registered filters)
+    vanishes, and the heap is re-opened — by default at a different
+    virtual base, which any position-dependent data will not survive.
+    The old handle is invalid afterwards. *)
+
+val set_eviction_rate : t -> float -> unit
+(** Make the simulated cache write dirty lines back spontaneously with the
+    given per-store probability (see {!Pmem.set_eviction_rate}). *)
+
+(** {1 Cross-heap (RIV) pointers — paper §4.6 near-term plan}
+
+    Off-holders cannot leave their heap; RIV words carry a persistent heap
+    id plus an offset, resolved through a transient registry of currently
+    mapped heaps.  Cross-heap edges are invisible to each heap's GC, so a
+    block referenced from another heap must also be rooted in its own. *)
+
+val heap_id : t -> int
+(** This heap's persistent identity (12 bits). *)
+
+val write_riv : t -> at:int -> target_heap:t -> target:int -> unit
+(** Store at [at] (in heap [t]) a cross-heap pointer to [target] in
+    [target_heap].  [target = 0] stores null. *)
+
+val read_riv : t -> int -> (t * int) option
+(** Resolve the RIV word at [va]: the target heap (which must currently
+    be open in this process) and the target's virtual address.  [None]
+    for null, non-RIV words, or unmapped heaps. *)
+
+(** {1 Memory access (application data, superblock region)} *)
+
+val load : t -> int -> int
+(** [load t va] atomically reads the word at 8-aligned virtual address
+    [va] inside an allocated block. *)
+
+val store : t -> int -> int -> unit
+val cas : t -> int -> expected:int -> desired:int -> bool
+
+val fetch_add : t -> int -> int -> int
+(** Atomically add to the word at [va], returning the previous value. *)
+
+val flush : t -> int -> unit
+(** Write the cache line holding [va] back to NVM (no-op when the heap was
+    opened with [persist:false]). *)
+
+val fence : t -> unit
+
+val read_ptr : t -> int -> int
+(** [read_ptr t va] loads the word at [va] and decodes it as an off-holder,
+    returning the target virtual address (0 for null). *)
+
+val write_ptr : t -> at:int -> target:int -> unit
+(** [write_ptr t ~at ~target] stores the off-holder encoding of [target]
+    at [va = at]. *)
+
+val load_byte : t -> int -> int
+val store_byte : t -> int -> int -> unit
+val store_string : t -> int -> string -> unit
+val load_string : t -> int -> int -> string
+val flush_block_range : t -> int -> int -> unit
+(** [flush_block_range t va len] flushes the lines covering [len] bytes at [va]. *)
+
+val sb_base : t -> int
+(** Current virtual base of the superblock region (changes across
+    re-openings — do not store it in persistent memory). *)
+
+val valid_block : t -> int -> bool
+(** True iff [va] is the start of a currently plausible block — used by
+    tests and the conservative scanner. *)
+
+(** {1 Statistics} *)
+
+val stats : t -> Pmem.Stats.snapshot
+(** Aggregated persistence-operation counts over the heap's three regions. *)
+
+val reset_stats : t -> unit
+
+(** {1 Introspection} *)
+
+(** Offline heap inspection: per-class superblock utilization and
+    allocated/free block counts, derived by walking the descriptors.
+    Quiescent use (tests, the [rheap] fsck tool, capacity planning). *)
+module Debug : sig
+  type class_report = {
+    size_class : int;
+    block_size : int;
+    superblocks : int;
+    full : int;
+    partial : int;
+    free_blocks : int;
+    allocated_blocks : int;  (** includes blocks sitting in thread caches *)
+  }
+
+  type report = {
+    provisioned_superblocks : int;
+    empty_superblocks : int;
+    large_superblocks : int;
+    total_allocated_blocks : int;
+    total_free_blocks : int;
+    classes : class_report list;  (** only classes with superblocks *)
+    dirty : bool;
+  }
+
+  val report : t -> report
+  val pp_report : Format.formatter -> report -> unit
+end
+
+(** {1 Internal modules (exposed for tests and benchmarks)} *)
+
+module Size_class : module type of Size_class
+module Anchor : module type of Anchor
+module Layout : module type of Layout
+module Tcache : module type of Tcache

@@ -1,0 +1,39 @@
+let superblock_bytes = 65536
+
+(* 8..64 by 8, then four evenly spaced classes per power-of-two range up to
+   8 KB, then 10 K / 12 K / 14 K: 8 + 7*4 + 3 = 39 classes. *)
+let sizes =
+  let small = List.init 8 (fun i -> 8 * (i + 1)) in
+  let mid =
+    List.concat_map
+      (fun shift ->
+        let step = 1 lsl shift in
+        List.init 4 (fun i -> (4 + i + 1) * step))
+      [ 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  let big = [ 10240; 12288; 14336 ] in
+  Array.of_list (small @ mid @ big)
+
+let count = Array.length sizes
+let max_small_size = sizes.(count - 1)
+
+let block_size c =
+  if c < 1 || c > count then invalid_arg "Size_class.block_size";
+  sizes.(c - 1)
+
+(* class lookup table indexed by ceil(size / 8) *)
+let table =
+  let t = Array.make ((max_small_size / 8) + 1) 0 in
+  let c = ref 1 in
+  for i = 1 to max_small_size / 8 do
+    if i * 8 > sizes.(!c - 1) then incr c;
+    t.(i) <- !c
+  done;
+  t
+
+let of_size n =
+  if n < 0 || n > max_small_size then invalid_arg "Size_class.of_size";
+  if n = 0 then 1 else table.((n + 7) / 8)
+
+let blocks_per_superblock c = superblock_bytes / block_size c
+let is_valid_class c = c >= 1 && c <= count

@@ -1,0 +1,28 @@
+(** Allocation size classes (LRMalloc heritage, paper §4.2).
+
+    39 classes cover small blocks of 8 B .. 14 KB; class 0 is reserved for
+    large allocations served directly from whole superblocks.  Within each
+    power-of-two range the classes are spaced so that internal
+    fragmentation is bounded by ~25%. *)
+
+val count : int
+(** Number of small classes (39).  Valid small class indices are
+    [1 .. count]. *)
+
+val max_small_size : int
+(** Largest size (bytes) served by a small class (14336). *)
+
+val block_size : int -> int
+(** [block_size c] is the block size in bytes of class [c], for
+    [1 <= c <= count]. *)
+
+val of_size : int -> int
+(** [of_size n] is the smallest class whose block size is [>= n], for
+    [1 <= n <= max_small_size].  [of_size 0] is [of_size 1].
+    @raise Invalid_argument for sizes beyond {!max_small_size}. *)
+
+val blocks_per_superblock : int -> int
+(** Number of blocks that tile a 64 KB superblock of class [c]. *)
+
+val is_valid_class : int -> bool
+(** True for [1 .. count]. *)

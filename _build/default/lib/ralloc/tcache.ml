@@ -1,0 +1,27 @@
+type t = { blocks : int array; mutable count : int }
+type set = t array
+
+(* A cache holds at most one superblock's worth of blocks, as in LRMalloc:
+   a refill moves a whole superblock's free list in, an over-full free
+   flushes the whole cache out. *)
+let create_set () =
+  Array.init
+    (Size_class.count + 1)
+    (fun c ->
+      if c = 0 then { blocks = [||]; count = 0 }
+      else
+        { blocks = Array.make (Size_class.blocks_per_superblock c) 0; count = 0 })
+
+let capacity t = Array.length t.blocks
+let is_empty t = t.count = 0
+let is_full t = t.count = Array.length t.blocks
+
+let push t va =
+  if is_full t then invalid_arg "Tcache.push: full";
+  t.blocks.(t.count) <- va;
+  t.count <- t.count + 1
+
+let pop t =
+  if t.count = 0 then invalid_arg "Tcache.pop: empty";
+  t.count <- t.count - 1;
+  t.blocks.(t.count)

@@ -1,0 +1,23 @@
+(** Transient per-domain caches of free blocks (paper §4.2, §4.4).
+
+    One stack of block addresses per size class per domain.  Allocations
+    and deallocations are served from these caches without synchronization
+    most of the time.  The caches live only in OCaml (transient) memory; in
+    the event of a crash their contents are recovered by the offline GC. *)
+
+type t = { blocks : int array; mutable count : int }
+
+type set = t array
+(** Indexed by size class; index 0 is an empty placeholder. *)
+
+val create_set : unit -> set
+
+val capacity : t -> int
+val is_empty : t -> bool
+val is_full : t -> bool
+
+val push : t -> int -> unit
+(** @raise Invalid_argument if full. *)
+
+val pop : t -> int
+(** @raise Invalid_argument if empty. *)

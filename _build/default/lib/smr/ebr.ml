@@ -1,0 +1,139 @@
+(* Classic three-bucket epoch-based reclamation (Fraser 2004).
+
+   Global state: an epoch counter and one announcement word per
+   participating domain packing (local epoch << 1) | pinned.  A domain's
+   limbo lists are single-owner; entries retired during epoch e become
+   freeable once the global epoch reaches e+2, because every domain pinned
+   since then has observed an epoch >= e+1 and so cannot hold a reference
+   obtained before the retire.
+
+   Everything here is transient on purpose: a crash strands limbo entries,
+   and the post-crash trace (which does not see them from any root) simply
+   reclaims them — the paper's division of labour. *)
+
+let max_domains = 64
+
+type slot = { announce : int Atomic.t }
+
+type local = {
+  slot : int; (* index into announcements *)
+  mutable pin_depth : int;
+  buckets : int list array; (* 3 limbo buckets, by epoch mod 3 *)
+  bucket_epoch : int array; (* which epoch each bucket's entries belong to *)
+  mutable pending_count : int;
+  mutable retires_since_scan : int;
+}
+
+type t = {
+  heap : Ralloc.t;
+  global_epoch : int Atomic.t;
+  slots : slot array;
+  next_slot : int Atomic.t;
+  dls : local Domain.DLS.key;
+}
+
+let idle = -1 (* announcement value when not pinned *)
+let scan_threshold = 64
+
+let create heap =
+  let slots = Array.init max_domains (fun _ -> { announce = Atomic.make idle }) in
+  let next_slot = Atomic.make 0 in
+  let dls =
+    Domain.DLS.new_key (fun () ->
+        let slot = Atomic.fetch_and_add next_slot 1 in
+        if slot >= max_domains then
+          failwith "Ebr: too many participating domains";
+        {
+          slot;
+          pin_depth = 0;
+          buckets = Array.make 3 [];
+          bucket_epoch = [| 0; 0; 0 |];
+          pending_count = 0;
+          retires_since_scan = 0;
+        })
+  in
+  { heap; global_epoch = Atomic.make 0; slots; next_slot; dls }
+
+let local t = Domain.DLS.get t.dls
+let epoch t = Atomic.get t.global_epoch
+
+let pin t =
+  let l = local t in
+  if l.pin_depth = 0 then begin
+    (* publish the freshest epoch; re-read to close the race where the
+       epoch advances between the read and the announcement *)
+    let rec publish () =
+      let e = Atomic.get t.global_epoch in
+      Atomic.set t.slots.(l.slot).announce e;
+      if Atomic.get t.global_epoch <> e then publish ()
+    in
+    publish ()
+  end;
+  l.pin_depth <- l.pin_depth + 1
+
+let unpin t =
+  let l = local t in
+  l.pin_depth <- l.pin_depth - 1;
+  if l.pin_depth = 0 then Atomic.set t.slots.(l.slot).announce idle
+
+let protect t f =
+  pin t;
+  Fun.protect ~finally:(fun () -> unpin t) f
+
+(* Try to move the global epoch forward: possible iff every pinned domain
+   has announced the current epoch. *)
+let try_advance t =
+  let e = Atomic.get t.global_epoch in
+  let all_caught_up =
+    Array.for_all
+      (fun s ->
+        let a = Atomic.get s.announce in
+        a = idle || a >= e)
+      t.slots
+  in
+  if all_caught_up then ignore (Atomic.compare_and_set t.global_epoch e (e + 1))
+
+(* Free every bucket whose epoch is at least two behind the global one. *)
+let reclaim t l =
+  let e = Atomic.get t.global_epoch in
+  for b = 0 to 2 do
+    if l.bucket_epoch.(b) <= e - 2 && l.buckets.(b) <> [] then begin
+      List.iter
+        (fun va ->
+          Ralloc.free t.heap va;
+          l.pending_count <- l.pending_count - 1)
+        l.buckets.(b);
+      l.buckets.(b) <- []
+    end
+  done
+
+let retire t va =
+  let l = local t in
+  let e = Atomic.get t.global_epoch in
+  let b = e mod 3 in
+  if l.bucket_epoch.(b) <> e then begin
+    (* this bucket belongs to epoch e-3: three epochs old, always safe *)
+    List.iter (Ralloc.free t.heap) l.buckets.(b);
+    l.pending_count <- l.pending_count - List.length l.buckets.(b);
+    l.buckets.(b) <- [];
+    l.bucket_epoch.(b) <- e
+  end;
+  l.buckets.(b) <- va :: l.buckets.(b);
+  l.pending_count <- l.pending_count + 1;
+  l.retires_since_scan <- l.retires_since_scan + 1;
+  if l.retires_since_scan >= scan_threshold then begin
+    l.retires_since_scan <- 0;
+    try_advance t;
+    reclaim t l
+  end
+
+let flush t =
+  let l = local t in
+  (* three advances guarantee every current bucket becomes reclaimable,
+     provided no other domain is pinned indefinitely *)
+  for _ = 1 to 3 do
+    try_advance t;
+    reclaim t l
+  done
+
+let pending t = (local t).pending_count

@@ -1,0 +1,48 @@
+(** Epoch-based safe memory reclamation for lock-free persistent
+    structures.
+
+    The paper layers SMR {e above} the allocator: "safe memory
+    reclamation, if any, is layered on top of free: the Ralloc operation
+    is invoked not at retirement, but at eventual reclamation" (§5), and
+    relies on recovery GC to make the limbo lists crash-oblivious — they
+    live purely in transient memory, are never flushed, and any block
+    stranded in one by a crash is collected by the next {!Ralloc.recover}
+    (§3).  This module is that layer.
+
+    Protocol: a domain wraps every operation that may dereference shared
+    nodes in {!protect} (or a {!pin}/{!unpin} pair), and passes freed-but-
+    possibly-still-visible blocks to {!retire} instead of
+    {!Ralloc.free}.  A retired block is actually freed only after every
+    domain has passed through at least one epoch boundary, so no protected
+    reader can still hold a reference. *)
+
+type t
+(** A reclamation domain bound to one heap.  Supports up to 64
+    participating OCaml domains. *)
+
+val create : Ralloc.t -> t
+
+val pin : t -> unit
+(** Enter a protected (read-side) section.  Nestable. *)
+
+val unpin : t -> unit
+
+val protect : t -> (unit -> 'a) -> 'a
+(** [protect t f] = pin; f (); unpin — exception safe. *)
+
+val retire : t -> int -> unit
+(** Defer [Ralloc.free] of the block until it is provably unreachable by
+    protected sections.  Never blocks; reclamation is amortized into
+    later calls. *)
+
+val flush : t -> unit
+(** Drive epochs forward and free everything currently reclaimable from
+    the calling domain's limbo lists.  Call from a quiescent point (e.g.
+    before a domain exits); anything still deferred simply waits for the
+    next crash's GC, exactly as the paper intends. *)
+
+val pending : t -> int
+(** Blocks in the calling domain's limbo lists (diagnostics). *)
+
+val epoch : t -> int
+(** Current global epoch (diagnostics, tests). *)

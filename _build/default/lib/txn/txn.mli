@@ -1,0 +1,88 @@
+(** Failure-atomic sections over a Ralloc heap: a redo-log transaction
+    layer in the style the paper's §2.2 surveys (PMDK, Mnemosyne — "a
+    transactional interface solely for failure atomicity, not for
+    synchronization among concurrently active threads").
+
+    A transaction buffers its stores; {!run} writes them to a persistent
+    redo log, durably marks the log committed, applies the stores, and
+    retires the log.  A crash before the commit record leaves memory
+    untouched; a crash after it is finished by replay on {!attach}.  So
+    every {!run} appears, after any sequence of crashes, to have happened
+    entirely or not at all.
+
+    Allocation composes with the allocator's recoverability story rather
+    than with the log: blocks {!malloc}ed in a transaction that never
+    commits are unreachable and the next post-crash GC collects them;
+    {!free}s are deferred until after commit.  This is precisely the
+    division of labour the paper advocates (§1, §3) — no allocator
+    metadata ever needs logging.
+
+    Concurrency: transactions provide {e failure atomicity only}.
+    Concurrent transactions writing the same words race exactly as plain
+    stores would; synchronize with locks or design for disjoint access.
+    Each in-flight transaction occupies one of the manager's log slots. *)
+
+type t
+(** A transaction manager bound to one heap; holds [slots] persistent
+    redo logs, registered at a persistent root. *)
+
+type ctx
+(** An open transaction. *)
+
+exception Abort
+(** Raise (or call {!abort}) inside {!run} to roll back: buffered stores
+    are discarded and the transaction's allocations are freed. *)
+
+exception Log_overflow
+(** The write set exceeded [log_capacity]. *)
+
+val create : ?slots:int -> ?log_capacity:int -> Ralloc.t -> root:int -> t
+(** Fresh manager with [slots] logs (default 8) of [log_capacity] word
+    stores each (default 1024), rooted at [root]. *)
+
+val attach : Ralloc.t -> root:int -> t
+(** Re-attach after a restart and {b replay} any log that committed but
+    did not finish applying.  Call after {!Ralloc.recover} on a dirty
+    heap (the logs are reachable from the root, so the GC preserves
+    them); registers its own filter function via [get_root], so call
+    [attach] {e before} [recover], like every other structure. *)
+
+val run : t -> (ctx -> 'a) -> 'a
+(** Execute a failure-atomic section.  On normal return the section's
+    stores are durably applied; on {!Abort} (or any exception) nothing is
+    applied, the transaction's allocations are released, and the
+    exception is re-raised. *)
+
+val abort : unit -> 'a
+
+(** {1 Operations inside a transaction} *)
+
+val store : ctx -> int -> int -> unit
+(** Buffered word store; becomes visible and durable at commit. *)
+
+val load : ctx -> int -> int
+(** Reads through the write set: a transaction sees its own stores. *)
+
+val store_ptr : ctx -> at:int -> target:int -> unit
+(** {!store} of a position-independent off-holder. *)
+
+val load_ptr : ctx -> int -> int
+
+val malloc : ctx -> int -> int
+(** Allocate within the transaction: kept on commit, freed on abort,
+    collected by the post-crash GC if neither happens.  Returns 0 when
+    the heap is exhausted. *)
+
+val free : ctx -> int -> unit
+(** Deferred to just after commit (a crash can only leak, never dangle). *)
+
+(** {1 Introspection & testing} *)
+
+val slots_in_use : t -> int
+
+module Private : sig
+  val commit_record_only : t -> (ctx -> unit) -> unit
+  (** Run the section and persist its commit record {b without applying
+      the stores} — simulating a crash at the worst moment.  Only tests
+      use this; a following {!attach} must complete the transaction. *)
+end

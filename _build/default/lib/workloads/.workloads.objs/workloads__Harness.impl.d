@@ -1,0 +1,1 @@
+lib/workloads/harness.ml: Atomic Domain Format List Printf Unix

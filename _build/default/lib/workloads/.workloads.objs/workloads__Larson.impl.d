@@ -1,0 +1,1 @@
+lib/workloads/larson.ml: Alloc_iface Array Atomic Harness Unix

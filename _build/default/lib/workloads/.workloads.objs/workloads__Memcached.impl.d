@@ -1,0 +1,1 @@
+lib/workloads/memcached.ml: Alloc_iface Char Dstruct Harness String Ycsb

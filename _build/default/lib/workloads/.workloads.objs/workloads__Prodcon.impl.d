@@ -1,0 +1,1 @@
+lib/workloads/prodcon.ml: Alloc_iface Array Domain Dstruct Harness

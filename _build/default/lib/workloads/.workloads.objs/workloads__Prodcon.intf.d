@@ -1,0 +1,1 @@
+lib/workloads/prodcon.mli: Alloc_iface

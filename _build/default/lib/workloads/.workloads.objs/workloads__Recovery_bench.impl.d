@@ -1,0 +1,1 @@
+lib/workloads/recovery_bench.ml: Dstruct Harness Ralloc

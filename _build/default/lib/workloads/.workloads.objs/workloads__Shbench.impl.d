@@ -1,0 +1,1 @@
+lib/workloads/shbench.ml: Alloc_iface Array Harness

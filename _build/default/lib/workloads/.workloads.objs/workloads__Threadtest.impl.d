@@ -1,0 +1,1 @@
+lib/workloads/threadtest.ml: Alloc_iface Array Harness

@@ -1,0 +1,1 @@
+lib/workloads/vacation.ml: Alloc_iface Array Dstruct Harness Mutex

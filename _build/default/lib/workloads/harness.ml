@@ -1,0 +1,73 @@
+(* Multi-domain benchmark harness: spawn [threads] domains, release them
+   through a sense barrier, and time the parallel section. *)
+
+type barrier = { arrived : int Atomic.t; release : bool Atomic.t; parties : int }
+
+let make_barrier parties =
+  { arrived = Atomic.make 0; release = Atomic.make false; parties }
+
+let await b =
+  if Atomic.fetch_and_add b.arrived 1 = b.parties - 1 then
+    Atomic.set b.release true
+  else while not (Atomic.get b.release) do Domain.cpu_relax () done
+
+(* Run [body tid] on [threads] domains; returns elapsed wall-clock seconds
+   of the parallel section (start barrier to last join). *)
+let time_parallel ~threads body =
+  let b = make_barrier (threads + 1) in
+  let domains =
+    List.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            await b;
+            body tid))
+  in
+  let t0 = Unix.gettimeofday () in
+  await b;
+  List.iter Domain.join domains;
+  Unix.gettimeofday () -. t0
+
+(* A deterministic per-thread xorshift PRNG (Random.State is heavier and
+   we want reproducible, allocation-free randomness in hot loops). *)
+module Rng = struct
+  type t = { mutable s : int }
+
+  let make seed = { s = (seed * 2654435761) lor 1 }
+
+  let next t =
+    let x = t.s in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    t.s <- x;
+    x land max_int
+
+  let below t n = next t mod n
+end
+
+(* One row of a figure: one allocator at one thread count. *)
+type row = {
+  figure : string;
+  allocator : string;
+  threads : int;
+  metric : string; (* "seconds" | "Mops/s" | "Kops/s" *)
+  value : float;
+  flushes : int;
+  fences : int;
+}
+
+let pp_row ppf r =
+  Format.fprintf ppf "%-12s %-10s %2d  %12.4f %-8s flushes=%-9d fences=%d"
+    r.figure r.allocator r.threads r.value r.metric r.flushes r.fences
+
+let print_header figure title =
+  Printf.printf "\n== %s: %s ==\n%-12s %-10s %2s  %12s %-8s\n" figure title
+    "figure" "allocator" "t" "value" "metric"
+
+let print_row r =
+  Format.printf "%a@." pp_row r
+
+let csv_header = "figure,allocator,threads,value,metric,flushes,fences"
+
+let row_to_csv r =
+  Printf.sprintf "%s,%s,%d,%f,%s,%d,%d" r.figure r.allocator r.threads r.value
+    r.metric r.flushes r.fences

@@ -1,0 +1,37 @@
+(** Multi-domain benchmark harness: barrier-released parallel sections,
+    a fast deterministic per-thread PRNG, and the result-row format shared
+    by every figure. *)
+
+val time_parallel : threads:int -> (int -> unit) -> float
+(** [time_parallel ~threads body] spawns [threads] domains, releases them
+    simultaneously through a barrier, runs [body tid] on each, and returns
+    the wall-clock seconds from release to the last join. *)
+
+(** Deterministic xorshift PRNG; cheaper than [Random.State] and
+    reproducible across runs. *)
+module Rng : sig
+  type t
+
+  val make : int -> t
+  val next : t -> int
+  (** Non-negative. *)
+
+  val below : t -> int -> int
+  (** Uniform-ish in [0, n). *)
+end
+
+type row = {
+  figure : string;
+  allocator : string;
+  threads : int;
+  metric : string;
+  value : float;
+  flushes : int;
+  fences : int;
+}
+
+val pp_row : Format.formatter -> row -> unit
+val print_header : string -> string -> unit
+val print_row : row -> unit
+val csv_header : string
+val row_to_csv : row -> string

@@ -1,0 +1,59 @@
+(* Larson (server-allocator benchmark; paper §6.2, Fig. 5c): simulates
+   "bleeding" — objects allocated by one thread are freed by another.
+   All threads share one big slot array and continually replace random
+   slots with freshly allocated objects of random size; a slot is claimed
+   with an atomic exchange, so whoever grabs it frees a block that some
+   other thread probably allocated.  Runs for a fixed duration; the metric
+   is throughput (M ops/s, counting each malloc and each free as an op).
+
+   The paper uses sizes 64-400 B ("small"), and a 64-2048 B variant that
+   exposes Makalu's medium-size collapse (§6.2). *)
+
+type params = {
+  duration : float;
+  slots_per_thread : int;
+  min_size : int;
+  max_size : int;
+}
+
+let default =
+  { duration = 1.0; slots_per_thread = 1000; min_size = 64; max_size = 400 }
+
+let medium = { default with max_size = 2048 }
+
+(* Returns throughput in M ops/s. *)
+let run alloc ~threads p =
+  let nslots = threads * p.slots_per_thread in
+  let slots = Array.init nslots (fun _ -> Atomic.make 0) in
+  let total_ops = Atomic.make 0 in
+  let range = p.max_size - p.min_size + 1 in
+  let elapsed =
+    Harness.time_parallel ~threads (fun tid ->
+        let rng = Harness.Rng.make ((tid * 104729) + 7) in
+        let ops = ref 0 in
+        let deadline = Unix.gettimeofday () +. p.duration in
+        while Unix.gettimeofday () < deadline do
+          for _ = 1 to 512 do
+            let i = Harness.Rng.below rng nslots in
+            let old = Atomic.exchange slots.(i) 0 in
+            if old <> 0 then begin
+              Alloc_iface.free alloc old;
+              incr ops
+            end;
+            let size = p.min_size + Harness.Rng.below rng range in
+            let va = Alloc_iface.malloc alloc size in
+            if va = 0 then failwith "larson: heap exhausted";
+            Alloc_iface.store alloc va size;
+            incr ops;
+            let prev = Atomic.exchange slots.(i) va in
+            if prev <> 0 then begin
+              (* lost a race for the slot: free the displaced block *)
+              Alloc_iface.free alloc prev;
+              incr ops
+            end
+          done
+        done;
+        ignore (Atomic.fetch_and_add total_ops !ops);
+        Alloc_iface.thread_exit alloc)
+  in
+  float_of_int (Atomic.get total_ops) /. elapsed /. 1e6

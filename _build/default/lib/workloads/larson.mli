@@ -1,0 +1,24 @@
+(** Larson (server benchmark; paper §6.2, Fig. 5c): sustained random
+    replacement of objects in a shared slot array, so blocks are routinely
+    freed by a different thread than allocated them ("bleeding").  Runs
+    for a fixed duration.
+
+    The in-text §6.2 variant with sizes 64–2048 B ({!medium}) exposes
+    Makalu's medium-size collapse. *)
+
+type params = {
+  duration : float;  (** seconds of measured work per run *)
+  slots_per_thread : int;
+  min_size : int;
+  max_size : int;
+}
+
+val default : params
+(** Sizes 64–400 B, as in Fig. 5c. *)
+
+val medium : params
+(** Sizes 64–2048 B (the Makalu-collapse experiment). *)
+
+val run : Alloc_iface.instance -> threads:int -> params -> float
+(** Throughput in million operations per second (higher is better); each
+    malloc and each free counts as one operation. *)

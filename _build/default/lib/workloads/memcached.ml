@@ -1,0 +1,43 @@
+(* Memcached-as-a-library driven by YCSB (paper §6.3, Fig. 5f): the
+   key-value store is the bucket-locked hash table of {!Dstruct.Hashmap},
+   called directly (the paper likewise converts memcached into a library
+   to avoid socket overhead).  The load phase stores [records] items; the
+   run phase executes [operations] zipfian-distributed gets/sets per the
+   chosen YCSB workload.  Updates replace the value block, so every update
+   is an allocator free+malloc pair.  Returns throughput in K ops/s. *)
+
+type params = {
+  records : int;
+  operations : int;
+  value_size : int;
+  workload : Ycsb.workload;
+}
+
+let default =
+  { records = 20_000; operations = 40_000; value_size = 100; workload = Ycsb.workload_a }
+
+let key i = "user" ^ string_of_int i
+
+let make_value rng size =
+  String.init size (fun _ -> Char.chr (65 + Harness.Rng.below rng 26))
+
+let run (Alloc_iface.I ((module A), heap)) ~threads p =
+  let module H = Dstruct.Hashmap.Make (A) in
+  let m = H.create heap ~buckets:(2 * p.records) in
+  let load_rng = Harness.Rng.make 97 in
+  for i = 0 to p.records - 1 do
+    ignore (H.set m (key i) (make_value load_rng p.value_size))
+  done;
+  let zipf = Ycsb.make_zipf p.records in
+  let per_thread = max 1 (p.operations / threads) in
+  let elapsed =
+    Harness.time_parallel ~threads (fun tid ->
+        let rng = Harness.Rng.make ((tid * 48271) + 3) in
+        for _ = 1 to per_thread do
+          let k = key (Ycsb.next zipf rng) in
+          if Ycsb.is_read p.workload rng then ignore (H.get m k)
+          else ignore (H.set m k (make_value rng p.value_size))
+        done;
+        A.thread_exit heap)
+  in
+  float_of_int (per_thread * threads) /. elapsed /. 1e3

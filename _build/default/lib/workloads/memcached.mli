@@ -1,0 +1,21 @@
+(** Memcached-as-a-library driven by YCSB (paper §6.3, Fig. 5f): a
+    bucket-locked hash table called directly (the paper likewise converts
+    memcached into a library to bypass sockets).  Updates replace the
+    value block, so each is a free+malloc pair on the allocator under
+    test. *)
+
+type params = {
+  records : int;
+  operations : int;
+  value_size : int;
+  workload : Ycsb.workload;
+}
+
+val default : params
+
+val key : int -> string
+(** The YCSB-style key for record [i]. *)
+
+val run : Alloc_iface.instance -> threads:int -> params -> float
+(** Throughput in K ops/s over the run phase (higher is better); the load
+    phase is not timed. *)

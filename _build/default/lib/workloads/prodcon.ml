@@ -1,0 +1,44 @@
+(* Prod-con (paper §6.2, Fig. 5d; a re-implementation of Makalu's
+   producer-consumer test): t/2 thread pairs, each communicating through a
+   Michael&Scott-style queue.  The producer allocates 64 B objects and
+   enqueues pointers to them; its consumer dequeues and frees them.  Queue
+   nodes themselves also flow producer -> consumer through the allocator
+   under test.  Returns elapsed seconds. *)
+
+type params = { objects_total : int; object_size : int }
+
+let default = { objects_total = 100_000; object_size = 64 }
+let poison = max_int
+
+let run alloc ~threads p =
+  let pairs = max 1 (threads / 2) in
+  let per_pair = p.objects_total / pairs in
+  let queues = Array.init pairs (fun _ -> Dstruct.Msqueue.create alloc) in
+  Harness.time_parallel ~threads:(pairs * 2) (fun tid ->
+      let q = queues.(tid / 2) in
+      if tid land 1 = 0 then begin
+        (* producer *)
+        for i = 1 to per_pair do
+          let obj = Alloc_iface.malloc alloc p.object_size in
+          if obj = 0 then failwith "prodcon: heap exhausted";
+          Alloc_iface.store alloc obj i;
+          while not (Dstruct.Msqueue.enqueue q obj) do
+            Domain.cpu_relax ()
+          done
+        done;
+        while not (Dstruct.Msqueue.enqueue q poison) do
+          Domain.cpu_relax ()
+        done;
+        Alloc_iface.thread_exit alloc
+      end
+      else begin
+        (* consumer *)
+        let stop = ref false in
+        while not !stop do
+          match Dstruct.Msqueue.dequeue q with
+          | Some v when v = poison -> stop := true
+          | Some obj -> Alloc_iface.free alloc obj
+          | None -> Domain.cpu_relax ()
+        done;
+        Alloc_iface.thread_exit alloc
+      end)

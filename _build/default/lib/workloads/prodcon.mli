@@ -1,0 +1,13 @@
+(** Prod-con (paper §6.2, Fig. 5d; re-implementation of Makalu's
+    producer-consumer test): t/2 thread pairs, each sharing a
+    Michael&Scott-style queue.  Producers allocate 64 B objects and
+    enqueue pointers; consumers dequeue and free — every object and every
+    queue node crosses threads through the allocator under test. *)
+
+type params = { objects_total : int; object_size : int }
+
+val default : params
+
+val run : Alloc_iface.instance -> threads:int -> params -> float
+(** Elapsed seconds to move all objects (lower is better).  [threads] is
+    rounded down to whole pairs (min 1 pair). *)

@@ -1,0 +1,103 @@
+(* Recovery-time experiment (paper §6.4, Fig. 6): populate a persistent
+   structure with a given number of reachable blocks, crash without
+   close(), and measure the offline GC + reconstruction time of
+   {!Ralloc.recover}.  Two structures, as in the paper: a Treiber stack
+   (Fig. 6a) and the Natarajan-Mittal BST (Fig. 6b); the tree costs more
+   per node because tracing it has poorer locality.  Optionally uses the
+   structures' filter functions (the paper's filter GC) or falls back to
+   fully conservative tracing — the ablation the filter mechanism exists
+   for. *)
+
+type structure = Stack | Tree | Fat_stack
+
+type result = {
+  reachable : int;
+  trace_seconds : float;
+  rebuild_seconds : float;
+  total_seconds : float;
+}
+
+let structure_name = function
+  | Stack -> "treiber-stack"
+  | Tree -> "nm-tree"
+  | Fat_stack -> "fat-stack"
+
+let heap_bytes_for structure blocks =
+  let per =
+    match structure with
+    | Stack -> 16
+    | Tree -> 80 (* leaf+internal+slack *)
+    | Fat_stack -> 256
+  in
+  max (1 lsl 24) (blocks * per * 2)
+
+(* A linked list of 256 B nodes whose only pointer is word 0 — the shape
+   where filter functions beat conservative scanning hardest, since the
+   conservative collector must inspect all 32 words of every node. *)
+let fat_node_bytes = 256
+
+let build_fat_list heap blocks =
+  let head = ref 0 in
+  for i = 1 to blocks do
+    let node = Ralloc.malloc heap fat_node_bytes in
+    if node = 0 then failwith "recovery_bench: heap exhausted";
+    Ralloc.write_ptr heap ~at:node ~target:!head;
+    for w = 1 to (fat_node_bytes / 8) - 1 do
+      Ralloc.store heap (node + (8 * w)) (i + w)
+    done;
+    Ralloc.flush_block_range heap node fat_node_bytes;
+    head := node
+  done;
+  Ralloc.fence heap;
+  Ralloc.set_root heap 0 !head
+
+let rec fat_filter heap (gc : Ralloc.gc) va =
+  gc.visit ~filter:(fat_filter heap) (Ralloc.read_ptr heap va)
+
+let populate structure heap blocks =
+  match structure with
+  | Fat_stack -> build_fat_list heap blocks
+  | Stack ->
+    let s = Dstruct.Pstack.create heap ~root:0 in
+    for i = 1 to blocks do
+      if not (Dstruct.Pstack.push s i) then
+        failwith "recovery_bench: heap exhausted"
+    done
+  | Tree ->
+    let t = Dstruct.Nmtree.create heap ~root:0 in
+    let rng = Harness.Rng.make 4242 in
+    (* a stack/tree "block" count means reachable blocks, and each tree
+       insert creates two (leaf + internal); sentinels add a constant *)
+    let inserted = ref 0 in
+    while !inserted * 2 < blocks - 6 do
+      let k = Harness.Rng.below rng max_int in
+      if Dstruct.Nmtree.insert t k !inserted then incr inserted
+    done
+
+let reattach structure heap ~use_filter =
+  let filter =
+    match structure with
+    | Stack -> Dstruct.Pstack.filter heap
+    | Tree -> Dstruct.Nmtree.filter heap
+    | Fat_stack -> fat_filter heap
+  in
+  if use_filter then ignore (Ralloc.get_root ~filter heap 0)
+  else ignore (Ralloc.get_root heap 0)
+
+let run ?(use_filter = true) structure ~blocks =
+  let heap =
+    Ralloc.create ~name:"recovery-bench"
+      ~size:(heap_bytes_for structure blocks)
+      ()
+  in
+  populate structure heap blocks;
+  let heap, status = Ralloc.crash_and_reopen heap in
+  assert (status = Ralloc.Dirty_restart);
+  reattach structure heap ~use_filter;
+  let s = Ralloc.recover heap in
+  {
+    reachable = s.reachable_blocks;
+    trace_seconds = s.trace_seconds;
+    rebuild_seconds = s.rebuild_seconds;
+    total_seconds = s.trace_seconds +. s.rebuild_seconds;
+  }

@@ -1,0 +1,26 @@
+(** The recovery-time experiment (paper §6.4, Fig. 6): populate a
+    persistent structure with a target number of reachable blocks, crash
+    without [close()], and measure {!Ralloc.recover}'s offline GC and
+    reconstruction time. *)
+
+type structure =
+  | Stack  (** Treiber stack of 16 B nodes (Fig. 6a) *)
+  | Tree  (** Natarajan–Mittal BST (Fig. 6b; worse tracing locality) *)
+  | Fat_stack
+      (** linked list of 256 B one-pointer nodes — the shape where filter
+          functions beat conservative scanning hardest *)
+
+type result = {
+  reachable : int;  (** blocks the trace actually found *)
+  trace_seconds : float;
+  rebuild_seconds : float;
+  total_seconds : float;
+}
+
+val structure_name : structure -> string
+
+val run : ?use_filter:bool -> structure -> blocks:int -> result
+(** [run structure ~blocks] builds ~[blocks] reachable blocks, crashes,
+    re-attaches (registering the structure's filter function unless
+    [use_filter:false], which forces fully conservative tracing) and
+    recovers. *)

@@ -1,0 +1,37 @@
+(* Shbench (MicroQuill's SmartHeap stress test; paper §6.2, Fig. 5b):
+   threads allocate and free many objects of sizes 64-400 B, smaller
+   sizes being more frequent.  Each thread keeps a window of live objects
+   and replaces a random victim every step, which mixes lifetimes the way
+   the original benchmark does. *)
+
+type params = {
+  iterations : int;
+  window : int;
+  min_size : int;
+  max_size : int;
+}
+
+let default = { iterations = 60_000; window = 512; min_size = 64; max_size = 400 }
+
+(* Size distribution skewed towards small objects: take the min of two
+   uniform draws. *)
+let skewed_size rng ~min_size ~max_size =
+  let range = max_size - min_size + 1 in
+  let a = Harness.Rng.below rng range and b = Harness.Rng.below rng range in
+  min_size + min a b
+
+let run alloc ~threads { iterations; window; min_size; max_size } =
+  Harness.time_parallel ~threads (fun tid ->
+      let rng = Harness.Rng.make ((tid * 7919) + 13) in
+      let slots = Array.make window 0 in
+      for _ = 1 to iterations do
+        let i = Harness.Rng.below rng window in
+        if slots.(i) <> 0 then Alloc_iface.free alloc slots.(i);
+        let size = skewed_size rng ~min_size ~max_size in
+        let va = Alloc_iface.malloc alloc size in
+        if va = 0 then failwith "shbench: heap exhausted";
+        Alloc_iface.store alloc va size;
+        slots.(i) <- va
+      done;
+      Array.iter (fun va -> if va <> 0 then Alloc_iface.free alloc va) slots;
+      Alloc_iface.thread_exit alloc)

@@ -1,0 +1,19 @@
+(** Shbench (MicroQuill SmartHeap stress test; paper §6.2, Fig. 5b):
+    threads continually replace random members of a window of live
+    objects with fresh allocations of skewed-small random size
+    (64–400 B in the paper), mixing object lifetimes. *)
+
+type params = {
+  iterations : int;
+  window : int;  (** live objects kept per thread *)
+  min_size : int;
+  max_size : int;
+}
+
+val default : params
+
+val skewed_size : Harness.Rng.t -> min_size:int -> max_size:int -> int
+(** The benchmark's size distribution (small sizes more frequent). *)
+
+val run : Alloc_iface.instance -> threads:int -> params -> float
+(** Elapsed seconds (lower is better). *)

@@ -1,0 +1,30 @@
+(* Threadtest (Hoard's benchmark; paper §6.2, Fig. 5a): each thread
+   repeatedly allocates a batch of 64 B objects and then frees them all,
+   with no sharing between threads.  The paper runs 10^4 iterations of
+   10^5 objects; we scale both knobs down and keep their product a
+   parameter. *)
+
+type params = { iterations : int; objects_per_iter : int; object_size : int }
+
+let default = { iterations = 50; objects_per_iter = 2000; object_size = 64 }
+
+(* Returns elapsed seconds for the whole run. *)
+let run alloc ~threads { iterations; objects_per_iter; object_size } =
+  Harness.time_parallel ~threads (fun tid ->
+      let slots = Array.make objects_per_iter 0 in
+      for _ = 1 to iterations do
+        for i = 0 to objects_per_iter - 1 do
+          let va = Alloc_iface.malloc alloc object_size in
+          if va = 0 then failwith "threadtest: heap exhausted";
+          (* touch the object, as the original benchmark does *)
+          Alloc_iface.store alloc va tid;
+          slots.(i) <- va
+        done;
+        for i = 0 to objects_per_iter - 1 do
+          Alloc_iface.free alloc slots.(i)
+        done
+      done;
+      Alloc_iface.thread_exit alloc)
+
+let total_ops ~threads { iterations; objects_per_iter; _ } =
+  2 * threads * iterations * objects_per_iter

@@ -1,0 +1,15 @@
+(** Threadtest (introduced with Hoard; paper §6.2, Fig. 5a): every thread
+    repeatedly allocates a batch of fixed-size objects and frees them all,
+    with no inter-thread sharing.  Measures the allocator's private fast
+    path.  The paper runs 10^4 iterations of 10^5 64 B objects; both knobs
+    are parameters here. *)
+
+type params = { iterations : int; objects_per_iter : int; object_size : int }
+
+val default : params
+
+val run : Alloc_iface.instance -> threads:int -> params -> float
+(** Elapsed seconds (lower is better). *)
+
+val total_ops : threads:int -> params -> int
+(** Number of malloc+free operations the run performs. *)

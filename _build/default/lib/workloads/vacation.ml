@@ -1,0 +1,54 @@
+(* Vacation (STAMP; paper §6.3, Fig. 5e): a simulated online travel
+   reservation system whose "database" is a set of red-black trees.  We
+   keep STAMP's shape: four tables (cars, rooms, flights, customers) of
+   [relations] rows each; every transaction performs [queries] operations
+   on random rows in the 90% hot range, mixing lookups with reservation
+   inserts and cancellations (which allocate and free tree nodes through
+   the allocator under test).  Transactions are serialized per table, the
+   role Mnemosyne's STM plays in the original.  Returns elapsed seconds. *)
+
+type params = { relations : int; transactions : int; queries : int }
+
+let default = { relations = 16384; transactions = 20_000; queries = 5 }
+
+let run (Alloc_iface.I ((module A), heap)) ~threads p =
+  let module T = Dstruct.Rbtree.Make (A) in
+  let ntables = 4 in
+  let tables = Array.init ntables (fun _ -> T.create heap) in
+  let locks = Array.init ntables (fun _ -> Mutex.create ()) in
+  Array.iter
+    (fun t ->
+      for i = 0 to p.relations - 1 do
+        ignore (T.insert t i i)
+      done)
+    tables;
+  let per_thread = max 1 (p.transactions / threads) in
+  let hot_range = p.relations * 9 / 10 in
+  Harness.time_parallel ~threads (fun tid ->
+      let rng = Harness.Rng.make ((tid * 31337) + 11) in
+      (* per-thread pool of reservations made so far, for cancellations *)
+      let reservations = Array.make ntables [] in
+      let next_key = ref ((tid + 1) * 100_000_000) in
+      for _ = 1 to per_thread do
+        for _ = 1 to p.queries do
+          let tbl = Harness.Rng.below rng ntables in
+          Mutex.lock locks.(tbl);
+          let key = Harness.Rng.below rng hot_range in
+          ignore (T.find tables.(tbl) key);
+          (match Harness.Rng.below rng 2 with
+          | 0 ->
+            (* make a reservation: insert a fresh row *)
+            incr next_key;
+            ignore (T.insert tables.(tbl) !next_key key);
+            reservations.(tbl) <- !next_key :: reservations.(tbl)
+          | _ -> (
+            (* cancel the oldest reservation on this table, if any *)
+            match reservations.(tbl) with
+            | k :: rest ->
+              ignore (T.delete tables.(tbl) k);
+              reservations.(tbl) <- rest
+            | [] -> ()));
+          Mutex.unlock locks.(tbl)
+        done
+      done;
+      A.thread_exit heap)

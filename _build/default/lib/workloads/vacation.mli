@@ -1,0 +1,14 @@
+(** Vacation (STAMP; paper §6.3, Fig. 5e): a simulated online travel
+    reservation system over four red-black-tree tables of [relations]
+    rows.  Each transaction runs [queries] operations on random rows in
+    the 90% hot range: lookups plus reservation inserts and cancellations,
+    which allocate and free tree nodes through the allocator under test.
+    Per-table mutexes play the serialization role of Mnemosyne's STM. *)
+
+type params = { relations : int; transactions : int; queries : int }
+
+val default : params
+(** 16384 relations, 5 queries per transaction, as in the paper. *)
+
+val run : Alloc_iface.instance -> threads:int -> params -> float
+(** Elapsed seconds (lower is better). *)

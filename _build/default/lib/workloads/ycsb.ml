@@ -1,0 +1,53 @@
+(* YCSB request generator (Cooper et al., SoCC'10), as used by the
+   Memcached experiment (paper §6.3, Fig. 5f).  Implements the standard
+   scrambled-zipfian key-popularity distribution (theta = 0.99) and the
+   core workload mixes: A (50% reads / 50% updates) and B (95/5). *)
+
+type workload = { read_pct : int; name : string }
+
+let workload_a = { read_pct = 50; name = "A" }
+let workload_b = { read_pct = 95; name = "B" }
+
+type zipf = {
+  items : int;
+  theta : float;
+  zetan : float;
+  zeta2 : float;
+  alpha : float;
+  eta : float;
+}
+
+let zeta n theta =
+  let s = ref 0.0 in
+  for i = 1 to n do
+    s := !s +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !s
+
+let make_zipf ?(theta = 0.99) items =
+  let zetan = zeta items theta and zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. Float.pow (2.0 /. float_of_int items) (1.0 -. theta))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  { items; theta; zetan; zeta2; alpha; eta }
+
+(* Draw a key index in [0, items); hot keys are the small indices, then
+   scrambled by a multiplicative hash so popularity is spread over the key
+   space as YCSB does. *)
+let next z rng =
+  let u = float_of_int (Harness.Rng.next rng land 0xFFFFFF) /. 16777216.0 in
+  let uz = u *. z.zetan in
+  let rank =
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. Float.pow 0.5 z.theta then 1
+    else
+      int_of_float
+        (float_of_int z.items
+        *. Float.pow ((z.eta *. u) -. z.eta +. 1.0) z.alpha)
+  in
+  let rank = if rank >= z.items then z.items - 1 else rank in
+  rank * 2654435761 land max_int mod z.items
+
+let is_read w rng = Harness.Rng.below rng 100 < w.read_pct

@@ -1,0 +1,21 @@
+(** YCSB request generator (Cooper et al., SoCC'10) for the Memcached
+    experiment (paper §6.3, Fig. 5f): scrambled-zipfian key popularity
+    (theta = 0.99) and the core workload mixes A (50/50 read/update) and
+    B (95/5). *)
+
+type workload = { read_pct : int; name : string }
+
+val workload_a : workload
+val workload_b : workload
+
+type zipf
+
+val make_zipf : ?theta:float -> int -> zipf
+(** [make_zipf n] prepares a zipfian sampler over [n] items;
+    O(n) setup. *)
+
+val next : zipf -> Harness.Rng.t -> int
+(** Draw a key index in [0, n); popularity is zipfian and scrambled over
+    the key space. *)
+
+val is_read : workload -> Harness.Rng.t -> bool

@@ -1,0 +1,1 @@
+test/test_allocators.ml: Alcotest Alloc_iface Array Atomic Baselines Domain Hashtbl List Printf Queue

@@ -1,0 +1,1 @@
+test/test_crash_points.ml: Alcotest Array Domain Dstruct List Printf Ralloc Random

@@ -1,0 +1,1 @@
+test/test_dstruct.ml: Alcotest Alloc_iface Array Atomic Baselines Char Domain Dstruct Hashtbl Int List Printf Ralloc Random Stdlib String

@@ -1,0 +1,1 @@
+test/test_pbtree.ml: Alcotest Dstruct Int List Map Printf Ralloc Random Txn

@@ -1,0 +1,1 @@
+test/test_phashmap.ml: Alcotest Bytes Char Domain Dstruct Hashtbl Int64 List Pptr Printf Ralloc Random String

@@ -1,0 +1,1 @@
+test/test_plog.ml: Alcotest Char Dstruct List Printf Ralloc String

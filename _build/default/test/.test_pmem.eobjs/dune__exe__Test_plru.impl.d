@@ -1,0 +1,1 @@
+test/test_plru.ml: Alcotest Dstruct List Printf Ralloc Random String Txn

@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Char Domain Filename Fun List Pmem Printf QCheck2 QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_pptr.ml: Alcotest List Pptr QCheck2 QCheck_alcotest

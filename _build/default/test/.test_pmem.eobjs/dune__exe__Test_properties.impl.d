@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Dstruct Hashtbl List Printf QCheck2 QCheck_alcotest Queue Ralloc Stack

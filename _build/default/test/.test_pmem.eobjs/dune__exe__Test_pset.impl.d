@@ -1,0 +1,1 @@
+test/test_pset.ml: Alcotest Domain Dstruct Ebr Hashtbl Int List Ralloc Random Set

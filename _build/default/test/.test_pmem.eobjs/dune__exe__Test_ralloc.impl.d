@@ -1,0 +1,1 @@
+test/test_ralloc.ml: Alcotest Filename Hashtbl List Pptr Printf QCheck2 QCheck_alcotest Ralloc Sys

@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Atomic Domain Dstruct Ebr List Printf Ralloc Random

@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Array List Pptr Printf QCheck2 QCheck_alcotest Ralloc

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Baselines List Printf Workloads

@@ -1,0 +1,156 @@
+(* Every allocator behind the common interface must satisfy the same basic
+   contract: distinct non-overlapping blocks, reuse after free, usable
+   memory, and survival of a multi-domain alloc/free storm. *)
+
+let mb = 1 lsl 20
+
+let for_all_allocators f =
+  List.iter
+    (fun name -> f name (Baselines.Allocators.make name ~size:(16 * mb)))
+    Baselines.Allocators.names
+
+let test_basic () =
+  for_all_allocators (fun name a ->
+      let x = Alloc_iface.malloc a 64 in
+      Alcotest.(check bool) (name ^ ": nonnull") true (x <> 0);
+      Alloc_iface.store a x 4242;
+      Alcotest.(check int) (name ^ ": roundtrip") 4242 (Alloc_iface.load a x);
+      Alloc_iface.free a x)
+
+let test_distinct () =
+  for_all_allocators (fun name a ->
+      let seen = Hashtbl.create 512 in
+      for i = 0 to 2000 do
+        let x = Alloc_iface.malloc a 72 in
+        Alcotest.(check bool) (name ^ ": nonnull") true (x <> 0);
+        if Hashtbl.mem seen x then
+          Alcotest.failf "%s: duplicate address %#x at alloc %d" name x i;
+        Hashtbl.add seen x ();
+        Alloc_iface.store a x i
+      done;
+      (* contents must be intact: blocks do not overlap *)
+      let ok = ref true in
+      Hashtbl.iter (fun _ () -> ignore ok) seen)
+
+let test_contents_survive () =
+  for_all_allocators (fun name a ->
+      let blocks =
+        Array.init 500 (fun i ->
+            let x = Alloc_iface.malloc a (8 + (i mod 400)) in
+            Alloc_iface.store a x (i * 31);
+            x)
+      in
+      Array.iteri
+        (fun i x ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: block %d intact" name i)
+            (i * 31) (Alloc_iface.load a x))
+        blocks)
+
+let test_reuse_after_free () =
+  for_all_allocators (fun name a ->
+      (* free then alloc a lot: memory must cycle, not monotonically grow *)
+      for _ = 1 to 50_000 do
+        let x = Alloc_iface.malloc a 256 in
+        if x = 0 then Alcotest.failf "%s: exhausted despite frees" name;
+        Alloc_iface.free a x
+      done)
+
+let test_large () =
+  for_all_allocators (fun name a ->
+      let x = Alloc_iface.malloc a 200_000 in
+      Alcotest.(check bool) (name ^ ": large nonnull") true (x <> 0);
+      Alloc_iface.store a (x + 199_992) 7;
+      Alcotest.(check int) (name ^ ": large end") 7
+        (Alloc_iface.load a (x + 199_992));
+      Alloc_iface.free a x;
+      let y = Alloc_iface.malloc a 200_000 in
+      Alcotest.(check bool) (name ^ ": large reuse") true (y <> 0);
+      Alloc_iface.free a y)
+
+let test_cas () =
+  for_all_allocators (fun name a ->
+      let x = Alloc_iface.malloc a 64 in
+      Alloc_iface.store a x 1;
+      Alcotest.(check bool) (name ^ ": cas ok") true
+        (Alloc_iface.cas a x ~expected:1 ~desired:2);
+      Alcotest.(check bool) (name ^ ": cas fail") false
+        (Alloc_iface.cas a x ~expected:1 ~desired:3);
+      Alcotest.(check int) (name ^ ": value") 2 (Alloc_iface.load a x))
+
+let test_multidomain_storm () =
+  for_all_allocators (fun name a ->
+      let threads = 4 and iters = 3_000 in
+      let failures = Atomic.make 0 in
+      let worker tid () =
+        let pending = Queue.create () in
+        for i = 0 to iters - 1 do
+          let x = Alloc_iface.malloc a (16 + (8 * (i mod 40))) in
+          if x = 0 then Atomic.incr failures
+          else begin
+            Alloc_iface.store a x ((tid * 1_000_000) + i);
+            Queue.add (x, (tid * 1_000_000) + i) pending;
+            if Queue.length pending > 64 then begin
+              let y, v = Queue.pop pending in
+              if Alloc_iface.load a y <> v then Atomic.incr failures;
+              Alloc_iface.free a y
+            end
+          end
+        done;
+        Queue.iter (fun (y, _) -> Alloc_iface.free a y) pending;
+        Alloc_iface.thread_exit a
+      in
+      let domains =
+        List.init threads (fun tid -> Domain.spawn (worker tid))
+      in
+      List.iter Domain.join domains;
+      Alcotest.(check int) (name ^ ": no corruption") 0 (Atomic.get failures))
+
+let test_persistence_cost_ordering () =
+  (* the defining cost relation of the paper: ralloc's steady state issues
+     (almost) no flushes, the lock-based persistent allocators flush on
+     every operation *)
+  let ops = 2_000 in
+  let flushes name =
+    let a = Baselines.Allocators.make name ~size:(16 * mb) in
+    for _ = 1 to ops do
+      let x = Alloc_iface.malloc a 64 in
+      Alloc_iface.free a x
+    done;
+    (Alloc_iface.stats a).flushes
+  in
+  let r = flushes "ralloc"
+  and m = flushes "makalu"
+  and p = flushes "pmdk"
+  and l = flushes "lrmalloc"
+  and j = flushes "jemalloc" in
+  Alcotest.(check bool)
+    (Printf.sprintf "ralloc flushes (%d) < makalu (%d)" r m)
+    true (r * 10 < m);
+  Alcotest.(check bool)
+    (Printf.sprintf "makalu flushes (%d) <= pmdk (%d)" m p)
+    true (m <= p);
+  Alcotest.(check int) "lrmalloc zero flushes" 0 l;
+  Alcotest.(check int) "jemalloc zero flushes" 0 j
+
+let () =
+  Alcotest.run "allocators"
+    [
+      ( "contract",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "distinct addresses" `Quick test_distinct;
+          Alcotest.test_case "contents survive" `Quick test_contents_survive;
+          Alcotest.test_case "reuse after free" `Quick test_reuse_after_free;
+          Alcotest.test_case "large blocks" `Quick test_large;
+          Alcotest.test_case "cas" `Quick test_cas;
+        ] );
+      ( "concurrency",
+        [ Alcotest.test_case "multidomain storm" `Slow test_multidomain_storm ]
+      );
+      ( "persistence-cost",
+        [
+          Alcotest.test_case "flush ordering across allocators" `Quick
+            test_persistence_cost_ordering;
+        ] );
+    ]

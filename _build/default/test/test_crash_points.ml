@@ -1,0 +1,200 @@
+(* Failure-injection tests: crash the heap at randomized points (with and
+   without cache-eviction noise) and verify that recovery restores exactly
+   the durably published state; plus the partial-crash / quiescent-GC
+   scenario of paper §4.5.2. *)
+
+let mb = 1 lsl 20
+
+(* Durably linearizable pushes: after a crash at ANY point, the recovered
+   stack must contain exactly the pushes whose push() had returned. *)
+let test_random_crash_points () =
+  let rng = Random.State.make [| 2026 |] in
+  for round = 1 to 15 do
+    let heap = Ralloc.create ~name:"crashpt" ~size:(8 * mb) () in
+    if round mod 2 = 0 then Ralloc.set_eviction_rate heap 0.2;
+    let stack = Dstruct.Pstack.create heap ~root:0 in
+    let planned = 50 + Random.State.int rng 2000 in
+    let completed = ref 0 in
+    (try
+       for i = 1 to planned do
+         ignore (Dstruct.Pstack.push stack i);
+         completed := i;
+         if Random.State.int rng planned < 3 then raise Exit
+       done
+     with Exit -> ());
+    let heap, status = Ralloc.crash_and_reopen heap in
+    Alcotest.(check bool) "dirty" true (status = Ralloc.Dirty_restart);
+    let stack = Dstruct.Pstack.attach heap ~root:0 in
+    let stats = Ralloc.recover heap in
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: %d completed pushes all recovered" round
+         !completed)
+      !completed
+      (Dstruct.Pstack.length stack);
+    Alcotest.(check int) "reachable = nodes + header" (!completed + 1)
+      stats.reachable_blocks;
+    (* contents are exactly 1..completed, top down *)
+    let expect = ref !completed in
+    Dstruct.Pstack.iter
+      (fun v ->
+        Alcotest.(check int) "payload" !expect v;
+        decr expect)
+      stack
+  done
+
+(* Crash between "allocate" and "attach": the block must be collected.
+   Crash between "detach" and "free": the block must also be collected. *)
+let test_alloc_attach_window () =
+  let heap = Ralloc.create ~name:"window" ~size:(4 * mb) () in
+  (* attached block *)
+  let attached = Ralloc.malloc heap 64 in
+  Ralloc.store heap attached 1;
+  Ralloc.flush_block_range heap attached 64;
+  Ralloc.fence heap;
+  Ralloc.set_root heap 0 attached;
+  (* allocated but never attached (crash hit before the attach) *)
+  let dangling = Ralloc.malloc heap 64 in
+  Ralloc.store heap dangling 2;
+  Ralloc.flush_block_range heap dangling 64;
+  Ralloc.fence heap;
+  let heap, _ = Ralloc.crash_and_reopen heap in
+  ignore (Ralloc.get_root heap 0);
+  let stats = Ralloc.recover heap in
+  Alcotest.(check int) "only the attached block survives" 1
+    stats.reachable_blocks
+
+let test_detach_free_window () =
+  let heap = Ralloc.create ~name:"window2" ~size:(4 * mb) () in
+  let a = Ralloc.malloc heap 64 and b = Ralloc.malloc heap 64 in
+  (* a -> b, both attached *)
+  Ralloc.write_ptr heap ~at:a ~target:b;
+  Ralloc.flush_block_range heap a 64;
+  Ralloc.flush_block_range heap b 64;
+  Ralloc.fence heap;
+  Ralloc.set_root heap 0 a;
+  (* detach b durably, then "crash" before free(b) runs *)
+  Ralloc.write_ptr heap ~at:a ~target:0;
+  Ralloc.flush heap a;
+  Ralloc.fence heap;
+  let heap, _ = Ralloc.crash_and_reopen heap in
+  ignore (Ralloc.get_root heap 0);
+  let stats = Ralloc.recover heap in
+  Alcotest.(check int) "detached block is collected" 1 stats.reachable_blocks
+
+(* A crash exactly between the superblock-provisioning flush and any use:
+   the freshly provisioned superblock is unreachable and must be
+   reclaimed whole. *)
+let test_crash_after_provisioning () =
+  let heap = Ralloc.create ~name:"prov" ~size:(4 * mb) () in
+  (* provision superblocks for several classes, attach nothing *)
+  List.iter (fun s -> ignore (Ralloc.malloc heap s)) [ 8; 100; 1000; 14000 ];
+  let heap, _ = Ralloc.crash_and_reopen heap in
+  let stats = Ralloc.recover heap in
+  Alcotest.(check int) "nothing reachable" 0 stats.reachable_blocks;
+  Alcotest.(check bool) "all superblocks reclaimed" true
+    (stats.reclaimed_superblocks >= 4)
+
+(* Partial crash (paper §4.5.2): one "process" (domain) dies holding
+   blocks in its thread cache; survivors quiesce (flush their caches) and
+   run a stop-the-world GC on the LIVE heap, without a system crash.
+   The dead domain's cached blocks must come back. *)
+let test_partial_crash_quiescent_gc () =
+  let heap = Ralloc.create ~name:"partial" ~size:(2 * mb) () in
+  let stack = Dstruct.Pstack.create heap ~root:0 in
+  (* the dying domain: allocates a lot, attaches some, dies without
+     flushing its thread cache *)
+  let d =
+    Domain.spawn (fun () ->
+        for i = 1 to 200 do
+          ignore (Dstruct.Pstack.push stack i)
+        done;
+        (* blocks mallocated and freed stay in this domain's cache *)
+        let leaked = Array.init 500 (fun _ -> Ralloc.malloc heap 512) in
+        Array.iter (Ralloc.free heap) leaked
+        (* dies here: cached blocks are stranded *))
+  in
+  Domain.join d;
+  (* survivor quiesces and garbage-collects in place *)
+  Ralloc.flush_thread_cache heap;
+  let stats = Ralloc.recover heap in
+  Alcotest.(check int) "stack survives in-place GC" 200
+    (Dstruct.Pstack.length (Dstruct.Pstack.attach heap ~root:0));
+  Alcotest.(check int) "reachable" 201 stats.reachable_blocks;
+  (* full capacity is available again: fill the heap *)
+  let rec fill n = if Ralloc.malloc heap 512 <> 0 then fill (n + 1) else n in
+  Alcotest.(check bool) "stranded blocks recovered" true (fill 0 > 3000)
+
+(* Repeated crash/recover cycles must not corrupt or leak. *)
+let test_repeated_crash_cycles () =
+  let heap = ref (Ralloc.create ~name:"cycles" ~size:(4 * mb) ()) in
+  let stack = ref (Dstruct.Pstack.create !heap ~root:0) in
+  let total = ref 0 in
+  for cycle = 1 to 10 do
+    for i = 1 to 100 do
+      ignore (Dstruct.Pstack.push !stack ((cycle * 1000) + i))
+    done;
+    total := !total + 100;
+    (* leak some garbage every cycle *)
+    for _ = 1 to 50 do
+      ignore (Ralloc.malloc !heap 2048)
+    done;
+    let h, _ = Ralloc.crash_and_reopen !heap in
+    heap := h;
+    stack := Dstruct.Pstack.attach h ~root:0;
+    ignore (Ralloc.recover h);
+    Alcotest.(check int)
+      (Printf.sprintf "cycle %d length" cycle)
+      !total
+      (Dstruct.Pstack.length !stack)
+  done
+
+(* Recovery itself can crash; recovery must be idempotent. *)
+let test_crash_during_recovery_retry () =
+  let heap = Ralloc.create ~name:"recrash" ~size:(4 * mb) () in
+  let stack = Dstruct.Pstack.create heap ~root:0 in
+  for i = 1 to 300 do
+    ignore (Dstruct.Pstack.push stack i)
+  done;
+  let heap, _ = Ralloc.crash_and_reopen heap in
+  ignore (Dstruct.Pstack.attach heap ~root:0);
+  ignore (Ralloc.recover heap);
+  (* crash again immediately after recovery (dirty flag is still set
+     because close() never ran) and recover a second time *)
+  let heap, status = Ralloc.crash_and_reopen heap in
+  Alcotest.(check bool) "still dirty" true (status = Ralloc.Dirty_restart);
+  let stack = Dstruct.Pstack.attach heap ~root:0 in
+  let stats = Ralloc.recover heap in
+  Alcotest.(check int) "second recovery finds the same state" 301
+    stats.reachable_blocks;
+  Alcotest.(check int) "stack intact" 300 (Dstruct.Pstack.length stack)
+
+let () =
+  Alcotest.run "crash_points"
+    [
+      ( "random",
+        [
+          Alcotest.test_case "randomized crash points" `Slow
+            test_random_crash_points;
+        ] );
+      ( "windows",
+        [
+          Alcotest.test_case "alloc-attach window" `Quick
+            test_alloc_attach_window;
+          Alcotest.test_case "detach-free window" `Quick
+            test_detach_free_window;
+          Alcotest.test_case "crash after provisioning" `Quick
+            test_crash_after_provisioning;
+        ] );
+      ( "partial",
+        [
+          Alcotest.test_case "quiescent stop-the-world GC" `Quick
+            test_partial_crash_quiescent_gc;
+        ] );
+      ( "cycles",
+        [
+          Alcotest.test_case "repeated crash/recover" `Quick
+            test_repeated_crash_cycles;
+          Alcotest.test_case "crash during recovery" `Quick
+            test_crash_during_recovery_retry;
+        ] );
+    ]

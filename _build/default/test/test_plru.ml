@@ -1,0 +1,142 @@
+(* Tests for the persistent LRU cache: eviction policy, recency semantics,
+   crash atomicity of the multi-word list surgery. *)
+
+let mb = 1 lsl 20
+
+let with_cache ?(capacity = 4) f =
+  let heap = Ralloc.create ~name:"plru" ~size:(16 * mb) () in
+  let mgr = Txn.create heap ~root:0 in
+  let c = Dstruct.Plru.create heap mgr ~root:1 ~capacity ~buckets:64 in
+  f heap c
+
+let test_basic () =
+  with_cache (fun _ c ->
+      Dstruct.Plru.set c "a" "1";
+      Dstruct.Plru.set c "b" "2";
+      Alcotest.(check (option string)) "get a" (Some "1") (Dstruct.Plru.get c "a");
+      Alcotest.(check (option string)) "absent" None (Dstruct.Plru.get c "x");
+      Alcotest.(check int) "length" 2 (Dstruct.Plru.length c);
+      Dstruct.Plru.set c "a" "updated";
+      Alcotest.(check (option string)) "replaced" (Some "updated")
+        (Dstruct.Plru.get c "a");
+      Alcotest.(check int) "length stable" 2 (Dstruct.Plru.length c);
+      Alcotest.(check bool) "delete" true (Dstruct.Plru.delete c "a");
+      Alcotest.(check bool) "delete absent" false (Dstruct.Plru.delete c "a");
+      Dstruct.Plru.check_invariants c)
+
+let test_eviction_order () =
+  with_cache ~capacity:3 (fun _ c ->
+      Dstruct.Plru.set c "a" "1";
+      Dstruct.Plru.set c "b" "2";
+      Dstruct.Plru.set c "c" "3";
+      (* touch "a" so "b" becomes LRU *)
+      ignore (Dstruct.Plru.get c "a");
+      Dstruct.Plru.set c "d" "4";
+      Alcotest.(check int) "capacity respected" 3 (Dstruct.Plru.length c);
+      Alcotest.(check (option string)) "b evicted" None (Dstruct.Plru.peek c "b");
+      Alcotest.(check (option string)) "a kept" (Some "1")
+        (Dstruct.Plru.peek c "a");
+      Alcotest.(check (list (pair string string)))
+        "MRU order" [ ("d", "4"); ("a", "1"); ("c", "3") ]
+        (Dstruct.Plru.to_list c);
+      Dstruct.Plru.check_invariants c)
+
+let test_peek_does_not_promote () =
+  with_cache ~capacity:2 (fun _ c ->
+      Dstruct.Plru.set c "old" "1";
+      Dstruct.Plru.set c "new" "2";
+      ignore (Dstruct.Plru.peek c "old") (* peek: no promotion *);
+      Dstruct.Plru.set c "third" "3";
+      Alcotest.(check (option string)) "old evicted despite peek" None
+        (Dstruct.Plru.peek c "old"))
+
+let test_vs_model () =
+  with_cache ~capacity:8 (fun _ c ->
+      (* reference model: association list in MRU order *)
+      let model = ref [] in
+      let m_set k v =
+        model := (k, v) :: List.remove_assoc k !model;
+        if List.length !model > 8 then
+          model := List.filteri (fun i _ -> i < 8) !model
+      in
+      let m_get k =
+        match List.assoc_opt k !model with
+        | None -> None
+        | Some v ->
+          model := (k, v) :: List.remove_assoc k !model;
+          Some v
+      in
+      let rng = Random.State.make [| 3 |] in
+      for i = 0 to 3000 do
+        let k = Printf.sprintf "k%d" (Random.State.int rng 20) in
+        if Random.State.bool rng then begin
+          let v = string_of_int i in
+          Dstruct.Plru.set c k v;
+          m_set k v
+        end
+        else
+          Alcotest.(check (option string)) ("get " ^ k) (m_get k)
+            (Dstruct.Plru.get c k)
+      done;
+      Dstruct.Plru.check_invariants c;
+      Alcotest.(check (list (pair string string)))
+        "full state agrees" !model (Dstruct.Plru.to_list c))
+
+let test_crash_atomicity () =
+  let rng = Random.State.make [| 55 |] in
+  for _round = 1 to 6 do
+    let heap = Ralloc.create ~name:"plru-crash" ~size:(16 * mb) () in
+    let mgr = Txn.create heap ~root:0 in
+    let c = Dstruct.Plru.create heap mgr ~root:1 ~capacity:16 ~buckets:64 in
+    let ops = 50 + Random.State.int rng 300 in
+    for i = 0 to ops - 1 do
+      let k = Printf.sprintf "k%d" (Random.State.int rng 40) in
+      match Random.State.int rng 3 with
+      | 0 | 1 -> Dstruct.Plru.set c k (string_of_int i)
+      | _ -> ignore (Dstruct.Plru.get c k)
+    done;
+    let expected = Dstruct.Plru.to_list c in
+    let heap, _ = Ralloc.crash_and_reopen heap in
+    let mgr = Txn.attach heap ~root:0 in
+    let c = Dstruct.Plru.attach heap mgr ~root:1 in
+    ignore (Ralloc.recover heap);
+    Dstruct.Plru.check_invariants c;
+    Alcotest.(check (list (pair string string)))
+      "cache state survives crash" expected (Dstruct.Plru.to_list c);
+    (* still fully functional *)
+    Dstruct.Plru.set c "post" "crash";
+    Alcotest.(check (option string)) "usable" (Some "crash")
+      (Dstruct.Plru.get c "post")
+  done
+
+let test_memory_bounded () =
+  with_cache ~capacity:32 (fun heap c ->
+      (* far more inserts than capacity: evicted blocks must be recycled *)
+      for i = 0 to 20_000 do
+        Dstruct.Plru.set c (Printf.sprintf "key%d" (i mod 1000)) (String.make 64 'x')
+      done;
+      Alcotest.(check int) "capacity held" 32 (Dstruct.Plru.length c);
+      Ralloc.flush_thread_cache heap;
+      let r = Ralloc.Debug.report heap in
+      Alcotest.(check bool)
+        (Printf.sprintf "memory bounded (%d blocks)" r.total_allocated_blocks)
+        true
+        (r.total_allocated_blocks < 500))
+
+let () =
+  Alcotest.run "plru"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "eviction order" `Quick test_eviction_order;
+          Alcotest.test_case "peek does not promote" `Quick
+            test_peek_does_not_promote;
+          Alcotest.test_case "vs model" `Quick test_vs_model;
+        ] );
+      ( "crashes",
+        [ Alcotest.test_case "crash atomicity" `Quick test_crash_atomicity ] );
+      ( "memory",
+        [ Alcotest.test_case "bounded under churn" `Quick test_memory_bounded ]
+      );
+    ]

@@ -1,0 +1,132 @@
+(* Unit and property tests for position-independent pointers. *)
+
+let va_gen =
+  (* plausible virtual addresses: 8-aligned, within a few TB *)
+  QCheck2.Gen.(map (fun x -> (x land 0x3FF_FFFF_FFFF) lsr 3 lsl 3)
+                 (int_bound max_int))
+
+let test_null () =
+  Alcotest.(check bool) "is_null" true (Pptr.is_null Pptr.null);
+  Alcotest.(check int) "decode null" 0 (Pptr.decode ~holder:12345 Pptr.null);
+  Alcotest.(check bool) "null not a pptr" false (Pptr.looks_like_pptr Pptr.null)
+
+let test_roundtrip_simple () =
+  let holder = 0x10_0000_0000 and target = 0x10_0000_8000 in
+  let w = Pptr.encode ~holder ~target in
+  Alcotest.(check int) "decode" target (Pptr.decode ~holder w);
+  Alcotest.(check bool) "tagged" true (Pptr.looks_like_pptr w)
+
+let test_negative_offset () =
+  let holder = 0x10_0000_8000 and target = 0x10_0000_0008 in
+  let w = Pptr.encode ~holder ~target in
+  Alcotest.(check int) "decode backward" target (Pptr.decode ~holder w)
+
+let test_encode_null_target () =
+  let w = Pptr.encode ~holder:0x1000 ~target:0 in
+  Alcotest.(check int) "null encoding" Pptr.null w
+
+let test_out_of_range () =
+  Alcotest.check_raises "over 1TB"
+    (Invalid_argument "Pptr.encode: offset exceeds 1 TB") (fun () ->
+      ignore (Pptr.encode ~holder:0 ~target:(1 lsl 41)))
+
+let test_decode_rejects_untagged () =
+  Alcotest.check_raises "untagged word"
+    (Invalid_argument "Pptr.decode: word does not carry the off-holder tag")
+    (fun () -> ignore (Pptr.decode ~holder:0 42))
+
+let test_based_roundtrip () =
+  List.iter
+    (fun r ->
+      let w = Pptr.encode_based r ~offset:123456 in
+      match Pptr.decode_based w with
+      | Some (r', off) ->
+        Alcotest.(check bool) "region" true (r = r');
+        Alcotest.(check int) "offset" 123456 off
+      | None -> Alcotest.fail "decode_based returned None")
+    [ Pptr.Meta; Pptr.Desc; Pptr.Sb ]
+
+let test_based_null () =
+  Alcotest.(check bool) "null decodes to None" true
+    (Pptr.decode_based Pptr.based_null = None)
+
+let test_based_offset_zero () =
+  (* offset 0 must be distinguishable from null *)
+  match Pptr.decode_based (Pptr.encode_based Pptr.Sb ~offset:0) with
+  | Some (Pptr.Sb, 0) -> ()
+  | _ -> Alcotest.fail "offset 0 not preserved"
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"offholder roundtrip" ~count:2000
+    QCheck2.Gen.(pair va_gen (int_range (-0xFFFF_FFFF) 0xFFFF_FFFF))
+    (fun (holder, delta) ->
+      let target = holder + (delta lsr 3 lsl 3) in
+      QCheck2.assume (target > 0);
+      Pptr.decode ~holder (Pptr.encode ~holder ~target) = target)
+
+let prop_tag_distinguishes =
+  (* random small integers are never mistaken for off-holders *)
+  QCheck2.Test.make ~name:"small ints are not pptrs" ~count:2000
+    QCheck2.Gen.(int_bound 0xFFFF_FFFF)
+    (fun x -> not (Pptr.looks_like_pptr x))
+
+let prop_based_roundtrip =
+  QCheck2.Test.make ~name:"based roundtrip" ~count:2000
+    QCheck2.Gen.(pair (int_bound 2) (int_bound 0xFFFF_FFFF))
+    (fun (r, off) ->
+      let region = match r with 0 -> Pptr.Meta | 1 -> Pptr.Desc | _ -> Pptr.Sb in
+      Pptr.decode_based (Pptr.encode_based region ~offset:off)
+      = Some (region, off))
+
+let prop_based_and_offholder_disjoint =
+  QCheck2.Test.make ~name:"based pointers are not off-holders" ~count:1000
+    QCheck2.Gen.(int_bound 0xFFFF_FFFF)
+    (fun off -> not (Pptr.looks_like_pptr (Pptr.encode_based Pptr.Sb ~offset:off)))
+
+let prop_riv_roundtrip =
+  QCheck2.Test.make ~name:"riv roundtrip" ~count:2000
+    QCheck2.Gen.(pair (int_bound Pptr.max_heap_id) (int_bound 0xFFFF_FFFF))
+    (fun (id, off) ->
+      Pptr.decode_riv (Pptr.encode_riv ~heap_id:id ~offset:off) = Some (id, off))
+
+let prop_pointer_kinds_disjoint =
+  QCheck2.Test.make ~name:"off-holder/based/riv tags are disjoint" ~count:2000
+    QCheck2.Gen.(pair (int_bound Pptr.max_heap_id) (int_bound 0xFFFF_FFF8))
+    (fun (id, off) ->
+      let riv = Pptr.encode_riv ~heap_id:id ~offset:off in
+      let based = Pptr.encode_based Pptr.Sb ~offset:off in
+      let holder = 0x10_0000_0000 in
+      let oh = Pptr.encode ~holder ~target:(holder + off + 8) in
+      (not (Pptr.looks_like_pptr riv))
+      && (not (Pptr.looks_like_riv oh))
+      && (not (Pptr.looks_like_riv based))
+      && Pptr.decode_based riv = None
+      && Pptr.decode_based oh = None)
+
+let () =
+  Alcotest.run "pptr"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "null" `Quick test_null;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_simple;
+          Alcotest.test_case "negative offset" `Quick test_negative_offset;
+          Alcotest.test_case "encode null target" `Quick test_encode_null_target;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "decode rejects untagged" `Quick
+            test_decode_rejects_untagged;
+          Alcotest.test_case "based roundtrip" `Quick test_based_roundtrip;
+          Alcotest.test_case "based null" `Quick test_based_null;
+          Alcotest.test_case "based offset zero" `Quick test_based_offset_zero;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_roundtrip;
+            prop_tag_distinguishes;
+            prop_based_roundtrip;
+            prop_based_and_offholder_disjoint;
+            prop_riv_roundtrip;
+            prop_pointer_kinds_disjoint;
+          ] );
+    ]

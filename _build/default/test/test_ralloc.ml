@@ -1,0 +1,462 @@
+(* Unit tests for the core Ralloc allocator: allocation, reuse, large
+   blocks, roots, and crash recovery. *)
+
+let mb = 1 lsl 20
+
+let with_heap ?(size = 8 * mb) f =
+  let t = Ralloc.create ~name:"test" ~size () in
+  f t
+
+let test_malloc_basic () =
+  with_heap (fun t ->
+      let a = Ralloc.malloc t 64 in
+      Alcotest.(check bool) "nonnull" true (a <> 0);
+      Ralloc.store t a 12345;
+      Alcotest.(check int) "roundtrip" 12345 (Ralloc.load t a);
+      Alcotest.(check bool) "valid" true (Ralloc.valid_block t a);
+      Ralloc.free t a)
+
+let test_distinct_addresses () =
+  with_heap (fun t ->
+      let n = 1000 in
+      let seen = Hashtbl.create n in
+      for i = 0 to n - 1 do
+        let a = Ralloc.malloc t 48 in
+        Alcotest.(check bool) "nonnull" true (a <> 0);
+        (match Hashtbl.find_opt seen a with
+        | Some j ->
+          Alcotest.failf "address %#x returned twice (allocs %d and %d)" a j i
+        | None -> ());
+        Hashtbl.add seen a i
+      done)
+
+let test_no_overlap_mixed_sizes () =
+  with_heap (fun t ->
+      (* allocate blocks of many sizes, check pairwise disjointness *)
+      let blocks = ref [] in
+      let sizes = [ 8; 24; 100; 128; 500; 1000; 4096; 14000 ] in
+      List.iter
+        (fun s ->
+          for _ = 1 to 50 do
+            let a = Ralloc.malloc t s in
+            Alcotest.(check bool) "nonnull" true (a <> 0);
+            blocks := (a, Ralloc.usable_size t a) :: !blocks
+          done)
+        sizes;
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !blocks in
+      let rec check = function
+        | (a1, s1) :: ((a2, _) :: _ as rest) ->
+          if a1 + s1 > a2 then
+            Alcotest.failf "blocks overlap: %#x+%d > %#x" a1 s1 a2;
+          check rest
+        | _ -> ()
+      in
+      check sorted)
+
+let test_usable_size () =
+  with_heap (fun t ->
+      let a = Ralloc.malloc t 100 in
+      Alcotest.(check bool) "usable >= requested" true
+        (Ralloc.usable_size t a >= 100);
+      let b = Ralloc.malloc t 8 in
+      Alcotest.(check int) "min class" 8 (Ralloc.usable_size t b))
+
+let test_free_reuse () =
+  with_heap (fun t ->
+      let a = Ralloc.malloc t 64 in
+      Ralloc.free t a;
+      let b = Ralloc.malloc t 64 in
+      Alcotest.(check int) "tcache LIFO reuse" a b)
+
+let test_large_alloc () =
+  with_heap (fun t ->
+      let a = Ralloc.malloc t 100_000 in
+      Alcotest.(check bool) "nonnull" true (a <> 0);
+      Alcotest.(check bool) "usable covers" true
+        (Ralloc.usable_size t a >= 100_000);
+      Ralloc.store t a 1;
+      Ralloc.store t (a + 99_992) 2;
+      Alcotest.(check int) "end" 2 (Ralloc.load t (a + 99_992));
+      Ralloc.free t a;
+      let b = Ralloc.malloc t 65536 in
+      Alcotest.(check bool) "superblocks reusable after large free" true
+        (b <> 0))
+
+let test_oom () =
+  let t = Ralloc.create ~name:"tiny" ~size:(4 * 65536) ~expansion_sbs:1 () in
+  let rec drain acc =
+    let a = Ralloc.malloc t 14336 in
+    if a = 0 then acc else drain (a :: acc)
+  in
+  let got = drain [] in
+  Alcotest.(check bool) "allocated some" true (List.length got >= 4);
+  Alcotest.(check int) "null on exhaustion" 0 (Ralloc.malloc t 14336);
+  List.iter (Ralloc.free t) got;
+  Ralloc.flush_thread_cache t;
+  Alcotest.(check bool) "usable after frees" true (Ralloc.malloc t 14336 <> 0)
+
+let test_roots () =
+  with_heap (fun t ->
+      let a = Ralloc.malloc t 64 in
+      Ralloc.set_root t 0 a;
+      Alcotest.(check int) "get_root" a (Ralloc.get_root t 0);
+      Ralloc.set_root t 0 0;
+      Alcotest.(check int) "cleared" 0 (Ralloc.get_root t 0);
+      Alcotest.(check int) "unset root" 0 (Ralloc.get_root t 5))
+
+let test_pptr_io () =
+  with_heap (fun t ->
+      let a = Ralloc.malloc t 64 and b = Ralloc.malloc t 64 in
+      Ralloc.write_ptr t ~at:a ~target:b;
+      Alcotest.(check int) "read_ptr" b (Ralloc.read_ptr t a);
+      Ralloc.write_ptr t ~at:a ~target:0;
+      Alcotest.(check int) "null ptr" 0 (Ralloc.read_ptr t a))
+
+(* Build a linked list of [n] nodes in the heap, root at index 0.
+   Node layout: word 0 = next (off-holder), word 1 = payload. *)
+let build_list t n =
+  let head = ref 0 in
+  for i = 1 to n do
+    let node = Ralloc.malloc t 16 in
+    assert (node <> 0);
+    Ralloc.write_ptr t ~at:node ~target:!head;
+    Ralloc.store t (node + 8) i;
+    Ralloc.flush_block_range t node 16;
+    Ralloc.fence t;
+    head := node
+  done;
+  Ralloc.set_root t 0 !head;
+  !head
+
+let check_list t n =
+  let rec walk va expect count =
+    if va = 0 then count
+    else begin
+      Alcotest.(check int) "payload" expect (Ralloc.load t (va + 8));
+      walk (Ralloc.read_ptr t va) (expect - 1) (count + 1)
+    end
+  in
+  let len = walk (Ralloc.get_root t 0) n 0 in
+  Alcotest.(check int) "list length" n len
+
+let test_recover_after_crash () =
+  with_heap (fun t ->
+      let n = 500 in
+      let _ = build_list t n in
+      (* some garbage that will be unreachable after the crash *)
+      for _ = 1 to 200 do
+        ignore (Ralloc.malloc t 64)
+      done;
+      let t, status = Ralloc.crash_and_reopen t in
+      Alcotest.(check bool) "dirty restart" true (status = Ralloc.Dirty_restart);
+      let stats = Ralloc.recover t in
+      Alcotest.(check int) "reachable blocks" n stats.reachable_blocks;
+      check_list t n;
+      let a = Ralloc.malloc t 64 in
+      Alcotest.(check bool) "alloc after recovery" true (a <> 0))
+
+let test_recovered_blocks_not_reallocated () =
+  with_heap (fun t ->
+      let n = 200 in
+      let _ = build_list t n in
+      let t, _ = Ralloc.crash_and_reopen t in
+      ignore (Ralloc.recover t);
+      let live = Hashtbl.create 64 in
+      let rec walk va =
+        if va <> 0 then begin
+          Hashtbl.replace live va ();
+          walk (Ralloc.read_ptr t va)
+        end
+      in
+      walk (Ralloc.get_root t 0);
+      Alcotest.(check int) "live set" n (Hashtbl.length live);
+      for _ = 1 to 5000 do
+        let a = Ralloc.malloc t 16 in
+        if a <> 0 && Hashtbl.mem live a then
+          Alcotest.failf "recovered live block %#x re-allocated" a
+      done)
+
+let test_crash_leak_then_gc_reclaims () =
+  with_heap ~size:(2 * mb) (fun t ->
+      let rec leak n = if Ralloc.malloc t 1024 <> 0 then leak (n + 1) else n in
+      let leaked = leak 0 in
+      Alcotest.(check bool) "leaked a lot" true (leaked > 1000);
+      let t, _ = Ralloc.crash_and_reopen t in
+      let stats = Ralloc.recover t in
+      Alcotest.(check int) "nothing reachable" 0 stats.reachable_blocks;
+      let rec fill n = if Ralloc.malloc t 1024 <> 0 then fill (n + 1) else n in
+      let refilled = fill 0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "full capacity recovered (%d vs %d)" refilled leaked)
+        true
+        (refilled >= leaked))
+
+let test_recovery_with_eviction_noise () =
+  with_heap (fun t ->
+      Ralloc.set_eviction_rate t 0.1;
+      let n = 300 in
+      let _ = build_list t n in
+      let t, _ = Ralloc.crash_and_reopen t in
+      let stats = Ralloc.recover t in
+      Alcotest.(check int) "reachable blocks" n stats.reachable_blocks;
+      check_list t n)
+
+let test_clean_restart_via_files () =
+  let path = Filename.temp_file "ralloc" "heap" in
+  Sys.remove path;
+  let t, status = Ralloc.init ~path ~size:(2 * mb) () in
+  Alcotest.(check bool) "fresh" true (status = Ralloc.Fresh);
+  let n = 100 in
+  let _ = build_list t n in
+  Ralloc.close t;
+  let t, status = Ralloc.init ~path ~size:(2 * mb) () in
+  Alcotest.(check bool) "clean restart" true (status = Ralloc.Clean_restart);
+  check_list t n;
+  Alcotest.(check bool) "alloc ok" true (Ralloc.malloc t 64 <> 0);
+  Ralloc.close t;
+  List.iter Sys.remove [ path ^ ".meta"; path ^ ".desc"; path ^ ".sb" ]
+
+let test_position_independence () =
+  with_heap (fun t ->
+      let n = 50 in
+      let _ = build_list t n in
+      let old_base = Ralloc.sb_base t in
+      let t, _ = Ralloc.crash_and_reopen ~sb_base:(old_base + 0x2_0000_0000) t in
+      ignore (Ralloc.recover t);
+      check_list t n)
+
+(* node: word 0 = next pointer, word 1 = an integer that looks exactly like
+   a pptr to [decoy], word 2 = payload. *)
+let build_decoy_list t n =
+  let decoy = Ralloc.malloc t 64 in
+  let head = ref 0 in
+  for i = 1 to n do
+    let node = Ralloc.malloc t 24 in
+    Ralloc.write_ptr t ~at:node ~target:!head;
+    Ralloc.store t (node + 8) (Pptr.encode ~holder:(node + 8) ~target:decoy);
+    Ralloc.store t (node + 16) i;
+    Ralloc.flush_block_range t node 24;
+    head := node
+  done;
+  Ralloc.fence t;
+  Ralloc.set_root t 0 !head
+
+let test_filter_function () =
+  with_heap (fun t ->
+      let n = 20 in
+      build_decoy_list t n;
+      let t2, _ = Ralloc.crash_and_reopen t in
+      (* the filter visits only word 0 (the real next pointer) *)
+      let rec node_filter (gc : Ralloc.gc) va =
+        gc.visit ~filter:node_filter (Ralloc.read_ptr t2 va)
+      in
+      ignore (Ralloc.get_root ~filter:node_filter t2 0);
+      let stats = Ralloc.recover t2 in
+      Alcotest.(check int) "filtered trace" n stats.reachable_blocks)
+
+let test_conservative_follows_decoy () =
+  with_heap (fun t ->
+      let n = 20 in
+      build_decoy_list t n;
+      let t2, _ = Ralloc.crash_and_reopen t in
+      ignore (Ralloc.get_root t2 0) (* no filter: conservative *);
+      let stats = Ralloc.recover t2 in
+      (* conservative scan treats the fake pointers as real: decoy kept *)
+      Alcotest.(check int) "conservative trace" (n + 1) stats.reachable_blocks)
+
+let test_flush_counts () =
+  with_heap (fun t ->
+      Ralloc.reset_stats t;
+      ignore (Ralloc.malloc t 64);
+      let warm = (Ralloc.stats t).flushes in
+      for _ = 1 to 100 do
+        let a = Ralloc.malloc t 64 in
+        Ralloc.free t a
+      done;
+      let after = (Ralloc.stats t).flushes in
+      Alcotest.(check int) "steady-state malloc/free flushes nothing" warm
+        after)
+
+let test_parallel_recovery_equivalent () =
+  (* recovery with a parallel rebuild phase must produce the same heap
+     state as the sequential one *)
+  with_heap (fun t ->
+      let n = 2000 in
+      let _ = build_list t n in
+      for _ = 1 to 500 do
+        ignore (Ralloc.malloc t 3000) (* garbage across many superblocks *)
+      done;
+      let t, _ = Ralloc.crash_and_reopen t in
+      let stats = Ralloc.recover ~domains:4 t in
+      Alcotest.(check int) "reachable" n stats.reachable_blocks;
+      check_list t n;
+      (* heap fully usable: refill everything the GC reclaimed *)
+      let rec fill k = if Ralloc.malloc t 3000 <> 0 then fill (k + 1) else k in
+      Alcotest.(check bool) "capacity recovered" true (fill 0 >= 500))
+
+let test_riv_cross_heap () =
+  let a = Ralloc.create ~name:"heapA" ~heap_id:7 ~size:(2 * mb) () in
+  let b = Ralloc.create ~name:"heapB" ~heap_id:9 ~size:(2 * mb) () in
+  Alcotest.(check int) "heap id A" 7 (Ralloc.heap_id a);
+  Alcotest.(check int) "heap id B" 9 (Ralloc.heap_id b);
+  let home = Ralloc.malloc a 64 and remote = Ralloc.malloc b 64 in
+  Ralloc.store b remote 4242;
+  Ralloc.write_riv a ~at:home ~target_heap:b ~target:remote;
+  (match Ralloc.read_riv a home with
+  | Some (h, va) ->
+    Alcotest.(check int) "resolves to heap B" 9 (Ralloc.heap_id h);
+    Alcotest.(check int) "value through riv" 4242 (Ralloc.load h va)
+  | None -> Alcotest.fail "riv did not resolve");
+  (* a RIV word is not an off-holder: conservative GC will not chase it *)
+  Alcotest.(check bool) "riv is not a pptr" false
+    (Pptr.looks_like_pptr (Ralloc.load a home));
+  (* null target *)
+  Ralloc.write_riv a ~at:home ~target_heap:b ~target:0;
+  Alcotest.(check bool) "null riv" true (Ralloc.read_riv a home = None);
+  (* unmapped heap: close B and try to resolve a dangling riv *)
+  Ralloc.write_riv a ~at:home ~target_heap:b ~target:remote;
+  Ralloc.close b;
+  Alcotest.(check bool) "unmapped heap yields None" true
+    (Ralloc.read_riv a home = None)
+
+let test_riv_survives_remap () =
+  let a = Ralloc.create ~name:"rivA" ~heap_id:21 ~size:(2 * mb) () in
+  let b = Ralloc.create ~name:"rivB" ~heap_id:22 ~size:(2 * mb) () in
+  let home = Ralloc.malloc a 64 and remote = Ralloc.malloc b 64 in
+  Ralloc.store b remote 99;
+  Ralloc.flush_block_range b remote 64;
+  Ralloc.write_riv a ~at:home ~target_heap:b ~target:remote;
+  Ralloc.flush_block_range a home 64;
+  Ralloc.fence a;
+  Ralloc.fence b;
+  Ralloc.set_root a 0 home;
+  Ralloc.set_root b 0 remote;
+  (* crash BOTH heaps; both remap at new bases; the riv still resolves *)
+  let a, _ = Ralloc.crash_and_reopen a in
+  let b, _ = Ralloc.crash_and_reopen b in
+  ignore (Ralloc.get_root a 0);
+  ignore (Ralloc.get_root b 0);
+  ignore (Ralloc.recover a);
+  ignore (Ralloc.recover b);
+  let home = Ralloc.get_root a 0 in
+  match Ralloc.read_riv a home with
+  | Some (h, va) ->
+    Alcotest.(check int) "value after double remap" 99 (Ralloc.load h va)
+  | None -> Alcotest.fail "riv lost across remap"
+
+let test_transient_mode_never_flushes () =
+  let t = Ralloc.create ~name:"lrm" ~persist:false ~size:(4 * mb) () in
+  for _ = 1 to 1000 do
+    let a = Ralloc.malloc t 64 in
+    Ralloc.free t a
+  done;
+  let s = Ralloc.stats t in
+  Alcotest.(check int) "no flushes" 0 s.flushes;
+  Alcotest.(check int) "no fences" 0 s.fences
+
+(* Model-based random testing: interpret a random malloc/free program
+   against a reference model; the allocator must never hand out
+   overlapping blocks, and writes through one block must never disturb
+   another. *)
+let prop_random_program =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 10 400) (pair (int_range 0 14336) bool))
+  in
+  QCheck2.Test.make ~name:"random malloc/free program" ~count:40 gen
+    (fun program ->
+      let t = Ralloc.create ~name:"model" ~size:(16 * mb) () in
+      let live : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+      (* va -> (stamp, size) *)
+      let stamp = ref 0 in
+      let ok = ref true in
+      let check_no_overlap va size =
+        Hashtbl.iter
+          (fun va' (_, size') ->
+            if va < va' + size' && va' < va + size then ok := false)
+          live
+      in
+      List.iter
+        (fun (size, do_free) ->
+          if do_free && Hashtbl.length live > 0 then begin
+            (* free the oldest live block, verifying its content first *)
+            let victim, (st, _) =
+              Hashtbl.fold
+                (fun va (st, sz) (bva, (bst, bsz)) ->
+                  if st < bst then (va, (st, sz)) else (bva, (bst, bsz)))
+                live
+                (0, (max_int, 0))
+            in
+            if Ralloc.load t victim <> st then ok := false;
+            Hashtbl.remove live victim;
+            Ralloc.free t victim
+          end
+          else begin
+            let va = Ralloc.malloc t size in
+            if va <> 0 then begin
+              let usable = Ralloc.usable_size t va in
+              if usable < size then ok := false;
+              check_no_overlap va usable;
+              incr stamp;
+              Ralloc.store t va !stamp;
+              Hashtbl.add live va (!stamp, usable)
+            end
+          end)
+        program;
+      (* all remaining contents intact *)
+      Hashtbl.iter
+        (fun va (st, _) -> if Ralloc.load t va <> st then ok := false)
+        live;
+      !ok)
+
+let () =
+  Alcotest.run "ralloc"
+    [
+      ( "alloc",
+        [
+          Alcotest.test_case "malloc basic" `Quick test_malloc_basic;
+          Alcotest.test_case "distinct addresses" `Quick test_distinct_addresses;
+          Alcotest.test_case "no overlap mixed sizes" `Quick
+            test_no_overlap_mixed_sizes;
+          Alcotest.test_case "usable size" `Quick test_usable_size;
+          Alcotest.test_case "free reuse" `Quick test_free_reuse;
+          Alcotest.test_case "large alloc" `Quick test_large_alloc;
+          Alcotest.test_case "out of memory" `Quick test_oom;
+        ] );
+      ( "roots",
+        [
+          Alcotest.test_case "set/get root" `Quick test_roots;
+          Alcotest.test_case "pptr io" `Quick test_pptr_io;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "recover after crash" `Quick
+            test_recover_after_crash;
+          Alcotest.test_case "live blocks not reallocated" `Quick
+            test_recovered_blocks_not_reallocated;
+          Alcotest.test_case "crash leak reclaimed" `Quick
+            test_crash_leak_then_gc_reclaims;
+          Alcotest.test_case "recovery with eviction noise" `Quick
+            test_recovery_with_eviction_noise;
+          Alcotest.test_case "clean restart via files" `Quick
+            test_clean_restart_via_files;
+          Alcotest.test_case "position independence" `Quick
+            test_position_independence;
+          Alcotest.test_case "filter function" `Quick test_filter_function;
+          Alcotest.test_case "conservative follows decoy" `Quick
+            test_conservative_follows_decoy;
+          Alcotest.test_case "parallel recovery" `Quick
+            test_parallel_recovery_equivalent;
+        ] );
+      ( "riv",
+        [
+          Alcotest.test_case "cross-heap pointers" `Quick test_riv_cross_heap;
+          Alcotest.test_case "riv survives remap" `Quick test_riv_survives_remap;
+        ] );
+      ( "persistence-cost",
+        [
+          Alcotest.test_case "steady state flush-free" `Quick test_flush_counts;
+          Alcotest.test_case "transient mode never flushes" `Quick
+            test_transient_mode_never_flushes;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_random_program ]);
+    ]

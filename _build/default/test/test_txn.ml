@@ -1,0 +1,246 @@
+(* Tests for the failure-atomic transaction layer: atomic visibility,
+   rollback, replay after a crash at the worst point, allocator
+   integration (leaked transaction allocations are GC food), and the
+   bank-transfer invariant under crashes. *)
+
+let mb = 1 lsl 20
+
+let with_txn ?(size = 16 * mb) f =
+  let heap = Ralloc.create ~name:"txn" ~size () in
+  let mgr = Txn.create heap ~root:0 in
+  f heap mgr
+
+let test_commit_applies () =
+  with_txn (fun heap mgr ->
+      let a = Ralloc.malloc heap 64 and b = Ralloc.malloc heap 64 in
+      Txn.run mgr (fun tx ->
+          Txn.store tx a 111;
+          Txn.store tx b 222;
+          (* the transaction reads its own writes *)
+          Alcotest.(check int) "rur" 111 (Txn.load tx a));
+      Alcotest.(check int) "a applied" 111 (Ralloc.load heap a);
+      Alcotest.(check int) "b applied" 222 (Ralloc.load heap b))
+
+let test_abort_rolls_back () =
+  with_txn (fun heap mgr ->
+      let a = Ralloc.malloc heap 64 in
+      Ralloc.store heap a 5;
+      (try
+         Txn.run mgr (fun tx ->
+             Txn.store tx a 999;
+             Txn.abort ())
+       with Txn.Abort -> ());
+      Alcotest.(check int) "unchanged" 5 (Ralloc.load heap a);
+      Alcotest.(check int) "no slots leaked" 0 (Txn.slots_in_use mgr))
+
+let test_abort_frees_mallocs () =
+  with_txn (fun heap mgr ->
+      Ralloc.flush_thread_cache heap;
+      let before = (Ralloc.Debug.report heap).total_allocated_blocks in
+      (try
+         Txn.run mgr (fun tx ->
+             for _ = 1 to 10 do
+               ignore (Txn.malloc tx 256)
+             done;
+             Txn.abort ())
+       with Txn.Abort -> ());
+      Ralloc.flush_thread_cache heap;
+      let after = (Ralloc.Debug.report heap).total_allocated_blocks in
+      Alcotest.(check int) "allocations released" before after)
+
+let test_free_is_deferred () =
+  with_txn (fun heap mgr ->
+      let victim = Ralloc.malloc heap 64 in
+      Ralloc.store heap victim 7;
+      (try
+         Txn.run mgr (fun tx ->
+             Txn.free tx victim;
+             Txn.abort ())
+       with Txn.Abort -> ());
+      (* abort: the free never happened *)
+      Alcotest.(check int) "still intact" 7 (Ralloc.load heap victim);
+      Txn.run mgr (fun tx -> Txn.free tx victim);
+      (* committed: the block is reusable now *)
+      Alcotest.(check int) "reused" victim (Ralloc.malloc heap 64))
+
+let test_crash_before_commit_is_invisible () =
+  with_txn (fun heap mgr ->
+      let a = Ralloc.malloc heap 64 in
+      Ralloc.store heap a 1;
+      Ralloc.flush_block_range heap a 64;
+      Ralloc.fence heap;
+      Ralloc.set_root heap 1 a;
+      (* run the body without committing, then crash *)
+      (try
+         Txn.run mgr (fun tx ->
+             Txn.store tx a 42;
+             raise Exit)
+       with Exit -> ());
+      let heap, _ = Ralloc.crash_and_reopen heap in
+      ignore (Txn.attach heap ~root:0);
+      ignore (Ralloc.get_root heap 1);
+      ignore (Ralloc.recover heap);
+      let a = Ralloc.get_root heap 1 in
+      Alcotest.(check int) "old value" 1 (Ralloc.load heap a))
+
+let test_replay_after_commit_record () =
+  with_txn (fun heap mgr ->
+      let a = Ralloc.malloc heap 64 and b = Ralloc.malloc heap 64 in
+      Ralloc.store heap a 1;
+      Ralloc.store heap b 2;
+      Ralloc.flush_block_range heap a 64;
+      Ralloc.flush_block_range heap b 64;
+      Ralloc.fence heap;
+      Ralloc.set_root heap 1 a;
+      Ralloc.set_root heap 2 b;
+      (* the adversarial schedule: commit record durable, apply never ran *)
+      Txn.Private.commit_record_only mgr (fun tx ->
+          Txn.store tx a 100;
+          Txn.store tx b 200);
+      Alcotest.(check int) "not yet applied" 1 (Ralloc.load heap a);
+      let heap, _ = Ralloc.crash_and_reopen heap in
+      ignore (Txn.attach heap ~root:0) (* replay happens here *);
+      ignore (Ralloc.get_root heap 1);
+      ignore (Ralloc.get_root heap 2);
+      ignore (Ralloc.recover heap);
+      let a = Ralloc.get_root heap 1 and b = Ralloc.get_root heap 2 in
+      Alcotest.(check int) "a replayed" 100 (Ralloc.load heap a);
+      Alcotest.(check int) "b replayed" 200 (Ralloc.load heap b);
+      (* replay must be idempotent across repeated crashes *)
+      let heap, _ = Ralloc.crash_and_reopen heap in
+      ignore (Txn.attach heap ~root:0);
+      ignore (Ralloc.get_root heap 1);
+      ignore (Ralloc.recover heap);
+      let a = Ralloc.get_root heap 1 in
+      Alcotest.(check int) "still 100" 100 (Ralloc.load heap a))
+
+let test_leaked_txn_alloc_collected () =
+  with_txn (fun heap mgr ->
+      let keeper = Ralloc.malloc heap 64 in
+      Ralloc.flush_block_range heap keeper 64;
+      Ralloc.fence heap;
+      Ralloc.set_root heap 1 keeper;
+      (* a transaction allocates, stores into its block, and the system
+         dies before commit: the block must be collected *)
+      (try
+         Txn.run mgr (fun tx ->
+             let n = Txn.malloc tx 128 in
+             Txn.store tx n 42;
+             raise Exit)
+       with Exit -> ());
+      let heap, _ = Ralloc.crash_and_reopen heap in
+      ignore (Txn.attach heap ~root:0);
+      ignore (Ralloc.get_root heap 1);
+      let stats = Ralloc.recover heap in
+      (* keeper + txn index + 8 slot blocks *)
+      Alcotest.(check int) "only rooted blocks survive" 10
+        stats.reachable_blocks)
+
+let test_log_overflow () =
+  let heap = Ralloc.create ~name:"txn-of" ~size:(16 * mb) () in
+  let mgr = Txn.create ~log_capacity:4 heap ~root:0 in
+  let a = Ralloc.malloc heap 64 in
+  Alcotest.check_raises "overflow" Txn.Log_overflow (fun () ->
+      Txn.run mgr (fun tx ->
+          for i = 0 to 4 do
+            Txn.store tx (a + (8 * i)) i
+          done))
+
+(* Transfers between persistent accounts with a crash after every batch:
+   the total must be conserved no matter where the crashes land. *)
+let test_bank_invariant_across_crashes () =
+  let naccounts = 20 and initial = 100 in
+  let heap = ref (Ralloc.create ~name:"bank" ~size:(16 * mb) ()) in
+  let mgr = ref (Txn.create !heap ~root:0) in
+  let accounts = Ralloc.malloc !heap (naccounts * 8) in
+  for i = 0 to naccounts - 1 do
+    Ralloc.store !heap (accounts + (8 * i)) initial
+  done;
+  Ralloc.flush_block_range !heap accounts (naccounts * 8);
+  Ralloc.fence !heap;
+  Ralloc.set_root !heap 1 accounts;
+  let rng = Random.State.make [| 31337 |] in
+  for _round = 1 to 8 do
+    let accounts = Ralloc.get_root !heap 1 in
+    for _ = 1 to 50 do
+      let src = Random.State.int rng naccounts
+      and dst = Random.State.int rng naccounts in
+      let amount = Random.State.int rng 10 in
+      try
+        Txn.run !mgr (fun tx ->
+            let s = Txn.load tx (accounts + (8 * src)) in
+            if s < amount then Txn.abort ();
+            Txn.store tx (accounts + (8 * src)) (s - amount);
+            let d = Txn.load tx (accounts + (8 * dst)) in
+            Txn.store tx (accounts + (8 * dst)) (d + amount))
+      with Txn.Abort -> ()
+    done;
+    let h, _ = Ralloc.crash_and_reopen !heap in
+    heap := h;
+    mgr := Txn.attach h ~root:0;
+    ignore (Ralloc.get_root h 1);
+    ignore (Ralloc.recover h);
+    let accounts = Ralloc.get_root h 1 in
+    let total = ref 0 in
+    for i = 0 to naccounts - 1 do
+      total := !total + Ralloc.load h (accounts + (8 * i))
+    done;
+    Alcotest.(check int) "money conserved" (naccounts * initial) !total
+  done
+
+let test_concurrent_txns_disjoint () =
+  with_txn ~size:(32 * mb) (fun heap mgr ->
+      let threads = 4 and cells = 4 in
+      let blocks =
+        Array.init threads (fun _ -> Ralloc.malloc heap (cells * 8))
+      in
+      let ds =
+        List.init threads (fun tid ->
+            Domain.spawn (fun () ->
+                for i = 1 to 200 do
+                  Txn.run mgr (fun tx ->
+                      for c = 0 to cells - 1 do
+                        Txn.store tx (blocks.(tid) + (8 * c)) ((i * 10) + c)
+                      done)
+                done;
+                Ralloc.flush_thread_cache heap))
+      in
+      List.iter Domain.join ds;
+      Array.iteri
+        (fun _tid b ->
+          for c = 0 to cells - 1 do
+            Alcotest.(check int) "final state" (2000 + c)
+              (Ralloc.load heap (b + (8 * c)))
+          done)
+        blocks;
+      Alcotest.(check int) "slots all released" 0 (Txn.slots_in_use mgr))
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "atomicity",
+        [
+          Alcotest.test_case "commit applies" `Quick test_commit_applies;
+          Alcotest.test_case "abort rolls back" `Quick test_abort_rolls_back;
+          Alcotest.test_case "abort frees mallocs" `Quick
+            test_abort_frees_mallocs;
+          Alcotest.test_case "free is deferred" `Quick test_free_is_deferred;
+          Alcotest.test_case "log overflow" `Quick test_log_overflow;
+        ] );
+      ( "crashes",
+        [
+          Alcotest.test_case "crash before commit invisible" `Quick
+            test_crash_before_commit_is_invisible;
+          Alcotest.test_case "replay after commit record" `Quick
+            test_replay_after_commit_record;
+          Alcotest.test_case "leaked txn alloc collected" `Quick
+            test_leaked_txn_alloc_collected;
+          Alcotest.test_case "bank invariant across crashes" `Quick
+            test_bank_invariant_across_crashes;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "disjoint concurrent txns" `Slow
+            test_concurrent_txns_disjoint;
+        ] );
+    ]

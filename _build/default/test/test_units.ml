@@ -1,0 +1,257 @@
+(* Unit and property tests for the allocator's packing and table modules:
+   size classes, anchors, counted list heads, layout math, thread caches. *)
+
+module SC = Ralloc.Size_class
+module A = Ralloc.Anchor
+module L = Ralloc.Layout
+module TC = Ralloc.Tcache
+
+(* ------------------------- size classes ------------------------- *)
+
+let test_size_class_table () =
+  Alcotest.(check int) "39 classes" 39 SC.count;
+  Alcotest.(check int) "min class size" 8 (SC.block_size 1);
+  Alcotest.(check int) "max class size" 14336 (SC.block_size SC.count);
+  Alcotest.(check int) "max_small_size" 14336 SC.max_small_size
+
+let test_size_class_lookup () =
+  Alcotest.(check int) "size 1 -> class 1" 1 (SC.of_size 1);
+  Alcotest.(check int) "size 8 -> class 1" 1 (SC.of_size 8);
+  Alcotest.(check int) "size 9 -> class 2" 2 (SC.of_size 9);
+  Alcotest.(check int) "size 0 -> class 1" 1 (SC.of_size 0);
+  Alcotest.(check int) "largest" SC.count (SC.of_size 14336);
+  Alcotest.check_raises "too large" (Invalid_argument "Size_class.of_size")
+    (fun () -> ignore (SC.of_size 14337))
+
+let prop_class_covers_size =
+  QCheck2.Test.make ~name:"block_size (of_size n) >= n" ~count:2000
+    QCheck2.Gen.(int_range 1 14336)
+    (fun n -> SC.block_size (SC.of_size n) >= n)
+
+let prop_class_is_tight =
+  QCheck2.Test.make ~name:"of_size picks the smallest adequate class"
+    ~count:2000
+    QCheck2.Gen.(int_range 1 14336)
+    (fun n ->
+      let c = SC.of_size n in
+      c = 1 || SC.block_size (c - 1) < n)
+
+let prop_sizes_monotone =
+  QCheck2.Test.make ~name:"class sizes strictly increase" ~count:100
+    QCheck2.Gen.(int_range 2 39)
+    (fun c -> SC.block_size c > SC.block_size (c - 1))
+
+let prop_blocks_tile_superblock =
+  QCheck2.Test.make ~name:"blocks_per_superblock fits in 64 KB" ~count:100
+    QCheck2.Gen.(int_range 1 39)
+    (fun c ->
+      let n = SC.blocks_per_superblock c in
+      n >= 1 && n * SC.block_size c <= 65536)
+
+let prop_fragmentation_bounded =
+  (* classes are spaced so wasted space is at most max(8 B, a quarter of
+     the block): 8 B steps up to 64 B, then four classes per doubling *)
+  QCheck2.Test.make ~name:"internal fragmentation bounded" ~count:2000
+    QCheck2.Gen.(int_range 1 14336)
+    (fun n ->
+      let b = SC.block_size (SC.of_size n) in
+      b - n <= max 8 (b / 4))
+
+(* ------------------------- anchors ------------------------- *)
+
+let anchor_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((avail, count, s), tag) ->
+        {
+          A.avail;
+          count;
+          state = (match s with 0 -> A.Empty | 1 -> A.Partial | _ -> A.Full);
+          tag;
+        })
+      (pair
+         (triple (int_bound 0xFFFF) (int_bound 0xFFFF) (int_bound 2))
+         (int_bound A.tag_mask)))
+
+let prop_anchor_roundtrip =
+  QCheck2.Test.make ~name:"anchor pack/unpack roundtrip" ~count:2000 anchor_gen
+    (fun a -> A.unpack (A.pack a) = a)
+
+let prop_anchor_stable =
+  QCheck2.Test.make ~name:"pack(unpack w) is identity on packed words"
+    ~count:2000 anchor_gen (fun a ->
+      let w = A.pack a in
+      A.pack (A.unpack w) = w)
+
+let test_anchor_zero () =
+  (* a fresh (zeroed) descriptor word must read as an empty anchor *)
+  let a = A.unpack 0 in
+  Alcotest.(check bool) "empty state" true (a.A.state = A.Empty);
+  Alcotest.(check int) "count" 0 a.A.count;
+  Alcotest.(check int) "tag" 0 a.A.tag
+
+let prop_anchor_tag_distinguishes =
+  QCheck2.Test.make ~name:"tag changes the packed word" ~count:500 anchor_gen
+    (fun a -> A.pack a <> A.pack { a with A.tag = (a.A.tag + 1) land A.tag_mask })
+
+(* ------------------------- counted heads ------------------------- *)
+
+let prop_head_roundtrip =
+  QCheck2.Test.make ~name:"counted head roundtrip" ~count:2000
+    QCheck2.Gen.(pair (int_bound 0xFFFFFFF) (int_range (-1) 100000))
+    (fun (count, desc) -> L.Head.unpack (L.Head.pack ~count ~desc) = (count, desc))
+
+let test_head_empty () =
+  Alcotest.(check (pair int int)) "empty" (0, -1) (L.Head.unpack L.Head.empty)
+
+let prop_head_counter_distinguishes =
+  (* same descriptor, different counter -> different words (anti-ABA) *)
+  QCheck2.Test.make ~name:"counter changes the word" ~count:1000
+    QCheck2.Gen.(pair (int_bound 1000000) (int_bound 0xFFFFFF))
+    (fun (desc, count) ->
+      L.Head.pack ~count ~desc <> L.Head.pack ~count:(count + 1) ~desc)
+
+(* ------------------------- layout math ------------------------- *)
+
+let test_layout_inverses () =
+  for i = 0 to 1000 do
+    Alcotest.(check int) "desc of sb offset" i
+      (L.descriptor_of_offset (L.superblock_offset i));
+    (* interior offsets resolve to the same descriptor *)
+    Alcotest.(check int) "interior" i
+      (L.descriptor_of_offset (L.superblock_offset i + 65535))
+  done
+
+let test_layout_distinct_fields () =
+  (* metadata offsets must never collide *)
+  let offs = ref [] in
+  let add o = offs := o :: !offs in
+  add L.meta_magic;
+  add L.meta_dirty;
+  add L.meta_heap_size;
+  add L.meta_free_list_head;
+  for i = 0 to 9 do
+    add (L.meta_root i)
+  done;
+  add (L.meta_root (L.max_roots - 1));
+  for c = 1 to 39 do
+    add (L.meta_class_block_size c);
+    add (L.meta_class_partial_head c)
+  done;
+  let sorted = List.sort_uniq compare !offs in
+  Alcotest.(check int) "all distinct" (List.length !offs) (List.length sorted);
+  Alcotest.(check bool) "within region" true
+    (List.for_all (fun o -> o >= 0 && o < L.meta_words) !offs)
+
+let test_descriptor_fields () =
+  Alcotest.(check int) "desc 0 anchor" 0 (L.desc_word 0 L.d_anchor);
+  Alcotest.(check int) "desc 1 anchor" 8 (L.desc_word 1 L.d_anchor);
+  Alcotest.(check bool) "fields within descriptor" true
+    (List.for_all
+       (fun f -> f >= 0 && f < L.descriptor_words)
+       [ L.d_anchor; L.d_class; L.d_bsize; L.d_next_free; L.d_next_partial ])
+
+(* ------------------------- thread caches ------------------------- *)
+
+let test_tcache_lifo () =
+  let set = TC.create_set () in
+  let tc = set.(1) in
+  Alcotest.(check bool) "empty" true (TC.is_empty tc);
+  TC.push tc 100;
+  TC.push tc 200;
+  Alcotest.(check int) "pop order" 200 (TC.pop tc);
+  Alcotest.(check int) "pop order" 100 (TC.pop tc);
+  Alcotest.(check bool) "empty again" true (TC.is_empty tc)
+
+let test_tcache_capacity () =
+  let set = TC.create_set () in
+  (* class with the fewest blocks: 14336 B -> 4 per superblock *)
+  let tc = set.(39) in
+  Alcotest.(check int) "capacity = blocks per superblock" 4 (TC.capacity tc);
+  TC.push tc 1;
+  TC.push tc 2;
+  TC.push tc 3;
+  TC.push tc 4;
+  Alcotest.(check bool) "full" true (TC.is_full tc);
+  Alcotest.check_raises "push when full" (Invalid_argument "Tcache.push: full")
+    (fun () -> TC.push tc 5);
+  ignore (TC.pop tc);
+  Alcotest.(check bool) "not full" false (TC.is_full tc)
+
+let test_tcache_per_class () =
+  let set = TC.create_set () in
+  Alcotest.(check int) "one per class plus placeholder" 40 (Array.length set);
+  for c = 1 to 39 do
+    Alcotest.(check int)
+      (Printf.sprintf "capacity class %d" c)
+      (SC.blocks_per_superblock c)
+      (TC.capacity set.(c))
+  done
+
+(* ------------------------- pptr counters ------------------------- *)
+
+let prop_counter_roundtrip =
+  QCheck2.Test.make ~name:"with_counter/counter_of roundtrip" ~count:1000
+    QCheck2.Gen.(pair (int_bound 31) (int_bound 0xFFFFFF))
+    (fun (c, delta) ->
+      let holder = 0x10_0000_0000 in
+      let w = Pptr.encode_counted ~holder ~target:(holder + (delta * 8) + 8) c in
+      Pptr.counter_of w = c
+      && Pptr.decode_counted ~holder w = holder + (delta * 8) + 8)
+
+let prop_counter_does_not_affect_decode =
+  QCheck2.Test.make ~name:"counter bits are masked on decode" ~count:1000
+    QCheck2.Gen.(int_bound 31)
+    (fun c ->
+      let holder = 0x20_0000_0000 and target = 0x20_0000_1000 in
+      let w = Pptr.encode ~holder ~target in
+      Pptr.decode_counted ~holder (Pptr.with_counter w c) = target)
+
+let () =
+  Alcotest.run "units"
+    [
+      ( "size_class",
+        Alcotest.
+          [
+            test_case "table" `Quick test_size_class_table;
+            test_case "lookup" `Quick test_size_class_lookup;
+          ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_class_covers_size;
+              prop_class_is_tight;
+              prop_sizes_monotone;
+              prop_blocks_tile_superblock;
+              prop_fragmentation_bounded;
+            ] );
+      ( "anchor",
+        Alcotest.[ test_case "zero word" `Quick test_anchor_zero ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_anchor_roundtrip;
+              prop_anchor_stable;
+              prop_anchor_tag_distinguishes;
+            ] );
+      ( "heads",
+        Alcotest.[ test_case "empty" `Quick test_head_empty ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_head_roundtrip; prop_head_counter_distinguishes ] );
+      ( "layout",
+        Alcotest.
+          [
+            test_case "offset inverses" `Quick test_layout_inverses;
+            test_case "distinct metadata fields" `Quick
+              test_layout_distinct_fields;
+            test_case "descriptor fields" `Quick test_descriptor_fields;
+          ] );
+      ( "tcache",
+        Alcotest.
+          [
+            test_case "lifo" `Quick test_tcache_lifo;
+            test_case "capacity" `Quick test_tcache_capacity;
+            test_case "per class" `Quick test_tcache_per_class;
+          ] );
+      ( "pptr-counter",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_counter_roundtrip; prop_counter_does_not_affect_decode ] );
+    ]
