@@ -8,7 +8,8 @@
      dune exec bench/main.exe -- --only fig5a      # one figure
      dune exec bench/main.exe -- --threads 1,2,4 --scale 0.5
      dune exec bench/main.exe -- --bechamel        # per-op latency suite
-     dune exec bench/main.exe -- --csv results.csv *)
+     dune exec bench/main.exe -- --csv results.csv
+     dune exec bench/main.exe -- --only fig5a --metrics --trace trace.json *)
 
 let mb = 1 lsl 20
 
@@ -37,19 +38,19 @@ let sweep ctx ~figure ~title ~allocators ~heap_mb ~metric f =
         (fun name ->
           let alloc = Baselines.Allocators.make name ~size:(heap_mb * mb) in
           let before = Alloc_iface.stats alloc in
-          let value = f alloc ~threads in
+          let s0 = Obs.Trace.begin_span () in
+          let value, p50_ns, p99_ns =
+            Workloads.Harness.with_alloc_latency (fun () -> f alloc ~threads)
+          in
+          Obs.Trace.span
+            (Printf.sprintf "bench.%s.%s.t%d" figure name threads)
+            s0;
           let after = Alloc_iface.stats alloc in
           let d = Pmem.Stats.diff after before in
           emit ctx
-            {
-              Workloads.Harness.figure;
-              allocator = name;
-              threads;
-              metric;
-              value;
-              flushes = d.flushes;
-              fences = d.fences;
-            };
+            (Workloads.Harness.make_row ~figure ~allocator:name ~threads
+               ~metric ~value ~flushes:d.flushes ~fences:d.fences ~p50_ns
+               ~p99_ns ());
           Gc.full_major ())
         allocators)
     ctx.threads
@@ -141,15 +142,10 @@ let fig6 ctx ~figure ~title structure =
     (fun blocks ->
       let r = Workloads.Recovery_bench.run structure ~blocks in
       emit ctx
-        {
-          Workloads.Harness.figure;
-          allocator = Workloads.Recovery_bench.structure_name structure;
-          threads = r.reachable (* column reused: reachable blocks *);
-          metric = "seconds";
-          value = r.total_seconds;
-          flushes = 0;
-          fences = 0;
-        };
+        (Workloads.Harness.make_row ~figure
+           ~allocator:(Workloads.Recovery_bench.structure_name structure)
+           ~threads:r.reachable (* column reused: reachable blocks *)
+           ~metric:"seconds" ~value:r.total_seconds ());
       Gc.full_major ())
     sweep_blocks
 
@@ -171,17 +167,11 @@ let ablation_filter ctx =
       let blocks = scaled ctx 200_000 in
       let r = Workloads.Recovery_bench.run ~use_filter structure ~blocks in
       emit ctx
-        {
-          Workloads.Harness.figure = "abl_filter";
-          allocator =
-            Workloads.Recovery_bench.structure_name structure
-            ^ (if use_filter then "+filter" else "+conserv");
-          threads = r.reachable;
-          metric = "seconds";
-          value = r.total_seconds;
-          flushes = 0;
-          fences = 0;
-        };
+        (Workloads.Harness.make_row ~figure:"abl_filter"
+           ~allocator:
+             (Workloads.Recovery_bench.structure_name structure
+             ^ if use_filter then "+filter" else "+conserv")
+           ~threads:r.reachable ~metric:"seconds" ~value:r.total_seconds ());
       Gc.full_major ())
     [
       (Workloads.Recovery_bench.Stack, true);
@@ -210,15 +200,10 @@ let ablation_flush_cost ctx =
       done;
       let d = Pmem.Stats.diff (Alloc_iface.stats alloc) before in
       emit ctx
-        {
-          Workloads.Harness.figure = "abl_flush";
-          allocator = name;
-          threads = 1;
-          metric = "flush/pair";
-          value = float_of_int d.flushes /. float_of_int ops;
-          flushes = d.flushes;
-          fences = d.fences;
-        };
+        (Workloads.Harness.make_row ~figure:"abl_flush" ~allocator:name
+           ~threads:1 ~metric:"flush/pair"
+           ~value:(float_of_int d.flushes /. float_of_int ops)
+           ~flushes:d.flushes ~fences:d.fences ());
       Gc.full_major ())
     Baselines.Allocators.names
 
@@ -243,15 +228,9 @@ let ablation_expansion ctx =
       let alloc = Alloc_iface.I ((module A), heap) in
       let v = Workloads.Threadtest.run alloc ~threads:2 p in
       emit ctx
-        {
-          Workloads.Harness.figure = "abl_expand";
-          allocator = Printf.sprintf "exp=%d" expansion_sbs;
-          threads = 2;
-          metric = "seconds";
-          value = v;
-          flushes = 0;
-          fences = 0;
-        };
+        (Workloads.Harness.make_row ~figure:"abl_expand"
+           ~allocator:(Printf.sprintf "exp=%d" expansion_sbs)
+           ~threads:2 ~metric:"seconds" ~value:v ());
       Gc.full_major ())
     [ 1; 4; 16; 64 ]
 
@@ -273,15 +252,11 @@ let ablation_parallel_recovery ctx =
       ignore (Dstruct.Pstack.attach heap ~root:0);
       let r = Ralloc.recover ~domains heap in
       emit ctx
-        {
-          Workloads.Harness.figure = "abl_par_rec";
-          allocator = Printf.sprintf "domains=%d" domains;
-          threads = r.reachable_blocks;
-          metric = "seconds";
-          value = r.trace_seconds +. r.rebuild_seconds;
-          flushes = 0;
-          fences = 0;
-        };
+        (Workloads.Harness.make_row ~figure:"abl_par_rec"
+           ~allocator:(Printf.sprintf "domains=%d" domains)
+           ~threads:r.reachable_blocks ~metric:"seconds"
+           ~value:(r.trace_seconds +. r.rebuild_seconds)
+           ());
       Gc.full_major ())
     [ 1; 2; 4 ]
 
@@ -306,15 +281,9 @@ let ablation_latency ctx =
           let alloc = Baselines.Allocators.make name ~size:(64 * mb) in
           let v = Workloads.Threadtest.run alloc ~threads:1 p in
           emit ctx
-            {
-              Workloads.Harness.figure = "abl_latency";
-              allocator = Printf.sprintf "%s@%dns" name (flush_ns + fence_ns);
-              threads = 1;
-              metric = "seconds";
-              value = v;
-              flushes = 0;
-              fences = 0;
-            };
+            (Workloads.Harness.make_row ~figure:"abl_latency"
+               ~allocator:(Printf.sprintf "%s@%dns" name (flush_ns + fence_ns))
+               ~threads:1 ~metric:"seconds" ~value:v ());
           Gc.full_major ())
         [ "ralloc"; "makalu"; "pmdk" ])
     [ (0, 0); (50, 70); (90, 140); (200, 300); (400, 600) ];
@@ -340,15 +309,8 @@ let ablation_tcache ctx =
           let alloc = Baselines.Allocators.make name ~size:(64 * mb) in
           let v = Workloads.Threadtest.run alloc ~threads p in
           emit ctx
-            {
-              Workloads.Harness.figure = "abl_tcache";
-              allocator = name;
-              threads;
-              metric = "seconds";
-              value = v;
-              flushes = 0;
-              fences = 0;
-            };
+            (Workloads.Harness.make_row ~figure:"abl_tcache" ~allocator:name
+               ~threads ~metric:"seconds" ~value:v ());
           Gc.full_major ())
         [ "lrmalloc"; "michael"; "ralloc" ])
     [ 1; 2; 4 ]
@@ -413,7 +375,18 @@ let bechamel_suite () =
 
 (* ------------------------- CLI ------------------------- *)
 
-let run_bench only threads scale csv_path bechamel =
+let run_bench only threads scale csv_path bechamel metrics trace_path =
+  if metrics then Obs.set_enabled true;
+  (* fail on an unwritable trace path now, not after the whole sweep *)
+  Option.iter
+    (fun path ->
+      (match open_out path with
+      | oc -> close_out oc
+      | exception Sys_error msg ->
+        Printf.eprintf "ralloc-bench: cannot write trace file: %s\n" msg;
+        exit 1);
+      Obs.Trace.set_enabled true)
+    trace_path;
   let csv =
     Option.map
       (fun path ->
@@ -447,7 +420,18 @@ let run_bench only threads scale csv_path bechamel =
   in
   if bechamel then bechamel_suite ()
   else List.iter (fun (_, f) -> f ctx) selected;
-  Option.iter close_out csv
+  Option.iter close_out csv;
+  if metrics then begin
+    Format.printf "@.== obs: metrics dump ==@.";
+    Obs.dump Format.std_formatter
+  end;
+  Option.iter
+    (fun path ->
+      Obs.Trace.write_chrome_trace path;
+      Printf.printf
+        "\ntrace: wrote %s (load in chrome://tracing or ui.perfetto.dev)\n"
+        path)
+    trace_path
 
 let () =
   let open Cmdliner in
@@ -481,7 +465,29 @@ let () =
       value & flag
       & info [ "bechamel" ] ~doc:"Run the Bechamel per-op latency suite.")
   in
-  let term = Term.(const run_bench $ only $ threads $ scale $ csv $ bechamel) in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Enable the Obs telemetry registry (per-size-class counts, \
+             tcache hit rate, latency percentiles) and print a dump after \
+             the run.  Adds per-row p50/p99 malloc latency columns.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Enable event tracing and write a Chrome trace_event JSON file \
+             (viewable in chrome://tracing or Perfetto) at PATH.")
+  in
+  let term =
+    Term.(
+      const run_bench $ only $ threads $ scale $ csv $ bechamel $ metrics
+      $ trace)
+  in
   let info =
     Cmd.info "ralloc-bench"
       ~doc:"Regenerate the figures of the Ralloc paper's evaluation"

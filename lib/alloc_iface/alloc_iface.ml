@@ -40,10 +40,32 @@ type instance = I : (module S with type t = 'a) * 'a -> instance
 (** An allocator packaged with a live heap, for heterogeneous lists of
     allocators under test. *)
 
+(* Per-operation latency, measured at this boundary so every allocator
+   under test — Ralloc and the lock-based baselines alike — feeds the
+   same distributions.  The benchmark harness snapshots these around each
+   timed section to report windowed p50/p99 per result row. *)
+let malloc_ns = Obs.Histogram.make "alloc.malloc_ns"
+let free_ns = Obs.Histogram.make "alloc.free_ns"
+
 let name (I ((module A), _)) = A.name
 let persistent (I ((module A), _)) = A.persistent
-let malloc (I ((module A), t)) size = A.malloc t size
-let free (I ((module A), t)) va = A.free t va
+
+let malloc (I ((module A), t)) size =
+  if Obs.on () then begin
+    let t0 = Obs.now_ns () in
+    let va = A.malloc t size in
+    Obs.Histogram.record malloc_ns (Obs.now_ns () - t0);
+    va
+  end
+  else A.malloc t size
+
+let free (I ((module A), t)) va =
+  if Obs.on () then begin
+    let t0 = Obs.now_ns () in
+    A.free t va;
+    Obs.Histogram.record free_ns (Obs.now_ns () - t0)
+  end
+  else A.free t va
 let load (I ((module A), t)) va = A.load t va
 let store (I ((module A), t)) va v = A.store t va v
 let cas (I ((module A), t)) va ~expected ~desired = A.cas t va ~expected ~desired

@@ -1,0 +1,413 @@
+external now_ns : unit -> int = "obs_now_ns" [@@noalloc]
+
+(* Flags are plain refs: a racy read at worst delays one domain's view of
+   a toggle by an instruction or two, and the read is one load on every
+   hot path. *)
+let metrics_on = ref false
+let set_enabled b = metrics_on := b
+let enabled () = !metrics_on
+let on = enabled
+
+(* ------------------------------------------------------------------ *)
+(* Sharding                                                           *)
+(*                                                                    *)
+(* Counters and histogram buckets are arrays of shards indexed by      *)
+(* domain id mod nshards.  Live domains carry consecutive ids, so they *)
+(* land on distinct shards in practice; a collision only costs cache-   *)
+(* line contention, never a lost update (cells are atomics).           *)
+(* ------------------------------------------------------------------ *)
+
+let nshards = 8
+let shard () = (Domain.self () :> int) land (nshards - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Metric kinds                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { c_name : string; cells : int Atomic.t array }
+type gauge = { g_name : string; cell : int Atomic.t }
+
+(* Log-linear ("HDR") buckets: values [0,16) map to their own bucket;
+   each power-of-two octave [2^k, 2^(k+1)) for k in [4,30] is split into
+   16 equal sub-buckets; >= 2^31 overflows into the last bucket.  The
+   relative quantile error is bounded by one sub-bucket: 1/16. *)
+let sub_bits = 4
+let sub = 1 lsl sub_bits (* 16 *)
+let max_octave = 30
+let overflow_bucket = (max_octave - sub_bits + 1) * sub (* 432 + 16 = 448 *)
+let nbuckets = overflow_bucket + 1
+let clamp_value = 1 lsl (max_octave + 1)
+
+let ilog2 v =
+  (* floor(log2 v) for v > 0 *)
+  let k = ref 0 and v = ref v in
+  if !v >= 1 lsl 32 then begin k := !k + 32; v := !v lsr 32 end;
+  if !v >= 1 lsl 16 then begin k := !k + 16; v := !v lsr 16 end;
+  if !v >= 1 lsl 8 then begin k := !k + 8; v := !v lsr 8 end;
+  if !v >= 1 lsl 4 then begin k := !k + 4; v := !v lsr 4 end;
+  if !v >= 1 lsl 2 then begin k := !k + 2; v := !v lsr 2 end;
+  if !v >= 1 lsl 1 then k := !k + 1;
+  !k
+
+let bucket_of v =
+  if v < sub then if v < 0 then 0 else v
+  else if v >= clamp_value then overflow_bucket
+  else
+    let k = ilog2 v in
+    ((k - sub_bits + 1) lsl sub_bits) + ((v lsr (k - sub_bits)) - sub)
+
+(* Largest value that maps to bucket [i]: the quantile estimate. *)
+let bucket_upper i =
+  if i < sub then i
+  else if i >= overflow_bucket then clamp_value
+  else
+    let k = (i lsr sub_bits) + sub_bits - 1 in
+    let s = i land (sub - 1) in
+    (1 lsl k) + ((s + 1) lsl (k - sub_bits)) - 1
+
+type histogram = {
+  h_name : string;
+  buckets : int Atomic.t array array; (* nshards x nbuckets *)
+  sums : int Atomic.t array;
+  maxs : int Atomic.t array;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Derived of (unit -> float)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+  | Derived _ -> "derived"
+
+(* Find-or-create: instrumented libraries call [make] at module init;
+   tests may ask for the same name again and must get the same cells. *)
+let intern name create match_kind =
+  Mutex.lock registry_lock;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+      let m = create () in
+      Hashtbl.replace registry name m;
+      m
+  in
+  Mutex.unlock registry_lock;
+  match match_kind m with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Obs: metric %S already registered as a %s" name
+         (kind_name m))
+
+let register_derived name f =
+  Mutex.lock registry_lock;
+  Hashtbl.replace registry name (Derived f);
+  Mutex.unlock registry_lock
+
+module Counter = struct
+  type t = counter
+
+  let make name =
+    intern name
+      (fun () ->
+        Counter
+          { c_name = name; cells = Array.init nshards (fun _ -> Atomic.make 0) })
+      (function Counter c -> Some c | _ -> None)
+
+  let add t d =
+    if !metrics_on then
+      ignore (Atomic.fetch_and_add t.cells.(shard ()) d)
+
+  let incr t = add t 1
+  let read t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cells
+  let reset t = Array.iter (fun c -> Atomic.set c 0) t.cells
+  let name t = t.c_name
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make name =
+    intern name
+      (fun () -> Gauge { g_name = name; cell = Atomic.make 0 })
+      (function Gauge g -> Some g | _ -> None)
+
+  let set t v = if !metrics_on then Atomic.set t.cell v
+  let add t d = if !metrics_on then ignore (Atomic.fetch_and_add t.cell d)
+  let read t = Atomic.get t.cell
+  let reset t = Atomic.set t.cell 0
+  let name t = t.g_name
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let make name =
+    intern name
+      (fun () ->
+        Histogram
+          {
+            h_name = name;
+            buckets =
+              Array.init nshards (fun _ ->
+                  Array.init nbuckets (fun _ -> Atomic.make 0));
+            sums = Array.init nshards (fun _ -> Atomic.make 0);
+            maxs = Array.init nshards (fun _ -> Atomic.make 0);
+          })
+      (function Histogram h -> Some h | _ -> None)
+
+  let record t v =
+    if !metrics_on then begin
+      let v = if v < 0 then 0 else if v > clamp_value then clamp_value else v in
+      let s = shard () in
+      ignore (Atomic.fetch_and_add t.buckets.(s).(bucket_of v) 1);
+      ignore (Atomic.fetch_and_add t.sums.(s) v);
+      let m = t.maxs.(s) in
+      let rec raise_max () =
+        let cur = Atomic.get m in
+        if v > cur && not (Atomic.compare_and_set m cur v) then raise_max ()
+      in
+      raise_max ()
+    end
+
+  type snap = { counts : int array; sum : int; max_v : int }
+
+  let snapshot t =
+    let counts = Array.make nbuckets 0 in
+    for s = 0 to nshards - 1 do
+      let b = t.buckets.(s) in
+      for i = 0 to nbuckets - 1 do
+        counts.(i) <- counts.(i) + Atomic.get b.(i)
+      done
+    done;
+    {
+      counts;
+      sum = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.sums;
+      max_v = Array.fold_left (fun acc c -> max acc (Atomic.get c)) 0 t.maxs;
+    }
+
+  let diff a b =
+    {
+      counts = Array.mapi (fun i c -> c - b.counts.(i)) a.counts;
+      sum = a.sum - b.sum;
+      max_v = a.max_v;
+    }
+
+  let snap_count s = Array.fold_left ( + ) 0 s.counts
+
+  let snap_quantile s q =
+    let total = snap_count s in
+    if total = 0 then 0
+    else begin
+      let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int total))) in
+      let acc = ref 0 and i = ref 0 and result = ref 0 in
+      (try
+         while !i < nbuckets do
+           acc := !acc + s.counts.(!i);
+           if !acc >= rank then begin
+             result := bucket_upper !i;
+             raise Exit
+           end;
+           incr i
+         done
+       with Exit -> ());
+      !result
+    end
+
+  let count t = snap_count (snapshot t)
+  let quantile t q = snap_quantile (snapshot t) q
+  let max_value t = (snapshot t).max_v
+
+  let mean t =
+    let s = snapshot t in
+    let n = snap_count s in
+    if n = 0 then 0.0 else float_of_int s.sum /. float_of_int n
+
+  let reset t =
+    Array.iter (Array.iter (fun c -> Atomic.set c 0)) t.buckets;
+    Array.iter (fun c -> Atomic.set c 0) t.sums;
+    Array.iter (fun c -> Atomic.set c 0) t.maxs
+
+  let name t = t.h_name
+end
+
+(* ------------------------------------------------------------------ *)
+(* Event tracing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  let tracing_on = ref false
+  let set_enabled b = tracing_on := b
+  let enabled () = !tracing_on
+
+  (* One ring per shard; an event is a row across the parallel arrays.
+     Writers claim a slot with fetch_add on [head] (drop-oldest by ring
+     wrap).  Two domains sharing a shard can interleave rows only if they
+     also collide mod capacity — harmless for diagnostics. *)
+  type ring = {
+    names : string array;
+    ts : int array;
+    dur : int array; (* -1 = instant event *)
+    tids : int array;
+    head : int Atomic.t;
+  }
+
+  let make_ring cap =
+    {
+      names = Array.make cap "";
+      ts = Array.make cap 0;
+      dur = Array.make cap 0;
+      tids = Array.make cap 0;
+      head = Atomic.make 0;
+    }
+
+  let capacity = ref 4096
+  let rings = ref (Array.init nshards (fun _ -> make_ring !capacity))
+
+  let set_capacity n =
+    if n < 1 then invalid_arg "Obs.Trace.set_capacity";
+    let rec pow2 p = if p >= n then p else pow2 (p * 2) in
+    capacity := pow2 1;
+    rings := Array.init nshards (fun _ -> make_ring !capacity)
+
+  let clear () = Array.iter (fun r -> Atomic.set r.head 0) !rings
+
+  let emit name ts dur =
+    let r = !rings.(shard ()) in
+    let i = Atomic.fetch_and_add r.head 1 land (!capacity - 1) in
+    r.names.(i) <- name;
+    r.ts.(i) <- ts;
+    r.dur.(i) <- dur;
+    r.tids.(i) <- (Domain.self () :> int)
+
+  let begin_span () = if !tracing_on then now_ns () else 0
+
+  let span name t0 =
+    if !tracing_on && t0 <> 0 then emit name t0 (now_ns () - t0)
+
+  let complete name ~ts_ns ~dur_ns =
+    if !tracing_on then emit name ts_ns dur_ns
+
+  let instant name = if !tracing_on then emit name (now_ns ()) (-1)
+
+  (* Timestamps are reported relative to process start so the JSON stays
+     readable (CLOCK_MONOTONIC's zero is boot time). *)
+  let epoch_ns = now_ns ()
+
+  let events () =
+    let acc = ref [] in
+    Array.iter
+      (fun r ->
+        let n = min (Atomic.get r.head) !capacity in
+        for i = 0 to n - 1 do
+          if r.names.(i) <> "" then
+            acc := (r.tids.(i), r.ts.(i), r.dur.(i), r.names.(i)) :: !acc
+        done)
+      !rings;
+    List.sort compare !acc
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let write_chrome_trace path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc "{\"traceEvents\":[";
+        List.iteri
+          (fun i (tid, ts, dur, name) ->
+            if i > 0 then output_char oc ',';
+            let ts_us = float_of_int (ts - epoch_ns) /. 1e3 in
+            if dur >= 0 then
+              Printf.fprintf oc
+                "\n{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}"
+                (json_escape name) tid ts_us
+                (float_of_int dur /. 1e3)
+            else
+              Printf.fprintf oc
+                "\n{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%.3f}"
+                (json_escape name) tid ts_us)
+          (events ());
+        output_string oc "\n],\"displayTimeUnit\":\"ns\"}\n")
+
+  let pp_text ppf =
+    List.iter
+      (fun (tid, ts, dur, name) ->
+        if dur >= 0 then
+          Format.fprintf ppf "[%12d ns] tid=%-3d %-32s dur=%d ns@."
+            (ts - epoch_ns) tid name dur
+        else
+          Format.fprintf ppf "[%12d ns] tid=%-3d %-32s (instant)@."
+            (ts - epoch_ns) tid name)
+      (events ())
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry dump                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_metrics () =
+  Mutex.lock registry_lock;
+  let all = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+let dump ppf =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c ->
+        (* zero counters are omitted: with per-size-class metric arrays
+           most registered counters are silent in any given run *)
+        let v = Counter.read c in
+        if v <> 0 then Format.fprintf ppf "counter   %-36s %d@." name v
+      | Gauge g -> Format.fprintf ppf "gauge     %-36s %d@." name (Gauge.read g)
+      | Histogram h ->
+        let s = Histogram.snapshot h in
+        let n = Histogram.snap_count s in
+        Format.fprintf ppf
+          "histogram %-36s count=%d mean=%.1f p50=%d p90=%d p99=%d max=%d@."
+          name n
+          (if n = 0 then 0.0 else float_of_int s.sum /. float_of_int n)
+          (Histogram.snap_quantile s 0.5)
+          (Histogram.snap_quantile s 0.9)
+          (Histogram.snap_quantile s 0.99)
+          s.max_v
+      | Derived f -> Format.fprintf ppf "derived   %-36s %.6f@." name (f ()))
+    (sorted_metrics ())
+
+let reset () =
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | Counter c -> Counter.reset c
+      | Gauge g -> Gauge.reset g
+      | Histogram h -> Histogram.reset h
+      | Derived _ -> ())
+    (sorted_metrics ())

@@ -1,0 +1,169 @@
+(** Telemetry for the allocator stack: metrics, latency histograms, and
+    event tracing.
+
+    Three instruments, one registry:
+
+    - {b counters / gauges} — monotonic event counts and last-value
+      gauges, sharded by domain id so concurrent hot paths do not contend
+      on a single cache line; shards are summed on read;
+    - {b histograms} — log-bucketed (HDR-style) latency distributions
+      with fixed memory, mergeable snapshots, and p50/p90/p99/max
+      quantile queries;
+    - {b traces} — a bounded per-shard ring buffer of timestamped events
+      (drop-oldest), exportable as Chrome [trace_event] JSON for
+      [chrome://tracing] / Perfetto, or as readable text.
+
+    Everything is gated on runtime flags ({!set_enabled},
+    {!Trace.set_enabled}).  When disabled, every recording operation is a
+    flag test and an immediate return, so instrumentation can stay in the
+    hottest paths of the allocator; call sites that must also pay for a
+    clock read guard themselves with {!on}.
+
+    Metrics are process-global: instrumented libraries create them at
+    module initialization and the registry aggregates across all heaps
+    and domains.  {!dump} prints every registered metric. *)
+
+val now_ns : unit -> int
+(** Monotonic clock, nanoseconds (CLOCK_MONOTONIC; does not allocate). *)
+
+val set_enabled : bool -> unit
+(** Turn metric recording on or off (off by default).  Disabling does not
+    clear already-recorded values; see {!reset}. *)
+
+val enabled : unit -> bool
+
+val on : unit -> bool
+(** Alias of {!enabled} for hot call sites:
+    [if Obs.on () then <record with timestamps>]. *)
+
+(** {1 Counters} *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** [make name] creates and registers the counter, or returns the
+      existing counter of that name.
+      @raise Invalid_argument if [name] is registered as another kind. *)
+
+  val incr : t -> unit
+  (** Add one.  No-op while recording is disabled. *)
+
+  val add : t -> int -> unit
+  val read : t -> int
+  (** Sum over all shards. *)
+
+  val reset : t -> unit
+  val name : t -> string
+end
+
+(** {1 Gauges} *)
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val set : t -> int -> unit
+  (** No-op while recording is disabled. *)
+
+  val add : t -> int -> unit
+  val read : t -> int
+  val reset : t -> unit
+  val name : t -> string
+end
+
+(** {1 Histograms}
+
+    Values (intended unit: nanoseconds) are binned into log-linear
+    buckets: 16 sub-buckets per power of two, so any quantile estimate is
+    within 1/16 (6.25%) of the true value; values at or above 2{^31} land
+    in one overflow bucket.  Fixed memory per histogram, regardless of
+    how many values are recorded. *)
+
+module Histogram : sig
+  type t
+
+  val make : string -> t
+
+  val record : t -> int -> unit
+  (** [record h v] adds observation [v] (clamped to [0, 2{^31}]).  No-op
+      while recording is disabled. *)
+
+  val count : t -> int
+
+  val quantile : t -> float -> int
+  (** [quantile h q] for [q] in [0,1]: an upper bound of the [q]-quantile
+      of everything recorded so far (0 if nothing was). *)
+
+  val max_value : t -> int
+  val mean : t -> float
+
+  (** A summed, immutable copy of the bucket state — the merge of every
+      domain's shard.  Snapshots of the same histogram can be subtracted
+      to get distribution-valued deltas for a timed window. *)
+  type snap
+
+  val snapshot : t -> snap
+  val diff : snap -> snap -> snap
+  (** [diff after before].  [max]/[mean] of a diff refer to the [after]
+      snapshot's whole history, counts and quantiles to the window. *)
+
+  val snap_count : snap -> int
+  val snap_quantile : snap -> float -> int
+  val reset : t -> unit
+  val name : t -> string
+end
+
+val register_derived : string -> (unit -> float) -> unit
+(** Register a computed read-only metric (e.g. a hit ratio) that {!dump}
+    evaluates at print time.  Re-registering a name replaces it. *)
+
+(** {1 Event tracing} *)
+
+module Trace : sig
+  val set_enabled : bool -> unit
+  (** Off by default.  Independent of the metrics flag. *)
+
+  val enabled : unit -> bool
+
+  val set_capacity : int -> unit
+  (** Events retained per shard (rounded up to a power of two, default
+      4096); older events are overwritten.  Clears any buffered events. *)
+
+  val begin_span : unit -> int
+  (** Start timestamp for {!span}; 0 when tracing is disabled (and
+      {!span} then ignores the event). *)
+
+  val span : string -> int -> unit
+  (** [span name t0] records a duration event from [t0] (a {!begin_span}
+      result) to now, attributed to the calling domain. *)
+
+  val complete : string -> ts_ns:int -> dur_ns:int -> unit
+  (** Record a duration event with an explicit start and duration. *)
+
+  val instant : string -> unit
+  (** Record a point event at the current time. *)
+
+  val clear : unit -> unit
+
+  val write_chrome_trace : string -> unit
+  (** Write every buffered event to a file as Chrome [trace_event] JSON
+      ([{"traceEvents": [...]}]) — loadable in [chrome://tracing] and
+      Perfetto.  Events are sorted by (domain, timestamp); the domain id
+      is the [tid]. *)
+
+  val pp_text : Format.formatter -> unit
+  (** Human-readable dump of the buffered events, in the same order. *)
+end
+
+(** {1 Registry} *)
+
+val dump : Format.formatter -> unit
+(** Print every registered metric, sorted by name: counters and gauges
+    with their values, histograms with count/mean/p50/p90/p99/max,
+    derived metrics with their computed value.  Counters still at zero
+    are omitted (per-size-class arrays register many silent ones). *)
+
+val reset : unit -> unit
+(** Zero every registered counter, gauge and histogram (derived metrics
+    recompute; trace buffers are left alone — see {!Trace.clear}). *)

@@ -1,0 +1,15 @@
+/* Monotonic nanosecond clock for Obs timestamps and latency spans.
+ *
+ * Returned as a tagged OCaml int: 63 bits of nanoseconds since an
+ * arbitrary (boot-time) epoch is ~146 years, so no boxing is needed and
+ * the stub can be [@@noalloc].
+ */
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value obs_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

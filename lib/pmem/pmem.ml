@@ -16,6 +16,15 @@ external raw_sync_all : buf -> buf -> int -> int -> unit = "rpm_sync_all"
 let words_per_line = 8
 let line_bytes = 64
 
+(* Registry counterparts of the per-region [Stats] atomics: one global
+   aggregate per event kind, so [Obs.dump] shows the whole process's
+   persistence traffic next to the allocator metrics.  The per-region
+   counters below remain the source of truth for [Stats.read]. *)
+let obs_flushes = Obs.Counter.make "pmem.flushes"
+let obs_fences = Obs.Counter.make "pmem.fences"
+let obs_cas = Obs.Counter.make "pmem.cas_ops"
+let obs_evictions = Obs.Counter.make "pmem.evictions"
+
 (* ------------------------------------------------------------------ *)
 (* NVM latency model                                                   *)
 (*                                                                     *)
@@ -153,6 +162,7 @@ let next_rng t =
 
 let evict_line t w =
   Atomic.incr t.evictions;
+  Obs.Counter.incr obs_evictions;
   let line = w / words_per_line in
   raw_flush_line t.vol t.pers line;
   write_backing t ~byte_off:(line * line_bytes) ~len:line_bytes
@@ -165,6 +175,7 @@ let store t w v =
 let cas t w ~expected ~desired =
   check_word t w;
   Atomic.incr t.cas_ops;
+  Obs.Counter.incr obs_cas;
   let ok = raw_cas t.vol w expected desired in
   if ok && t.evict_threshold > 0 && next_rng t < t.evict_threshold then
     evict_line t w;
@@ -173,11 +184,13 @@ let cas t w ~expected ~desired =
 let fetch_add t w d =
   check_word t w;
   Atomic.incr t.cas_ops;
+  Obs.Counter.incr obs_cas;
   raw_fetch_add t.vol w d
 
 let flush t w =
   check_word t w;
   Atomic.incr t.flushes;
+  Obs.Counter.incr obs_flushes;
   let line = w / words_per_line in
   raw_flush_line t.vol t.pers line;
   write_backing t ~byte_off:(line * line_bytes) ~len:line_bytes;
@@ -185,6 +198,7 @@ let flush t w =
 
 let fence t =
   Atomic.incr t.fences;
+  Obs.Counter.incr obs_fences;
   spin_ns !fence_latency_ns
 
 let flush_range t w n =
@@ -192,6 +206,7 @@ let flush_range t w n =
     check_word t w;
     check_word t (w + n - 1);
     let first = w / words_per_line and last = (w + n - 1) / words_per_line in
+    Obs.Counter.add obs_flushes (last - first + 1);
     for line = first to last do
       Atomic.incr t.flushes;
       raw_flush_line t.vol t.pers line

@@ -24,6 +24,50 @@ type t = {
 
 type status = Fresh | Clean_restart | Dirty_restart
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                          *)
+(*                                                                    *)
+(* Module-level, not per-heap: the Obs registry aggregates over every  *)
+(* heap in the process, which is what one metrics dump wants.  All     *)
+(* recording is gated on the runtime Obs flag; the fast path pays one  *)
+(* flag read when telemetry is off.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let obs_alloc_class =
+  Array.init
+    (Size_class.count + 1)
+    (fun c ->
+      Obs.Counter.make
+        (if c = 0 then "ralloc.alloc.large"
+         else Printf.sprintf "ralloc.alloc.class_%02d" c))
+
+let obs_free_class =
+  Array.init
+    (Size_class.count + 1)
+    (fun c ->
+      Obs.Counter.make
+        (if c = 0 then "ralloc.free.large"
+         else Printf.sprintf "ralloc.free.class_%02d" c))
+
+let obs_malloc_ns = Obs.Histogram.make "ralloc.malloc_ns"
+let obs_free_ns = Obs.Histogram.make "ralloc.free_ns"
+let obs_tcache_hit = Obs.Counter.make "ralloc.tcache.hit"
+let obs_tcache_miss = Obs.Counter.make "ralloc.tcache.miss"
+let obs_slow_path = Obs.Counter.make "ralloc.slow_path"
+let obs_sb_provisioned = Obs.Counter.make "ralloc.superblock.provisioned"
+let obs_sb_acquire = Obs.Counter.make "ralloc.superblock.acquire"
+let obs_sb_retire = Obs.Counter.make "ralloc.superblock.retire"
+let obs_recover_runs = Obs.Counter.make "ralloc.recover.runs"
+let obs_recover_trace_ns = Obs.Gauge.make "ralloc.recover.trace_ns"
+let obs_recover_rebuild_ns = Obs.Gauge.make "ralloc.recover.rebuild_ns"
+let obs_recover_reachable = Obs.Gauge.make "ralloc.recover.reachable_blocks"
+
+let () =
+  Obs.register_derived "ralloc.tcache.hit_rate" (fun () ->
+      let h = Obs.Counter.read obs_tcache_hit
+      and m = Obs.Counter.read obs_tcache_miss in
+      if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m))
+
 let max_roots = Layout.max_roots
 let name t = t.heap_name
 let persist_enabled t = t.persist
@@ -142,6 +186,7 @@ let rec expand t k =
       Pmem.flush t.sb Layout.sb_used_word;
       Pmem.fence t.sb
     end;
+    Obs.Counter.add obs_sb_provisioned k;
     Layout.descriptor_of_offset used
   end
   else expand t k
@@ -175,6 +220,7 @@ let tcaches t = Domain.DLS.get t.tcache_key
    domain's cache with every block.  The size information is persisted
    before any block can be used (the paper's one online flush). *)
 let provision_superblock t c tc d =
+  Obs.Counter.incr obs_sb_acquire;
   let bsz = Size_class.block_size c in
   dstore t d Layout.d_class c;
   dstore t d Layout.d_bsize bsz;
@@ -196,6 +242,7 @@ let rec refill t c tc =
       if a.state = Empty then begin
         (* fully freed while sitting on the partial list: retire it *)
         push_free t d;
+        Obs.Counter.incr obs_sb_retire;
         false
       end
       else if
@@ -249,7 +296,9 @@ let rec free_block_to_sb t d va =
     anchor_cas t d ~expected:a ~desired:{ avail = idx; count; state; tag = a.tag + 1 }
   then begin
     match (a.state, state) with
-    | Full, Empty -> push_free t d
+    | Full, Empty ->
+      push_free t d;
+      Obs.Counter.incr obs_sb_retire
     | Full, _ -> push_partial t (dload t d Layout.d_class) d
     | (Empty | Partial), _ -> ()
     (* PARTIAL -> EMPTY retires lazily, when popped from the partial list *)
@@ -287,6 +336,7 @@ let malloc_large t size =
   in
   if d < 0 then 0
   else begin
+    Obs.Counter.add obs_sb_acquire k;
     dstore t d Layout.d_class 0;
     dstore t d Layout.d_bsize (k * Layout.superblock_bytes);
     persist_desc t d;
@@ -297,6 +347,7 @@ let malloc_large t size =
 let free_large t d =
   let total = dload t d Layout.d_bsize in
   let k = total / Layout.superblock_bytes in
+  Obs.Counter.add obs_sb_retire k;
   (* Invalidate the persisted large-block signature so a stale value can no
      longer revalidate this range during conservative recovery. *)
   dstore t d Layout.d_bsize 0;
@@ -323,7 +374,10 @@ let rec malloc_one t c =
     let rec take () =
       let a = anchor_load t d in
       if a.state = Empty || a.count = 0 then begin
-        if a.state = Empty then push_free t d;
+        if a.state = Empty then begin
+          push_free t d;
+          Obs.Counter.incr obs_sb_retire
+        end;
         malloc_one t c
       end
       else begin
@@ -349,6 +403,7 @@ let rec malloc_one t c =
     let d = take_free_sb t in
     if d < 0 then 0
     else begin
+      Obs.Counter.incr obs_sb_acquire;
       let bsz = Size_class.block_size c in
       dstore t d Layout.d_class c;
       dstore t d Layout.d_bsize bsz;
@@ -378,20 +433,52 @@ let rec malloc_one t c =
 let malloc t size =
   check_open t;
   if size < 0 then invalid_arg "Ralloc.malloc: negative size";
-  if size > Size_class.max_small_size then malloc_large t size
-  else begin
-    let c = Size_class.of_size size in
-    if not t.use_tcache then malloc_one t c
-    else begin
-      let tc = (tcaches t).(c) in
-      if Tcache.is_empty tc then if refill t c tc then Tcache.pop tc else 0
-      else Tcache.pop tc
+  let obs = Obs.on () in
+  let t0 = if obs then Obs.now_ns () else 0 in
+  let va, c =
+    if size > Size_class.max_small_size then begin
+      if obs then Obs.Counter.incr obs_slow_path;
+      (malloc_large t size, 0)
     end
-  end
+    else begin
+      let c = Size_class.of_size size in
+      let va =
+        if not t.use_tcache then begin
+          if obs then Obs.Counter.incr obs_slow_path;
+          malloc_one t c
+        end
+        else begin
+          let tc = (tcaches t).(c) in
+          if Tcache.is_empty tc then begin
+            if obs then begin
+              Obs.Counter.incr obs_tcache_miss;
+              Obs.Counter.incr obs_slow_path
+            end;
+            let s0 = Obs.Trace.begin_span () in
+            let refilled = refill t c tc in
+            Obs.Trace.span "ralloc.refill" s0;
+            if refilled then Tcache.pop tc else 0
+          end
+          else begin
+            if obs then Obs.Counter.incr obs_tcache_hit;
+            Tcache.pop tc
+          end
+        end
+      in
+      (va, c)
+    end
+  in
+  if obs then begin
+    if va <> 0 then Obs.Counter.incr obs_alloc_class.(c);
+    Obs.Histogram.record obs_malloc_ns (Obs.now_ns () - t0)
+  end;
+  va
 
 let free t va =
   check_open t;
   if va <> 0 then begin
+    let obs = Obs.on () in
+    let t0 = if obs then Obs.now_ns () else 0 in
     let off = va - t.sb_base in
     if off < Layout.sb_first_offset || off >= used_bytes t then
       invalid_arg "Ralloc.free: address outside the heap";
@@ -403,6 +490,10 @@ let free t va =
       let tc = (tcaches t).(c) in
       if Tcache.is_full tc then flush_cache_class t tc;
       Tcache.push tc va
+    end;
+    if obs then begin
+      Obs.Counter.incr obs_free_class.(if Size_class.is_valid_class c then c else 0);
+      Obs.Histogram.record obs_free_ns (Obs.now_ns () - t0)
     end
   end
 
@@ -702,6 +793,7 @@ type rebuild_task =
 
 let recover ?(domains = 1) t =
   check_open t;
+  let s_trace = Obs.Trace.begin_span () in
   let t_start = Unix.gettimeofday () in
   let used = used_bytes t in
   let used_sbs = (used - Layout.sb_first_offset) / Layout.superblock_bytes in
@@ -748,6 +840,8 @@ let recover ?(domains = 1) t =
     | None -> conservative_scan va bsize
   done;
   let t_trace = Unix.gettimeofday () in
+  Obs.Trace.span "ralloc.recover.trace" s_trace;
+  let s_rebuild = Obs.Trace.begin_span () in
   (* Steps 3 and 6-9: empty lists, then rebuild every descriptor.  Task
      assignment is a cheap sequential pass; the actual reconstruction can
      be parallelized across superblocks (the paper's §6.4 future work). *)
@@ -843,6 +937,15 @@ let recover ?(domains = 1) t =
     Pmem.fence t.meta
   end;
   let t_end = Unix.gettimeofday () in
+  Obs.Trace.span "ralloc.recover.rebuild" s_rebuild;
+  if Obs.on () then begin
+    Obs.Counter.incr obs_recover_runs;
+    Obs.Gauge.set obs_recover_trace_ns
+      (int_of_float ((t_trace -. t_start) *. 1e9));
+    Obs.Gauge.set obs_recover_rebuild_ns
+      (int_of_float ((t_end -. t_trace) *. 1e9));
+    Obs.Gauge.set obs_recover_reachable !reachable
+  end;
   {
     reachable_blocks = !reachable;
     reclaimed_superblocks = reclaimed;

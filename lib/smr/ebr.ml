@@ -13,6 +13,11 @@
 
 let max_domains = 64
 
+(* Telemetry: aggregated over every reclamation domain in the process. *)
+let obs_epoch_advances = Obs.Counter.make "ebr.epoch_advances"
+let obs_retired = Obs.Counter.make "ebr.retired"
+let obs_reclaimed = Obs.Counter.make "ebr.reclaimed"
+
 type slot = { announce : int Atomic.t }
 
 type local = {
@@ -91,18 +96,24 @@ let try_advance t =
         a = idle || a >= e)
       t.slots
   in
-  if all_caught_up then ignore (Atomic.compare_and_set t.global_epoch e (e + 1))
+  if all_caught_up && Atomic.compare_and_set t.global_epoch e (e + 1) then begin
+    Obs.Counter.incr obs_epoch_advances;
+    Obs.Trace.instant "ebr.epoch_advance"
+  end
 
 (* Free every bucket whose epoch is at least two behind the global one. *)
 let reclaim t l =
   let e = Atomic.get t.global_epoch in
   for b = 0 to 2 do
     if l.bucket_epoch.(b) <= e - 2 && l.buckets.(b) <> [] then begin
+      let n = ref 0 in
       List.iter
         (fun va ->
           Ralloc.free t.heap va;
+          incr n;
           l.pending_count <- l.pending_count - 1)
         l.buckets.(b);
+      Obs.Counter.add obs_reclaimed !n;
       l.buckets.(b) <- []
     end
   done
@@ -114,11 +125,13 @@ let retire t va =
   if l.bucket_epoch.(b) <> e then begin
     (* this bucket belongs to epoch e-3: three epochs old, always safe *)
     List.iter (Ralloc.free t.heap) l.buckets.(b);
+    Obs.Counter.add obs_reclaimed (List.length l.buckets.(b));
     l.pending_count <- l.pending_count - List.length l.buckets.(b);
     l.buckets.(b) <- [];
     l.bucket_epoch.(b) <- e
   end;
   l.buckets.(b) <- va :: l.buckets.(b);
+  Obs.Counter.incr obs_retired;
   l.pending_count <- l.pending_count + 1;
   l.retires_since_scan <- l.retires_since_scan + 1;
   if l.retires_since_scan >= scan_threshold then begin

@@ -26,6 +26,14 @@ type ctx = {
 exception Abort
 exception Log_overflow
 
+(* Telemetry: aggregated over every transaction manager in the process.
+   Commit latency covers the durable part of [run] — redo-log write,
+   commit record, and application — not the user section. *)
+let obs_begin = Obs.Counter.make "txn.begin"
+let obs_commit = Obs.Counter.make "txn.commit"
+let obs_abort = Obs.Counter.make "txn.abort"
+let obs_commit_ns = Obs.Histogram.make "txn.commit_ns"
+
 let status_committed = 1
 let entries_base = 8
 
@@ -189,18 +197,26 @@ let make_ctx t slot =
 let run t f =
   let slot = claim_slot t in
   let ctx = make_ctx t slot in
+  Obs.Counter.incr obs_begin;
   (match f ctx with
   | result ->
     if Hashtbl.length ctx.writes > 0 then begin
+      let obs = Obs.on () in
+      let t0 = if obs then Obs.now_ns () else 0 in
+      let s0 = Obs.Trace.begin_span () in
       write_commit_record ctx;
-      apply ctx
+      apply ctx;
+      Obs.Trace.span "txn.commit" s0;
+      if obs then Obs.Histogram.record obs_commit_ns (Obs.now_ns () - t0)
     end;
+    Obs.Counter.incr obs_commit;
     (* deferred frees happen only once the transaction is durable *)
     List.iter (Ralloc.free t.heap) ctx.frees;
     release_slot t slot;
     result
   | exception e ->
     (* roll back: nothing was applied; release this transaction's blocks *)
+    Obs.Counter.incr obs_abort;
     List.iter (Ralloc.free t.heap) ctx.mallocs;
     release_slot t slot;
     raise e)

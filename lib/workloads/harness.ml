@@ -44,7 +44,10 @@ module Rng = struct
   let below t n = next t mod n
 end
 
-(* One row of a figure: one allocator at one thread count. *)
+(* One row of a figure: one allocator at one thread count.  The latency
+   percentiles are per-operation malloc latency over the row's timed
+   window (from the Obs histograms at the Alloc_iface boundary); 0 when
+   metrics were off or the row does not exercise the allocator API. *)
 type row = {
   figure : string;
   allocator : string;
@@ -53,11 +56,34 @@ type row = {
   value : float;
   flushes : int;
   fences : int;
+  p50_ns : float;
+  p99_ns : float;
 }
+
+let make_row ?(flushes = 0) ?(fences = 0) ?(p50_ns = 0.) ?(p99_ns = 0.)
+    ~figure ~allocator ~threads ~metric ~value () =
+  { figure; allocator; threads; metric; value; flushes; fences; p50_ns; p99_ns }
+
+(* [run f] while capturing the per-op malloc latency distribution of its
+   window; returns (result, p50_ns, p99_ns), zeros when metrics are off. *)
+let with_alloc_latency f =
+  if not (Obs.enabled ()) then (f (), 0., 0.)
+  else begin
+    let before = Obs.Histogram.snapshot Alloc_iface.malloc_ns in
+    let v = f () in
+    let d =
+      Obs.Histogram.diff (Obs.Histogram.snapshot Alloc_iface.malloc_ns) before
+    in
+    ( v,
+      float_of_int (Obs.Histogram.snap_quantile d 0.5),
+      float_of_int (Obs.Histogram.snap_quantile d 0.99) )
+  end
 
 let pp_row ppf r =
   Format.fprintf ppf "%-12s %-10s %2d  %12.4f %-8s flushes=%-9d fences=%d"
-    r.figure r.allocator r.threads r.value r.metric r.flushes r.fences
+    r.figure r.allocator r.threads r.value r.metric r.flushes r.fences;
+  if r.p50_ns > 0. || r.p99_ns > 0. then
+    Format.fprintf ppf " p50=%.0fns p99=%.0fns" r.p50_ns r.p99_ns
 
 let print_header figure title =
   Printf.printf "\n== %s: %s ==\n%-12s %-10s %2s  %12s %-8s\n" figure title
@@ -66,8 +92,22 @@ let print_header figure title =
 let print_row r =
   Format.printf "%a@." pp_row r
 
-let csv_header = "figure,allocator,threads,value,metric,flushes,fences"
+(* Header and row serialization derive from one column spec so they can
+   never drift apart (the CSV consumers key on the header line). *)
+let columns : (string * (row -> string)) list =
+  [
+    ("figure", fun r -> r.figure);
+    ("allocator", fun r -> r.allocator);
+    ("threads", fun r -> string_of_int r.threads);
+    ("value", fun r -> Printf.sprintf "%f" r.value);
+    ("metric", fun r -> r.metric);
+    ("flushes", fun r -> string_of_int r.flushes);
+    ("fences", fun r -> string_of_int r.fences);
+    ("p50_ns", fun r -> Printf.sprintf "%.0f" r.p50_ns);
+    ("p99_ns", fun r -> Printf.sprintf "%.0f" r.p99_ns);
+  ]
+
+let csv_header = String.concat "," (List.map fst columns)
 
 let row_to_csv r =
-  Printf.sprintf "%s,%s,%d,%f,%s,%d,%d" r.figure r.allocator r.threads r.value
-    r.metric r.flushes r.fences
+  String.concat "," (List.map (fun (_, field) -> field r) columns)

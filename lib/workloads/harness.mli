@@ -28,10 +28,34 @@ type row = {
   value : float;
   flushes : int;
   fences : int;
+  p50_ns : float;  (** windowed per-op malloc latency p50; 0 = not measured *)
+  p99_ns : float;
 }
+
+val make_row :
+  ?flushes:int ->
+  ?fences:int ->
+  ?p50_ns:float ->
+  ?p99_ns:float ->
+  figure:string ->
+  allocator:string ->
+  threads:int ->
+  metric:string ->
+  value:float ->
+  unit ->
+  row
+
+val with_alloc_latency : (unit -> 'a) -> 'a * float * float
+(** [with_alloc_latency f] runs [f] and returns [(f (), p50_ns, p99_ns)]
+    of the malloc latency recorded at the {!Alloc_iface} boundary during
+    the call (zeros when [Obs] metrics are disabled). *)
 
 val pp_row : Format.formatter -> row -> unit
 val print_header : string -> string -> unit
 val print_row : row -> unit
+
+val columns : (string * (row -> string)) list
+(** The column spec both {!csv_header} and {!row_to_csv} derive from. *)
+
 val csv_header : string
 val row_to_csv : row -> string

@@ -1,0 +1,448 @@
+(* Obs telemetry: histogram quantiles against a sorted-array oracle,
+   counter exactness under concurrency, Chrome-trace JSON
+   well-formedness, and registry stability while disabled. *)
+
+let with_metrics f =
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+
+(* ------------------------------------------------------------------ *)
+(* Histogram quantiles vs. oracle                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic xorshift; the distribution mixes short and long tails
+   the way op latencies do. *)
+let gen_values n =
+  let s = ref 0x1e3779b97f4a7c15 in
+  let next () =
+    let x = !s in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    s := x;
+    x land max_int
+  in
+  Array.init n (fun _ ->
+      match next () mod 4 with
+      | 0 -> next () mod 100 (* fast path: tens of ns *)
+      | 1 -> 100 + (next () mod 10_000)
+      | 2 -> 10_000 + (next () mod 1_000_000)
+      | _ -> next () mod 100_000_000 (* long tail *))
+
+let test_histogram_oracle () =
+  with_metrics (fun () ->
+      let h = Obs.Histogram.make "test.hist_oracle" in
+      Obs.Histogram.reset h;
+      let values = gen_values 20_000 in
+      Array.iter (Obs.Histogram.record h) values;
+      let sorted = Array.copy values in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      Alcotest.(check int) "count" n (Obs.Histogram.count h);
+      Alcotest.(check int) "max" sorted.(n - 1) (Obs.Histogram.max_value h);
+      List.iter
+        (fun q ->
+          let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+          let oracle = sorted.(rank - 1) in
+          let est = Obs.Histogram.quantile h q in
+          (* the estimate is the upper bound of the oracle's bucket: never
+             below the true quantile, within one sub-bucket (1/16) above *)
+          if est < oracle then
+            Alcotest.failf "q=%.3f: estimate %d below oracle %d" q est oracle;
+          let bound =
+            oracle + (oracle / 16) + 1 (* log-linear bucket width *)
+          in
+          if est > bound then
+            Alcotest.failf "q=%.3f: estimate %d above bound %d (oracle %d)" q
+              est bound oracle)
+        [ 0.01; 0.25; 0.5; 0.9; 0.99; 0.999; 1.0 ])
+
+let test_histogram_exact_small () =
+  with_metrics (fun () ->
+      let h = Obs.Histogram.make "test.hist_small" in
+      Obs.Histogram.reset h;
+      (* values below 16 each get a dedicated bucket: quantiles are exact *)
+      for v = 0 to 15 do
+        Obs.Histogram.record h v
+      done;
+      Alcotest.(check int) "p50 exact" 7 (Obs.Histogram.quantile h 0.5);
+      Alcotest.(check int) "p100 exact" 15 (Obs.Histogram.quantile h 1.0);
+      Alcotest.(check (float 0.001)) "mean" 7.5 (Obs.Histogram.mean h))
+
+let test_histogram_snapshot_diff () =
+  with_metrics (fun () ->
+      let h = Obs.Histogram.make "test.hist_diff" in
+      Obs.Histogram.reset h;
+      for _ = 1 to 1000 do
+        Obs.Histogram.record h 10
+      done;
+      let before = Obs.Histogram.snapshot h in
+      for _ = 1 to 500 do
+        Obs.Histogram.record h 3
+      done;
+      let d = Obs.Histogram.diff (Obs.Histogram.snapshot h) before in
+      Alcotest.(check int) "window count" 500 (Obs.Histogram.snap_count d);
+      Alcotest.(check int) "window p99" 3 (Obs.Histogram.snap_quantile d 0.99))
+
+(* ------------------------------------------------------------------ *)
+(* Counter exactness under concurrent domains                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_concurrent () =
+  with_metrics (fun () ->
+      let c = Obs.Counter.make "test.ctr_conc" in
+      let h = Obs.Counter.make "test.ctr_conc_add" in
+      Obs.Counter.reset c;
+      Obs.Counter.reset h;
+      let domains = 4 and iters = 100_000 in
+      let workers =
+        List.init domains (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to iters do
+                  Obs.Counter.incr c
+                done;
+                Obs.Counter.add h 7))
+      in
+      List.iter Domain.join workers;
+      Alcotest.(check int) "incr exact" (domains * iters) (Obs.Counter.read c);
+      Alcotest.(check int) "add exact" (domains * 7) (Obs.Counter.read h))
+
+let test_histogram_concurrent_count () =
+  with_metrics (fun () ->
+      let h = Obs.Histogram.make "test.hist_conc" in
+      Obs.Histogram.reset h;
+      let domains = 4 and iters = 50_000 in
+      let workers =
+        List.init domains (fun d ->
+            Domain.spawn (fun () ->
+                for i = 1 to iters do
+                  Obs.Histogram.record h ((d * 1000) + (i land 1023))
+                done))
+      in
+      List.iter Domain.join workers;
+      Alcotest.(check int) "all recorded" (domains * iters)
+        (Obs.Histogram.count h))
+
+(* ------------------------------------------------------------------ *)
+(* Trace export: well-formed JSON, monotone per domain                *)
+(* ------------------------------------------------------------------ *)
+
+(* A small strict JSON parser: enough to assert the Chrome trace file is
+   real JSON without depending on a JSON library. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = Some c then advance ()
+      else fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      String.iter (fun c -> expect c) word;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance ()
+          | Some '/' -> Buffer.add_char b '/'; advance ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance ()
+          | Some 't' -> Buffer.add_char b '\t'; advance ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance ()
+          | Some 'b' -> Buffer.add_char b '\b'; advance ()
+          | Some 'f' -> Buffer.add_char b '\012'; advance ()
+          | Some 'u' ->
+            advance ();
+            if !pos + 4 > n then fail "bad \\u escape";
+            let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+            pos := !pos + 4;
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else Buffer.add_string b (Printf.sprintf "\\u%04x" code)
+          | _ -> fail "bad escape");
+          go ()
+        | Some c when Char.code c < 0x20 -> fail "control char in string"
+        | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> num_char c | None -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elems (v :: acc)
+            | Some ']' ->
+              advance ();
+              Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elems []
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+      | None -> fail "unexpected end"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function
+    | Obj fields -> List.assoc_opt k fields
+    | _ -> None
+end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_trace_json () =
+  Obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_enabled false)
+    (fun () ->
+      Obs.Trace.set_capacity 4096 (* also clears *);
+      let busy_span name =
+        let t0 = Obs.Trace.begin_span () in
+        let acc = ref 0 in
+        for i = 1 to 1000 do
+          acc := !acc + i
+        done;
+        ignore (Sys.opaque_identity !acc);
+        Obs.Trace.span name t0
+      in
+      for _ = 1 to 20 do
+        busy_span "test.main_span"
+      done;
+      Obs.Trace.instant "test.marker \"quoted\"";
+      let workers =
+        List.init 2 (fun d ->
+            Domain.spawn (fun () ->
+                for _ = 1 to 20 do
+                  busy_span (if d = 0 then "test.w0" else "test.w1")
+                done))
+      in
+      List.iter Domain.join workers;
+      let path = Filename.temp_file "obs_trace" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Obs.Trace.write_chrome_trace path;
+          let json = Json.parse (read_file path) in
+          let events =
+            match Json.member "traceEvents" json with
+            | Some (Json.Arr evs) -> evs
+            | _ -> Alcotest.fail "no traceEvents array"
+          in
+          Alcotest.(check bool) "has events" true (List.length events >= 61);
+          (* every event is an object with the required fields; timestamps
+             are monotone within each tid (the exporter sorts) *)
+          let last_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+          List.iter
+            (fun ev ->
+              let num k =
+                match Json.member k ev with
+                | Some (Json.Num f) -> f
+                | _ -> Alcotest.failf "event missing numeric %S" k
+              in
+              (match Json.member "name" ev with
+              | Some (Json.Str _) -> ()
+              | _ -> Alcotest.fail "event missing name");
+              (match Json.member "ph" ev with
+              | Some (Json.Str ("X" | "i")) -> ()
+              | _ -> Alcotest.fail "bad ph");
+              let tid = int_of_float (num "tid") in
+              let ts = num "ts" in
+              (match Hashtbl.find_opt last_ts tid with
+              | Some prev when prev > ts ->
+                Alcotest.failf "tid %d: ts %f after %f" tid ts prev
+              | _ -> ());
+              Hashtbl.replace last_ts tid ts)
+            events;
+          Alcotest.(check bool)
+            "several domains present" true
+            (Hashtbl.length last_ts >= 3)))
+
+(* ------------------------------------------------------------------ *)
+(* Disabled = inert                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let dump_to_string () =
+  let b = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer b in
+  Obs.dump ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents b
+
+let test_disabled_stability () =
+  Obs.set_enabled false;
+  let c = Obs.Counter.make "test.stable_ctr" in
+  let g = Obs.Gauge.make "test.stable_gauge" in
+  let h = Obs.Histogram.make "test.stable_hist" in
+  Obs.Counter.reset c;
+  Obs.Gauge.reset g;
+  Obs.Histogram.reset h;
+  let before = dump_to_string () in
+  for _ = 1 to 1000 do
+    Obs.Counter.incr c;
+    Obs.Counter.add c 5;
+    Obs.Gauge.set g 42;
+    Obs.Histogram.record h 1234
+  done;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Counter.read c);
+  Alcotest.(check int) "gauge untouched" 0 (Obs.Gauge.read g);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.Histogram.count h);
+  Alcotest.(check string) "dump unchanged" before (dump_to_string ())
+
+let test_trace_disabled_inert () =
+  Obs.Trace.set_enabled false;
+  Obs.Trace.set_capacity 256 (* clears *);
+  Alcotest.(check int) "begin_span is 0" 0 (Obs.Trace.begin_span ());
+  Obs.Trace.span "test.ghost" 0;
+  Obs.Trace.instant "test.ghost";
+  let path = Filename.temp_file "obs_trace_empty" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Trace.write_chrome_trace path;
+      match Json.member "traceEvents" (Json.parse (read_file path)) with
+      | Some (Json.Arr []) -> ()
+      | _ -> Alcotest.fail "expected empty traceEvents")
+
+(* ------------------------------------------------------------------ *)
+(* Harness CSV header stays in sync with the row serializer           *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_sync () =
+  let module H = Workloads.Harness in
+  let header = String.split_on_char ',' H.csv_header in
+  let row =
+    H.make_row ~figure:"figX" ~allocator:"ralloc" ~threads:2 ~metric:"seconds"
+      ~value:1.5 ~flushes:3 ~fences:4 ~p50_ns:100. ~p99_ns:900. ()
+  in
+  let cells = String.split_on_char ',' (H.row_to_csv row) in
+  Alcotest.(check int)
+    "same column count" (List.length header) (List.length cells);
+  Alcotest.(check (list string))
+    "columns spec names" header
+    (List.map fst H.columns);
+  Alcotest.(check bool)
+    "latency columns present" true
+    (List.mem "p50_ns" header && List.mem "p99_ns" header)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "quantiles vs sorted oracle" `Quick
+            test_histogram_oracle;
+          Alcotest.test_case "small values exact" `Quick
+            test_histogram_exact_small;
+          Alcotest.test_case "snapshot diff window" `Quick
+            test_histogram_snapshot_diff;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "exact under 4 domains" `Quick
+            test_counters_concurrent;
+          Alcotest.test_case "histogram count under 4 domains" `Quick
+            test_histogram_concurrent_count;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "chrome JSON well-formed + monotone" `Quick
+            test_trace_json;
+          Alcotest.test_case "disabled tracer is inert" `Quick
+            test_trace_disabled_inert;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "disabled recording is inert" `Quick
+            test_disabled_stability;
+        ] );
+      ( "harness",
+        [ Alcotest.test_case "csv header in sync" `Quick test_csv_sync ] );
+    ]
