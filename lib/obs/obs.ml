@@ -34,7 +34,11 @@ type gauge = { g_name : string; cell : int Atomic.t }
 let sub_bits = 4
 let sub = 1 lsl sub_bits (* 16 *)
 let max_octave = 30
-let overflow_bucket = (max_octave - sub_bits + 1) * sub (* 432 + 16 = 448 *)
+
+(* The [sub] unit buckets for values < 16 plus [sub] sub-buckets for each
+   octave k in [sub_bits, max_octave]: the top octave k=30 occupies
+   indices 432..447, so the overflow bucket sits at 448. *)
+let overflow_bucket = (max_octave - sub_bits + 2) * sub (* 448 *)
 let nbuckets = overflow_bucket + 1
 let clamp_value = 1 lsl (max_octave + 1)
 
@@ -262,6 +266,9 @@ module Trace = struct
     ts : int array;
     dur : int array; (* -1 = instant event *)
     tids : int array;
+    mask : int; (* capacity - 1; capacity is a power of two.  Kept in the
+                   ring so an emitter masks with the same ring it indexes
+                   even if [set_capacity] swaps the rings concurrently. *)
     head : int Atomic.t;
   }
 
@@ -271,23 +278,24 @@ module Trace = struct
       ts = Array.make cap 0;
       dur = Array.make cap 0;
       tids = Array.make cap 0;
+      mask = cap - 1;
       head = Atomic.make 0;
     }
 
-  let capacity = ref 4096
-  let rings = ref (Array.init nshards (fun _ -> make_ring !capacity))
+  let default_capacity = 4096
+  let rings = ref (Array.init nshards (fun _ -> make_ring default_capacity))
 
   let set_capacity n =
     if n < 1 then invalid_arg "Obs.Trace.set_capacity";
     let rec pow2 p = if p >= n then p else pow2 (p * 2) in
-    capacity := pow2 1;
-    rings := Array.init nshards (fun _ -> make_ring !capacity)
+    let cap = pow2 1 in
+    rings := Array.init nshards (fun _ -> make_ring cap)
 
   let clear () = Array.iter (fun r -> Atomic.set r.head 0) !rings
 
   let emit name ts dur =
     let r = !rings.(shard ()) in
-    let i = Atomic.fetch_and_add r.head 1 land (!capacity - 1) in
+    let i = Atomic.fetch_and_add r.head 1 land r.mask in
     r.names.(i) <- name;
     r.ts.(i) <- ts;
     r.dur.(i) <- dur;
@@ -311,7 +319,7 @@ module Trace = struct
     let acc = ref [] in
     Array.iter
       (fun r ->
-        let n = min (Atomic.get r.head) !capacity in
+        let n = min (Atomic.get r.head) (r.mask + 1) in
         for i = 0 to n - 1 do
           if r.names.(i) <> "" then
             acc := (r.tids.(i), r.ts.(i), r.dur.(i), r.names.(i)) :: !acc

@@ -69,6 +69,41 @@ let test_histogram_exact_small () =
       Alcotest.(check int) "p100 exact" 15 (Obs.Histogram.quantile h 1.0);
       Alcotest.(check (float 0.001)) "mean" 7.5 (Obs.Histogram.mean h))
 
+let test_histogram_octave_boundaries () =
+  with_metrics (fun () ->
+      (* Every octave edge up to and past the 2^31 clamp.  A bucket table
+         one octave short raises Invalid_argument inside [record] for any
+         value in the top octave (e.g. a 1.5 s latency span). *)
+      let values =
+        List.concat_map
+          (fun k ->
+            let p = 1 lsl k in
+            [ p - 1; p; p + 1 ])
+          (List.init 32 Fun.id)
+        @ [ (1 lsl 31) - 1; 1_500_000_000; 1 lsl 31; max_int ]
+      in
+      let h = Obs.Histogram.make "test.hist_bounds" in
+      Obs.Histogram.reset h;
+      List.iter (Obs.Histogram.record h) values;
+      Alcotest.(check int)
+        "all recorded" (List.length values)
+        (Obs.Histogram.count h);
+      (* per value: the estimate is an upper bound within one sub-bucket
+         (values >= 2^31 are clamped and estimated as 2^31) *)
+      let h1 = Obs.Histogram.make "test.hist_bounds1" in
+      List.iter
+        (fun v ->
+          Obs.Histogram.reset h1;
+          Obs.Histogram.record h1 v;
+          let est = Obs.Histogram.quantile h1 1.0 in
+          let v' = min v (1 lsl 31) in
+          if est < v' then
+            Alcotest.failf "v=%d: estimate %d below value" v est;
+          let bound = if v' >= 1 lsl 31 then v' else v' + (v' / 16) + 1 in
+          if est > bound then
+            Alcotest.failf "v=%d: estimate %d above bound %d" v est bound)
+        values)
+
 let test_histogram_snapshot_diff () =
   with_metrics (fun () ->
       let h = Obs.Histogram.make "test.hist_diff" in
@@ -421,6 +456,8 @@ let () =
             test_histogram_oracle;
           Alcotest.test_case "small values exact" `Quick
             test_histogram_exact_small;
+          Alcotest.test_case "octave boundaries in range" `Quick
+            test_histogram_octave_boundaries;
           Alcotest.test_case "snapshot diff window" `Quick
             test_histogram_snapshot_diff;
         ] );
