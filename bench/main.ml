@@ -275,7 +275,7 @@ let ablation_latency ctx =
   in
   List.iter
     (fun (flush_ns, fence_ns) ->
-      Pmem.set_latency ~flush_ns ~fence_ns;
+      Pmem.set_latency ~flush_ns ~fence_ns ();
       List.iter
         (fun name ->
           let alloc = Baselines.Allocators.make name ~size:(64 * mb) in
@@ -287,7 +287,41 @@ let ablation_latency ctx =
           Gc.full_major ())
         [ "ralloc"; "makalu"; "pmdk" ])
     [ (0, 0); (50, 70); (90, 140); (200, 300); (400, 600) ];
-  Pmem.set_latency ~flush_ns:90 ~fence_ns:140
+  Pmem.set_latency ~flush_ns:90 ~fence_ns:140 ()
+
+let ablation_pipeline ctx =
+  (* the write-combining flush pipeline vs the legacy synchronous model:
+     same workload, same flush/fence counts (verified by perf_smoke.exe),
+     different cost.  ralloc_file additionally prices the backing-file
+     path — coalesced pwrites at the fence vs one seek+write per line. *)
+  Workloads.Harness.print_header "abl_pipeline"
+    "Posted flushes drained at fences vs synchronous flushes (Threadtest, 1 \
+     thread)";
+  let saved = Pmem.current_mode () in
+  let p =
+    {
+      Workloads.Threadtest.iterations = scaled ctx 25;
+      objects_per_iter = 2000;
+      object_size = 64;
+    }
+  in
+  List.iter
+    (fun (mode, tag) ->
+      Pmem.set_mode mode;
+      List.iter
+        (fun name ->
+          let alloc = Baselines.Allocators.make name ~size:(64 * mb) in
+          let before = Alloc_iface.stats alloc in
+          let v = Workloads.Threadtest.run alloc ~threads:1 p in
+          let d = Pmem.Stats.diff (Alloc_iface.stats alloc) before in
+          emit ctx
+            (Workloads.Harness.make_row ~figure:"abl_pipeline"
+               ~allocator:(name ^ "+" ^ tag) ~threads:1 ~metric:"seconds"
+               ~value:v ~flushes:d.flushes ~fences:d.fences ());
+          Gc.full_major ())
+        [ "ralloc"; "ralloc_file"; "makalu"; "pmdk" ])
+    [ (Pmem.Pipelined, "pipe"); (Pmem.Synchronous, "sync") ];
+  Pmem.set_mode saved
 
 let ablation_tcache ctx =
   (* thread caching is what separates LRMalloc (and hence Ralloc) from
@@ -333,6 +367,7 @@ let figures =
     ("abl_par_rec", ablation_parallel_recovery);
     ("abl_latency", ablation_latency);
     ("abl_tcache", ablation_tcache);
+    ("abl_pipeline", ablation_pipeline);
   ]
 
 (* ------------------------- Bechamel micro-suite ------------------------- *)
@@ -375,7 +410,9 @@ let bechamel_suite () =
 
 (* ------------------------- CLI ------------------------- *)
 
-let run_bench only threads scale csv_path bechamel metrics trace_path =
+let run_bench only threads scale csv_path bechamel metrics trace_path
+    pmem_mode =
+  Pmem.set_mode pmem_mode;
   if metrics then Obs.set_enabled true;
   (* fail on an unwritable trace path now, not after the whole sweep *)
   Option.iter
@@ -483,10 +520,23 @@ let () =
             "Enable event tracing and write a Chrome trace_event JSON file \
              (viewable in chrome://tracing or Perfetto) at PATH.")
   in
+  let pmem_mode =
+    Arg.(
+      value
+      & opt
+          (enum [ ("pipelined", Pmem.Pipelined); ("sync", Pmem.Synchronous) ])
+          Pmem.Pipelined
+      & info [ "pmem-mode" ] ~docv:"MODE"
+          ~doc:
+            "Persistence cost model: $(b,pipelined) (posted flushes drained \
+             at fences, the default) or $(b,sync) (legacy per-line \
+             synchronous flushes).  Flush/fence counts are identical in \
+             both modes.")
+  in
   let term =
     Term.(
       const run_bench $ only $ threads $ scale $ csv $ bechamel $ metrics
-      $ trace)
+      $ trace $ pmem_mode)
   in
   let info =
     Cmd.info "ralloc-bench"

@@ -1,0 +1,41 @@
+(* Mode-invariance smoke: the paper's flush-accounting thesis (abl_flush,
+   the Fig. 5 flush/fence columns) must not depend on the persistence cost
+   model.  Run a small fixed workload under the pipelined and synchronous
+   models for every allocator and fail if the flush or fence counts differ
+   by even one — a drift here means the pipeline changed *what* is
+   persisted, not just when it is paid for. *)
+
+let mb = 1 lsl 20
+
+let () =
+  let p =
+    { Workloads.Threadtest.iterations = 2; objects_per_iter = 500; object_size = 64 }
+  in
+  let counts mode name =
+    Pmem.set_mode mode;
+    let alloc = Baselines.Allocators.make name ~size:(16 * mb) in
+    let before = Alloc_iface.stats alloc in
+    ignore (Workloads.Threadtest.run alloc ~threads:1 p);
+    let d = Pmem.Stats.diff (Alloc_iface.stats alloc) before in
+    (d.flushes, d.fences)
+  in
+  let failed = ref false in
+  List.iter
+    (fun name ->
+      let pf, pfe = counts Pmem.Pipelined name in
+      let sf, sfe = counts Pmem.Synchronous name in
+      Printf.printf
+        "%-12s pipelined: flushes=%-8d fences=%-8d  sync: flushes=%-8d \
+         fences=%-8d%s\n"
+        name pf pfe sf sfe
+        (if pf <> sf || pfe <> sfe then "  <-- MODE-DEPENDENT" else "");
+      if pf <> sf || pfe <> sfe then failed := true)
+    Baselines.Allocators.names;
+  Pmem.set_mode Pmem.Pipelined;
+  if !failed then begin
+    prerr_endline
+      "perf_smoke: flush/fence counts differ between pmem modes; the \
+       flush-accounting tables are no longer mode-invariant";
+    exit 1
+  end;
+  print_endline "perf_smoke: flush/fence counts are mode-invariant"

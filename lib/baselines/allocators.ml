@@ -34,6 +34,26 @@ module Lrmalloc_alloc : Alloc_iface.S with type t = Ralloc.t = struct
   let create ~size = Ralloc.create ~name ~persist:false ~size ()
 end
 
+(* Ralloc over file-backed regions: every drained line goes through to a
+   real heap file, so this variant prices the backing-file I/O path (the
+   write-combining pipeline's coalesced pwrites vs per-line writes) on top
+   of the latency model.  The scratch files are unlinked immediately —
+   their descriptors keep them alive for the benchmark's lifetime. *)
+module Ralloc_file_alloc : Alloc_iface.S with type t = Ralloc.t = struct
+  include Ralloc_alloc
+
+  let name = "ralloc_file"
+
+  let create ~size =
+    let base = Filename.temp_file "ralloc_bench" ".heap" in
+    Sys.remove base;
+    let heap, _ = Ralloc.init ~path:base ~size () in
+    List.iter
+      (fun suffix -> try Sys.remove (base ^ suffix) with Sys_error _ -> ())
+      [ ".meta"; ".desc"; ".sb" ];
+    heap
+end
+
 let makalu_config =
   {
     Lockalloc.cfg_name = "makalu";
@@ -138,10 +158,17 @@ module Michael_alloc : Alloc_iface.S with type t = Ralloc.t = struct
 end
 
 let names =
-  [ "ralloc"; "makalu"; "pmdk"; "lrmalloc"; "jemalloc"; "mnemosyne"; "michael" ]
+  [
+    "ralloc"; "ralloc_file"; "makalu"; "pmdk"; "lrmalloc"; "jemalloc";
+    "mnemosyne"; "michael";
+  ]
 
-(* The paper's standard line-up for the allocator benchmarks (Figs 5a-5d). *)
-let benchmark_names = [ "ralloc"; "makalu"; "pmdk"; "lrmalloc"; "jemalloc" ]
+(* The paper's standard line-up for the allocator benchmarks (Figs 5a-5d),
+   plus the file-backed Ralloc variant as a repro-only series: it prices
+   the backing-file I/O of the flush pipeline so the perf trajectory of
+   the file path is tracked by the same figures. *)
+let benchmark_names =
+  [ "ralloc"; "ralloc_file"; "makalu"; "pmdk"; "lrmalloc"; "jemalloc" ]
 
 (* Persistent allocators only, for the Vacation experiment (Fig. 5e). *)
 let persistent_names = [ "ralloc"; "makalu"; "pmdk"; "mnemosyne" ]
@@ -149,6 +176,8 @@ let persistent_names = [ "ralloc"; "makalu"; "pmdk"; "mnemosyne" ]
 let make name ~size : Alloc_iface.instance =
   match name with
   | "ralloc" -> Alloc_iface.I ((module Ralloc_alloc), Ralloc_alloc.create ~size)
+  | "ralloc_file" ->
+    Alloc_iface.I ((module Ralloc_file_alloc), Ralloc_file_alloc.create ~size)
   | "lrmalloc" ->
     Alloc_iface.I ((module Lrmalloc_alloc), Lrmalloc_alloc.create ~size)
   | "makalu" -> Alloc_iface.I ((module Makalu_alloc), Makalu_alloc.create ~size)

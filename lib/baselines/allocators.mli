@@ -2,6 +2,9 @@
     {!Alloc_iface.S}:
 
     - ["ralloc"] — this paper's contribution;
+    - ["ralloc_file"] — Ralloc on file-backed regions (scratch heap files,
+      unlinked at creation): prices the backing-file I/O of the flush
+      pipeline in addition to the latency model;
     - ["lrmalloc"] — Ralloc without flush and fence (the paper's phrasing);
     - ["makalu"] — lock-based persistent allocator with eager logging, a
       half-returning thread cache, and a slow "medium-size" path;
@@ -12,6 +15,7 @@
     - ["jemalloc"] — transient high-performance comparator. *)
 
 module Ralloc_alloc : Alloc_iface.S with type t = Ralloc.t
+module Ralloc_file_alloc : Alloc_iface.S with type t = Ralloc.t
 module Lrmalloc_alloc : Alloc_iface.S with type t = Ralloc.t
 module Makalu_alloc : Alloc_iface.S with type t = Lockalloc.t
 module Pmdk_alloc : Alloc_iface.S with type t = Lockalloc.t
@@ -27,11 +31,12 @@ val pmdk_config : Lockalloc.config
 val mnemosyne_config : Lockalloc.config
 
 val names : string list
-(** All seven allocator names. *)
+(** All eight allocator names. *)
 
 val benchmark_names : string list
-(** The paper's line-up for the allocator benchmarks (Figs. 5a–5d):
-    ralloc, makalu, pmdk, lrmalloc, jemalloc. *)
+(** The line-up for the allocator benchmarks (Figs. 5a–5d): the paper's
+    ralloc, makalu, pmdk, lrmalloc, jemalloc, plus ralloc_file as a
+    repro-only series tracking the backing-file I/O path. *)
 
 val persistent_names : string list
 (** Persistent allocators only, for Vacation (Fig. 5e). *)

@@ -57,36 +57,74 @@ val fetch_add : t -> int -> int -> int
 (** [fetch_add t w d] atomically adds [d] to word [w], returning the
     previous value. *)
 
-(** {1 Persistence primitives} *)
+(** {1 Persistence primitives}
+
+    The default {!Pipelined} mode models [clwb] the way the hardware
+    implements it: {!flush} {e posts} the line into a per-domain
+    write-combining set (repeated flushes of the same line between fences
+    dedup — clwb is idempotent) and charges only a small issue cost; the
+    next {!fence} drains the set — copies the posted lines to the
+    persistent view, emits one coalesced backing-file write per contiguous
+    line run — and charges [max(fence_ns, k * drain_ns)] for [k] drained
+    lines, modeling overlapped write-backs.  A line that has been flushed
+    but not yet fenced is {e not} guaranteed durable at {!crash} (it may
+    still persist probabilistically under the eviction model).
+
+    {!Synchronous} mode retains the legacy semantics — every flush copies
+    its line and pays the full write-back latency inline — for ablations.
+    Flush and fence {e counts} are identical in both modes. *)
+
+type mode = Synchronous | Pipelined
+
+val set_mode : mode -> unit
+(** Select the persistence cost model (global to all regions; default
+    {!Pipelined}). *)
+
+val current_mode : unit -> mode
 
 val flush : t -> int -> unit
 (** [flush t w] writes the cache line containing word [w] back to the
-    persistent view (the paper's "flush", normally a [clwb]). *)
+    persistent view (the paper's "flush", normally a [clwb]).  In
+    {!Pipelined} mode the write-back is posted and completes at the next
+    {!fence} on the calling domain. *)
 
 val fence : t -> unit
-(** Store fence ordering preceding flushes ([sfence]).  Synchronous in the
-    simulation, but counted: the {e number} of fences is the persistence
-    cost a real machine would pay. *)
+(** Store fence ordering preceding flushes ([sfence]): drains the calling
+    domain's posted flushes in {!Pipelined} mode.  Counted: the {e number}
+    of fences is the persistence cost a real machine would pay. *)
 
 val flush_range : t -> int -> int -> unit
 (** [flush_range t w n] flushes the lines covering words [w .. w+n-1]. *)
 
 val flush_all : t -> unit
-(** Write the entire volatile view back (used by clean shutdown). *)
+(** Write the entire volatile view back (used by clean shutdown).
+    Synchronously durable; posted-but-undrained lines are subsumed. *)
 
-val set_latency : flush_ns:int -> fence_ns:int -> unit
-(** Configure the simulated NVM's persistence costs, charged as a
-    calibrated busy-wait per {!flush} (per line) and per {!fence}.  The
-    defaults (90/140 ns) approximate Optane DC in App Direct mode; set
-    both to 0 to make persistence free (useful in unit tests).  Global to
+val pending_lines : t -> int
+(** Number of lines the calling domain has flushed but not yet fenced
+    (always 0 in {!Synchronous} mode).  Test/debug introspection. *)
+
+val set_latency :
+  ?issue_ns:int -> ?drain_ns:int -> flush_ns:int -> fence_ns:int -> unit -> unit
+(** Configure the simulated NVM's persistence costs: [flush_ns] per
+    synchronously written-back line, [fence_ns] per fence, and for
+    {!Pipelined} mode [issue_ns] per posted flush (default [flush_ns / 6])
+    and [drain_ns] per line drained at a fence (default [flush_ns / 3] —
+    overlapped write-backs are bandwidth-limited, so they retire faster
+    than serial ones).  Charged as a calibrated busy-wait.  The defaults
+    (90/140 ns) approximate Optane DC in App Direct mode; set flush and
+    fence to 0 to make persistence free (useful in unit tests).  Global to
     all regions. *)
 
 (** {1 Failure injection} *)
 
 val crash : t -> unit
 (** Simulate a full-system crash: the volatile view is discarded and
-    re-initialized from the persistent view.  Anything not flushed (or
-    evicted) since creation/last crash is lost. *)
+    re-initialized from the persistent view.  Anything not flushed-and-
+    fenced (or evicted) since creation/last crash is lost.  Lines posted
+    by an un-fenced {!flush} are discarded — or, when the eviction rate is
+    nonzero, independently applied with that probability, modeling
+    write-backs that happened to complete before the failure. *)
 
 val set_eviction_rate : t -> float -> unit
 (** With rate [p > 0], each store additionally writes its line back with
@@ -111,11 +149,13 @@ val load_string : t -> int -> int -> string
 
 (** {1 File backing (the DAX file)}
 
-    A file-backed region writes every flushed (or evicted) line {e through}
-    to its file, so the file always equals the durable medium: a process
-    that dies without closing leaves exactly its flushed state behind, as a
-    DAX mapping would.  In-memory regions ({!create}) skip all file I/O and
-    are what the benchmarks use. *)
+    A file-backed region writes every durably written-back line {e through}
+    to its file — at the draining {!fence} in {!Pipelined} mode (one
+    positioned write per contiguous line run), per {!flush} in
+    {!Synchronous} mode, and per eviction — so the file always equals the
+    durable medium: a process that dies without closing leaves exactly its
+    fenced state behind, as a DAX mapping would.  In-memory regions
+    ({!create}) skip all file I/O. *)
 
 val open_file : ?name:string -> path:string -> size_bytes:int -> unit -> t * bool
 (** [open_file ~path ~size_bytes ()] opens (or creates) the region backed
@@ -127,7 +167,8 @@ val sync : t -> unit
 (** [fsync] the backing file (no-op for in-memory regions). *)
 
 val close_file : t -> unit
-(** Sync and close the backing file; the region remains usable in memory. *)
+(** Drain outstanding posted flushes, sync and close the backing file; the
+    region remains usable in memory. *)
 
 (** {1 Statistics} *)
 

@@ -55,6 +55,7 @@ let test_flush_line_granularity () =
   done;
   Pmem.store r 8 99 (* next line *);
   Pmem.flush r 3;
+  Pmem.fence r;
   Pmem.crash r;
   for w = 0 to 7 do
     Alcotest.(check int) (Printf.sprintf "word %d" w) (w + 1) (Pmem.load r w)
@@ -67,6 +68,7 @@ let test_flush_range () =
     Pmem.store r w w
   done;
   Pmem.flush_range r 10 30;
+  Pmem.fence r;
   Pmem.crash r;
   (* lines covering words 10..39 = lines 1..4 = words 8..39 *)
   for w = 8 to 39 do
@@ -127,6 +129,118 @@ let test_stats () =
   Alcotest.(check int) "fences" 1 s.fences;
   Alcotest.(check int) "cas" 1 s.cas_ops
 
+(* --- Write-combining flush pipeline ------------------------------------ *)
+
+let test_pipeline_unfenced_lost () =
+  (* With eviction off, a posted (flushed-but-unfenced) line must NOT be
+     durable at a crash: the write-back never completed. *)
+  let r = Pmem.create ~size_bytes:4096 () in
+  Pmem.store r 0 555;
+  Pmem.flush r 0;
+  Alcotest.(check int) "line is pending" 1 (Pmem.pending_lines r);
+  Pmem.crash r;
+  Alcotest.(check int) "posted flush lost at crash" 0 (Pmem.load r 0);
+  Alcotest.(check int) "pending set cleared" 0 (Pmem.pending_lines r)
+
+let test_pipeline_fenced_durable () =
+  let r = Pmem.create ~size_bytes:4096 () in
+  Pmem.store r 0 556;
+  Pmem.flush r 0;
+  Pmem.fence r;
+  Alcotest.(check int) "drained" 0 (Pmem.pending_lines r);
+  Pmem.crash r;
+  Alcotest.(check int) "fenced flush durable" 556 (Pmem.load r 0)
+
+let test_pipeline_dedup () =
+  (* clwb is idempotent: re-flushing a posted line costs a flush *count*
+     (the paper's accounting) but only one pending write-back. *)
+  let r = Pmem.create ~size_bytes:4096 () in
+  Pmem.Stats.reset r;
+  Pmem.store r 0 1;
+  Pmem.flush r 0;
+  Pmem.flush r 3 (* same line *);
+  Pmem.flush r 7 (* same line *);
+  Alcotest.(check int) "deduped to one line" 1 (Pmem.pending_lines r);
+  Pmem.store r 8 2;
+  Pmem.flush r 8;
+  Alcotest.(check int) "second line pends" 2 (Pmem.pending_lines r);
+  let s = Pmem.Stats.read r in
+  Alcotest.(check int) "all flushes counted" 4 s.flushes;
+  Pmem.fence r;
+  Alcotest.(check int) "fence drains all" 0 (Pmem.pending_lines r);
+  Pmem.crash r;
+  Alcotest.(check int) "line 0 durable" 1 (Pmem.load r 0);
+  Alcotest.(check int) "line 1 durable" 2 (Pmem.load r 8)
+
+let test_sync_mode_flush_durable () =
+  (* Legacy ablation mode: flush alone writes back inline, no fence
+     needed for durability, and nothing ever pends. *)
+  Fun.protect
+    ~finally:(fun () -> Pmem.set_mode Pmem.Pipelined)
+    (fun () ->
+      Pmem.set_mode Pmem.Synchronous;
+      let r = Pmem.create ~size_bytes:4096 () in
+      Pmem.store r 0 777;
+      Pmem.flush r 0;
+      Alcotest.(check int) "nothing pends in sync mode" 0
+        (Pmem.pending_lines r);
+      Pmem.crash r;
+      Alcotest.(check int) "sync flush durable without fence" 777
+        (Pmem.load r 0))
+
+let prop_pipeline_unfenced_never_garbage =
+  (* Under random eviction, a posted-but-unfenced line either made it
+     (evicted / applied at crash) or didn't — never a torn value. *)
+  QCheck2.Test.make
+    ~name:"pipelined: unfenced line is all-or-nothing under eviction"
+    ~count:1000
+    QCheck2.Gen.(pair (int_bound 511) (int_range 1 1000))
+    (fun (w, v) ->
+      let r = Pmem.create ~size_bytes:4096 () in
+      Pmem.set_eviction_rate r 0.05;
+      Pmem.store r w v;
+      Pmem.flush r w;
+      Pmem.crash r;
+      let got = Pmem.load r w in
+      got = 0 || got = v)
+
+let prop_pipeline_fenced_always_durable =
+  QCheck2.Test.make
+    ~name:"pipelined: flush+fence is always durable under eviction"
+    ~count:1000
+    QCheck2.Gen.(pair (int_bound 511) (int_range 1 1000))
+    (fun (w, v) ->
+      let r = Pmem.create ~size_bytes:4096 () in
+      Pmem.set_eviction_rate r 0.05;
+      Pmem.store r w v;
+      Pmem.flush r w;
+      Pmem.fence r;
+      Pmem.crash r;
+      Pmem.load r w = v)
+
+let test_pipeline_eviction_statistics () =
+  (* Flushed-but-unfenced lines persist *probabilistically* under the
+     eviction model: over many trials some survive the crash and some
+     don't.  With p = 0.05 the per-trial survival chance is ~9.75%
+     (eviction at store or application at crash), so 0 or 1000 survivors
+     out of 1000 would each be astronomically unlikely. *)
+  let trials = 1000 in
+  (* one region for all trials (distinct line per trial) so the eviction
+     RNG state advances across trials instead of replaying one draw *)
+  let r = Pmem.create ~size_bytes:(trials * Pmem.line_bytes) () in
+  Pmem.set_eviction_rate r 0.05;
+  let survived = ref 0 in
+  for i = 0 to trials - 1 do
+    let w = i * Pmem.words_per_line in
+    Pmem.store r w 1;
+    Pmem.flush r w;
+    Pmem.crash r;
+    if Pmem.load r w = 1 then incr survived
+  done;
+  Alcotest.(check bool) "some unfenced flushes survive" true (!survived > 0);
+  Alcotest.(check bool) "not all unfenced flushes survive" true
+    (!survived < trials)
+
 let with_temp_file f =
   let path = Filename.temp_file "pmem" ".img" in
   Sys.remove path;
@@ -152,6 +266,7 @@ let test_file_write_through_without_close () =
       Pmem.store r 0 777;
       Pmem.store r 64 888;
       Pmem.flush r 0;
+      Pmem.fence r;
       (* no close, no flush of word 64: simulate sudden process death by
          just reopening the file *)
       let r2, existed = Pmem.open_file ~path ~size_bytes:8192 () in
@@ -159,6 +274,24 @@ let test_file_write_through_without_close () =
       Alcotest.(check int) "flushed line on disk" 777 (Pmem.load r2 0);
       Alcotest.(check int) "unflushed line not on disk" 0 (Pmem.load r2 64);
       Pmem.close_file r2;
+      Pmem.close_file r)
+
+let test_file_posted_flush_not_on_disk () =
+  (* The backing file mirrors the *durable* view: a posted flush reaches
+     the file only at the draining fence. *)
+  with_temp_file (fun path ->
+      let r, _ = Pmem.open_file ~path ~size_bytes:8192 () in
+      Pmem.store r 0 4242;
+      Pmem.flush r 0;
+      (* no fence: sudden-death reopen must not see the line *)
+      let r2, _ = Pmem.open_file ~path ~size_bytes:8192 () in
+      Alcotest.(check int) "posted line absent from file" 0 (Pmem.load r2 0);
+      Pmem.close_file r2;
+      Pmem.fence r;
+      let r3, _ = Pmem.open_file ~path ~size_bytes:8192 () in
+      Alcotest.(check int) "drained line present in file" 4242
+        (Pmem.load r3 0);
+      Pmem.close_file r3;
       Pmem.close_file r)
 
 let test_file_rejects_garbage () =
@@ -218,6 +351,7 @@ let prop_crash_idempotent =
       let r = Pmem.create ~size_bytes:4096 () in
       Pmem.store r w 1;
       Pmem.flush r w;
+      Pmem.fence r;
       Pmem.crash r;
       let a = Pmem.load r w in
       Pmem.crash r;
@@ -245,6 +379,19 @@ let () =
           Alcotest.test_case "eviction mode" `Quick test_eviction_mode;
           Alcotest.test_case "stats" `Quick test_stats;
         ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "unfenced flush lost at crash" `Quick
+            test_pipeline_unfenced_lost;
+          Alcotest.test_case "fenced flush durable" `Quick
+            test_pipeline_fenced_durable;
+          Alcotest.test_case "dedup of repeated flushes" `Quick
+            test_pipeline_dedup;
+          Alcotest.test_case "synchronous mode ablation" `Quick
+            test_sync_mode_flush_durable;
+          Alcotest.test_case "eviction statistics" `Quick
+            test_pipeline_eviction_statistics;
+        ] );
       ( "bytes",
         [
           Alcotest.test_case "byte and string access" `Quick
@@ -256,6 +403,8 @@ let () =
             test_file_fresh_and_reopen;
           Alcotest.test_case "write-through without close" `Quick
             test_file_write_through_without_close;
+          Alcotest.test_case "posted flush reaches disk at fence" `Quick
+            test_file_posted_flush_not_on_disk;
           Alcotest.test_case "rejects garbage" `Quick test_file_rejects_garbage;
         ] );
       ( "concurrency",
@@ -266,5 +415,10 @@ let () =
         ] );
       ( "property",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_word_roundtrip; prop_crash_idempotent ] );
+          [
+            prop_word_roundtrip;
+            prop_crash_idempotent;
+            prop_pipeline_unfenced_never_garbage;
+            prop_pipeline_fenced_always_durable;
+          ] );
     ]
