@@ -47,10 +47,17 @@ let sweep ctx ~figure ~title ~allocators ~heap_mb ~metric f =
             s0;
           let after = Alloc_iface.stats alloc in
           let d = Pmem.Stats.diff after before in
+          (* end-of-row census: worker domains have exited, so the heap is
+             quiescent and occupancy/fragmentation are exact *)
+          let occupancy, ext_frag =
+            match Alloc_iface.frag alloc with
+            | Some (o, e) -> (o, e)
+            | None -> (0., 0.)
+          in
           emit ctx
             (Workloads.Harness.make_row ~figure ~allocator:name ~threads
                ~metric ~value ~flushes:d.flushes ~fences:d.fences ~p50_ns
-               ~p99_ns ());
+               ~p99_ns ~occupancy ~ext_frag ());
           Gc.full_major ())
         allocators)
     ctx.threads
@@ -410,10 +417,55 @@ let bechamel_suite () =
 
 (* ------------------------- CLI ------------------------- *)
 
-let run_bench only threads scale csv_path bechamel metrics trace_path
-    pmem_mode =
+(* Periodic snapshot-diff monitor: every [interval] seconds print the
+   window's allocation and persistence-op rates, with windowed latency
+   percentiles — not lifetime averages — so phase changes (provisioning
+   bursts, retire storms) are visible as they happen.  Lines carry a
+   [metrics] prefix to keep them grep-able out of the row stream. *)
+let start_metrics_ticker interval =
+  Obs.set_enabled true;
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let pmem = ref (Pmem.Stats.global ()) in
+        let mallocs = ref (Obs.Histogram.snapshot Alloc_iface.malloc_ns) in
+        let frees = ref (Obs.Histogram.snapshot Alloc_iface.free_ns) in
+        while not (Atomic.get stop) do
+          Unix.sleepf interval;
+          let pmem' = Pmem.Stats.global () in
+          let mallocs' = Obs.Histogram.snapshot Alloc_iface.malloc_ns in
+          let frees' = Obs.Histogram.snapshot Alloc_iface.free_ns in
+          let d = Pmem.Stats.diff pmem' !pmem in
+          let md = Obs.Histogram.diff mallocs' !mallocs in
+          let fd = Obs.Histogram.diff frees' !frees in
+          let rate n = float_of_int n /. interval /. 1000. in
+          Printf.printf
+            "[metrics] t=%6.1fs malloc %7.1f K/s free %7.1f K/s p50=%dns \
+             p99=%dns | flush %7.1f K/s fence %7.1f K/s evict %d\n\
+             %!"
+            (Unix.gettimeofday () -. t0)
+            (rate (Obs.Histogram.snap_count md))
+            (rate (Obs.Histogram.snap_count fd))
+            (Obs.Histogram.snap_quantile md 0.5)
+            (Obs.Histogram.snap_quantile md 0.99)
+            (rate d.flushes) (rate d.fences) d.evictions;
+          pmem := pmem';
+          mallocs := mallocs';
+          frees := frees'
+        done)
+  in
+  fun () ->
+    Atomic.set stop true;
+    Domain.join d
+
+let run_bench only threads scale csv_path bechamel metrics metrics_interval
+    trace_path pmem_mode =
   Pmem.set_mode pmem_mode;
   if metrics then Obs.set_enabled true;
+  let stop_ticker =
+    Option.map start_metrics_ticker metrics_interval
+  in
   (* fail on an unwritable trace path now, not after the whole sweep *)
   Option.iter
     (fun path ->
@@ -457,6 +509,7 @@ let run_bench only threads scale csv_path bechamel metrics trace_path
   in
   if bechamel then bechamel_suite ()
   else List.iter (fun (_, f) -> f ctx) selected;
+  Option.iter (fun stop -> stop ()) stop_ticker;
   Option.iter close_out csv;
   if metrics then begin
     Format.printf "@.== obs: metrics dump ==@.";
@@ -511,6 +564,17 @@ let () =
              tcache hit rate, latency percentiles) and print a dump after \
              the run.  Adds per-row p50/p99 malloc latency columns.")
   in
+  let metrics_interval =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "metrics-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Print a [metrics] line every $(docv) seconds: windowed \
+             allocation and flush/fence rates with per-interval latency \
+             percentiles (snapshot diffs, not lifetime averages).  Implies \
+             the Obs registry is enabled.")
+  in
   let trace =
     Arg.(
       value
@@ -536,7 +600,7 @@ let () =
   let term =
     Term.(
       const run_bench $ only $ threads $ scale $ csv $ bechamel $ metrics
-      $ trace $ pmem_mode)
+      $ metrics_interval $ trace $ pmem_mode)
   in
   let info =
     Cmd.info "ralloc-bench"

@@ -38,4 +38,63 @@ let () =
        flush-accounting tables are no longer mode-invariant";
     exit 1
   end;
-  print_endline "perf_smoke: flush/fence counts are mode-invariant"
+  print_endline "perf_smoke: flush/fence counts are mode-invariant";
+
+  (* Flight-recorder cost accounting.  The recorder's contract: exactly 2
+     flushes + 1 fence per recorded event, identical in both pmem modes,
+     and exactly 0 of each while disabled — including when disabling comes
+     from the OBS_DISABLED environment override rather than the flag. *)
+  let flight_counts mode ~record =
+    Pmem.set_mode mode;
+    Obs.Flight.set_enabled record;
+    let heap = Ralloc.create ~name:"flight-smoke" ~size:(16 * mb) () in
+    let ev0 =
+      match Ralloc.flight heap with
+      | Some f -> Obs.Flight.total_recorded f
+      | None -> 0
+    in
+    let before = Ralloc.stats heap in
+    for _ = 1 to 1000 do
+      let va = Ralloc.malloc heap 64 in
+      Ralloc.free heap va
+    done;
+    let d = Pmem.Stats.diff (Ralloc.stats heap) before in
+    let events =
+      (match Ralloc.flight heap with
+      | Some f -> Obs.Flight.total_recorded f
+      | None -> 0)
+      - ev0
+    in
+    Obs.Flight.set_enabled false;
+    (d.flushes, d.fences, events)
+  in
+  let check what cond =
+    Printf.printf "%-52s %s\n" what (if cond then "ok" else "FAIL");
+    if not cond then failed := true
+  in
+  let off_f, off_fe, off_ev = flight_counts Pmem.Pipelined ~record:false in
+  let on_f, on_fe, on_ev = flight_counts Pmem.Pipelined ~record:true in
+  let son_f, son_fe, son_ev = flight_counts Pmem.Synchronous ~record:true in
+  check "flight disabled records nothing" (off_ev = 0);
+  check "flight enabled records the workload" (on_ev > 0);
+  check
+    (Printf.sprintf "flight cost is 2 flushes/event (%d events)" on_ev)
+    (on_f - off_f = 2 * on_ev);
+  check "flight cost is 1 fence/event" (on_fe - off_fe = on_ev);
+  check "flight counts are mode-invariant"
+    (son_f = on_f && son_fe = on_fe && son_ev = on_ev);
+  Unix.putenv "OBS_DISABLED" "1";
+  let env_f, env_fe, env_ev = flight_counts Pmem.Pipelined ~record:true in
+  check "OBS_DISABLED forces the recorder off" (not (Obs.Flight.enabled ()));
+  check "OBS_DISABLED run records nothing" (env_ev = 0);
+  check "OBS_DISABLED run adds no flushes or fences"
+    (env_f = off_f && env_fe = off_fe);
+  Unix.putenv "OBS_DISABLED" "0";
+  Pmem.set_mode Pmem.Pipelined;
+  if !failed then begin
+    prerr_endline
+      "perf_smoke: flight-recorder cost accounting violated its contract";
+    exit 1
+  end;
+  print_endline "perf_smoke: flight recorder is 2F+1F/event, mode-invariant, \
+                 free when off"

@@ -34,6 +34,11 @@ module type S = sig
 
   val stats : t -> Pmem.Stats.snapshot
   (** Persistence-operation counts since creation. *)
+
+  val frag : t -> (float * float) option
+  (** [(occupancy, external fragmentation)] from a quiescent walk of the
+      heap's metadata, or [None] for allocators without a census.  Call
+      only between timed sections. *)
 end
 
 type instance = I : (module S with type t = 'a) * 'a -> instance
@@ -71,3 +76,4 @@ let store (I ((module A), t)) va v = A.store t va v
 let cas (I ((module A), t)) va ~expected ~desired = A.cas t va ~expected ~desired
 let thread_exit (I ((module A), t)) = A.thread_exit t
 let stats (I ((module A), t)) = A.stats t
+let frag (I ((module A), t)) = A.frag t

@@ -24,6 +24,10 @@ module Ralloc_alloc : Alloc_iface.S with type t = Ralloc.t = struct
   let cas = Ralloc.cas
   let thread_exit = Ralloc.flush_thread_cache
   let stats = Ralloc.stats
+
+  let frag t =
+    let c = Ralloc.census t in
+    Some (c.Ralloc.Census.occupancy, c.Ralloc.Census.external_frag)
 end
 
 module Lrmalloc_alloc : Alloc_iface.S with type t = Ralloc.t = struct
@@ -107,6 +111,7 @@ module Lock_common = struct
   let cas = Lockalloc.cas
   let thread_exit = Lockalloc.thread_exit
   let stats = Lockalloc.stats
+  let frag _ = None
 end
 
 module Makalu_alloc : Alloc_iface.S with type t = Lockalloc.t = struct
@@ -143,6 +148,7 @@ module Jemalloc_alloc : Alloc_iface.S with type t = Jemalloc_sim.t = struct
   let cas = Jemalloc_sim.cas
   let thread_exit = Jemalloc_sim.thread_exit
   let stats = Jemalloc_sim.stats
+  let frag _ = None
 end
 
 module Michael_alloc : Alloc_iface.S with type t = Ralloc.t = struct

@@ -1,10 +1,20 @@
 external now_ns : unit -> int = "obs_now_ns" [@@noalloc]
 
+(* OBS_DISABLED in the environment (any value but "" or "0") hard-disables
+   every instrument: the enable toggles become no-ops, so no code path —
+   not even one that calls [set_enabled true] itself — can turn recording
+   on.  Checked at toggle time, not per record: the hot paths still test
+   only their plain-ref flag. *)
+let hard_disabled () =
+  match Sys.getenv_opt "OBS_DISABLED" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
 (* Flags are plain refs: a racy read at worst delays one domain's view of
    a toggle by an instruction or two, and the read is one load on every
    hot path. *)
 let metrics_on = ref false
-let set_enabled b = metrics_on := b
+let set_enabled b = metrics_on := b && not (hard_disabled ())
 let enabled () = !metrics_on
 let on = enabled
 
@@ -254,7 +264,7 @@ end
 
 module Trace = struct
   let tracing_on = ref false
-  let set_enabled b = tracing_on := b
+  let set_enabled b = tracing_on := b && not (hard_disabled ())
   let enabled () = !tracing_on
 
   (* One ring per shard; an event is a row across the parallel arrays.
@@ -374,6 +384,250 @@ module Trace = struct
           Format.fprintf ppf "[%12d ns] tid=%-3d %-32s (instant)@."
             (ts - epoch_ns) tid name)
       (events ())
+end
+
+(* ------------------------------------------------------------------ *)
+(* Persistent flight recorder                                         *)
+(*                                                                    *)
+(* A fixed-size event ring living in a window of simulated NVM, so the *)
+(* last N allocator lifecycle events survive a crash and can explain   *)
+(* how the heap got into its state.  This module owns only the layout  *)
+(* and the write protocol; the NVM itself is reached through an        *)
+(* abstract [backend] record because lib/pmem depends on lib/obs, not  *)
+(* the other way around — Pmem.flight_backend closes the loop.         *)
+(*                                                                    *)
+(* Layout, in words relative to the backend window (everything         *)
+(* position-independent: the ring stores offsets and sequence numbers, *)
+(* never virtual addresses):                                           *)
+(*                                                                    *)
+(*   line 0   (words 0..7)    magic, capacity, head cursor, reserved   *)
+(*   lines 1-2 (words 8..23)  16 per-kind lifetime event counters      *)
+(*   word 24 onward           capacity * 8-word entries, one per line  *)
+(*                                                                    *)
+(* An entry is exactly one cache line:                                 *)
+(*                                                                    *)
+(*   [seq | kind | a | b | c | ts_ns | checksum | 0]                   *)
+(*                                                                    *)
+(* with seq starting at 1 (0 = never written) and the checksum a       *)
+(* nonzero 62-bit hash of the other six fields.  The simulated NVM     *)
+(* never tears within a line, so a slot is either the complete old     *)
+(* entry, the complete new entry, or — if an eviction persisted the    *)
+(* line mid-composition — a mix whose checksum cannot match; a torn    *)
+(* tail entry is therefore always detected and never misparsed.        *)
+(*                                                                    *)
+(* Write protocol per event: claim a slot with fetch_add on the head   *)
+(* cursor, compose the entry, flush its line, bump + flush the kind    *)
+(* counter's line, fence.  Exactly 2 flushes + 1 fence per event in    *)
+(* any pmem mode, zero when disabled.  The head cursor itself is       *)
+(* never flushed — its durable value would race the entries it counts  *)
+(* — and is instead rebuilt at [attach] as max(valid seq) + 1.         *)
+(* ------------------------------------------------------------------ *)
+
+module Flight = struct
+  type backend = {
+    words : int;
+    load : int -> int;
+    store : int -> int -> unit;
+    fetch_add : int -> int -> int;
+    flush : int -> unit;
+    fence : unit -> unit;
+  }
+
+  module Kind = struct
+    let malloc = 1
+    let free = 2
+    let sb_provision = 3
+    let sb_acquire = 4
+    let sb_retire = 5
+    let txn_commit = 6
+    let txn_abort = 7
+    let recovery_begin = 8
+    let recovery_trace = 9
+    let recovery_done = 10
+    let heap_open = 11
+    let heap_close = 12
+    let root_set = 13
+
+    let name = function
+      | 1 -> "malloc"
+      | 2 -> "free"
+      | 3 -> "sb_provision"
+      | 4 -> "sb_acquire"
+      | 5 -> "sb_retire"
+      | 6 -> "txn_commit"
+      | 7 -> "txn_abort"
+      | 8 -> "recovery_begin"
+      | 9 -> "recovery_trace"
+      | 10 -> "recovery_done"
+      | 11 -> "heap_open"
+      | 12 -> "heap_close"
+      | 13 -> "root_set"
+      | k -> Printf.sprintf "kind_%d" k
+  end
+
+  let off_magic = 0
+  let off_capacity = 1
+  let off_head = 2
+  let off_counters = 8
+  let nkinds = 16
+  let header_words = off_counters + nkinds (* 24: a multiple of a line *)
+  let entry_words = 8
+  let magic = 0x464C495245434F52 land max_int (* "FLIRECOR", 62-bit *)
+
+  let recording_on = ref false
+  let set_enabled b = recording_on := b && not (hard_disabled ())
+  let enabled () = !recording_on
+
+  type t = { b : backend; capacity : int; mask : int }
+
+  let capacity t = t.capacity
+
+  let round_pow2 n =
+    let rec go p = if p >= n then p else go (p * 2) in
+    go 1
+
+  let words_for ~capacity = header_words + (round_pow2 (max 1 capacity) * entry_words)
+
+  (* 62-bit mix of the six entry fields (splitmix-style finalizer steps,
+     wrapping OCaml multiplication), forced nonzero so a zeroed slot can
+     never look checksummed. *)
+  let checksum seq kind a b c ts =
+    let mix h v =
+      let h = h lxor (v + 0x1e3779b97f4a7c15 + (h lsl 6) + (h lsr 2)) in
+      let h = h * 0x3f58476d1ce4e5b9 in
+      h lxor (h lsr 27)
+    in
+    let h = List.fold_left mix 0x52414C4C4F43 [ seq; kind; a; b; c; ts ] in
+    let h = h land max_int in
+    if h = 0 then 1 else h
+
+  let format b ~capacity =
+    let capacity = round_pow2 (max 1 capacity) in
+    if words_for ~capacity > b.words then
+      invalid_arg "Obs.Flight.format: window too small for capacity";
+    b.store off_magic magic;
+    b.store off_capacity capacity;
+    b.store off_head 1;
+    for i = 0 to nkinds - 1 do
+      b.store (off_counters + i) 0
+    done;
+    (* zero the slots: a stale image fragment must not parse as events *)
+    for w = header_words to header_words + (capacity * entry_words) - 1 do
+      b.store w 0
+    done;
+    { b; capacity; mask = capacity - 1 }
+
+  type event = {
+    seq : int;
+    kind : int;
+    a : int;
+    arg_b : int;
+    c : int;
+    ts_ns : int;
+  }
+
+  (* [Some ev] if slot [s] holds a complete entry, [None] if it is empty
+     or torn (checksum mismatch). *)
+  let read_slot t s =
+    let w = header_words + (s * entry_words) in
+    let seq = t.b.load w in
+    if seq = 0 then None
+    else
+      let kind = t.b.load (w + 1) in
+      let a = t.b.load (w + 2) in
+      let arg_b = t.b.load (w + 3) in
+      let c = t.b.load (w + 4) in
+      let ts_ns = t.b.load (w + 5) in
+      if t.b.load (w + 6) = checksum seq kind a arg_b c ts_ns then
+        Some { seq; kind; a; arg_b; c; ts_ns }
+      else None
+
+  let attach b =
+    if b.words < header_words then None
+    else if b.load off_magic <> magic then None
+    else begin
+      let cap = b.load off_capacity in
+      if cap < 1 || cap land (cap - 1) <> 0 || words_for ~capacity:cap > b.words
+      then None
+      else begin
+        let t = { b; capacity = cap; mask = cap - 1 } in
+        (* Rebuild the never-flushed head cursor from the durable entries:
+           the next sequence number is one past the newest valid entry. *)
+        let hi = ref 0 in
+        for s = 0 to cap - 1 do
+          match read_slot t s with
+          | Some e -> if e.seq > !hi then hi := e.seq
+          | None -> ()
+        done;
+        b.store off_head (!hi + 1);
+        Some t
+      end
+    end
+
+  let record t ~kind ?(a = 0) ?(b = 0) ?(c = 0) () =
+    if !recording_on then begin
+      let seq = t.b.fetch_add off_head 1 in
+      let w = header_words + (((seq - 1) land t.mask) * entry_words) in
+      let ts = now_ns () in
+      t.b.store w seq;
+      t.b.store (w + 1) kind;
+      t.b.store (w + 2) a;
+      t.b.store (w + 3) b;
+      t.b.store (w + 4) c;
+      t.b.store (w + 5) ts;
+      t.b.store (w + 6) (checksum seq kind a b c ts);
+      t.b.store (w + 7) 0;
+      let kc = off_counters + (kind land (nkinds - 1)) in
+      ignore (t.b.fetch_add kc 1);
+      t.b.flush w;
+      t.b.flush kc;
+      t.b.fence ()
+    end
+
+  (* Every complete entry currently in the ring, oldest first.  After a
+     crash these are exactly the events whose [record] had fenced (plus
+     any that happened to be evicted). *)
+  let tail ?limit t =
+    let acc = ref [] in
+    for s = 0 to t.capacity - 1 do
+      match read_slot t s with
+      | Some e -> acc := e :: !acc
+      | None -> ()
+    done;
+    let evs = List.sort (fun x y -> compare x.seq y.seq) !acc in
+    match limit with
+    | Some n when n >= 0 && List.length evs > n ->
+      (* keep the newest n *)
+      let drop = List.length evs - n in
+      List.filteri (fun i _ -> i >= drop) evs
+    | _ -> evs
+
+  (* Slots holding a nonzero seq whose checksum does not match: entries
+     whose line reached the persistent view mid-composition. *)
+  let torn_slots t =
+    let n = ref 0 in
+    for s = 0 to t.capacity - 1 do
+      let w = header_words + (s * entry_words) in
+      if t.b.load w <> 0 && read_slot t s = None then incr n
+    done;
+    !n
+
+  let kind_count t k =
+    if k < 0 || k >= nkinds then 0 else t.b.load (off_counters + k)
+
+  let total_recorded t = t.b.load off_head - 1
+
+  let pp_event ppf e =
+    Format.fprintf ppf "#%-6d %-15s a=%-8d b=%-8d c=%-10d ts=%d" e.seq
+      (Kind.name e.kind) e.a e.arg_b e.c e.ts_ns
+
+  let pp_tail ?limit ppf t =
+    let evs = tail ?limit t in
+    if evs = [] then Format.fprintf ppf "(flight recorder empty)@."
+    else
+      List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) evs;
+    let torn = torn_slots t in
+    if torn > 0 then Format.fprintf ppf "(%d torn slot(s) detected)@." torn
 end
 
 (* ------------------------------------------------------------------ *)

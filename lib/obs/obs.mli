@@ -28,7 +28,14 @@ val now_ns : unit -> int
 
 val set_enabled : bool -> unit
 (** Turn metric recording on or off (off by default).  Disabling does not
-    clear already-recorded values; see {!reset}. *)
+    clear already-recorded values; see {!reset}.
+
+    If the environment variable [OBS_DISABLED] is set (to anything but
+    [""] or ["0"]), every enable toggle in this library — this one,
+    {!Trace.set_enabled} and {!Flight.set_enabled} — becomes a no-op, so
+    all instrumentation stays hard-off regardless of what the program
+    asks for.  The environment is consulted at toggle time only; the
+    recording hot paths still test a single plain flag. *)
 
 val enabled : unit -> bool
 
@@ -154,6 +161,130 @@ module Trace : sig
 
   val pp_text : Format.formatter -> unit
   (** Human-readable dump of the buffered events, in the same order. *)
+end
+
+(** {1 Persistent flight recorder}
+
+    A fixed-size ring of allocator lifecycle events living in simulated
+    NVM, written with flush/fence discipline so that after a crash the
+    last N events survive in the heap image and explain how the heap got
+    into its state — PR 1's volatile telemetry vanishes at exactly the
+    moment it is most useful, this does not.
+
+    The ring is position-independent: entries carry sequence numbers,
+    event kinds and region {e offsets}, never virtual addresses, so an
+    image can be inspected by a process that never maps the heap at the
+    original address (see [bin/rstat]).
+
+    lib/pmem depends on lib/obs, so this module cannot reach the NVM
+    directly; it writes through an abstract {!Flight.backend} that
+    [Pmem.flight_backend] constructs over a reserved window of a region,
+    routing flushes and fences through the write-combining pipeline. *)
+
+module Flight : sig
+  type backend = {
+    words : int;  (** window size in words *)
+    load : int -> int;  (** read the word at a window-relative index *)
+    store : int -> int -> unit;
+    fetch_add : int -> int -> int;
+    flush : int -> unit;  (** write back the line containing the word *)
+    fence : unit -> unit;
+  }
+  (** How the recorder reaches its NVM window.  All indices are words
+      relative to the window start, which must be cache-line aligned. *)
+
+  (** Event kind codes stored in entries (all < 16).  {!Kind.name} maps a
+      code back to a label for display. *)
+  module Kind : sig
+    val malloc : int
+    val free : int
+    val sb_provision : int
+    val sb_acquire : int
+    val sb_retire : int
+    val txn_commit : int
+    val txn_abort : int
+    val recovery_begin : int
+    val recovery_trace : int
+    val recovery_done : int
+    val heap_open : int
+    val heap_close : int
+    val root_set : int
+    val name : int -> string
+  end
+
+  type t
+  (** An attached recorder: a window plus its decoded geometry. *)
+
+  val set_enabled : bool -> unit
+  (** Master switch, off by default (and forced off under [OBS_DISABLED],
+      see {!val:set_enabled}).  While off, {!record} returns immediately:
+      no NVM traffic, no flushes, no fences — a true no-op. *)
+
+  val enabled : unit -> bool
+
+  val words_for : capacity:int -> int
+  (** Window size in words needed for a ring of [capacity] entries
+      (capacity is rounded up to a power of two): the 3-line header plus
+      one 64-byte line per entry. *)
+
+  val format : backend -> capacity:int -> t
+  (** Initialize a fresh ring in the window: magic, capacity, zeroed
+      event counters and slots.  Durability is the caller's concern
+      (heap formatting ends in a full flush).
+      @raise Invalid_argument if the window is too small. *)
+
+  val attach : backend -> t option
+  (** Re-attach to a previously formatted ring, e.g. in a recovered or
+      offline-inspected image.  Rebuilds the volatile head cursor as
+      [max (valid seq) + 1] — the cursor itself is deliberately never
+      flushed, its durable value would race the entries it counts.
+      [None] if the window does not hold a valid ring. *)
+
+  val capacity : t -> int
+
+  val record : t -> kind:int -> ?a:int -> ?b:int -> ?c:int -> unit -> unit
+  (** Append one event: claim a slot ([fetch_add] on the head cursor),
+      compose the 8-word entry with its checksum, flush the entry line,
+      bump and flush the persistent per-kind counter, fence.  Exactly 2
+      flushes and 1 fence per event — identical in [Pipelined] and
+      [Synchronous] pmem modes — and exactly 0 of each while disabled.
+      When [record] returns, the event is durable: it will appear in
+      {!tail} after any crash.  Arguments [a]/[b]/[c] are kind-specific
+      payloads (size classes, block offsets, counts — offsets only,
+      never addresses). *)
+
+  type event = {
+    seq : int;  (** 1-based, monotonic across the ring's whole life *)
+    kind : int;
+    a : int;
+    arg_b : int;
+    c : int;
+    ts_ns : int;  (** {!now_ns} at record time *)
+  }
+
+  val tail : ?limit:int -> t -> event list
+  (** The complete (checksum-valid) entries currently in the ring, oldest
+      first — at most [capacity], or the newest [limit] if given.  A slot
+      whose line reached the persistent view mid-composition (possible
+      only via spontaneous eviction; {!record} itself fences) fails its
+      checksum and is skipped, never misparsed. *)
+
+  val torn_slots : t -> int
+  (** Number of slots holding a started-but-incomplete entry (nonzero
+      seq, bad checksum). *)
+
+  val kind_count : t -> int -> int
+  (** Persistent lifetime count of events of the given kind — survives
+      ring wrap-around (each {!record} bumps it durably). *)
+
+  val total_recorded : t -> int
+  (** Sequence numbers handed out so far (volatile cursor; after
+      {!attach} this is the durable event count). *)
+
+  val pp_event : Format.formatter -> event -> unit
+
+  val pp_tail : ?limit:int -> Format.formatter -> t -> unit
+  (** Print the tail, one event per line, noting torn slots if any. *)
 end
 
 (** {1 Registry} *)

@@ -542,6 +542,27 @@ let read_header fd path =
   let name_len = Char.code (Bytes.get buf 24) in
   (nwords, Bytes.sub_string buf 25 name_len)
 
+(* Fill [t.pers] from the image bytes following the header.  Shared by
+   [open_file] (which then attaches the fd as backing) and [load_image]
+   (which does not). *)
+let read_image fd path t nwords =
+  let chunk_bytes = 1 lsl 20 in
+  let buf = Bytes.create chunk_bytes in
+  let total = nwords * 8 in
+  let off = ref 0 in
+  seek_exact fd data_offset;
+  while !off < total do
+    let want = min chunk_bytes (total - !off) in
+    let got = Unix.read fd buf 0 want in
+    if got = 0 then failwith ("Pmem: truncated image " ^ path);
+    for i = 0 to (got / 8) - 1 do
+      Bigarray.Array1.unsafe_set t.pers
+        ((!off / 8) + i)
+        (Bytes.get_int64_le buf (i * 8))
+    done;
+    off := !off + got
+  done
+
 let open_file ?name ~path ~size_bytes () =
   let existed = Sys.file_exists path in
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
@@ -550,23 +571,7 @@ let open_file ?name ~path ~size_bytes () =
       let nwords, stored_name = read_header fd path in
       let t = create ~name:(Option.value name ~default:stored_name)
           ~size_bytes:(nwords * 8) () in
-      (* read the durable image *)
-      let chunk_bytes = 1 lsl 20 in
-      let buf = Bytes.create chunk_bytes in
-      let total = nwords * 8 in
-      let off = ref 0 in
-      seek_exact fd data_offset;
-      while !off < total do
-        let want = min chunk_bytes (total - !off) in
-        let got = Unix.read fd buf 0 want in
-        if got = 0 then failwith ("Pmem.open_file: truncated image " ^ path);
-        for i = 0 to (got / 8) - 1 do
-          Bigarray.Array1.unsafe_set t.pers
-            ((!off / 8) + i)
-            (Bytes.get_int64_le buf (i * 8))
-        done;
-        off := !off + got
-      done;
+      read_image fd path t nwords;
       crash t (* volatile view starts as the durable contents, like mmap *);
       t.backing <- Some fd;
       (t, true)
@@ -583,6 +588,22 @@ let open_file ?name ~path ~size_bytes () =
     Unix.close fd;
     raise e
 
+(* Read an image into a fresh in-memory region without attaching the file
+   as backing: the caller gets the durable state to inspect (or even
+   recover) without any risk of writing the file — bin/rstat's contract. *)
+let load_image ~path =
+  if not (Sys.file_exists path) then
+    failwith ("Pmem.load_image: no such image " ^ path);
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let nwords, stored_name = read_header fd path in
+      let t = create ~name:stored_name ~size_bytes:(nwords * 8) () in
+      read_image fd path t nwords;
+      crash t (* volatile view = durable contents *);
+      t)
+
 let sync t = match t.backing with None -> () | Some fd -> Unix.fsync fd
 
 let close_file t =
@@ -597,6 +618,40 @@ let close_file t =
     Unix.fsync fd;
     Unix.close fd;
     t.backing <- None
+
+(* The flight recorder lives in lib/obs, below this library in the
+   dependency order, so it reaches its reserved NVM window through this
+   record of closures: loads/stores/fetch_adds on window-relative word
+   indices, flush and fence routed through the write-combining pipeline
+   like any other persistence traffic (and therefore counted, charged,
+   crash-simulated and written through to the backing file like any
+   other). *)
+let flight_backend t ~first_word ~words =
+  if first_word < 0 || words < 0 || first_word + words > t.nwords then
+    invalid_arg
+      (Printf.sprintf
+         "Pmem(%s).flight_backend: window [%d,%d) exceeds region of %d words"
+         t.region_name first_word (first_word + words) t.nwords);
+  if first_word mod words_per_line <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Pmem(%s).flight_backend: window start %d is not line-aligned"
+         t.region_name first_word);
+  let abs w =
+    if w < 0 || w >= words then
+      invalid_arg
+        (Printf.sprintf "Pmem(%s): flight window index %d out of [0,%d)"
+           t.region_name w words);
+    first_word + w
+  in
+  {
+    Obs.Flight.words;
+    load = (fun w -> load t (abs w));
+    store = (fun w v -> store t (abs w) v);
+    fetch_add = (fun w d -> fetch_add t (abs w) d);
+    flush = (fun w -> flush t (abs w));
+    fence = (fun () -> fence t);
+  }
 
 module Stats = struct
   type snapshot = { flushes : int; fences : int; cas_ops : int; evictions : int }
@@ -621,5 +676,15 @@ module Stats = struct
       fences = a.fences - b.fences;
       cas_ops = a.cas_ops - b.cas_ops;
       evictions = a.evictions - b.evictions;
+    }
+
+  (* Process-wide totals via the Obs registry counters, summed over every
+     region in the process.  Frozen at zero while Obs metrics are off. *)
+  let global () =
+    {
+      flushes = Obs.Counter.read obs_flushes;
+      fences = Obs.Counter.read obs_fences;
+      cas_ops = Obs.Counter.read obs_cas;
+      evictions = Obs.Counter.read obs_evictions;
     }
 end

@@ -163,6 +163,28 @@ val open_file : ?name:string -> path:string -> size_bytes:int -> unit -> t * boo
     stored size wins over [size_bytes] and the volatile view starts as the
     durable contents. *)
 
+val load_image : path:string -> t
+(** [load_image ~path] reads a pmem image into a fresh {e in-memory}
+    region — the volatile view starts as the durable contents, exactly as
+    {!open_file} would see them — but does {b not} attach the file as
+    backing: nothing the caller does to the region can reach the file.
+    This is how an offline inspector ([bin/rstat]) examines, and even
+    trial-recovers, a heap image without mutating it.  The file is opened
+    read-only and closed before returning.
+    @raise Failure if the file is missing or not a pmem image. *)
+
+val flight_backend : t -> first_word:int -> words:int -> Obs.Flight.backend
+(** [flight_backend t ~first_word ~words] exposes the word window
+    [first_word, first_word + words) of the region as an
+    {!Obs.Flight.backend} — the reserved-region carve-out the persistent
+    flight recorder writes through.  Indices passed to the backend are
+    window-relative and bounds-checked; flush and fence go through the
+    normal persistence pipeline, so flight-recorder traffic is counted,
+    latency-charged, crash-simulated and written through to any backing
+    file like the allocator's own.
+    @raise Invalid_argument if the window is out of bounds or
+    [first_word] is not cache-line aligned. *)
+
 val sync : t -> unit
 (** [fsync] the backing file (no-op for in-memory regions). *)
 
@@ -183,4 +205,9 @@ module Stats : sig
   val read : t -> snapshot
   val reset : t -> unit
   val diff : snapshot -> snapshot -> snapshot
+
+  val global : unit -> snapshot
+  (** Process-wide totals across every region, read from the [Obs]
+      registry counters — so they advance only while [Obs] metrics are
+      enabled.  Useful for interval monitors that have no region handle. *)
 end

@@ -18,7 +18,15 @@ let class_records_base = roots_base + max_roots
 (* one cache line per class record to mirror the paper's padding *)
 let meta_class_block_size c = class_records_base + (c * 8)
 let meta_class_partial_head c = class_records_base + (c * 8) + 1
-let meta_words = class_records_base + ((Size_class.count + 1) * 8) + 8
+
+(* The flight-recorder ring is carved out of the tail of the metadata
+   region: a reserved, line-aligned window after the class records.
+   [flight_words] comes from Obs.Flight so the carve-out can never drift
+   from the recorder's own layout. *)
+let flight_base = class_records_base + ((Size_class.count + 1) * 8) + 8
+let flight_capacity = 256
+let flight_words = Obs.Flight.words_for ~capacity:flight_capacity
+let meta_words = flight_base + flight_words
 let magic_value = 0x52414C4C4F43 (* "RALLOC" *)
 let sb_size_word = 0
 let sb_used_word = 1

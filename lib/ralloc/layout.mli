@@ -34,6 +34,18 @@ val meta_class_block_size : int -> int
 (** Size-class record, one cache line per class [1..Size_class.count]. *)
 
 val meta_class_partial_head : int -> int
+
+val flight_base : int
+(** First word of the flight-recorder window: a reserved, line-aligned
+    carve-out at the tail of the metadata region holding the persistent
+    event ring (see {!Obs.Flight}). *)
+
+val flight_capacity : int
+(** Ring capacity in events (256; each event is one cache line). *)
+
+val flight_words : int
+(** Window size, [Obs.Flight.words_for ~capacity:flight_capacity]. *)
+
 val meta_words : int
 val magic_value : int
 

@@ -19,6 +19,9 @@ type t = {
   use_tcache : bool;
   filters : filter option array;
   heap_name : string;
+  flight : Obs.Flight.t option;
+      (* the persistent flight recorder in the metadata region's reserved
+         window; None only for images formatted before the window existed *)
   mutable closed : bool;
 }
 
@@ -58,8 +61,12 @@ let obs_sb_provisioned = Obs.Counter.make "ralloc.superblock.provisioned"
 let obs_sb_acquire = Obs.Counter.make "ralloc.superblock.acquire"
 let obs_sb_retire = Obs.Counter.make "ralloc.superblock.retire"
 let obs_recover_runs = Obs.Counter.make "ralloc.recover.runs"
-let obs_recover_trace_ns = Obs.Gauge.make "ralloc.recover.trace_ns"
-let obs_recover_rebuild_ns = Obs.Gauge.make "ralloc.recover.rebuild_ns"
+
+(* Histograms, not last-value gauges: crash loops and tests run recovery
+   many times, and the p50/p99 across runs is the interesting number —
+   a gauge would overwrite all but the last. *)
+let obs_recover_trace_ns = Obs.Histogram.make "ralloc.recover.trace_ns"
+let obs_recover_rebuild_ns = Obs.Histogram.make "ralloc.recover.rebuild_ns"
 let obs_recover_reachable = Obs.Gauge.make "ralloc.recover.reachable_blocks"
 
 let () =
@@ -76,6 +83,37 @@ let capacity_bytes t = t.nsb * Layout.superblock_bytes
 
 let check_open t =
   if t.closed then invalid_arg "Ralloc: heap handle has been closed"
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder plumbing                                           *)
+(*                                                                    *)
+(* The persistent event ring lives in the metadata region's reserved  *)
+(* tail window (Layout.flight_base/words) through the abstract        *)
+(* Obs.Flight backend; see lib/obs.  Recording is gated on            *)
+(* Obs.Flight.enabled at every hook so the hot paths pay one flag     *)
+(* read when forensics are off.                                       *)
+(* ------------------------------------------------------------------ *)
+
+module FK = Obs.Flight.Kind
+
+let flight_window meta =
+  Pmem.flight_backend meta ~first_word:Layout.flight_base
+    ~words:Layout.flight_words
+
+(* A persist:false heap (the LRMalloc baseline) must stay flush-free even
+   with the recorder on; its events are volatile like the rest of it. *)
+let flight_backend_of ~persist meta =
+  let b = flight_window meta in
+  if persist then b
+  else { b with Obs.Flight.flush = (fun _ -> ()); fence = (fun () -> ()) }
+
+let flight t = t.flight
+
+let flight_record t ~kind ?(a = 0) ?(b = 0) ?(c = 0) () =
+  if Obs.Flight.enabled () then
+    match t.flight with
+    | Some f -> Obs.Flight.record f ~kind ~a ~b ~c ()
+    | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Region access helpers                                              *)
@@ -187,7 +225,10 @@ let rec expand t k =
       Pmem.fence t.sb
     end;
     Obs.Counter.add obs_sb_provisioned k;
-    Layout.descriptor_of_offset used
+    let first = Layout.descriptor_of_offset used in
+    if Obs.Flight.enabled () then
+      flight_record t ~kind:FK.sb_provision ~a:k ~b:first ();
+    first
   end
   else expand t k
 
@@ -221,6 +262,7 @@ let tcaches t = Domain.DLS.get t.tcache_key
    before any block can be used (the paper's one online flush). *)
 let provision_superblock t c tc d =
   Obs.Counter.incr obs_sb_acquire;
+  if Obs.Flight.enabled () then flight_record t ~kind:FK.sb_acquire ~a:c ~b:d ();
   let bsz = Size_class.block_size c in
   dstore t d Layout.d_class c;
   dstore t d Layout.d_bsize bsz;
@@ -243,6 +285,8 @@ let rec refill t c tc =
         (* fully freed while sitting on the partial list: retire it *)
         push_free t d;
         Obs.Counter.incr obs_sb_retire;
+        if Obs.Flight.enabled () then
+          flight_record t ~kind:FK.sb_retire ~a:c ~b:d ();
         false
       end
       else if
@@ -298,7 +342,9 @@ let rec free_block_to_sb t d va =
     match (a.state, state) with
     | Full, Empty ->
       push_free t d;
-      Obs.Counter.incr obs_sb_retire
+      Obs.Counter.incr obs_sb_retire;
+      if Obs.Flight.enabled () then
+        flight_record t ~kind:FK.sb_retire ~a:(dload t d Layout.d_class) ~b:d ()
     | Full, _ -> push_partial t (dload t d Layout.d_class) d
     | (Empty | Partial), _ -> ()
     (* PARTIAL -> EMPTY retires lazily, when popped from the partial list *)
@@ -337,6 +383,8 @@ let malloc_large t size =
   if d < 0 then 0
   else begin
     Obs.Counter.add obs_sb_acquire k;
+    if Obs.Flight.enabled () then
+      flight_record t ~kind:FK.sb_acquire ~a:0 ~b:d ~c:k ();
     dstore t d Layout.d_class 0;
     dstore t d Layout.d_bsize (k * Layout.superblock_bytes);
     persist_desc t d;
@@ -348,6 +396,8 @@ let free_large t d =
   let total = dload t d Layout.d_bsize in
   let k = total / Layout.superblock_bytes in
   Obs.Counter.add obs_sb_retire k;
+  if Obs.Flight.enabled () then
+    flight_record t ~kind:FK.sb_retire ~a:0 ~b:d ~c:k ();
   (* Invalidate the persisted large-block signature so a stale value can no
      longer revalidate this range during conservative recovery. *)
   dstore t d Layout.d_bsize 0;
@@ -376,7 +426,9 @@ let rec malloc_one t c =
       if a.state = Empty || a.count = 0 then begin
         if a.state = Empty then begin
           push_free t d;
-          Obs.Counter.incr obs_sb_retire
+          Obs.Counter.incr obs_sb_retire;
+          if Obs.Flight.enabled () then
+            flight_record t ~kind:FK.sb_retire ~a:c ~b:d ()
         end;
         malloc_one t c
       end
@@ -404,6 +456,8 @@ let rec malloc_one t c =
     if d < 0 then 0
     else begin
       Obs.Counter.incr obs_sb_acquire;
+      if Obs.Flight.enabled () then
+        flight_record t ~kind:FK.sb_acquire ~a:c ~b:d ();
       let bsz = Size_class.block_size c in
       dstore t d Layout.d_class c;
       dstore t d Layout.d_bsize bsz;
@@ -472,6 +526,8 @@ let malloc t size =
     if va <> 0 then Obs.Counter.incr obs_alloc_class.(c);
     Obs.Histogram.record obs_malloc_ns (Obs.now_ns () - t0)
   end;
+  if va <> 0 && Obs.Flight.enabled () then
+    flight_record t ~kind:FK.malloc ~a:c ~b:size ~c:(va - t.sb_base) ();
   va
 
 let free t va =
@@ -484,6 +540,10 @@ let free t va =
       invalid_arg "Ralloc.free: address outside the heap";
     let d = Layout.descriptor_of_offset off in
     let c = dload t d Layout.d_class in
+    (* recorded before the free mutates metadata (free_large erases the
+       persisted block size this event reports) *)
+    if Obs.Flight.enabled () then
+      flight_record t ~kind:FK.free ~a:c ~b:(dload t d Layout.d_bsize) ~c:off ();
     if c = 0 then free_large t d
     else if not t.use_tcache then free_block_to_sb t d va
     else begin
@@ -514,7 +574,9 @@ let set_root t i va =
     else Pptr.encode_based Pptr.Sb ~offset:(va - t.sb_base)
   in
   mstore t (Layout.meta_root i) w;
-  persist_meta t (Layout.meta_root i)
+  persist_meta t (Layout.meta_root i);
+  if Obs.Flight.enabled () then
+    flight_record t ~kind:FK.root_set ~a:i ~b:(if va = 0 then 0 else va - t.sb_base) ()
 
 let get_root ?filter t i =
   check_open t;
@@ -595,6 +657,13 @@ let make_handle ?(persist = true) ?sb_base ?(expansion_sbs = 16)
     ?(tcache = true) ~path ~name ~meta ~desc ~sb () =
   let heap_bytes = Pmem.load sb Layout.sb_size_word in
   let nsb = (heap_bytes / Layout.superblock_bytes) - 1 in
+  let flight =
+    (* images formatted before the carve-out existed have a short
+       metadata region — no ring to attach *)
+    if Pmem.size_words meta >= Layout.flight_base + Layout.flight_words then
+      Obs.Flight.attach (flight_backend_of ~persist meta)
+    else None
+  in
   let t =
     {
       meta;
@@ -609,6 +678,7 @@ let make_handle ?(persist = true) ?sb_base ?(expansion_sbs = 16)
       use_tcache = tcache;
       filters = Array.make max_roots None;
       heap_name = name;
+      flight;
       closed = false;
     }
   in
@@ -653,6 +723,8 @@ let format_heap ?heap_id meta sb sb_bytes =
     Pmem.store meta (Layout.meta_class_partial_head c) Layout.Head.empty
   done;
   Pmem.store meta Layout.meta_dirty 1;
+  ignore
+    (Obs.Flight.format (flight_window meta) ~capacity:Layout.flight_capacity);
   Pmem.flush_all meta;
   Pmem.flush_all sb
 
@@ -669,8 +741,12 @@ let create ?(name = "heap") ?(persist = true) ?sb_base ?expansion_sbs
   in
   let sb = Pmem.create ~name:(name ^ ".sb") ~size_bytes:sb_bytes () in
   format_heap ?heap_id meta sb sb_bytes;
-  make_handle ~persist ?sb_base ?expansion_sbs ?tcache ~path:None ~name ~meta
-    ~desc ~sb ()
+  let t =
+    make_handle ~persist ?sb_base ?expansion_sbs ?tcache ~path:None ~name ~meta
+      ~desc ~sb ()
+  in
+  if Obs.Flight.enabled () then flight_record t ~kind:FK.heap_open ~a:0 ();
+  t
 
 let file_names path = (path ^ ".meta", path ^ ".desc", path ^ ".sb")
 
@@ -700,18 +776,44 @@ let init ?persist ?sb_base ?expansion_sbs ~path ~size () =
     make_handle ?persist ?sb_base ?expansion_sbs ~path:(Some path) ~name ~meta
       ~desc ~sb ()
   in
-  if existed then begin
-    let dirty = is_dirty t in
-    mark_dirty t;
-    (t, if dirty then Dirty_restart else Clean_restart)
-  end
-  else begin
-    mark_dirty t;
-    (t, Fresh)
-  end
+  let status =
+    if existed then if is_dirty t then Dirty_restart else Clean_restart
+    else Fresh
+  in
+  mark_dirty t;
+  if Obs.Flight.enabled () then
+    flight_record t ~kind:FK.heap_open
+      ~a:(match status with Fresh -> 0 | Clean_restart -> 1 | Dirty_restart -> 2)
+      ();
+  (t, status)
+
+(* Offline, non-mutating open for inspection (bin/rstat): the three region
+   files are read into memory (Pmem.load_image — the files are never
+   attached as backing, so nothing ever writes back), the dirty flag is
+   NOT set, and no recovery runs.  The caller sees exactly the durable
+   state a post-crash open would see, and may even run [recover] or
+   [audit] against the in-memory copy without touching the image. *)
+let open_image ~path =
+  let m, d, s = file_names path in
+  List.iter
+    (fun f ->
+      if not (Sys.file_exists f) then
+        failwith ("Ralloc.open_image: missing heap file " ^ f))
+    [ m; d; s ];
+  let meta = Pmem.load_image ~path:m in
+  if Pmem.load meta Layout.meta_magic <> Layout.magic_value then
+    failwith ("Ralloc.open_image: " ^ path ^ " is not a Ralloc heap");
+  let desc = Pmem.load_image ~path:d in
+  let sb = Pmem.load_image ~path:s in
+  let t =
+    make_handle ~persist:true ~path:None ~name:(Filename.basename path) ~meta
+      ~desc ~sb ()
+  in
+  (t, if is_dirty t then Dirty_restart else Clean_restart)
 
 let close t =
   check_open t;
+  if Obs.Flight.enabled () then flight_record t ~kind:FK.heap_close ();
   unregister_heap t;
   flush_thread_cache t;
   Pmem.flush_all t.meta;
@@ -735,6 +837,8 @@ let crash_and_reopen ?sb_base t =
   in
   let dirty = is_dirty nt in
   mark_dirty nt;
+  if Obs.Flight.enabled () then
+    flight_record nt ~kind:FK.heap_open ~a:(if dirty then 2 else 1) ();
   (nt, if dirty then Dirty_restart else Clean_restart)
 
 let set_eviction_rate t p =
@@ -791,10 +895,13 @@ type rebuild_task =
   | Large_head of int  (* live large block covering this many superblocks *)
   | Large_body  (* interior of a live large block *)
 
-let recover ?(domains = 1) t =
-  check_open t;
-  let s_trace = Obs.Trace.begin_span () in
-  let t_start = Unix.gettimeofday () in
+(* Step 5 of recovery — trace every block reachable from the persistent
+   roots (registered filters where available, conservative scan
+   otherwise).  Pure reads: shared by [recover], which rebuilds metadata
+   from the marks, and by [audit], which only diffs them against the
+   metadata.  Returns (per-descriptor mark bitmaps, reachable count,
+   used watermark, provisioned superblocks). *)
+let trace_reachable t =
   let used = used_bytes t in
   let used_sbs = (used - Layout.sb_first_offset) / Layout.superblock_bytes in
   let marks : Bytes.t option array = Array.make (max used_sbs 1) None in
@@ -820,7 +927,6 @@ let recover ?(domains = 1) t =
       end
   in
   let gc = { visit } in
-  (* Step 5: trace from the persistent roots. *)
   for i = 0 to max_roots - 1 do
     match Pptr.decode_based (mload t (Layout.meta_root i)) with
     | Some (Pptr.Sb, off) -> visit ?filter:t.filters.(i) (t.sb_base + off)
@@ -839,7 +945,21 @@ let recover ?(domains = 1) t =
     | Some f -> f gc va
     | None -> conservative_scan va bsize
   done;
+  (marks, !reachable, used, used_sbs)
+
+let recover ?(domains = 1) t =
+  check_open t;
+  let s_trace = Obs.Trace.begin_span () in
+  let t_start = Unix.gettimeofday () in
+  if Obs.Flight.enabled () then
+    flight_record t ~kind:FK.recovery_begin
+      ~a:((used_bytes t - Layout.sb_first_offset) / Layout.superblock_bytes)
+      ();
+  let marks, reachable, _used, used_sbs = trace_reachable t in
+  let reachable = ref reachable in
   let t_trace = Unix.gettimeofday () in
+  if Obs.Flight.enabled () then
+    flight_record t ~kind:FK.recovery_trace ~a:!reachable ();
   Obs.Trace.span "ralloc.recover.trace" s_trace;
   let s_rebuild = Obs.Trace.begin_span () in
   (* Steps 3 and 6-9: empty lists, then rebuild every descriptor.  Task
@@ -938,11 +1058,13 @@ let recover ?(domains = 1) t =
   end;
   let t_end = Unix.gettimeofday () in
   Obs.Trace.span "ralloc.recover.rebuild" s_rebuild;
+  if Obs.Flight.enabled () then
+    flight_record t ~kind:FK.recovery_done ~a:reclaimed ~b:partials ();
   if Obs.on () then begin
     Obs.Counter.incr obs_recover_runs;
-    Obs.Gauge.set obs_recover_trace_ns
+    Obs.Histogram.record obs_recover_trace_ns
       (int_of_float ((t_trace -. t_start) *. 1e9));
-    Obs.Gauge.set obs_recover_rebuild_ns
+    Obs.Histogram.record obs_recover_rebuild_ns
       (int_of_float ((t_end -. t_trace) *. 1e9));
     Obs.Gauge.set obs_recover_reachable !reachable
   end;
@@ -952,6 +1074,374 @@ let recover ?(domains = 1) t =
     partial_superblocks = partials;
     trace_seconds = t_trace -. t_start;
     rebuild_seconds = t_end -. t_trace;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Heap census                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Census = struct
+  type class_stats = {
+    size_class : int;
+    block_size : int;
+    superblocks : int;
+    full : int;
+    partial : int;
+    allocated_blocks : int;
+    free_blocks : int;
+    slack_bytes : int;
+  }
+
+  type t = {
+    capacity_bytes : int;
+    provisioned_bytes : int;
+    provisioned_superblocks : int;
+    empty_superblocks : int;
+    large_superblocks : int;
+    large_blocks : int;
+    allocated_blocks : int;
+    free_blocks : int;
+    allocated_bytes : int;
+    free_bytes : int;
+    slack_bytes : int;
+    occupancy : float;
+    internal_frag : float;
+    external_frag : float;
+    classes : class_stats list;
+    dirty : bool;
+  }
+
+  let pp ppf c =
+    Format.fprintf ppf
+      "capacity %d B, provisioned %d superblocks (%d B), dirty=%b@\n\
+       allocated: %d blocks (%d large), %d B; free: %d small blocks, %d B@\n\
+       occupancy %.3f  internal_frag %.3f  external_frag %.3f  slack %d B@\n"
+      c.capacity_bytes c.provisioned_superblocks c.provisioned_bytes c.dirty
+      c.allocated_blocks c.large_blocks c.allocated_bytes c.free_blocks
+      c.free_bytes c.occupancy c.internal_frag c.external_frag c.slack_bytes;
+    List.iter
+      (fun r ->
+        Format.fprintf ppf
+          "  class %2d (%5d B): %3d sbs (%d full, %d partial)  alloc=%-6d \
+           free=%-6d slack=%d B@\n"
+          r.size_class r.block_size r.superblocks r.full r.partial
+          r.allocated_blocks r.free_blocks r.slack_bytes)
+      c.classes
+end
+
+(* Walk every provisioned descriptor and aggregate occupancy and
+   fragmentation.  Quiescent use only (like Debug.report): a concurrent
+   mutator makes the numbers approximate, never unsafe.  Definitions:
+
+   - occupancy: allocated bytes / provisioned bytes — how full the
+     touched part of the heap is;
+   - internal fragmentation: per-superblock geometry slack (the
+     64 KB mod block_size remainder no block can ever occupy) over
+     provisioned bytes;
+   - external fragmentation: the share of all free bytes that is
+     trapped inside class-bound partial superblocks — free memory that
+     cannot serve another size class or a large allocation until its
+     superblock drains empty.
+
+   "Allocated" counts blocks the metadata says are taken, which includes
+   blocks sitting in thread caches. *)
+let census t =
+  check_open t;
+  let used = used_bytes t in
+  let used_sbs = (used - Layout.sb_first_offset) / Layout.superblock_bytes in
+  let per_class =
+    Array.init
+      (Size_class.count + 1)
+      (fun c ->
+        {
+          Census.size_class = c;
+          block_size =
+            (if Size_class.is_valid_class c then Size_class.block_size c else 0);
+          superblocks = 0;
+          full = 0;
+          partial = 0;
+          allocated_blocks = 0;
+          free_blocks = 0;
+          slack_bytes = 0;
+        })
+  in
+  let empty = ref 0
+  and large_sbs = ref 0
+  and large_blocks = ref 0
+  and large_bytes = ref 0 in
+  let d = ref 0 in
+  while !d < used_sbs do
+    let a = anchor_load t !d in
+    let c = dload t !d Layout.d_class in
+    (match a.state with
+    | Empty ->
+      incr empty;
+      incr d
+    | Partial | Full ->
+      if c = 0 then begin
+        let k = max 1 (dload t !d Layout.d_bsize / Layout.superblock_bytes) in
+        let k = min k (used_sbs - !d) in
+        large_sbs := !large_sbs + k;
+        incr large_blocks;
+        large_bytes := !large_bytes + (k * Layout.superblock_bytes);
+        d := !d + k
+      end
+      else if Size_class.is_valid_class c then begin
+        let r = per_class.(c) in
+        let n = Size_class.blocks_per_superblock c in
+        let bsz = Size_class.block_size c in
+        per_class.(c) <-
+          {
+            r with
+            superblocks = r.superblocks + 1;
+            full = (r.full + if a.state = Full then 1 else 0);
+            partial = (r.partial + if a.state = Partial then 1 else 0);
+            free_blocks = r.free_blocks + a.count;
+            allocated_blocks = r.allocated_blocks + (n - a.count);
+            slack_bytes =
+              r.slack_bytes + (Layout.superblock_bytes - (n * bsz));
+          };
+        incr d
+      end
+      else incr d)
+  done;
+  let classes =
+    Array.to_list per_class |> List.filter (fun r -> r.Census.superblocks > 0)
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 classes in
+  let small_alloc = sum (fun r -> r.Census.allocated_blocks) in
+  let small_free = sum (fun r -> r.Census.free_blocks) in
+  let small_alloc_bytes =
+    sum (fun r -> r.Census.allocated_blocks * r.Census.block_size)
+  in
+  let small_free_bytes =
+    sum (fun r -> r.Census.free_blocks * r.Census.block_size)
+  in
+  let slack = sum (fun r -> r.Census.slack_bytes) in
+  let provisioned_bytes = used_sbs * Layout.superblock_bytes in
+  let allocated_bytes = small_alloc_bytes + !large_bytes in
+  let free_bytes =
+    small_free_bytes
+    + ((!empty + (t.nsb - used_sbs)) * Layout.superblock_bytes)
+  in
+  let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+  {
+    Census.capacity_bytes = t.nsb * Layout.superblock_bytes;
+    provisioned_bytes;
+    provisioned_superblocks = used_sbs;
+    empty_superblocks = !empty;
+    large_superblocks = !large_sbs;
+    large_blocks = !large_blocks;
+    allocated_blocks = small_alloc + !large_blocks;
+    free_blocks = small_free;
+    allocated_bytes;
+    free_bytes;
+    slack_bytes = slack;
+    occupancy = ratio allocated_bytes provisioned_bytes;
+    internal_frag = ratio slack provisioned_bytes;
+    external_frag = ratio small_free_bytes free_bytes;
+    classes;
+    dirty = is_dirty t;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Recoverability audit                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Audit = struct
+  type block = { offset : int; bytes : int }
+
+  type t = {
+    dirty : bool;
+    provisioned_superblocks : int;
+    reachable_blocks : int;
+    allocated_blocks : int;
+    leaked : block list;
+    orphaned : block list;
+    leaked_blocks : int;
+    leaked_bytes : int;
+    orphaned_blocks : int;
+    orphaned_bytes : int;
+    errors : string list;
+    stale_metadata : string list;
+    recoverable : bool;
+    consistent : bool;
+  }
+
+  let pp ppf a =
+    Format.fprintf ppf
+      "dirty=%b  provisioned=%d sbs  reachable=%d blocks  allocated=%d \
+       blocks@\n\
+       leaked: %d blocks / %d B   orphaned: %d blocks / %d B@\n\
+       recoverable=%b  consistent=%b@\n"
+      a.dirty a.provisioned_superblocks a.reachable_blocks a.allocated_blocks
+      a.leaked_blocks a.leaked_bytes a.orphaned_blocks a.orphaned_bytes
+      a.recoverable a.consistent;
+    List.iter (fun e -> Format.fprintf ppf "  error: %s@\n" e) a.errors;
+    List.iter (fun s -> Format.fprintf ppf "  stale: %s@\n" s) a.stale_metadata;
+    List.iter
+      (fun b -> Format.fprintf ppf "  leaked   %#10x (%d B)@\n" b.offset b.bytes)
+      a.leaked;
+    List.iter
+      (fun b ->
+        Format.fprintf ppf "  orphaned %#10x (%d B)@\n" b.offset b.bytes)
+      a.orphaned
+end
+
+(* The machine-checkable verdict on the paper's recoverability criterion:
+   after tracing from the persistent roots, diff reachable blocks against
+   what the metadata says is allocated.
+
+   - [errors] are structural recoverability violations — persisted (bold)
+     fields recovery itself must trust are wrong: a bad watermark, an
+     undecodable root, an inconsistent class/block-size pair.  With any of
+     these, [recoverable] is false: recovery on this image would mis-trace.
+   - [stale_metadata] flags transient metadata (anchors, block free-list
+     links) that cannot be walked.  Expected on a dirty (crashed) image —
+     that is exactly the state recovery rebuilds — so it does not make the
+     image unrecoverable, but it does make the diff incomplete.
+   - [leaked] blocks are metadata-allocated but unreachable; [orphaned]
+     blocks are reachable but metadata-free.  On a clean image both lists
+     must be empty ([consistent]); on a dirty image they quantify how far
+     the stale metadata has drifted from the reachable truth (the diff a
+     recovery would repair).  Lists are capped at [max_list] entries;
+     the counts and byte totals are exact.
+
+   Read-only: never mutates the heap, so it can run before recovery on a
+   dirty image and on [open_image] handles. *)
+let audit ?(max_list = 64) t =
+  check_open t;
+  let marks, reachable, used, used_sbs = trace_reachable t in
+  let size = Pmem.load t.sb Layout.sb_size_word in
+  let errors = ref [] and stale = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let note fmt = Printf.ksprintf (fun s -> stale := s :: !stale) fmt in
+  if
+    used < Layout.sb_first_offset || used > size
+    || (used - Layout.sb_first_offset) mod Layout.superblock_bytes <> 0
+  then err "used watermark %d invalid for region of %d B" used size;
+  for i = 0 to max_roots - 1 do
+    let w = mload t (Layout.meta_root i) in
+    if w <> Pptr.based_null && w <> 0 then
+      match Pptr.decode_based w with
+      | Some (Pptr.Sb, off) ->
+        if block_info t ~used (t.sb_base + off) = None then
+          err "root %d: offset %#x is not a valid block" i off
+      | Some _ -> err "root %d: points outside the superblock region" i
+      | None -> err "root %d: undecodable pointer word %#x" i w
+  done;
+  let leaked = ref []
+  and orphaned = ref []
+  and lb = ref 0
+  and lbytes = ref 0
+  and ob = ref 0
+  and obytes = ref 0
+  and alloc_total = ref 0 in
+  let add_leak off bytes =
+    incr lb;
+    lbytes := !lbytes + bytes;
+    if !lb <= max_list then leaked := { Audit.offset = off; bytes } :: !leaked
+  in
+  let add_orphan off bytes =
+    incr ob;
+    obytes := !obytes + bytes;
+    if !ob <= max_list then
+      orphaned := { Audit.offset = off; bytes } :: !orphaned
+  in
+  let d = ref 0 in
+  while !d < used_sbs do
+    let a = anchor_load t !d in
+    let c = dload t !d Layout.d_class in
+    let b = dload t !d Layout.d_bsize in
+    let sb_off = Layout.superblock_offset !d in
+    let marked = marks.(!d) in
+    let step = ref 1 in
+    (match a.state with
+    | Empty -> (
+      (* metadata says the whole superblock is free: anything reachable
+         inside it is orphaned *)
+      match marked with
+      | None -> ()
+      | Some bm ->
+        if c = 0 then add_orphan sb_off b
+        else if Size_class.is_valid_class c then begin
+          let bsz = Size_class.block_size c in
+          Bytes.iteri
+            (fun i ch -> if ch <> '\000' then add_orphan (sb_off + (i * bsz)) bsz)
+            bm
+        end)
+    | Partial | Full ->
+      if c = 0 then begin
+        if
+          b < Layout.superblock_bytes
+          || b mod Layout.superblock_bytes <> 0
+          || sb_off + b > used
+        then err "descriptor %d: large block size %d invalid" !d b
+        else begin
+          let k = b / Layout.superblock_bytes in
+          step := min k (used_sbs - !d);
+          incr alloc_total;
+          if marked = None then add_leak sb_off b
+        end
+      end
+      else if not (Size_class.is_valid_class c) || b <> Size_class.block_size c
+      then err "descriptor %d: class %d / block size %d inconsistent" !d c b
+      else begin
+        let n = Size_class.blocks_per_superblock c in
+        let free = Array.make n false in
+        let ok = ref true in
+        if a.count > n then begin
+          note "descriptor %d: anchor count %d exceeds %d blocks" !d a.count n;
+          ok := false
+        end
+        else begin
+          (* the block free list threads through block word 0 — transient
+             links, so a broken chain is stale metadata, not corruption *)
+          let idx = ref a.avail in
+          try
+            for _ = 1 to a.count do
+              if !idx < 0 || !idx >= n || free.(!idx) then begin
+                note "descriptor %d: broken block free list" !d;
+                ok := false;
+                raise Exit
+              end;
+              free.(!idx) <- true;
+              idx := Pmem.load t.sb ((sb_off + (!idx * b)) lsr 3)
+            done
+          with Exit -> ()
+        end;
+        if !ok then
+          for i = 0 to n - 1 do
+            let m =
+              match marked with
+              | Some bm -> Bytes.get bm i <> '\000'
+              | None -> false
+            in
+            let alloc = not free.(i) in
+            if alloc then incr alloc_total;
+            if alloc && not m then add_leak (sb_off + (i * b)) b
+            else if m && not alloc then add_orphan (sb_off + (i * b)) b
+          done
+      end);
+    d := !d + !step
+  done;
+  let errors = List.rev !errors and stale = List.rev !stale in
+  let recoverable = errors = [] in
+  {
+    Audit.dirty = is_dirty t;
+    provisioned_superblocks = used_sbs;
+    reachable_blocks = reachable;
+    allocated_blocks = !alloc_total;
+    leaked = List.rev !leaked;
+    orphaned = List.rev !orphaned;
+    leaked_blocks = !lb;
+    leaked_bytes = !lbytes;
+    orphaned_blocks = !ob;
+    orphaned_bytes = !obytes;
+    errors;
+    stale_metadata = stale;
+    recoverable;
+    consistent = recoverable && stale = [] && !lb = 0 && !ob = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -979,70 +1469,34 @@ module Debug = struct
     dirty : bool;
   }
 
-  (* Walk every provisioned descriptor.  Quiescent use only: a concurrent
-     mutator makes the numbers approximate (never unsafe). *)
+  (* Projection of the fuller [census] walk (quiescent use only), kept
+     for the pre-census callers (tests, rheap fsck). *)
   let report t =
-    check_open t;
-    let used = used_bytes t in
-    let used_sbs = (used - Layout.sb_first_offset) / Layout.superblock_bytes in
-    let per_class =
-      Array.init (Size_class.count + 1) (fun c ->
-          {
-            size_class = c;
-            block_size = (if Size_class.is_valid_class c then Size_class.block_size c else 0);
-            superblocks = 0;
-            full = 0;
-            partial = 0;
-            free_blocks = 0;
-            allocated_blocks = 0;
-          })
-    in
-    let empty = ref 0 and large = ref 0 in
-    let d = ref 0 in
-    while !d < used_sbs do
-      let a = anchor_load t !d in
-      let c = dload t !d Layout.d_class in
-      (match a.state with
-      | Empty ->
-        incr empty;
-        incr d
-      | Partial | Full ->
-        if c = 0 then begin
-          let k = max 1 (dload t !d Layout.d_bsize / Layout.superblock_bytes) in
-          large := !large + k;
-          d := !d + k
-        end
-        else if Size_class.is_valid_class c then begin
-          let r = per_class.(c) in
-          let max_count = Size_class.blocks_per_superblock c in
-          per_class.(c) <-
-            {
-              r with
-              superblocks = r.superblocks + 1;
-              full = (r.full + if a.state = Full then 1 else 0);
-              partial = (r.partial + if a.state = Partial then 1 else 0);
-              free_blocks = r.free_blocks + a.count;
-              allocated_blocks = r.allocated_blocks + (max_count - a.count);
-            };
-          incr d
-        end
-        else incr d);
-      ()
-    done;
+    let cen = census t in
     let classes =
-      Array.to_list per_class
-      |> List.filter (fun r -> r.superblocks > 0)
+      List.map
+        (fun (r : Census.class_stats) ->
+          {
+            size_class = r.size_class;
+            block_size = r.block_size;
+            superblocks = r.superblocks;
+            full = r.full;
+            partial = r.partial;
+            free_blocks = r.free_blocks;
+            allocated_blocks = r.allocated_blocks;
+          })
+        cen.Census.classes
     in
     {
-      provisioned_superblocks = used_sbs;
-      empty_superblocks = !empty;
-      large_superblocks = !large;
+      provisioned_superblocks = cen.Census.provisioned_superblocks;
+      empty_superblocks = cen.Census.empty_superblocks;
+      large_superblocks = cen.Census.large_superblocks;
       total_allocated_blocks =
         List.fold_left (fun acc r -> acc + r.allocated_blocks) 0 classes;
       total_free_blocks =
         List.fold_left (fun acc r -> acc + r.free_blocks) 0 classes;
       classes;
-      dirty = is_dirty t;
+      dirty = cen.Census.dirty;
     }
 
   let pp_report ppf r =

@@ -83,6 +83,16 @@ val close : t -> unit
     superblocks, writes the whole heap back to NVM, clears the dirty flag,
     and (if file-backed) saves the image.  The handle becomes invalid. *)
 
+val open_image : path:string -> t * status
+(** [open_image ~path] opens the heap files at [path] {e offline}: the
+    regions are read into memory and never written back (no file backing,
+    no dirty-flag write, no recovery), so the caller sees exactly the
+    durable state a post-crash open would see — the contract of the
+    [rstat] inspector.  {!audit}, {!census}, and even a trial {!recover}
+    may be run against the in-memory copy without mutating the image.
+    Status is {!Clean_restart} or {!Dirty_restart} (never {!Fresh}).
+    @raise Failure if the files are missing or not a Ralloc heap. *)
+
 val name : t -> string
 val is_dirty : t -> bool
 val capacity_bytes : t -> int
@@ -231,6 +241,116 @@ val sb_base : t -> int
 val valid_block : t -> int -> bool
 (** True iff [va] is the start of a currently plausible block — used by
     tests and the conservative scanner. *)
+
+(** {1 Flight recorder}
+
+    Every heap reserves a window at the tail of its metadata region for a
+    persistent event ring ({!Obs.Flight}): when [Obs.Flight.set_enabled
+    true], allocator lifecycle events — malloc/free with size class and
+    block offset, superblock provision/acquire/retire, root updates, heap
+    open/close, recovery phase boundaries — are recorded there with full
+    flush/fence discipline, so the last {!Layout.flight_capacity} events
+    survive a crash inside the heap image. *)
+
+val flight : t -> Obs.Flight.t option
+(** The heap's attached flight recorder.  [None] only for images
+    formatted before the reserved window existed. *)
+
+val flight_record : t -> kind:int -> ?a:int -> ?b:int -> ?c:int -> unit -> unit
+(** Record one event in the heap's flight ring (no-op while the recorder
+    is disabled or absent).  Used by the allocator's own hooks and by
+    cooperating layers — lib/txn records its commits and aborts here. *)
+
+(** {1 Census and recoverability audit} *)
+
+(** Occupancy and fragmentation of a heap, from one walk over the
+    provisioned descriptors. *)
+module Census : sig
+  type class_stats = {
+    size_class : int;
+    block_size : int;
+    superblocks : int;
+    full : int;
+    partial : int;
+    allocated_blocks : int;  (** includes blocks sitting in thread caches *)
+    free_blocks : int;
+    slack_bytes : int;
+        (** geometry slack: 64 KB mod block_size, summed over superblocks *)
+  }
+
+  type t = {
+    capacity_bytes : int;
+    provisioned_bytes : int;  (** superblocks claimed by the watermark *)
+    provisioned_superblocks : int;
+    empty_superblocks : int;
+    large_superblocks : int;
+    large_blocks : int;
+    allocated_blocks : int;  (** small + large *)
+    free_blocks : int;  (** small blocks on superblock free lists *)
+    allocated_bytes : int;
+    free_bytes : int;
+        (** free small blocks + empty superblocks + unprovisioned space *)
+    slack_bytes : int;
+    occupancy : float;  (** allocated bytes / provisioned bytes *)
+    internal_frag : float;  (** slack bytes / provisioned bytes *)
+    external_frag : float;
+        (** share of free bytes trapped in class-bound partial
+            superblocks, unusable by other classes until they drain *)
+    classes : class_stats list;  (** only classes with superblocks *)
+    dirty : bool;
+  }
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val census : t -> Census.t
+(** One read-only walk over the descriptors.  Quiescent use only: a
+    concurrent mutator makes the numbers approximate, never unsafe. *)
+
+(** The reachable-vs-allocated diff: a machine-checkable verdict on the
+    paper's recoverability criterion. *)
+module Audit : sig
+  type block = { offset : int; bytes : int }
+  (** A block named by its byte offset in the superblock region
+      (position-independent). *)
+
+  type t = {
+    dirty : bool;
+    provisioned_superblocks : int;
+    reachable_blocks : int;  (** found by tracing from persistent roots *)
+    allocated_blocks : int;  (** what the metadata says is taken *)
+    leaked : block list;  (** allocated but unreachable (capped) *)
+    orphaned : block list;  (** reachable but marked free (capped) *)
+    leaked_blocks : int;
+    leaked_bytes : int;
+    orphaned_blocks : int;
+    orphaned_bytes : int;
+    errors : string list;
+        (** structural violations in persisted (bold) fields recovery
+            must trust: bad watermark, undecodable root, inconsistent
+            class/block-size.  Any entry makes the image unrecoverable. *)
+    stale_metadata : string list;
+        (** transient metadata (anchors, free-list links) that could not
+            be walked — expected on a dirty image, where it is exactly
+            what recovery rebuilds, but it leaves the diff incomplete *)
+    recoverable : bool;  (** [errors = []] *)
+    consistent : bool;
+        (** recoverable, no stale metadata, and an empty diff: all and
+            only the reachable blocks are allocated — the paper's
+            criterion, which must hold on every cleanly closed image and
+            after every recovery *)
+  }
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val audit : ?max_list:int -> t -> Audit.t
+(** Trace from the persistent roots (with any filters registered via
+    {!get_root}; conservative scan otherwise) and diff the marks against
+    the metadata.  Read-only — never mutates the heap, so it can run on
+    a dirty image {e before} recovery, and again after, including on
+    {!open_image} handles.  [max_list] (default 64) caps the [leaked] /
+    [orphaned] lists; counts and byte totals are always exact. *)
 
 (** {1 Statistics} *)
 

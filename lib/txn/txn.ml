@@ -210,6 +210,10 @@ let run t f =
       if obs then Obs.Histogram.record obs_commit_ns (Obs.now_ns () - t0)
     end;
     Obs.Counter.incr obs_commit;
+    if Obs.Flight.enabled () then
+      Ralloc.flight_record t.heap ~kind:Obs.Flight.Kind.txn_commit
+        ~a:(Hashtbl.length ctx.writes) ~b:(List.length ctx.mallocs)
+        ~c:(List.length ctx.frees) ();
     (* deferred frees happen only once the transaction is durable *)
     List.iter (Ralloc.free t.heap) ctx.frees;
     release_slot t slot;
@@ -217,6 +221,9 @@ let run t f =
   | exception e ->
     (* roll back: nothing was applied; release this transaction's blocks *)
     Obs.Counter.incr obs_abort;
+    if Obs.Flight.enabled () then
+      Ralloc.flight_record t.heap ~kind:Obs.Flight.Kind.txn_abort
+        ~a:(Hashtbl.length ctx.writes) ~b:(List.length ctx.mallocs) ();
     List.iter (Ralloc.free t.heap) ctx.mallocs;
     release_slot t slot;
     raise e)

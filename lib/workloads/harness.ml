@@ -58,11 +58,26 @@ type row = {
   fences : int;
   p50_ns : float;
   p99_ns : float;
+  occupancy : float;
+  ext_frag : float;
 }
 
 let make_row ?(flushes = 0) ?(fences = 0) ?(p50_ns = 0.) ?(p99_ns = 0.)
-    ~figure ~allocator ~threads ~metric ~value () =
-  { figure; allocator; threads; metric; value; flushes; fences; p50_ns; p99_ns }
+    ?(occupancy = 0.) ?(ext_frag = 0.) ~figure ~allocator ~threads ~metric
+    ~value () =
+  {
+    figure;
+    allocator;
+    threads;
+    metric;
+    value;
+    flushes;
+    fences;
+    p50_ns;
+    p99_ns;
+    occupancy;
+    ext_frag;
+  }
 
 (* [run f] while capturing the per-op malloc latency distribution of its
    window; returns (result, p50_ns, p99_ns), zeros when metrics are off. *)
@@ -83,7 +98,9 @@ let pp_row ppf r =
   Format.fprintf ppf "%-12s %-10s %2d  %12.4f %-8s flushes=%-9d fences=%d"
     r.figure r.allocator r.threads r.value r.metric r.flushes r.fences;
   if r.p50_ns > 0. || r.p99_ns > 0. then
-    Format.fprintf ppf " p50=%.0fns p99=%.0fns" r.p50_ns r.p99_ns
+    Format.fprintf ppf " p50=%.0fns p99=%.0fns" r.p50_ns r.p99_ns;
+  if r.occupancy > 0. then
+    Format.fprintf ppf " occ=%.3f efrag=%.3f" r.occupancy r.ext_frag
 
 let print_header figure title =
   Printf.printf "\n== %s: %s ==\n%-12s %-10s %2s  %12s %-8s\n" figure title
@@ -105,6 +122,8 @@ let columns : (string * (row -> string)) list =
     ("fences", fun r -> string_of_int r.fences);
     ("p50_ns", fun r -> Printf.sprintf "%.0f" r.p50_ns);
     ("p99_ns", fun r -> Printf.sprintf "%.0f" r.p99_ns);
+    ("occupancy", fun r -> Printf.sprintf "%.4f" r.occupancy);
+    ("ext_frag", fun r -> Printf.sprintf "%.4f" r.ext_frag);
   ]
 
 let csv_header = String.concat "," (List.map fst columns)

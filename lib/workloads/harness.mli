@@ -30,6 +30,10 @@ type row = {
   fences : int;
   p50_ns : float;  (** windowed per-op malloc latency p50; 0 = not measured *)
   p99_ns : float;
+  occupancy : float;
+      (** end-of-row heap occupancy from {!Ralloc.census}; 0 when the
+          allocator under test does not expose a census *)
+  ext_frag : float;  (** end-of-row external fragmentation; 0 likewise *)
 }
 
 val make_row :
@@ -37,6 +41,8 @@ val make_row :
   ?fences:int ->
   ?p50_ns:float ->
   ?p99_ns:float ->
+  ?occupancy:float ->
+  ?ext_frag:float ->
   figure:string ->
   allocator:string ->
   threads:int ->

@@ -1,0 +1,72 @@
+(* Crash-point workload for the rstat audit CI rule (see test/dune).
+
+     crash_workload <path>           run a randomized stack workload, then
+                                     die mid-operation without closing:
+                                     the image is left dirty at an
+                                     arbitrary crash point
+     crash_workload --clean <path>   same workload, then free the strays
+                                     and close gracefully
+
+   The rule feeds both images to `rstat --audit`, whose exit code is the
+   verdict: the dirty image must come back CLEAN after rstat's trial
+   recovery, the closed one must satisfy the recoverability criterion
+   as-is.  The crash point is genuinely random — the audit must hold at
+   every one of them, so a failure here is a real recoverability bug, and
+   the seed is printed for replay. *)
+
+let mb = 1 lsl 20
+
+let () =
+  let clean, path =
+    match Sys.argv with
+    | [| _; "--clean"; p |] -> (true, p)
+    | [| _; p |] -> (false, p)
+    | _ ->
+      prerr_endline "usage: crash_workload [--clean] PATH";
+      exit 2
+  in
+  let seed =
+    try int_of_string (Sys.getenv "CRASH_SEED")
+    with Not_found | Failure _ -> (Unix.gettimeofday () *. 1e6 |> int_of_float) land 0xFFFFFF
+  in
+  Printf.printf "crash_workload: seed=%d (set CRASH_SEED to replay)\n%!" seed;
+  let rng = Random.State.make [| seed |] in
+  Obs.Flight.set_enabled true;
+  let heap, status = Ralloc.init ~path ~size:(4 * mb) () in
+  (match status with
+  | Ralloc.Dirty_restart ->
+    ignore (Ralloc.get_root heap 0);
+    ignore (Ralloc.recover heap)
+  | _ -> ());
+  let stack = Dstruct.Pstack.create heap ~root:0 in
+  let strays = ref [] in
+  let ops = 200 + Random.State.int rng 800 in
+  for i = 1 to ops do
+    match Random.State.int rng 10 with
+    | 0 | 1 | 2 | 3 | 4 ->
+      (* durable push: the stack's own protocol fences the link *)
+      ignore (Dstruct.Pstack.push stack i)
+    | 5 | 6 ->
+      ignore (Dstruct.Pstack.pop_free stack)
+    | 7 | 8 ->
+      let va = Ralloc.malloc heap (16 + Random.State.int rng 240) in
+      if va <> 0 then strays := va :: !strays
+    | _ -> (
+      match !strays with
+      | va :: rest ->
+        Ralloc.free heap va;
+        strays := rest
+      | [] -> ())
+  done;
+  if clean then begin
+    List.iter (Ralloc.free heap) !strays;
+    Ralloc.close heap
+  end
+  else begin
+    (* die mid-operation: a malloc'd node linked but never fenced, plus a
+       store left sitting in the volatile cache — the torn tail the audit
+       and the flight recorder must shrug off *)
+    let va = Ralloc.malloc heap 64 in
+    if va <> 0 then Ralloc.store heap va 0xDEAD;
+    exit 0 (* no close, no flush: the image stays dirty *)
+  end

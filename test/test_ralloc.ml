@@ -354,6 +354,113 @@ let test_transient_mode_never_flushes () =
   Alcotest.(check int) "no flushes" 0 s.flushes;
   Alcotest.(check int) "no fences" 0 s.fences
 
+(* ---------------- census and audit oracles ---------------- *)
+
+(* A known allocation pattern whose census is exact from the geometry:
+   100 x 64 B fills part of one size-8 superblock (64 KB / 64 B = 1024
+   blocks, zero slack).  flush_thread_cache first so the anchor count,
+   not the cache, owns the truth. *)
+let test_census_oracle () =
+  with_heap (fun t ->
+      let vas = Array.init 100 (fun _ -> Ralloc.malloc t 64) in
+      Array.iter (fun va -> assert (va <> 0)) vas;
+      Ralloc.flush_thread_cache t;
+      let c = Ralloc.census t in
+      Alcotest.(check int) "allocated blocks" 100 c.Ralloc.Census.allocated_blocks;
+      Alcotest.(check int) "allocated bytes" 6400 c.Ralloc.Census.allocated_bytes;
+      Alcotest.(check int) "no large blocks" 0 c.Ralloc.Census.large_blocks;
+      (match c.Ralloc.Census.classes with
+      | [ r ] ->
+        Alcotest.(check int) "block size" 64 r.Ralloc.Census.block_size;
+        Alcotest.(check int) "one superblock" 1 r.Ralloc.Census.superblocks;
+        Alcotest.(check int) "partial" 1 r.Ralloc.Census.partial;
+        Alcotest.(check int) "full" 0 r.Ralloc.Census.full;
+        Alcotest.(check int) "class allocated" 100 r.Ralloc.Census.allocated_blocks;
+        Alcotest.(check int) "class free" 924 r.Ralloc.Census.free_blocks;
+        Alcotest.(check int) "no slack at 64 B" 0 r.Ralloc.Census.slack_bytes
+      | l -> Alcotest.failf "expected one active class, got %d" (List.length l));
+      (* the census and the older Debug.report must tell the same story *)
+      let r = Ralloc.Debug.report t in
+      Alcotest.(check int) "report agrees" 100 r.Ralloc.Debug.total_allocated_blocks;
+      (* occupancy/internal_frag relations hold by definition *)
+      Alcotest.(check (float 1e-9)) "occupancy"
+        (float_of_int c.Ralloc.Census.allocated_bytes
+        /. float_of_int c.Ralloc.Census.provisioned_bytes)
+        c.Ralloc.Census.occupancy;
+      Alcotest.(check (float 1e-9)) "no internal frag" 0.
+        c.Ralloc.Census.internal_frag)
+
+let test_census_large_blocks () =
+  with_heap (fun t ->
+      let va = Ralloc.malloc t 100_000 in
+      (* 100000 B -> two 64 KB superblocks *)
+      assert (va <> 0);
+      let c = Ralloc.census t in
+      Alcotest.(check int) "one large block" 1 c.Ralloc.Census.large_blocks;
+      Alcotest.(check int) "two superblocks" 2 c.Ralloc.Census.large_superblocks;
+      Ralloc.free t va;
+      let c = Ralloc.census t in
+      Alcotest.(check int) "freed" 0 c.Ralloc.Census.large_blocks)
+
+(* The audit against a known reachability pattern: a rooted list is
+   reachable, stray mallocs are leaks; freeing them restores the
+   recoverability criterion, and so does an actual recovery. *)
+let test_audit_oracle () =
+  with_heap (fun t ->
+      let n = 50 in
+      let _ = build_list t n in
+      let leaks = Array.init 5 (fun _ -> Ralloc.malloc t 64) in
+      Array.iter (fun va -> assert (va <> 0)) leaks;
+      Ralloc.flush_thread_cache t;
+      let a = Ralloc.audit t in
+      Alcotest.(check int) "reachable" n a.Ralloc.Audit.reachable_blocks;
+      Alcotest.(check int) "allocated" (n + 5) a.Ralloc.Audit.allocated_blocks;
+      Alcotest.(check int) "leaked" 5 a.Ralloc.Audit.leaked_blocks;
+      Alcotest.(check int) "leaked bytes" (5 * 64) a.Ralloc.Audit.leaked_bytes;
+      Alcotest.(check int) "orphaned" 0 a.Ralloc.Audit.orphaned_blocks;
+      Alcotest.(check bool) "recoverable" true a.Ralloc.Audit.recoverable;
+      Alcotest.(check bool) "not consistent" false a.Ralloc.Audit.consistent;
+      Alcotest.(check int) "leak list capped but complete here" 5
+        (List.length a.Ralloc.Audit.leaked);
+      Array.iter (Ralloc.free t) leaks;
+      Ralloc.flush_thread_cache t;
+      let a = Ralloc.audit t in
+      Alcotest.(check bool) "consistent after frees" true
+        a.Ralloc.Audit.consistent)
+
+let test_audit_after_recovery () =
+  with_heap (fun t ->
+      let n = 80 in
+      let _ = build_list t n in
+      for _ = 1 to 30 do
+        ignore (Ralloc.malloc t 64)
+      done;
+      let t, status = Ralloc.crash_and_reopen t in
+      Alcotest.(check bool) "dirty" true (status = Ralloc.Dirty_restart);
+      (* pre-recovery: read-only, must not touch the image, and must
+         still be recoverable *)
+      let pre = Ralloc.audit t in
+      Alcotest.(check bool) "pre recoverable" true pre.Ralloc.Audit.recoverable;
+      Alcotest.(check bool) "still dirty" true (Ralloc.is_dirty t);
+      ignore (Ralloc.recover t);
+      let post = Ralloc.audit t in
+      Alcotest.(check bool) "post consistent" true post.Ralloc.Audit.consistent;
+      Alcotest.(check int) "post reachable" n post.Ralloc.Audit.reachable_blocks;
+      Alcotest.(check int) "post allocated" n post.Ralloc.Audit.allocated_blocks;
+      (* census agrees with the audit after recovery *)
+      let c = Ralloc.census t in
+      Alcotest.(check int) "census agrees" n c.Ralloc.Census.allocated_blocks)
+
+let test_audit_max_list_cap () =
+  with_heap (fun t ->
+      for _ = 1 to 20 do
+        ignore (Ralloc.malloc t 64)
+      done;
+      Ralloc.flush_thread_cache t;
+      let a = Ralloc.audit ~max_list:4 t in
+      Alcotest.(check int) "counts exact" 20 a.Ralloc.Audit.leaked_blocks;
+      Alcotest.(check int) "list capped" 4 (List.length a.Ralloc.Audit.leaked))
+
 (* Model-based random testing: interpret a random malloc/free program
    against a reference model; the allocator must never hand out
    overlapping blocks, and writes through one block must never disturb
@@ -457,6 +564,16 @@ let () =
           Alcotest.test_case "steady state flush-free" `Quick test_flush_counts;
           Alcotest.test_case "transient mode never flushes" `Quick
             test_transient_mode_never_flushes;
+        ] );
+      ( "census-audit",
+        [
+          Alcotest.test_case "census oracle 100x64B" `Quick test_census_oracle;
+          Alcotest.test_case "census large blocks" `Quick
+            test_census_large_blocks;
+          Alcotest.test_case "audit oracle leaks" `Quick test_audit_oracle;
+          Alcotest.test_case "audit after recovery" `Quick
+            test_audit_after_recovery;
+          Alcotest.test_case "audit max_list cap" `Quick test_audit_max_list_cap;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest prop_random_program ]);
     ]
