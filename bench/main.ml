@@ -38,6 +38,9 @@ let sweep ctx ~figure ~title ~allocators ~heap_mb ~metric f =
         (fun name ->
           let alloc = Baselines.Allocators.make name ~size:(heap_mb * mb) in
           let before = Alloc_iface.stats alloc in
+          let ck_before =
+            if Pmem.Check.enabled () then Some (Pmem.Check.totals ()) else None
+          in
           let s0 = Obs.Trace.begin_span () in
           let value, p50_ns, p99_ns =
             Workloads.Harness.with_alloc_latency (fun () -> f alloc ~threads)
@@ -47,6 +50,19 @@ let sweep ctx ~figure ~title ~allocators ~heap_mb ~metric f =
             s0;
           let after = Alloc_iface.stats alloc in
           let d = Pmem.Stats.diff after before in
+          (* persistency-checker window for this row: wasted flushes as a
+             fraction of all flushes, and fences that drained nothing *)
+          let redundant_flush_rate, wasted_fences =
+            match ck_before with
+            | None -> (0., 0)
+            | Some b ->
+              let cd = Pmem.Check.diff (Pmem.Check.totals ()) b in
+              ( (if cd.t_flushes > 0 then
+                   float_of_int (Pmem.Check.wasted_flushes cd)
+                   /. float_of_int cd.t_flushes
+                 else 0.),
+                cd.t_wasted_fences )
+          in
           (* end-of-row census: worker domains have exited, so the heap is
              quiescent and occupancy/fragmentation are exact *)
           let occupancy, ext_frag =
@@ -57,7 +73,8 @@ let sweep ctx ~figure ~title ~allocators ~heap_mb ~metric f =
           emit ctx
             (Workloads.Harness.make_row ~figure ~allocator:name ~threads
                ~metric ~value ~flushes:d.flushes ~fences:d.fences ~p50_ns
-               ~p99_ns ~occupancy ~ext_frag ());
+               ~p99_ns ~occupancy ~ext_frag ~redundant_flush_rate
+               ~wasted_fences ());
           Gc.full_major ())
         allocators)
     ctx.threads
@@ -460,8 +477,9 @@ let start_metrics_ticker interval =
     Domain.join d
 
 let run_bench only threads scale csv_path bechamel metrics metrics_interval
-    trace_path pmem_mode =
+    trace_path pmem_mode pcheck =
   Pmem.set_mode pmem_mode;
+  if pcheck then Pmem.Check.set_enabled true;
   if metrics then Obs.set_enabled true;
   let stop_ticker =
     Option.map start_metrics_ticker metrics_interval
@@ -514,6 +532,11 @@ let run_bench only threads scale csv_path bechamel metrics metrics_interval
   if metrics then begin
     Format.printf "@.== obs: metrics dump ==@.";
     Obs.dump Format.std_formatter
+  end;
+  if pcheck then begin
+    Format.printf "@.== pcheck: persistency checker ==@.";
+    Pmem.Check.report Format.std_formatter;
+    Pmem.Check.trace_report ()
   end;
   Option.iter
     (fun path ->
@@ -597,10 +620,20 @@ let () =
              synchronous flushes).  Flush/fence counts are identical in \
              both modes.")
   in
+  let pcheck =
+    Arg.(
+      value & flag
+      & info [ "pcheck" ]
+          ~doc:
+            "Enable the persistency-order checker ($(b,Pmem.Check)): per-row \
+             $(b,redundant_flush_rate) and $(b,wasted_fences) columns, and a \
+             per-site flush/fence waste report after the run.  Equivalent to \
+             setting $(b,PCHECK=1).")
+  in
   let term =
     Term.(
       const run_bench $ only $ threads $ scale $ csv $ bechamel $ metrics
-      $ metrics_interval $ trace $ pmem_mode)
+      $ metrics_interval $ trace $ pmem_mode $ pcheck)
   in
   let info =
     Cmd.info "ralloc-bench"

@@ -97,4 +97,48 @@ let () =
     exit 1
   end;
   print_endline "perf_smoke: flight recorder is 2F+1F/event, mode-invariant, \
-                 free when off"
+                 free when off";
+
+  (* Persistency-checker zero-cost contract.  The checker is compiled into
+     every pmem primitive; while disabled it must be invisible: identical
+     flush/fence counts, zero tallies, no shadow allocation.  While enabled
+     it is observational only — the counts must STILL be identical, since
+     the hooks never add or absorb a persistence op.  Wall time cannot be
+     asserted byte-identical between two process runs, so it is printed
+     for eyeballing; the byte-identical claim is carried by the counts. *)
+  let pcheck_counts ~enabled =
+    Pmem.Check.set_enabled enabled;
+    let alloc = Baselines.Allocators.make "ralloc" ~size:(16 * mb) in
+    let before = Alloc_iface.stats alloc in
+    let ck0 = Pmem.Check.totals () in
+    let t0 = Unix.gettimeofday () in
+    ignore (Workloads.Threadtest.run alloc ~threads:1 p);
+    let dt = Unix.gettimeofday () -. t0 in
+    let d = Pmem.Stats.diff (Alloc_iface.stats alloc) before in
+    let ckd = Pmem.Check.diff (Pmem.Check.totals ()) ck0 in
+    Pmem.Check.set_enabled false;
+    (d.flushes, d.fences, dt, ckd)
+  in
+  Pmem.Check.reset ();
+  let dis_f, dis_fe, dis_t, dis_ckd = pcheck_counts ~enabled:false in
+  let en_f, en_fe, en_t, en_ckd = pcheck_counts ~enabled:true in
+  check "pcheck disabled leaves all tallies at zero"
+    (dis_ckd.t_flushes = 0 && dis_ckd.t_fences = 0
+    && Pmem.Check.wasted_flushes dis_ckd = 0
+    && dis_ckd.t_wasted_fences = 0
+    && dis_ckd.t_violations = 0);
+  check "pcheck flush counts identical enabled vs disabled" (en_f = dis_f);
+  check "pcheck fence counts identical enabled vs disabled" (en_fe = dis_fe);
+  check "pcheck enabled observes the workload's flushes"
+    (en_ckd.t_flushes > 0 && en_ckd.t_fences > 0);
+  check "pcheck observes every flush and fence exactly once"
+    (en_ckd.t_flushes = en_f && en_ckd.t_fences = en_fe);
+  Printf.printf
+    "pcheck wall time: disabled %.4fs, enabled %.4fs (informational)\n" dis_t
+    en_t;
+  if !failed then begin
+    prerr_endline "perf_smoke: persistency checker violated its cost contract";
+    exit 1
+  end;
+  print_endline
+    "perf_smoke: persistency checker is count-transparent and free when off"

@@ -6,6 +6,7 @@
      rstat --flight N <path>      last N flight-recorder events
      rstat --prom <path>          Prometheus text exposition of the census
      rstat --chrome FILE <path>   Chrome trace JSON of recovery phases
+     rstat --pcheck-summary <path> trial recovery under the persistency checker
 
    Unlike [rheap], rstat never opens the heap for writing: the image files
    are read into memory ([Ralloc.open_image]) and nothing is written back,
@@ -216,9 +217,43 @@ let run_audit heap status max_list =
       exit 1
     end
 
-let run path census audit flight prom chrome max_list =
+(* Replay a trial recovery with the persistency checker enabled.  The
+   image is an offline snapshot: no pre-crash pending-flush state exists
+   in this process, so the shadow starts clean and the findings are sound
+   for the recovery path itself — every flush, fence, and waste event the
+   rebuild issues, attributed per site, plus any read of data the checker
+   watched become non-durable during the replay.  The files are never
+   written (same in-memory discipline as --audit). *)
+let run_pcheck_summary heap status =
+  (match status with
+  | Ralloc.Dirty_restart ->
+    print_endline
+      "image is dirty: replaying trial recovery under the persistency checker"
+  | _ ->
+    print_endline
+      "image is clean: replaying recovery anyway to profile its flush/fence \
+       behaviour");
+  Pmem.Check.set_enabled true;
+  Pmem.Check.reset ();
+  let stats = Ralloc.recover heap in
+  Pmem.Check.set_enabled false;
+  Printf.printf
+    "trial recovery: %d reachable, %d superblocks reclaimed, %d partial\n"
+    stats.Ralloc.reachable_blocks stats.reclaimed_superblocks
+    stats.partial_superblocks;
+  Pmem.Check.report Format.std_formatter;
+  let t = Pmem.Check.totals () in
+  if t.Pmem.Check.t_violations > 0 then begin
+    print_endline "verdict: VIOLATIONS - recovery read non-durable data";
+    exit 1
+  end
+
+let run path census audit flight prom chrome max_list pcheck_summary =
   let heap, status = open_image path in
-  let explicit = census || audit || flight <> None || prom || chrome <> None in
+  let explicit =
+    census || audit || flight <> None || prom || chrome <> None
+    || pcheck_summary
+  in
   if prom then print_prom heap status
   else begin
     if not explicit then begin
@@ -231,6 +266,7 @@ let run path census audit flight prom chrome max_list =
     if census then print_census heap;
     (match flight with Some n -> print_flight heap n | None -> ());
     (match chrome with Some file -> write_chrome heap file | None -> ());
+    if pcheck_summary then run_pcheck_summary heap status;
     if audit then run_audit heap status max_list
   end
 
@@ -274,6 +310,16 @@ let max_list_arg =
     & info [ "max-list" ] ~docv:"N"
         ~doc:"Cap on listed leaked/orphaned blocks (counts stay exact).")
 
+let pcheck_summary_flag =
+  Arg.(
+    value & flag
+    & info [ "pcheck-summary" ]
+        ~doc:
+          "Replay a trial in-memory recovery with the persistency checker \
+           ($(b,Pmem.Check)) enabled and print its per-site flush/fence \
+           report.  Exits 1 if the recovery path read data the checker saw \
+           become non-durable.  The image files are never written.")
+
 let () =
   let info =
     Cmd.info "rstat"
@@ -282,6 +328,6 @@ let () =
   let term =
     Term.(
       const run $ path_arg $ census_flag $ audit_flag $ flight_arg $ prom_flag
-      $ chrome_arg $ max_list_arg)
+      $ chrome_arg $ max_list_arg $ pcheck_summary_flag)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -15,6 +15,16 @@ type config = {
 
 type cache = { lists : int list array; counts : int array }
 
+(* Persistency-checker sites, one per durable phase and per configuration,
+   so the checker's waste report separates "pmdk.log" from "makalu.log". *)
+type sites = {
+  s_log : int;
+  s_head : int;
+  s_carve : int;
+  s_ptr : int;
+  s_medium : int;
+}
+
 type t = {
   cfg : config;
   mem : Pmem.t;
@@ -22,6 +32,7 @@ type t = {
   capacity : int; (* region bytes *)
   locks : Mutex.t array; (* index 0: large allocations / global lock *)
   dls : cache Domain.DLS.key;
+  sites : sites;
 }
 
 (* Region layout (word indices):
@@ -53,6 +64,14 @@ let create cfg ~size =
             lists = Array.make (Size_class.count + 1) [];
             counts = Array.make (Size_class.count + 1) 0;
           });
+    sites =
+      {
+        s_log = Pmem.Check.site (cfg.cfg_name ^ ".log");
+        s_head = Pmem.Check.site (cfg.cfg_name ^ ".head");
+        s_carve = Pmem.Check.site (cfg.cfg_name ^ ".carve");
+        s_ptr = Pmem.Check.site (cfg.cfg_name ^ ".ptr");
+        s_medium = Pmem.Check.site (cfg.cfg_name ^ ".medium");
+      };
   }
 
 let name t = t.cfg.cfg_name
@@ -68,6 +87,7 @@ let domain_slot () = (Domain.self () :> int) land (log_slots - 1)
    without a trace; that is exactly the per-operation cost Ralloc avoids. *)
 let log_op t opcode va =
   if t.cfg.log_words > 0 then begin
+    Pmem.Check.set_site t.sites.s_log;
     let slot = log_base_word + (domain_slot () * 8) in
     for i = 0 to t.cfg.log_words - 1 do
       Pmem.store t.mem (slot + (i land 7)) (opcode lxor (va + i))
@@ -79,6 +99,7 @@ let log_op t opcode va =
   end
 
 let persist_head t c =
+  Pmem.Check.set_site t.sites.s_head;
   for _ = 1 to t.cfg.metadata_flushes do
     Pmem.flush t.mem (head_word c);
     Pmem.fence t.mem
@@ -88,6 +109,7 @@ let persist_head t c =
    a lock covering the watermark (any class lock would race, so carving is
    always done under lock 0 when locks are per-class). *)
 let carve_locked t payload_bytes =
+  Pmem.Check.set_site t.sites.s_carve;
   let slot = 8 + payload_bytes in
   let off = Pmem.load t.mem used_word in
   if off + slot > t.capacity then 0
@@ -127,6 +149,7 @@ let push_list t c va =
    as the paper had to, §6.1). *)
 let persist_pointer t va =
   if t.cfg.persist_pointer_on_malloc then begin
+    Pmem.Check.set_site t.sites.s_ptr;
     let slot = log_base_word + (domain_slot () * 8) + 7 in
     Pmem.store t.mem slot va;
     Pmem.flush t.mem slot;
@@ -157,6 +180,7 @@ let medium_penalty t c =
     t.cfg.medium_extra_flushes > 0
     && Size_class.block_size c > t.cfg.medium_threshold
   then begin
+    Pmem.Check.set_site t.sites.s_medium;
     let slot = log_base_word + (domain_slot () * 8) in
     for _ = 1 to t.cfg.medium_extra_flushes do
       Pmem.flush t.mem slot;

@@ -321,6 +321,12 @@ module Trace = struct
 
   let instant name = if !tracing_on then emit name (now_ns ()) (-1)
 
+  (* Counter samples ride the same ring: the dur field is overloaded as
+     [-2 - value] (dur >= 0 is a span, -1 an instant), so no per-event
+     allocation and no ring reshape. *)
+  let counter name v =
+    if !tracing_on then emit name (now_ns ()) (-2 - max 0 v)
+
   (* Timestamps are reported relative to process start so the JSON stays
      readable (CLOCK_MONOTONIC's zero is boot time). *)
   let epoch_ns = now_ns ()
@@ -367,10 +373,14 @@ module Trace = struct
                 "\n{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}"
                 (json_escape name) tid ts_us
                 (float_of_int dur /. 1e3)
-            else
+            else if dur = -1 then
               Printf.fprintf oc
                 "\n{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%.3f}"
-                (json_escape name) tid ts_us)
+                (json_escape name) tid ts_us
+            else
+              Printf.fprintf oc
+                "\n{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"C\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"args\":{\"value\":%d}}"
+                (json_escape name) tid ts_us (-dur - 2))
           (events ());
         output_string oc "\n],\"displayTimeUnit\":\"ns\"}\n")
 
@@ -380,9 +390,12 @@ module Trace = struct
         if dur >= 0 then
           Format.fprintf ppf "[%12d ns] tid=%-3d %-32s dur=%d ns@."
             (ts - epoch_ns) tid name dur
-        else
+        else if dur = -1 then
           Format.fprintf ppf "[%12d ns] tid=%-3d %-32s (instant)@."
-            (ts - epoch_ns) tid name)
+            (ts - epoch_ns) tid name
+        else
+          Format.fprintf ppf "[%12d ns] tid=%-3d %-32s value=%d@."
+            (ts - epoch_ns) tid name (-dur - 2))
       (events ())
 end
 

@@ -151,6 +151,11 @@ module Trace : sig
   val instant : string -> unit
   (** Record a point event at the current time. *)
 
+  val counter : string -> int -> unit
+  (** Record a Chrome counter sample ([ph:"C"]): a named value at the
+      current time, rendered as a value track in the trace viewer.
+      Negative values are clamped to 0. *)
+
   val clear : unit -> unit
 
   val write_chrome_trace : string -> unit

@@ -178,6 +178,9 @@ type t = {
   fences : int Atomic.t;
   cas_ops : int Atomic.t;
   evictions : int Atomic.t;
+  mutable shadow : Pcheck.shadow option;
+      (* persistency-checker state, allocated on first hook while the
+         checker is enabled; None costs nothing *)
 }
 
 (* File layout: a 4096 B header (magic, word count, name), then the raw
@@ -246,7 +249,27 @@ let create ?(name = "pmem") ~size_bytes () =
     fences = Atomic.make 0;
     cas_ops = Atomic.make 0;
     evictions = Atomic.make 0;
+    shadow = None;
   }
+
+(* Double-checked under the pending lock so two domains racing the first
+   checked event agree on one shadow.  Callers holding [pending_lock]
+   must fetch the shadow before locking. *)
+let shadow t =
+  match t.shadow with
+  | Some s -> s
+  | None ->
+    Mutex.lock t.pending_lock;
+    let s =
+      match t.shadow with
+      | Some s -> s
+      | None ->
+        let s = Pcheck.make_shadow ~name:t.region_name ~nwords:t.nwords in
+        t.shadow <- Some s;
+        s
+    in
+    Mutex.unlock t.pending_lock;
+    s
 
 let size_words t = t.nwords
 let size_bytes t = t.nwords * 8
@@ -260,6 +283,7 @@ let check_word t w =
 
 let load t w =
   check_word t w;
+  if Pcheck.on () then Pcheck.on_load (shadow t) w;
   raw_load t.vol w
 
 (* xorshift64; quality is irrelevant, speed is. *)
@@ -275,19 +299,24 @@ let evict_line t w =
   Atomic.incr t.evictions;
   Obs.Counter.incr obs_evictions;
   let line = w / words_per_line in
+  if Pcheck.on () then Pcheck.on_evict (shadow t) ~line;
   raw_flush_line t.vol t.pers line;
   write_backing t ~byte_off:(line * line_bytes) ~len:line_bytes
 
 let store t w v =
   check_word t w;
   raw_store t.vol w v;
+  if Pcheck.on () then Pcheck.on_store (shadow t) w;
   if t.evict_threshold > 0 && next_rng t < t.evict_threshold then evict_line t w
 
 let cas t w ~expected ~desired =
   check_word t w;
   Atomic.incr t.cas_ops;
   Obs.Counter.incr obs_cas;
+  (* a CAS reads the word either way; only a successful one stores *)
+  if Pcheck.on () then Pcheck.on_load (shadow t) w;
   let ok = raw_cas t.vol w expected desired in
+  if ok && Pcheck.on () then Pcheck.on_store (shadow t) w;
   if ok && t.evict_threshold > 0 && next_rng t < t.evict_threshold then
     evict_line t w;
   ok
@@ -296,6 +325,11 @@ let fetch_add t w d =
   check_word t w;
   Atomic.incr t.cas_ops;
   Obs.Counter.incr obs_cas;
+  if Pcheck.on () then begin
+    (* read-modify-write: the read can observe a lost word *)
+    Pcheck.on_load (shadow t) w;
+    Pcheck.on_store (shadow t) w
+  end;
   raw_fetch_add t.vol w d
 
 (* ------------------------------------------------------------------ *)
@@ -372,6 +406,7 @@ let flush t w =
   Atomic.incr t.flushes;
   Obs.Counter.incr obs_flushes;
   let line = w / words_per_line in
+  if Pcheck.on () then Pcheck.on_flush (shadow t) ~line;
   match !mode with
   | Pipelined ->
     enqueue_line t line;
@@ -384,6 +419,7 @@ let flush t w =
 let fence t =
   Atomic.incr t.fences;
   Obs.Counter.incr obs_fences;
+  if Pcheck.on () then Pcheck.on_fence (shadow t);
   match !mode with
   | Synchronous -> spin_iters (iters_of fence_iters !fence_latency_ns)
   | Pipelined ->
@@ -413,6 +449,12 @@ let flush_range t w n =
     check_word t (w + n - 1);
     let first = w / words_per_line and last = (w + n - 1) / words_per_line in
     Obs.Counter.add obs_flushes (last - first + 1);
+    if Pcheck.on () then begin
+      let sh = shadow t in
+      for line = first to last do
+        Pcheck.on_flush sh ~line
+      done
+    end;
     match !mode with
     | Pipelined ->
       for line = first to last do
@@ -440,6 +482,7 @@ let discard_all_pending t =
   Mutex.unlock t.pending_lock
 
 let flush_all t =
+  if Pcheck.on () then Pcheck.on_flush_all (shadow t);
   discard_all_pending t;
   raw_sync_all t.vol t.pers t.nwords 0;
   (* write the whole image through in 1 MB chunks *)
@@ -458,6 +501,7 @@ let crash t =
      Like a spontaneously evicted store, each may independently have
      completed its write-back before the power failed, so the eviction RNG
      decides line by line; with eviction off they are simply lost. *)
+  let sh = if Pcheck.on () then Some (shadow t) else None in
   Mutex.lock t.pending_lock;
   List.iter
     (fun p ->
@@ -466,6 +510,9 @@ let crash t =
           Atomic.incr t.evictions;
           Obs.Counter.incr obs_evictions;
           let line = p.lines.(i) in
+          (match sh with
+          | Some s -> Pcheck.on_evict s ~line
+          | None -> ());
           raw_flush_line t.vol t.pers line;
           write_backing t ~byte_off:(line * line_bytes) ~len:line_bytes
         end
@@ -473,6 +520,7 @@ let crash t =
       p.count <- 0)
     !(t.pending_all);
   Mutex.unlock t.pending_lock;
+  (match sh with Some s -> Pcheck.on_crash s | None -> ());
   raw_sync_all t.vol t.pers t.nwords 1
 
 let set_eviction_rate t p =
@@ -493,12 +541,18 @@ let check_byte t off =
 let load_byte t off =
   check_byte t off;
   let w = off lsr 3 and b = off land 7 in
+  if Pcheck.on () then Pcheck.on_load (shadow t) w;
   Int64.to_int (Int64.shift_right_logical (raw_load64 t.vol w) (8 * b))
   land 0xFF
 
 let store_byte t off v =
   check_byte t off;
   let w = off lsr 3 and b = off land 7 in
+  if Pcheck.on () then begin
+    (* the word read-modify-write can observe the lost bytes it keeps *)
+    Pcheck.on_load (shadow t) w;
+    Pcheck.on_store (shadow t) w
+  end;
   let old = raw_load64 t.vol w in
   let mask = Int64.lognot (Int64.shift_left 0xFFL (8 * b)) in
   let v64 = Int64.shift_left (Int64.of_int (v land 0xFF)) (8 * b) in
@@ -612,6 +666,7 @@ let close_file t =
   | Some fd ->
     (* A graceful close completes the outstanding posted write-backs (a
        crash would not — that path discards them). *)
+    if Pcheck.on () then Pcheck.on_drain_all (shadow t);
     Mutex.lock t.pending_lock;
     List.iter (fun p -> ignore (drain_pending t p)) !(t.pending_all);
     Mutex.unlock t.pending_lock;
@@ -626,6 +681,15 @@ let close_file t =
    like any other persistence traffic (and therefore counted, charged,
    crash-simulated and written through to the backing file like any
    other). *)
+(* Flight traffic is attributed to its own checker site, allowlisted for
+   durability violations: the ring's entries are checksummed and attach
+   tolerates torn lines by design, and the head cursor is deliberately
+   never flushed (attach rebuilds and rewrites it before any record can
+   read it). *)
+let flight_site =
+  Pcheck.allow "obs.flight"
+    ~reason:"ring entries are checksummed; torn reads are by design"
+
 let flight_backend t ~first_word ~words =
   if first_word < 0 || words < 0 || first_word + words > t.nwords then
     invalid_arg
@@ -646,11 +710,26 @@ let flight_backend t ~first_word ~words =
   in
   {
     Obs.Flight.words;
-    load = (fun w -> load t (abs w));
-    store = (fun w v -> store t (abs w) v);
-    fetch_add = (fun w d -> fetch_add t (abs w) d);
-    flush = (fun w -> flush t (abs w));
-    fence = (fun () -> fence t);
+    load =
+      (fun w ->
+        Pcheck.set_site flight_site;
+        load t (abs w));
+    store =
+      (fun w v ->
+        Pcheck.set_site flight_site;
+        store t (abs w) v);
+    fetch_add =
+      (fun w d ->
+        Pcheck.set_site flight_site;
+        fetch_add t (abs w) d);
+    flush =
+      (fun w ->
+        Pcheck.set_site flight_site;
+        flush t (abs w));
+    fence =
+      (fun () ->
+        Pcheck.set_site flight_site;
+        fence t);
   }
 
 module Stats = struct
@@ -688,3 +767,8 @@ module Stats = struct
       evictions = Obs.Counter.read obs_evictions;
     }
 end
+
+(* The persistency checker, re-exported as the library-level [Check]
+   submodule; pcheck.ml holds the implementation so the hooks above can
+   reach it without a dependency cycle. *)
+module Check = Pcheck

@@ -211,3 +211,111 @@ module Stats : sig
       registry counters — so they advance only while [Obs] metrics are
       enabled.  Useful for interval monitors that have no region handle. *)
 end
+
+(** {1 Persistency checking} *)
+
+(** A pmemcheck-style durability tracer over the simulated NVM.  When
+    enabled, every word of every region carries a shadow persistency
+    state (clean/durable -> dirty -> posted -> durable, epoch-numbered
+    by fence) that mirrors the write-combining pipeline exactly — and
+    does so in {e both} pmem modes, so findings are mode-invariant like
+    the flush/fence counts themselves.  Three finding classes, each
+    attributed to a caller-registered site:
+
+    - {b durability violations}: a word read after {!crash} whose last
+      store was never drained durable by a fence — the read observes
+      pre-crash stale data.  One finding per torn line, attributed to
+      the site of the lost store.
+    - {b wasted flushes}: flushes of lines with no dirty words, or of
+      lines already posted by the calling domain (absorbed by the
+      pipeline's dedup) — the paper's direct "optimize persistence"
+      metric, per site.
+    - {b wasted fences}: fences draining an empty pending set.
+
+    Disabled (the default), the only cost is one flag test per pmem
+    primitive and no shadow memory exists.  Setting the [PCHECK]
+    environment variable (to anything but [""] or ["0"]) enables the
+    checker at load, so [PCHECK=1 dune runtest] runs the crash suites
+    under it. *)
+module Check : sig
+  val set_enabled : bool -> unit
+  val enabled : unit -> bool
+
+  val on : unit -> bool
+  (** Alias of {!enabled} for hot call sites. *)
+
+  (** {2 Sites} *)
+
+  val site : string -> int
+  (** [site "ralloc.sb_provision"] interns a site name to a dense id.
+      Registration is cheap but lock-taking: do it at module or heap
+      init, not on the hot path. *)
+
+  val site_name : int -> string
+
+  val set_site : int -> unit
+  (** Make a site the calling domain's ambient owner: subsequent
+      stores/flushes/fences from this domain are attributed to it until
+      the next [set_site] (pmemcheck-style region ownership).  A no-op
+      while the checker is disabled. *)
+
+  val with_site : int -> (unit -> 'a) -> 'a
+  (** Run a thunk with the ambient site set, restoring the previous
+      owner afterwards.  Calls the thunk directly when disabled. *)
+
+  val allow : string -> reason:string -> int
+  (** Register a site whose durability violations are by design (e.g. a
+      checksummed ring read torn on purpose).  Its violations are
+      tallied separately and never counted as findings. *)
+
+  (** {2 Findings} *)
+
+  type totals = {
+    t_flushes : int;
+    t_fences : int;
+    t_wasted_flush_clean : int;  (** flushes of lines with no dirty word *)
+    t_wasted_flush_dup : int;  (** flushes absorbed by the pipeline dedup *)
+    t_wasted_fences : int;
+    t_violations : int;
+    t_allowed_violations : int;
+  }
+
+  val totals : unit -> totals
+  val diff : totals -> totals -> totals
+
+  val wasted_flushes : totals -> int
+  (** [t_wasted_flush_clean + t_wasted_flush_dup]. *)
+
+  type violation = {
+    v_site : string;  (** site of the store that was lost *)
+    v_region : string;
+    v_line : int;
+    v_word : int;  (** first lost word read on the line *)
+    v_crash_epoch : int;
+    v_read_epoch : int;
+    v_allowed : bool;
+  }
+
+  val violations : unit -> violation list
+  (** Chronological; capped at 512 entries (the totals keep counting). *)
+
+  val current_epoch : unit -> int
+  (** Fence epochs number durable transitions, starting at 1. *)
+
+  val reset : unit -> unit
+  (** Zero every per-site tally and drop recorded violations.  Sites,
+      allowlist entries and per-region shadow state survive. *)
+
+  (** {2 Reports} *)
+
+  val report : Format.formatter -> unit
+  (** Human-readable per-site table plus the recorded violations. *)
+
+  val prometheus : Format.formatter -> unit
+  (** Prometheus exposition: [pcheck_*_total{site="..."}] samples. *)
+
+  val trace_report : unit -> unit
+  (** Emit per-site waste as {!Obs.Trace.counter} tracks (violations
+      already emit trace instants at detection time), so a Chrome trace
+      written afterwards carries the checker findings. *)
+end

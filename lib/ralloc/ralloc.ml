@@ -75,6 +75,21 @@ let () =
       and m = Obs.Counter.read obs_tcache_miss in
       if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m))
 
+(* Persistency-checker sites: one per flush/fence cluster, registered
+   once at module load.  [Pmem.Check.set_site] is a no-op while the
+   checker is disabled, so the hot paths pay one flag read. *)
+module CK = Pmem.Check
+
+let site_expand = CK.site "ralloc.expand"
+let site_provision = CK.site "ralloc.sb_provision"
+let site_malloc_large = CK.site "ralloc.malloc_large"
+let site_free_large = CK.site "ralloc.free_large"
+let site_set_root = CK.site "ralloc.set_root"
+let site_mark_dirty = CK.site "ralloc.mark_dirty"
+let site_format = CK.site "ralloc.format"
+let site_close = CK.site "ralloc.close"
+let site_recover = CK.site "ralloc.recover"
+
 let max_roots = Layout.max_roots
 let name t = t.heap_name
 let persist_enabled t = t.persist
@@ -213,6 +228,7 @@ let pop_partial t c =
    new watermark is flushed and fenced: recovery trusts it as the bound of
    the provisioned area. *)
 let rec expand t k =
+  CK.set_site site_expand;
   let bytes = k * Layout.superblock_bytes in
   let size = Pmem.load t.sb Layout.sb_size_word in
   let used = used_bytes t in
@@ -261,6 +277,7 @@ let tcaches t = Domain.DLS.get t.tcache_key
    domain's cache with every block.  The size information is persisted
    before any block can be used (the paper's one online flush). *)
 let provision_superblock t c tc d =
+  CK.set_site site_provision;
   Obs.Counter.incr obs_sb_acquire;
   if Obs.Flight.enabled () then flight_record t ~kind:FK.sb_acquire ~a:c ~b:d ();
   let bsz = Size_class.block_size c in
@@ -372,6 +389,7 @@ let flush_thread_cache t =
 (* ------------------------------------------------------------------ *)
 
 let malloc_large t size =
+  CK.set_site site_malloc_large;
   let k = (size + Layout.superblock_bytes - 1) / Layout.superblock_bytes in
   let d =
     if k = 1 then begin
@@ -393,6 +411,7 @@ let malloc_large t size =
   end
 
 let free_large t d =
+  CK.set_site site_free_large;
   let total = dload t d Layout.d_bsize in
   let k = total / Layout.superblock_bytes in
   Obs.Counter.add obs_sb_retire k;
@@ -455,6 +474,7 @@ let rec malloc_one t c =
     let d = take_free_sb t in
     if d < 0 then 0
     else begin
+      CK.set_site site_provision;
       Obs.Counter.incr obs_sb_acquire;
       if Obs.Flight.enabled () then
         flight_record t ~kind:FK.sb_acquire ~a:c ~b:d ();
@@ -569,6 +589,7 @@ let usable_size t va =
 let set_root t i va =
   check_open t;
   if i < 0 || i >= max_roots then invalid_arg "Ralloc.set_root: bad index";
+  CK.set_site site_set_root;
   let w =
     if va = 0 then Pptr.based_null
     else Pptr.encode_based Pptr.Sb ~offset:(va - t.sb_base)
@@ -688,6 +709,7 @@ let make_handle ?(persist = true) ?sb_base ?(expansion_sbs = 16)
 let is_dirty t = mload t Layout.meta_dirty <> 0
 
 let mark_dirty t =
+  CK.set_site site_mark_dirty;
   mstore t Layout.meta_dirty 1;
   persist_meta t Layout.meta_dirty
 
@@ -700,6 +722,7 @@ let region_geometry size =
 
 (* Lay down a fresh heap's persistent structure and make it durable. *)
 let format_heap ?heap_id meta sb sb_bytes =
+  CK.set_site site_format;
   let id =
     match heap_id with
     | Some id ->
@@ -813,6 +836,7 @@ let open_image ~path =
 
 let close t =
   check_open t;
+  CK.set_site site_close;
   if Obs.Flight.enabled () then flight_record t ~kind:FK.heap_close ();
   unregister_heap t;
   flush_thread_cache t;
@@ -949,6 +973,7 @@ let trace_reachable t =
 
 let recover ?(domains = 1) t =
   check_open t;
+  CK.set_site site_recover;
   let s_trace = Obs.Trace.begin_span () in
   let t_start = Unix.gettimeofday () in
   if Obs.Flight.enabled () then

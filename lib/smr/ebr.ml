@@ -18,6 +18,12 @@ let obs_epoch_advances = Obs.Counter.make "ebr.epoch_advances"
 let obs_retired = Obs.Counter.make "ebr.retired"
 let obs_reclaimed = Obs.Counter.make "ebr.reclaimed"
 
+(* Persistency-checker site: EBR itself is transient and flush-free, but
+   the deferred [Ralloc.free] calls it issues do touch persistent
+   metadata — attribute that traffic to the reclaimer, not to whatever
+   site the mutator last set. *)
+let site_reclaim = Pmem.Check.site "smr.reclaim"
+
 type slot = { announce : int Atomic.t }
 
 type local = {
@@ -103,6 +109,7 @@ let try_advance t =
 
 (* Free every bucket whose epoch is at least two behind the global one. *)
 let reclaim t l =
+  Pmem.Check.set_site site_reclaim;
   let e = Atomic.get t.global_epoch in
   for b = 0 to 2 do
     if l.bucket_epoch.(b) <= e - 2 && l.buckets.(b) <> [] then begin
@@ -124,6 +131,7 @@ let retire t va =
   let b = e mod 3 in
   if l.bucket_epoch.(b) <> e then begin
     (* this bucket belongs to epoch e-3: three epochs old, always safe *)
+    Pmem.Check.set_site site_reclaim;
     List.iter (Ralloc.free t.heap) l.buckets.(b);
     Obs.Counter.add obs_reclaimed (List.length l.buckets.(b));
     l.pending_count <- l.pending_count - List.length l.buckets.(b);

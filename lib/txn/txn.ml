@@ -34,6 +34,14 @@ let obs_commit = Obs.Counter.make "txn.commit"
 let obs_abort = Obs.Counter.make "txn.abort"
 let obs_commit_ns = Obs.Histogram.make "txn.commit_ns"
 
+(* Persistency-checker sites, one per durable phase of a transaction. *)
+module CK = Pmem.Check
+
+let site_create = CK.site "txn.create"
+let site_commit = CK.site "txn.commit_record"
+let site_apply = CK.site "txn.apply"
+let site_replay = CK.site "txn.replay"
+
 let status_committed = 1
 let entries_base = 8
 
@@ -68,6 +76,7 @@ let create ?(slots = 8) ?(log_capacity = 1024) heap ~root =
   if slots < 1 || log_capacity < 1 then invalid_arg "Txn.create";
   let index = Ralloc.malloc heap ((2 + slots) * 8) in
   if index = 0 then failwith "Txn.create: out of memory";
+  CK.set_site site_create;
   Ralloc.store heap index slots;
   Ralloc.store heap (index + 8) log_capacity;
   for i = 0 to slots - 1 do
@@ -86,6 +95,7 @@ let create ?(slots = 8) ?(log_capacity = 1024) heap ~root =
 
 (* Apply a committed log: idempotent, so safe to repeat across crashes. *)
 let replay_slot heap ~sb_base slot =
+  CK.set_site site_replay;
   let n = Ralloc.load heap (slot + 8) in
   for i = 0 to n - 1 do
     let off = Ralloc.load heap (slot + (8 * (entries_base + (2 * i)))) in
@@ -150,12 +160,16 @@ let malloc ctx size =
 let free ctx va = if va <> 0 then ctx.frees <- va :: ctx.frees
 
 (* Persist the write set into the slot's redo log and write the commit
-   record.  After this returns, the transaction is decided. *)
-let write_commit_record ctx =
+   record.  After this returns, the transaction is decided.
+   [skip_status_flush] deliberately omits the flush of the committed
+   status word — a seeded durability bug, reachable only through
+   [Private], that the persistency checker must catch. *)
+let write_commit_record ?(skip_status_flush = false) ctx =
   let heap = ctx.mgr.heap in
   let slot = ctx.mgr.slot_va.(ctx.slot) in
   let n = Hashtbl.length ctx.writes in
   if n > ctx.mgr.capacity then raise Log_overflow;
+  CK.set_site site_commit;
   let sb_base = Ralloc.sb_base heap in
   List.iteri
     (fun i va ->
@@ -168,11 +182,12 @@ let write_commit_record ctx =
   Ralloc.flush_block_range heap slot ((entries_base + (2 * n)) * 8);
   Ralloc.fence heap;
   Ralloc.store heap slot status_committed;
-  Ralloc.flush heap slot;
+  if not skip_status_flush then Ralloc.flush heap slot;
   Ralloc.fence heap
 
 let apply ctx =
   let heap = ctx.mgr.heap in
+  CK.set_site site_apply;
   let slot = ctx.mgr.slot_va.(ctx.slot) in
   Hashtbl.iter
     (fun va v ->
@@ -229,10 +244,10 @@ let run t f =
     raise e)
 
 module Private = struct
-  let commit_record_only t f =
+  let commit_record_only ?skip_status_flush t f =
     let slot = claim_slot t in
     let ctx = make_ctx t slot in
     f ctx;
-    write_commit_record ctx;
+    write_commit_record ?skip_status_flush ctx;
     release_slot t slot
 end

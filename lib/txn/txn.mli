@@ -81,8 +81,12 @@ val free : ctx -> int -> unit
 val slots_in_use : t -> int
 
 module Private : sig
-  val commit_record_only : t -> (ctx -> unit) -> unit
+  val commit_record_only : ?skip_status_flush:bool -> t -> (ctx -> unit) -> unit
   (** Run the section and persist its commit record {b without applying
       the stores} — simulating a crash at the worst moment.  Only tests
-      use this; a following {!attach} must complete the transaction. *)
+      use this; a following {!attach} must complete the transaction.
+      With [~skip_status_flush:true] the flush of the committed status
+      word is deliberately omitted — a seeded durability bug for the
+      persistency checker ({!Pmem.Check}) to catch: after a crash the
+      commit record is silently lost and attach reads the stale status. *)
 end

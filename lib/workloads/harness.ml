@@ -60,11 +60,13 @@ type row = {
   p99_ns : float;
   occupancy : float;
   ext_frag : float;
+  redundant_flush_rate : float;
+  wasted_fences : int;
 }
 
 let make_row ?(flushes = 0) ?(fences = 0) ?(p50_ns = 0.) ?(p99_ns = 0.)
-    ?(occupancy = 0.) ?(ext_frag = 0.) ~figure ~allocator ~threads ~metric
-    ~value () =
+    ?(occupancy = 0.) ?(ext_frag = 0.) ?(redundant_flush_rate = 0.)
+    ?(wasted_fences = 0) ~figure ~allocator ~threads ~metric ~value () =
   {
     figure;
     allocator;
@@ -77,6 +79,8 @@ let make_row ?(flushes = 0) ?(fences = 0) ?(p50_ns = 0.) ?(p99_ns = 0.)
     p99_ns;
     occupancy;
     ext_frag;
+    redundant_flush_rate;
+    wasted_fences;
   }
 
 (* [run f] while capturing the per-op malloc latency distribution of its
@@ -100,7 +104,10 @@ let pp_row ppf r =
   if r.p50_ns > 0. || r.p99_ns > 0. then
     Format.fprintf ppf " p50=%.0fns p99=%.0fns" r.p50_ns r.p99_ns;
   if r.occupancy > 0. then
-    Format.fprintf ppf " occ=%.3f efrag=%.3f" r.occupancy r.ext_frag
+    Format.fprintf ppf " occ=%.3f efrag=%.3f" r.occupancy r.ext_frag;
+  if r.redundant_flush_rate > 0. || r.wasted_fences > 0 then
+    Format.fprintf ppf " rflush=%.4f wfence=%d" r.redundant_flush_rate
+      r.wasted_fences
 
 let print_header figure title =
   Printf.printf "\n== %s: %s ==\n%-12s %-10s %2s  %12s %-8s\n" figure title
@@ -124,6 +131,8 @@ let columns : (string * (row -> string)) list =
     ("p99_ns", fun r -> Printf.sprintf "%.0f" r.p99_ns);
     ("occupancy", fun r -> Printf.sprintf "%.4f" r.occupancy);
     ("ext_frag", fun r -> Printf.sprintf "%.4f" r.ext_frag);
+    ("redundant_flush_rate", fun r -> Printf.sprintf "%.4f" r.redundant_flush_rate);
+    ("wasted_fences", fun r -> string_of_int r.wasted_fences);
   ]
 
 let csv_header = String.concat "," (List.map fst columns)

@@ -34,6 +34,12 @@ type row = {
       (** end-of-row heap occupancy from {!Ralloc.census}; 0 when the
           allocator under test does not expose a census *)
   ext_frag : float;  (** end-of-row external fragmentation; 0 likewise *)
+  redundant_flush_rate : float;
+      (** wasted flushes / total flushes over the row's window, from the
+          persistency checker ({!Pmem.Check}); 0 when the checker is off *)
+  wasted_fences : int;
+      (** fences that drained an empty pending set over the row's window;
+          0 when the checker is off *)
 }
 
 val make_row :
@@ -43,6 +49,8 @@ val make_row :
   ?p99_ns:float ->
   ?occupancy:float ->
   ?ext_frag:float ->
+  ?redundant_flush_rate:float ->
+  ?wasted_fences:int ->
   figure:string ->
   allocator:string ->
   threads:int ->

@@ -16,6 +16,23 @@
 
 let mb = 1 lsl 20
 
+(* Under PCHECK=1 the whole workload ran with the persistency checker on;
+   any violation is a real durability bug in a code path the workload
+   exercised (the dirty-exit "crash" itself happens by process death, so
+   the in-process findings cover the open/recover path of a replayed
+   dirty image and the workload's own reads). *)
+let pcheck_gate () =
+  if Pmem.Check.enabled () then begin
+    let t = Pmem.Check.totals () in
+    if t.Pmem.Check.t_violations > 0 then begin
+      Pmem.Check.report Format.err_formatter;
+      Printf.eprintf
+        "crash_workload: %d persistency violations under PCHECK\n"
+        t.Pmem.Check.t_violations;
+      exit 3
+    end
+  end
+
 let () =
   let clean, path =
     match Sys.argv with
@@ -60,7 +77,8 @@ let () =
   done;
   if clean then begin
     List.iter (Ralloc.free heap) !strays;
-    Ralloc.close heap
+    Ralloc.close heap;
+    pcheck_gate ()
   end
   else begin
     (* die mid-operation: a malloc'd node linked but never fenced, plus a
@@ -68,5 +86,6 @@ let () =
        and the flight recorder must shrug off *)
     let va = Ralloc.malloc heap 64 in
     if va <> 0 then Ralloc.store heap va 0xDEAD;
+    pcheck_gate ();
     exit 0 (* no close, no flush: the image stays dirty *)
   end

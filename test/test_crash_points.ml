@@ -199,6 +199,20 @@ let test_crash_during_recovery_retry () =
     stats.reachable_blocks;
   Alcotest.(check int) "stack intact" 300 (Dstruct.Pstack.length stack)
 
+(* Runs last: under PCHECK=1 every crash scenario above executed with the
+   persistency checker enabled, and recovery must never have read data
+   that was not durable at its crash — zero violations, or the whole
+   checker report goes to stderr.  A silent no-op in a plain run. *)
+let test_pcheck_violation_free () =
+  if Pmem.Check.enabled () then begin
+    let t = Pmem.Check.totals () in
+    if t.Pmem.Check.t_violations > 0 then begin
+      Pmem.Check.report Format.err_formatter;
+      Alcotest.failf "%d persistency violations across the crash suite"
+        t.Pmem.Check.t_violations
+    end
+  end
+
 let () =
   Alcotest.run "crash_points"
     [
@@ -228,5 +242,10 @@ let () =
             test_repeated_crash_cycles;
           Alcotest.test_case "crash during recovery" `Quick
             test_crash_during_recovery_retry;
+        ] );
+      ( "pcheck",
+        [
+          Alcotest.test_case "suite is violation-free under PCHECK" `Quick
+            test_pcheck_violation_free;
         ] );
     ]

@@ -1,0 +1,369 @@
+(* Persistency-order checker tests: the per-line state machine driven
+   through raw Pmem primitives (deterministic unit tests + qcheck
+   properties), and the end-to-end seeded durability bug — a txn commit
+   path that skips one flush must yield exactly one attributed finding. *)
+
+module CK = Pmem.Check
+
+let mb = 1 lsl 20
+
+(* Persistence latency off: these tests count events, not nanoseconds. *)
+let () = Pmem.set_latency ~flush_ns:0 ~fence_ns:0 ()
+
+let with_checker f =
+  CK.set_enabled true;
+  CK.reset ();
+  Fun.protect ~finally:(fun () -> CK.set_enabled false) f
+
+let delta f =
+  let b = CK.totals () in
+  f ();
+  CK.diff (CK.totals ()) b
+
+let region name = Pmem.create ~name ~size_bytes:4096 ()
+
+let site_writer = CK.site "test.writer"
+let site_other = CK.site "test.other"
+let site_allowed = CK.allow "test.allowed" ~reason:"torn by design (test)"
+
+(* ---------------- deterministic state machine ---------------- *)
+
+let test_fenced_store_is_durable () =
+  with_checker (fun () ->
+      let m = region "ck-durable" in
+      CK.set_site site_writer;
+      Pmem.store m 3 42;
+      Pmem.flush m 3;
+      Pmem.fence m;
+      Pmem.crash m;
+      let d = delta (fun () -> ignore (Pmem.load m 3)) in
+      Alcotest.(check int) "no violation" 0 d.CK.t_violations)
+
+let test_unfenced_store_flags_once () =
+  with_checker (fun () ->
+      let m = region "ck-unfenced" in
+      CK.set_site site_writer;
+      Pmem.store m 3 42;
+      Pmem.store m 5 43 (* same line: one write-back lost them together *);
+      Pmem.crash m;
+      let d =
+        delta (fun () ->
+            ignore (Pmem.load m 3);
+            ignore (Pmem.load m 5) (* line already reported: no second *))
+      in
+      Alcotest.(check int) "one violation per torn line" 1 d.CK.t_violations;
+      match CK.violations () with
+      | [ v ] ->
+        Alcotest.(check string) "attributed to the storing site" "test.writer"
+          v.CK.v_site;
+        Alcotest.(check int) "line 0" 0 v.CK.v_line
+      | vs -> Alcotest.failf "expected 1 recorded violation, got %d"
+                (List.length vs))
+
+let test_two_torn_lines_two_findings () =
+  with_checker (fun () ->
+      let m = region "ck-twolines" in
+      CK.set_site site_writer;
+      Pmem.store m 3 1;
+      CK.set_site site_other;
+      Pmem.store m 100 2 (* different line, different site *);
+      Pmem.crash m;
+      let d =
+        delta (fun () ->
+            ignore (Pmem.load m 3);
+            ignore (Pmem.load m 100))
+      in
+      Alcotest.(check int) "two violations" 2 d.CK.t_violations;
+      let sites = List.map (fun v -> v.CK.v_site) (CK.violations ()) in
+      Alcotest.(check (list string))
+        "each attributed to its own site"
+        [ "test.writer"; "test.other" ] sites)
+
+let test_posted_unfenced_store_flags () =
+  with_checker (fun () ->
+      let m = region "ck-posted" in
+      CK.set_site site_writer;
+      Pmem.store m 3 42;
+      Pmem.flush m 3 (* posted, never drained: not durable *);
+      Pmem.crash m;
+      let d = delta (fun () -> ignore (Pmem.load m 3)) in
+      Alcotest.(check int) "posted-but-unfenced is lost" 1 d.CK.t_violations)
+
+let test_store_between_flush_and_fence_covered () =
+  with_checker (fun () ->
+      let m = region "ck-late" in
+      CK.set_site site_writer;
+      Pmem.store m 3 42;
+      Pmem.flush m 3;
+      Pmem.store m 5 43 (* same line, after the flush *);
+      Pmem.fence m (* the drain copies the line at fence time *);
+      Pmem.crash m;
+      let d =
+        delta (fun () ->
+            ignore (Pmem.load m 3);
+            ignore (Pmem.load m 5))
+      in
+      Alcotest.(check int) "late store covered by the drain" 0
+        d.CK.t_violations)
+
+let test_overwrite_supersedes_lost () =
+  with_checker (fun () ->
+      let m = region "ck-overwrite" in
+      CK.set_site site_writer;
+      Pmem.store m 3 42;
+      Pmem.crash m;
+      Pmem.store m 3 43 (* post-crash overwrite: nothing stale remains *);
+      let d = delta (fun () -> ignore (Pmem.load m 3)) in
+      Alcotest.(check int) "overwritten lost word does not flag" 0
+        d.CK.t_violations)
+
+let test_clean_flush_wasted () =
+  with_checker (fun () ->
+      let m = region "ck-cleanflush" in
+      CK.set_site site_writer;
+      let d = delta (fun () -> Pmem.flush m 16) in
+      Alcotest.(check int) "flush of a clean line is wasted" 1
+        d.CK.t_wasted_flush_clean;
+      Pmem.fence m)
+
+let test_dup_flush_wasted_once_each () =
+  with_checker (fun () ->
+      let m = region "ck-dupflush" in
+      CK.set_site site_writer;
+      Pmem.store m 3 42;
+      let d =
+        delta (fun () ->
+            Pmem.flush m 3;
+            Pmem.flush m 3;
+            Pmem.flush m 5 (* same line via another word: still a dup *))
+      in
+      Alcotest.(check int) "three flushes observed" 3 d.CK.t_flushes;
+      Alcotest.(check int) "re-flushes absorbed by the pipeline" 2
+        d.CK.t_wasted_flush_dup;
+      Alcotest.(check int) "the first was not clean-wasted" 0
+        d.CK.t_wasted_flush_clean;
+      (* after the drain the dedup set is empty: a new flush is fresh *)
+      Pmem.fence m;
+      Pmem.store m 3 44;
+      let d2 = delta (fun () -> Pmem.flush m 3) in
+      Alcotest.(check int) "post-fence flush is not a dup" 0
+        d2.CK.t_wasted_flush_dup;
+      Pmem.fence m)
+
+let test_empty_fence_wasted () =
+  with_checker (fun () ->
+      let m = region "ck-emptyfence" in
+      CK.set_site site_writer;
+      let e0 = CK.current_epoch () in
+      let d = delta (fun () -> Pmem.fence m) in
+      Alcotest.(check int) "fence draining nothing is wasted" 1
+        d.CK.t_wasted_fences;
+      Alcotest.(check int) "empty fence does not advance the epoch" e0
+        (CK.current_epoch ());
+      Pmem.store m 3 42;
+      Pmem.flush m 3;
+      let d2 = delta (fun () -> Pmem.fence m) in
+      Alcotest.(check int) "draining fence is not wasted" 0
+        d2.CK.t_wasted_fences;
+      Alcotest.(check int) "draining fence advances the epoch" (e0 + 1)
+        (CK.current_epoch ()))
+
+let test_allowlisted_site_suppressed () =
+  with_checker (fun () ->
+      let m = region "ck-allow" in
+      CK.set_site site_allowed;
+      Pmem.store m 3 42;
+      Pmem.crash m;
+      let d = delta (fun () -> ignore (Pmem.load m 3)) in
+      Alcotest.(check int) "no counted violation" 0 d.CK.t_violations;
+      Alcotest.(check int) "tallied as allowlisted" 1
+        d.CK.t_allowed_violations;
+      match CK.violations () with
+      | [ v ] ->
+        Alcotest.(check bool) "recorded with the allowed mark" true
+          v.CK.v_allowed
+      | vs -> Alcotest.failf "expected 1 recorded violation, got %d"
+                (List.length vs))
+
+let test_disabled_tallies_nothing () =
+  CK.set_enabled false;
+  CK.reset ();
+  let m = region "ck-disabled" in
+  let d =
+    delta (fun () ->
+        Pmem.store m 3 42;
+        Pmem.flush m 3;
+        Pmem.flush m 3;
+        Pmem.fence m;
+        Pmem.fence m;
+        Pmem.crash m;
+        ignore (Pmem.load m 3))
+  in
+  Alcotest.(check int) "no flushes tallied" 0 d.CK.t_flushes;
+  Alcotest.(check int) "no fences tallied" 0 d.CK.t_fences;
+  Alcotest.(check int) "no waste tallied" 0 (CK.wasted_flushes d);
+  Alcotest.(check int) "no wasted fences tallied" 0 d.CK.t_wasted_fences;
+  Alcotest.(check int) "no violations tallied" 0 d.CK.t_violations
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_reports_render () =
+  with_checker (fun () ->
+      let m = region "ck-report" in
+      CK.set_site site_writer;
+      Pmem.store m 3 42;
+      Pmem.flush m 16 (* clean-wasted *);
+      Pmem.crash m;
+      ignore (Pmem.load m 3);
+      let text = Format.asprintf "%t" CK.report in
+      Alcotest.(check bool) "text report names the site" true
+        (contains text "test.writer");
+      let prom = Format.asprintf "%t" CK.prometheus in
+      Alcotest.(check bool) "prometheus exposition has samples" true
+        (contains prom "pcheck_violations_total"))
+
+(* ---------------- the seeded durability bug ---------------- *)
+
+(* A transaction commit path that deliberately skips the flush of its
+   committed status word: after a crash, [Txn.attach] reads the stale
+   status — the checker must produce exactly one violation, attributed
+   to txn.commit_record (the ISSUE's acceptance criterion). *)
+let test_seeded_txn_commit_bug () =
+  with_checker (fun () ->
+      let heap = Ralloc.create ~name:"ck-txn" ~size:(4 * mb) () in
+      let t = Txn.create ~slots:2 heap ~root:0 in
+      Txn.Private.commit_record_only ~skip_status_flush:true t (fun ctx ->
+          let va = Txn.malloc ctx 64 in
+          Alcotest.(check bool) "malloc inside txn" true (va <> 0);
+          Txn.store ctx va 4242);
+      let heap, status = Ralloc.crash_and_reopen heap in
+      Alcotest.(check bool) "dirty" true (status = Ralloc.Dirty_restart);
+      let d = delta (fun () -> ignore (Txn.attach heap ~root:0)) in
+      Alcotest.(check int) "exactly one violation" 1 d.CK.t_violations;
+      let v =
+        match List.rev (CK.violations ()) with
+        | v :: _ -> v
+        | [] -> Alcotest.fail "no violation recorded"
+      in
+      Alcotest.(check string) "attributed to the commit-record site"
+        "txn.commit_record" v.CK.v_site)
+
+(* The honest path through the same machinery is clean: with the status
+   flush in place, crash + attach replays the log without findings. *)
+let test_honest_txn_commit_clean () =
+  with_checker (fun () ->
+      let heap = Ralloc.create ~name:"ck-txn-ok" ~size:(4 * mb) () in
+      let t = Txn.create ~slots:2 heap ~root:0 in
+      let target = Ralloc.malloc heap 64 in
+      Ralloc.flush_block_range heap target 64;
+      Ralloc.fence heap;
+      Ralloc.set_root heap 1 target;
+      Txn.Private.commit_record_only t (fun ctx -> Txn.store ctx target 7);
+      let heap, _ = Ralloc.crash_and_reopen heap in
+      let d =
+        delta (fun () ->
+            ignore (Txn.attach heap ~root:0);
+            ignore (Ralloc.get_root heap 1))
+      in
+      Alcotest.(check int) "no violations on the honest path" 0
+        d.CK.t_violations)
+
+(* ---------------- qcheck properties ---------------- *)
+
+let prop_fenced_never_flagged =
+  QCheck2.Test.make ~name:"fenced stores are never flagged" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 50) (int_bound 511))
+    (fun words ->
+      CK.set_enabled true;
+      let m = region "prop-fenced" in
+      CK.set_site site_writer;
+      List.iter
+        (fun w ->
+          Pmem.store m w (w + 1);
+          Pmem.flush m w)
+        words;
+      Pmem.fence m;
+      Pmem.crash m;
+      let d = delta (fun () -> List.iter (fun w -> ignore (Pmem.load m w)) words) in
+      d.CK.t_violations = 0)
+
+let prop_unfenced_always_flagged =
+  QCheck2.Test.make ~name:"an unfenced store read after crash always flags"
+    ~count:100
+    QCheck2.Gen.(pair (int_bound 511) (int_bound 1_000_000))
+    (fun (w, v) ->
+      CK.set_enabled true;
+      let m = region "prop-unfenced" in
+      CK.set_site site_writer;
+      Pmem.store m w v;
+      Pmem.crash m;
+      let d = delta (fun () -> ignore (Pmem.load m w)) in
+      d.CK.t_violations = 1)
+
+let prop_dup_flush_counts_once_each =
+  QCheck2.Test.make ~name:"re-flushing a posted line counts one dup per flush"
+    ~count:100
+    QCheck2.Gen.(pair (int_bound 511) (int_range 1 10))
+    (fun (w, n) ->
+      CK.set_enabled true;
+      let m = region "prop-dup" in
+      CK.set_site site_writer;
+      Pmem.store m w 1;
+      Pmem.flush m w;
+      let d = delta (fun () -> for _ = 1 to n do Pmem.flush m w done) in
+      Pmem.fence m;
+      d.CK.t_wasted_flush_dup = n && d.CK.t_wasted_flush_clean = 0)
+
+let () =
+  Alcotest.run "pcheck"
+    [
+      ( "state-machine",
+        [
+          Alcotest.test_case "fenced store is durable" `Quick
+            test_fenced_store_is_durable;
+          Alcotest.test_case "unfenced store flags once per line" `Quick
+            test_unfenced_store_flags_once;
+          Alcotest.test_case "two torn lines, two findings" `Quick
+            test_two_torn_lines_two_findings;
+          Alcotest.test_case "posted-but-unfenced flags" `Quick
+            test_posted_unfenced_store_flags;
+          Alcotest.test_case "store between flush and fence covered" `Quick
+            test_store_between_flush_and_fence_covered;
+          Alcotest.test_case "overwrite supersedes lost" `Quick
+            test_overwrite_supersedes_lost;
+        ] );
+      ( "waste",
+        [
+          Alcotest.test_case "clean flush wasted" `Quick
+            test_clean_flush_wasted;
+          Alcotest.test_case "dup flushes wasted once each" `Quick
+            test_dup_flush_wasted_once_each;
+          Alcotest.test_case "empty fence wasted, epoch on drain" `Quick
+            test_empty_fence_wasted;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "allowlisted site suppressed but tallied" `Quick
+            test_allowlisted_site_suppressed;
+          Alcotest.test_case "disabled tallies nothing" `Quick
+            test_disabled_tallies_nothing;
+          Alcotest.test_case "reports render" `Quick test_reports_render;
+        ] );
+      ( "seeded-bug",
+        [
+          Alcotest.test_case "skipped commit flush yields one finding" `Quick
+            test_seeded_txn_commit_bug;
+          Alcotest.test_case "honest commit path is clean" `Quick
+            test_honest_txn_commit_clean;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_fenced_never_flagged;
+            prop_unfenced_always_flagged;
+            prop_dup_flush_counts_once_each;
+          ] );
+    ]
