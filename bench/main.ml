@@ -373,6 +373,98 @@ let ablation_tcache ctx =
         [ "lrmalloc"; "michael"; "ralloc" ])
     [ 1; 2; 4 ]
 
+let bench_server ctx =
+  (* group-commit amortization made measurable: an in-process pkvd serving
+     pipelined client connections over a Unix socket, swept over worker
+     count x batch size.  Each client keeps a window of requests in flight
+     so batches actually fill; keys are disjoint per client (pure inserts,
+     no replace traffic) so the fences/op column isolates the commit fence:
+     ~1 ordering fence per SET plus 1/batch commit fences — the CSV should
+     show fences/op decreasing monotonically toward 1 as --batch grows. *)
+  Workloads.Harness.print_header "server"
+    "pkvd group commit: Kops/s and fences/op vs workers x batch";
+  let dir = Filename.temp_file "pkvd-bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let total_ops = scaled ctx 8_000 in
+  let conns = 8 and window = 64 in
+  let ack_hist = Obs.Histogram.make "server.ack_ns" in
+  List.iter
+    (fun workers ->
+      List.iter
+        (fun batch ->
+          let tag = Printf.sprintf "w%d-b%d" workers batch in
+          let heap_path = Filename.concat dir tag in
+          let sock = heap_path ^ ".sock" in
+          let config =
+            {
+              (Server.Core.default_config ~heap_path ()) with
+              workers;
+              batch;
+              batch_usec = 2_000;
+              queue_cap = 1_024;
+            }
+          in
+          let srv = Server.Core.start ~config (Unix.ADDR_UNIX sock) in
+          let st = Server.Core.store srv in
+          let before = Ralloc.stats st.heap in
+          let ack_before = Obs.Histogram.snapshot ack_hist in
+          let acked_total = Atomic.make 0 in
+          let per_conn = (total_ops + conns - 1) / conns in
+          let client cid =
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX sock);
+            let next_key = ref (cid * 10_000_000) in
+            let acked = ref 0 in
+            while !acked < per_conn do
+              let w = min window (per_conn - !acked) in
+              for _ = 1 to w do
+                Server.Proto.write_frame fd
+                  (Server.Proto.encode_request
+                     (Server.Proto.Set (!next_key, !next_key)));
+                incr next_key
+              done;
+              for _ = 1 to w do
+                match Server.Proto.read_frame fd with
+                | Some p -> (
+                  match Server.Proto.decode_response p with
+                  | Ok Server.Proto.Ok -> incr acked
+                  | Ok Server.Proto.Busy -> () (* dropped; key skipped *)
+                  | _ -> failwith "bench server: unexpected reply")
+                | None -> failwith "bench server: connection closed"
+              done
+            done;
+            Unix.close fd;
+            Atomic.fetch_and_add acked_total !acked |> ignore
+          in
+          let t0 = Unix.gettimeofday () in
+          let threads = List.init conns (fun c -> Thread.create client c) in
+          List.iter Thread.join threads;
+          let dt = Unix.gettimeofday () -. t0 in
+          let d = Pmem.Stats.diff (Ralloc.stats st.heap) before in
+          let ad =
+            Obs.Histogram.diff (Obs.Histogram.snapshot ack_hist) ack_before
+          in
+          let acked = Atomic.get acked_total in
+          Server.Core.stop srv;
+          emit ctx
+            (Workloads.Harness.make_row ~figure:"server" ~allocator:tag
+               ~threads:workers ~metric:"Kops/s"
+               ~value:(float_of_int acked /. dt /. 1_000.)
+               ~flushes:d.flushes ~fences:d.fences
+               ~p50_ns:(float_of_int (Obs.Histogram.snap_quantile ad 0.5))
+               ~p99_ns:(float_of_int (Obs.Histogram.snap_quantile ad 0.99))
+               ~fences_per_op:(float_of_int d.fences /. float_of_int acked)
+               ());
+          List.iter
+            (fun ext ->
+              try Sys.remove (heap_path ^ ext) with Sys_error _ -> ())
+            [ ".sb"; ".meta"; ".desc" ];
+          Gc.full_major ())
+        [ 1; 4; 16; 64 ])
+    [ 1; 2; 4 ];
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
 let figures =
   [
     ("fig5a", fig5a);
@@ -392,6 +484,7 @@ let figures =
     ("abl_latency", ablation_latency);
     ("abl_tcache", ablation_tcache);
     ("abl_pipeline", ablation_pipeline);
+    ("server", bench_server);
   ]
 
 (* ------------------------- Bechamel micro-suite ------------------------- *)

@@ -13,36 +13,23 @@
      pkv sset name claude   # string store (a persistent hash map)
      pkv sget name
      pkv sdel name
-   Use --heap PATH (default /tmp/pkv-heap) to choose the store. *)
-
-let default_heap = Filename.concat (Filename.get_temp_dir_name ()) "pkv-heap"
-let heap_size = 64 * 1024 * 1024
+   Use --heap PATH to choose the store; the default is per-user
+   ($PKV_HEAP, else $XDG_RUNTIME_DIR/pkv-heap, else /tmp/pkv-heap-$USER)
+   so two users on one machine cannot corrupt each other's heap. *)
 
 (* Two structures share the heap: an ordered int store (NM tree, root 0)
-   and a string store (persistent hash map, root 1). *)
+   and a string store (persistent hash map, root 1) — see
+   Server.Store, which pkvd shares. *)
 let open_store path =
-  let heap, status = Ralloc.init ~path ~size:heap_size () in
-  let heap, tree, strings =
-    match status with
-    | Ralloc.Fresh ->
-      ( heap,
-        Dstruct.Nmtree.create ~reclaim:true heap ~root:0,
-        Dstruct.Phashmap.create ~reclaim:true heap ~root:1 ~buckets:1024 )
-    | Ralloc.Clean_restart ->
-      ( heap,
-        Dstruct.Nmtree.attach ~reclaim:true heap ~root:0,
-        Dstruct.Phashmap.attach ~reclaim:true heap ~root:1 )
-    | Ralloc.Dirty_restart ->
-      let tree = Dstruct.Nmtree.attach ~reclaim:true heap ~root:0 in
-      let strings = Dstruct.Phashmap.attach ~reclaim:true heap ~root:1 in
-      let r = Ralloc.recover heap in
-      Printf.eprintf
-        "pkv: previous run did not close cleanly; recovered %d blocks in %.3fs\n"
-        r.reachable_blocks
-        (r.trace_seconds +. r.rebuild_seconds);
-      (heap, tree, strings)
-  in
-  (heap, tree, strings)
+  let st = Server.Store.open_store path in
+  (match st.recovery with
+  | Some r ->
+    Printf.eprintf
+      "pkv: previous run did not close cleanly; recovered %d blocks in %.3fs\n"
+      r.reachable_blocks
+      (r.trace_seconds +. r.rebuild_seconds)
+  | None -> ());
+  (st.heap, st.tree, st.smap)
 
 let cmd_set path key value =
   let heap, store, _ = open_store path in
@@ -135,7 +122,8 @@ open Cmdliner
 
 let heap_arg =
   Arg.(
-    value & opt string default_heap
+    value
+    & opt string (Server.Heap_path.default_heap ())
     & info [ "heap" ] ~docv:"PATH" ~doc:"Heap file path prefix.")
 
 let key_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"KEY")

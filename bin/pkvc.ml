@@ -1,0 +1,182 @@
+(* pkvc: client CLI for pkvd.
+
+     pkvc set 10 42            pkvc sset name ralloc
+     pkvc get 10               pkvc sget name
+     pkvc del 10               pkvc sdel name
+     pkvc stats                # Prometheus exposition from the server
+     pkvc flush                # force a group commit on every worker
+     pkvc ping
+     pkvc load 10000           # bulk load over --conns connections
+
+   Exit codes: 0 ok, 1 not found, 2 busy (backpressure), 3 server error.
+   --retry N retries the initial connect (server still starting up). *)
+
+module Proto = Server.Proto
+
+let addr_of socket port =
+  match port with
+  | Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+  | None -> Unix.ADDR_UNIX socket
+
+let connect ?(retries = 0) addr =
+  let domain =
+    match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET
+  in
+  let rec go n =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) when n > 0 ->
+      Unix.close fd;
+      Unix.sleepf 0.1;
+      go (n - 1)
+  in
+  go retries
+
+let rpc fd req =
+  Proto.write_frame fd (Proto.encode_request req);
+  match Proto.read_frame fd with
+  | None -> failwith "pkvc: server closed the connection"
+  | Some payload -> (
+    match Proto.decode_response payload with
+    | Ok r -> r
+    | Error e -> failwith ("pkvc: " ^ e))
+
+let finish = function
+  | Proto.Ok -> ()
+  | Proto.Value v -> Printf.printf "%d\n" v
+  | Proto.Svalue s -> print_endline s
+  | Proto.Text s -> print_string s
+  | Proto.Not_found ->
+    prerr_endline "not found";
+    exit 1
+  | Proto.Busy ->
+    prerr_endline "busy (queue full): retry";
+    exit 2
+  | Proto.Error e ->
+    prerr_endline ("server error: " ^ e);
+    exit 3
+
+let one_shot socket port retries req =
+  let fd = connect ~retries (addr_of socket port) in
+  let resp = rpc fd req in
+  Unix.close fd;
+  finish resp
+
+(* Bulk load: [conns] threads, each sending its slice of [n] synchronous
+   SETs (ints, or strings with [--strings]); BUSY replies are retried with
+   a small backoff — the client-side half of the backpressure contract. *)
+let cmd_load socket port retries n start conns strings =
+  let addr = addr_of socket port in
+  let slice = (n + conns - 1) / conns in
+  let done_count = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let worker c =
+    let fd = connect ~retries addr in
+    let lo = start + (c * slice) in
+    let hi = min (start + n) (lo + slice) in
+    for k = lo to hi - 1 do
+      let req =
+        if strings then
+          Proto.Sset (Printf.sprintf "key%d" k, Printf.sprintf "val%d" k)
+        else Proto.Set (k, k * 2)
+      in
+      let rec send backoff =
+        match rpc fd req with
+        | Proto.Ok -> Atomic.incr done_count
+        | Proto.Busy ->
+          Unix.sleepf backoff;
+          send (min 0.05 (backoff *. 2.))
+        | Proto.Error e -> failwith ("pkvc load: " ^ e)
+        | _ -> failwith "pkvc load: unexpected reply"
+      in
+      send 0.001
+    done;
+    Unix.close fd
+  in
+  let threads = List.init conns (fun c -> Thread.create worker c) in
+  List.iter Thread.join threads;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "loaded %d keys in %.3fs (%.0f ops/s)\n"
+    (Atomic.get done_count) dt
+    (float_of_int (Atomic.get done_count) /. dt)
+
+open Cmdliner
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string (Server.Heap_path.default_socket ())
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Connect to TCP 127.0.0.1:$(docv).")
+
+let retry_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retry" ] ~docv:"N"
+        ~doc:"Retry a refused connect $(docv) times (0.1s apart).")
+
+let key_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"KEY")
+let value_arg = Arg.(required & pos 1 (some int) None & info [] ~docv:"VALUE")
+let skey_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY")
+
+let svalue_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"VALUE")
+
+let common = Term.(const (fun s p r -> (s, p, r)) $ socket_arg $ port_arg $ retry_arg)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "get" ~doc:"Fetch an int binding.")
+      Term.(
+        const (fun (s, p, r) k -> one_shot s p r (Proto.Get k))
+        $ common $ key_arg);
+    Cmd.v (Cmd.info "set" ~doc:"Store KEY -> VALUE durably (acked after commit).")
+      Term.(
+        const (fun (s, p, r) k v -> one_shot s p r (Proto.Set (k, v)))
+        $ common $ key_arg $ value_arg);
+    Cmd.v (Cmd.info "del" ~doc:"Delete an int binding.")
+      Term.(
+        const (fun (s, p, r) k -> one_shot s p r (Proto.Del k))
+        $ common $ key_arg);
+    Cmd.v (Cmd.info "sget" ~doc:"Fetch a string binding.")
+      Term.(
+        const (fun (s, p, r) k -> one_shot s p r (Proto.Sget k))
+        $ common $ skey_arg);
+    Cmd.v (Cmd.info "sset" ~doc:"Store a string binding durably.")
+      Term.(
+        const (fun (s, p, r) k v -> one_shot s p r (Proto.Sset (k, v)))
+        $ common $ skey_arg $ svalue_arg);
+    Cmd.v (Cmd.info "sdel" ~doc:"Delete a string binding.")
+      Term.(
+        const (fun (s, p, r) k -> one_shot s p r (Proto.Sdel k))
+        $ common $ skey_arg);
+    Cmd.v (Cmd.info "stats" ~doc:"Print server metrics (Prometheus format).")
+      Term.(const (fun (s, p, r) -> one_shot s p r Proto.Stats) $ common);
+    Cmd.v (Cmd.info "flush" ~doc:"Force a group commit on every worker.")
+      Term.(const (fun (s, p, r) -> one_shot s p r Proto.Flush) $ common);
+    Cmd.v (Cmd.info "ping" ~doc:"Check the server is up.")
+      Term.(const (fun (s, p, r) -> one_shot s p r Proto.Ping) $ common);
+    Cmd.v (Cmd.info "load" ~doc:"Bulk-load N keys over several connections.")
+      Term.(
+        const (fun (s, p, r) n start conns strings ->
+            cmd_load s p r n start conns strings)
+        $ common
+        $ Arg.(value & pos 0 int 1000 & info [] ~docv:"N")
+        $ Arg.(value & opt int 0 & info [ "start" ] ~docv:"K" ~doc:"First key.")
+        $ Arg.(
+            value & opt int 4
+            & info [ "conns" ] ~docv:"C" ~doc:"Client connections.")
+        $ Arg.(
+            value & flag
+            & info [ "strings" ] ~doc:"Load string bindings instead of ints."));
+  ]
+
+let () =
+  let info = Cmd.info "pkvc" ~doc:"pkvd client" in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,107 @@
+(* pkvd: the long-running pkv server daemon.
+
+   Serves the persistent KV heap over a Unix-domain (default) or TCP
+   socket with group-fenced write batching — see lib/server/core.mli for
+   the pipeline and durability contract.  SIGTERM/SIGINT drain every
+   worker's batch, commit it, and close the heap cleanly; a SIGKILL (or
+   power loss) leaves a dirty image that the next open recovers. *)
+
+let run heap size socket port workers batch batch_usec queue_cap =
+  let addr =
+    match port with
+    | Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+    | None -> Unix.ADDR_UNIX socket
+  in
+  let config =
+    {
+      (Server.Core.default_config ~heap_path:heap ()) with
+      heap_size = size;
+      workers;
+      batch;
+      batch_usec;
+      queue_cap;
+    }
+  in
+  let srv = Server.Core.start ~config addr in
+  let st = Server.Core.store srv in
+  (match st.recovery with
+  | Some r ->
+    Printf.eprintf "pkvd: dirty image recovered (%d blocks, %.3fs)\n%!"
+      r.reachable_blocks
+      (r.trace_seconds +. r.rebuild_seconds)
+  | None -> ());
+  Printf.eprintf "pkvd: serving %s on %s (%d workers, batch %d, %d us)\n%!"
+    heap
+    (match addr with
+    | Unix.ADDR_UNIX p -> p
+    | Unix.ADDR_INET (_, p) -> Printf.sprintf "127.0.0.1:%d" p)
+    workers batch batch_usec;
+  let quit = Atomic.make false in
+  let request_stop _ = Atomic.set quit true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  while not (Atomic.get quit) do
+    Unix.sleepf 0.05
+  done;
+  Printf.eprintf "pkvd: draining and closing\n%!";
+  Server.Core.stop srv
+
+open Cmdliner
+
+let heap_arg =
+  Arg.(
+    value
+    & opt string (Server.Heap_path.default_heap ())
+    & info [ "heap" ] ~docv:"PATH" ~doc:"Heap file path prefix.")
+
+let size_arg =
+  Arg.(
+    value
+    & opt int Server.Store.default_size
+    & info [ "size" ] ~docv:"BYTES" ~doc:"Heap capacity for a fresh store.")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string (Server.Heap_path.default_socket ())
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Listen on TCP 127.0.0.1:$(docv) instead of the Unix socket.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "workers" ] ~docv:"N" ~doc:"Worker domains (queue shards).")
+
+let batch_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "batch" ] ~docv:"N"
+        ~doc:"Writes per group commit: one fence makes $(docv) writes durable.")
+
+let batch_usec_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "batch-usec" ] ~docv:"T"
+        ~doc:"Max age of an unacked write before a forced commit.")
+
+let queue_cap_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:"Per-worker queue bound; overflow returns BUSY.")
+
+let () =
+  let doc = "Crash-recoverable persistent KV server with group commit" in
+  let info = Cmd.info "pkvd" ~doc in
+  let term =
+    Term.(
+      const run $ heap_arg $ size_arg $ socket_arg $ port_arg $ workers_arg
+      $ batch_arg $ batch_usec_arg $ queue_cap_arg)
+  in
+  exit (Cmd.eval (Cmd.v info term))

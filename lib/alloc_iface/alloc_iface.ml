@@ -11,6 +11,7 @@ module type S = sig
   type t
 
   val name : string
+  (** Short identifier used in benchmark output (e.g. ["ralloc"]). *)
 
   val persistent : bool
   (** Whether the allocator pays for crash consistency (flushes/fences). *)
@@ -22,12 +23,16 @@ module type S = sig
   (** Allocate; returns the block's virtual address, 0 when exhausted. *)
 
   val free : t -> int -> unit
+  (** Return a block to the allocator. *)
 
   val load : t -> int -> int
   (** Read the 8-aligned word at a virtual address within a block. *)
 
   val store : t -> int -> int -> unit
+  (** Write the 8-aligned word at a virtual address within a block. *)
+
   val cas : t -> int -> expected:int -> desired:int -> bool
+  (** Atomic compare-and-swap on one word; true iff [expected] was hit. *)
 
   val thread_exit : t -> unit
   (** Give back any per-domain caches; call before a worker domain ends. *)

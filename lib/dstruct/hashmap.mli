@@ -21,11 +21,17 @@ module Make (A : Alloc_iface.S) : sig
       old value block. *)
 
   val get : t -> string -> string option
+  (** Lookup; [None] if the key is absent. *)
+
   val mem : t -> string -> bool
+  (** Membership test. *)
 
   val delete : t -> string -> bool
   (** False if absent.  Frees the node and both string blocks. *)
 
   val length : t -> int
+  (** Number of live bindings. *)
+
   val iter : (string -> string -> unit) -> t -> unit
+  (** Iterate over every binding (quiescent use). *)
 end

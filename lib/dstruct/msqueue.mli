@@ -19,3 +19,4 @@ val dequeue : t -> int option
 (** Consumer side only.  Frees the retired node through the allocator. *)
 
 val is_empty : t -> bool
+(** Whether the queue holds no items (dummy node only). *)

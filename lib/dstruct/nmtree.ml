@@ -65,6 +65,17 @@ let persist_word t va =
   Ralloc.flush t.heap va;
   Ralloc.fence t.heap
 
+(* Release-fence variant for post-publish durability fences (group commit).
+   Deferring is only safe when a removed node cannot be recycled before the
+   deferred drain: leak-to-GC mode ([reclaim:false]) or SMR with the pin
+   held across the whole batch.  Immediate-free mode keeps a real fence —
+   otherwise a freed block could be reused and republished durably while a
+   stale durable edge still points at it. *)
+let persist_word_release t va =
+  Ralloc.flush t.heap va;
+  if t.reclaim && t.smr = None then Ralloc.fence t.heap
+  else Ralloc.fence_release t.heap
+
 let create ?(reclaim = false) ?smr heap ~root =
   let t = { heap; root = 0; reclaim; smr } in
   let r = alloc_node t inf2 0 in
@@ -162,7 +173,8 @@ let cleanup t key sr =
   in
   let ok = Ralloc.cas t.heap a_addr ~expected ~desired in
   if ok then begin
-    persist_word t a_addr;
+    (* the swing is the publish point; its durability is ack-only *)
+    persist_word_release t a_addr;
     if t.reclaim || t.smr <> None then begin
       let removed = edge_ref ~holder:child_addr (load child_addr) in
       dispose t parent;
@@ -191,8 +203,10 @@ let rec insert_raw t key value =
     Ralloc.store t.heap (right_word internal)
       (make_edge ~holder:(right_word internal) ~target:rchild ~flag:false
          ~tag:false);
-    persist_node t new_leaf;
-    persist_node t internal;
+    (* one ordering fence covers both fresh nodes' content *)
+    Ralloc.flush_block_range t.heap new_leaf node_bytes;
+    Ralloc.flush_block_range t.heap internal node_bytes;
+    Ralloc.fence t.heap;
     let expected =
       make_edge ~holder:child_addr ~target:existing ~flag:false ~tag:false
     in
@@ -200,7 +214,7 @@ let rec insert_raw t key value =
       make_edge ~holder:child_addr ~target:internal ~flag:false ~tag:false
     in
     if Ralloc.cas t.heap child_addr ~expected ~desired then begin
-      persist_word t child_addr;
+      persist_word_release t child_addr;
       true
     end
     else begin

@@ -26,6 +26,9 @@ val create : ?reclaim:bool -> ?smr:Ebr.t -> Ralloc.t -> root:int -> t
     immediately (single-domain use only); neither leaks to the GC. *)
 
 val attach : ?reclaim:bool -> ?smr:Ebr.t -> Ralloc.t -> root:int -> t
+(** Re-attach to a tree previously created at [root] (e.g. after a
+    restart).  Registers the tree's filter function for recovery, so call
+    this {e before} {!Ralloc.recover} on a dirty heap. *)
 
 val insert : t -> int -> int -> bool
 (** [insert t key value]: false if [key] was already present.
@@ -36,15 +39,20 @@ val delete : t -> int -> bool
 (** False if [key] was absent. *)
 
 val find : t -> int -> int option
+(** [find t key] is the value bound to [key], if any. *)
+
 val mem : t -> int -> bool
+(** Membership test. *)
 
 val iter : (int -> int -> unit) -> t -> unit
 (** In-order traversal of client leaves (quiescent use only). *)
 
 val size : t -> int
+(** Number of client bindings (O(n) walk; quiescent use). *)
 
 val check_invariants : t -> unit
 (** Walk the tree verifying BST ordering and leaf-orientation; raises
     [Failure] on violation.  For tests. *)
 
 val filter : Ralloc.t -> Ralloc.filter
+(** The recovery filter for this structure's node graph (paper §4.5.1). *)

@@ -26,13 +26,18 @@ val insert : t -> int -> int -> bool
 (** Insert or update; true iff the key was new. *)
 
 val find : t -> int -> int option
+(** [find t key] is the value bound to [key], if any. *)
+
 val mem : t -> int -> bool
+(** Membership test. *)
 
 val delete : t -> int -> bool
 (** False if absent.  Frees nodes emptied by merges (deferred to after
     the transaction commits, as {!Txn.free} requires). *)
 
 val size : t -> int
+(** Number of keys (O(n) walk). *)
+
 val iter : (int -> int -> unit) -> t -> unit
 (** Ascending key order. *)
 
@@ -40,3 +45,4 @@ val check_invariants : t -> unit
 (** Key order, occupancy bounds, and uniform leaf depth.  For tests. *)
 
 val filter : Ralloc.t -> Ralloc.filter
+(** The recovery filter for this structure's node graph (paper §4.5.1). *)

@@ -104,6 +104,14 @@ let node_matches t n h key =
 
 (* ------------------------------ chain ops ------------------------------ *)
 
+(* Release fence for post-publish durability fences (group commit).  Safe to
+   defer only when unlinked nodes are leaked to the post-crash GC; with
+   immediate reclamation the fence stays real, otherwise a freed node could
+   be recycled and republished durably while a stale durable chain edge
+   still points at it. *)
+let fence_release t =
+  if t.reclaim then Ralloc.fence t.heap else Ralloc.fence_release t.heap
+
 (* Best-effort physical unlink of a marked [victim]; failure is harmless
    (reads skip marked nodes; the next crash's GC collects them). *)
 let unlink t bucket victim =
@@ -121,7 +129,7 @@ let unlink t bucket victim =
         in
         if Ralloc.cas t.heap holder ~expected:w ~desired then begin
           Ralloc.flush t.heap holder;
-          Ralloc.fence t.heap;
+          fence_release t;
           if t.reclaim then begin
             Ralloc.free t.heap (Ralloc.read_ptr t.heap (victim + 16));
             Ralloc.free t.heap (Ralloc.read_ptr t.heap (victim + 32));
@@ -149,7 +157,7 @@ let mark_match t bucket ~after h key =
         if Ralloc.cas t.heap target ~expected:vw ~desired:(vw lor mark_bit)
         then begin
           Ralloc.flush t.heap target;
-          Ralloc.fence t.heap;
+          fence_release t;
           ignore (unlink t bucket target);
           true
         end
@@ -181,8 +189,9 @@ let set t key value =
       Ralloc.cas t.heap bucket ~expected:w
         ~desired:(Pptr.encode ~holder:bucket ~target:node)
     then begin
+      (* bucket publish: its durability is ack-only *)
       Ralloc.flush t.heap bucket;
-      Ralloc.fence t.heap
+      fence_release t
     end
     else insert ()
   in

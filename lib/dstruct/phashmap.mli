@@ -32,7 +32,10 @@ val set : t -> string -> string -> bool
 (** Durable insert-or-replace; true iff the key was new. *)
 
 val get : t -> string -> string option
+(** Lookup; [None] if the key is absent. *)
+
 val mem : t -> string -> bool
+(** Membership test. *)
 
 val delete : t -> string -> bool
 (** Durable delete; false if the key was absent. *)
@@ -45,3 +48,5 @@ val iter : (string -> string -> unit) -> t -> unit
 (** Quiescent-use iteration over live bindings. *)
 
 val filter : Ralloc.t -> Ralloc.filter
+(** The recovery filter for this structure's node graph — essential here,
+    since string payloads are arbitrary bytes (paper §4.5.1). *)

@@ -21,6 +21,8 @@ val create : ?segment_bytes:int -> Ralloc.t -> root:int -> t
     records longer than that are rejected. *)
 
 val attach : Ralloc.t -> root:int -> t
+(** Re-attach after a restart; registers the log's filter function, so
+    call this {e before} {!Ralloc.recover} on a dirty heap. *)
 
 val append : t -> string -> bool
 (** Durably append a record; false when the heap is exhausted.
@@ -33,10 +35,14 @@ val iter : (string -> unit) -> t -> unit
 (** All committed records, oldest first. *)
 
 val fold : ('a -> string -> 'a) -> 'a -> t -> 'a
+(** Left fold over committed records, oldest first. *)
+
 val to_list : t -> string list
+(** Every committed record, oldest first. *)
 
 val verify : t -> int * int
 (** Recompute every record's checksum: [(valid, corrupt)] counts.  A
     healthy log has [corrupt = 0]. *)
 
 val filter : Ralloc.t -> Ralloc.filter
+(** The recovery filter for the log's segment chain (paper §4.5.1). *)

@@ -13,7 +13,13 @@
 type t
 
 val create : Ralloc.t -> Txn.t -> root:int -> capacity:int -> buckets:int -> t
+(** [capacity] bounds the number of live bindings; [buckets] fixes the
+    hash width.  The transaction manager must have its own root (see
+    {!Txn.create}). *)
+
 val attach : Ralloc.t -> Txn.t -> root:int -> t
+(** Re-attach after a restart; call {!Txn.attach} first so that a
+    mid-apply transaction is replayed before the cache is used. *)
 
 val set : t -> string -> string -> unit
 (** Insert or replace, promoting the key to most-recently-used; evicts
@@ -26,8 +32,13 @@ val peek : t -> string -> string option
 (** Lookup without touching recency (read-only). *)
 
 val delete : t -> string -> bool
+(** Durable delete; false if the key was absent. *)
+
 val length : t -> int
+(** Number of live bindings. *)
+
 val capacity : t -> int
+(** The bound fixed at creation. *)
 
 val to_list : t -> (string * string) list
 (** Most-recent first. *)
@@ -36,3 +47,4 @@ val check_invariants : t -> unit
 (** List/hash coherence, capacity bound, doubly-linked integrity. *)
 
 val filter : Ralloc.t -> Ralloc.filter
+(** The recovery filter for the cache's node graph (paper §4.5.1). *)

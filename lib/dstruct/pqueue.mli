@@ -9,7 +9,12 @@
 type t
 
 val create : Ralloc.t -> root:int -> t
+(** Allocate a fresh queue (with its dummy node) registered at persistent
+    root [root]. *)
+
 val attach : Ralloc.t -> root:int -> t
+(** Re-attach after a restart; registers the queue's filter function, so
+    call this {e before} {!Ralloc.recover} on a dirty heap. *)
 
 val enqueue : t -> int -> bool
 (** False iff out of memory. *)
@@ -25,7 +30,17 @@ val dequeue_safe : t -> Ebr.t -> int option
     layer: safe with any number of concurrent producers and consumers. *)
 
 val enqueue_safe : t -> Ebr.t -> int -> bool
+(** [enqueue] under epoch protection (pairs with {!dequeue_safe}: an
+    enqueuer must not link to a node a dequeuer frees under it). *)
+
 val is_empty : t -> bool
+(** Whether the queue holds no items. *)
+
 val length : t -> int
+(** O(n) walk; quiescent use. *)
+
 val iter : (int -> unit) -> t -> unit
+(** Front-to-back iteration (quiescent use). *)
+
 val filter : Ralloc.t -> Ralloc.filter
+(** The recovery filter for this structure's node graph (paper §4.5.1). *)

@@ -15,21 +15,34 @@
 type t
 
 val create : ?reclaim:bool -> ?smr:Ebr.t -> Ralloc.t -> root:int -> t
+(** Allocate a fresh set registered at persistent root [root]; see the
+    module comment for the [reclaim]/[smr] convention. *)
+
 val attach : ?reclaim:bool -> ?smr:Ebr.t -> Ralloc.t -> root:int -> t
+(** Re-attach after a restart; registers the set's filter function, so
+    call this {e before} {!Ralloc.recover} on a dirty heap. *)
 
 val add : t -> int -> bool
 (** False if already present.  @raise Failure when the heap is full. *)
 
 val remove : t -> int -> bool
+(** False if [key] was absent. *)
+
 val mem : t -> int -> bool
+(** Membership test (wait-free traversal). *)
+
 val size : t -> int
+(** Number of live keys (O(n); quiescent use). *)
+
 val iter : (int -> unit) -> t -> unit
 (** Ascending order (quiescent use). *)
 
 val to_list : t -> int list
+(** Live keys in ascending order (quiescent use). *)
 
 val check_invariants : t -> unit
 (** Live keys strictly ascending (marked leftovers from raced removes are
     skipped; the next traversal past them unlinks them). *)
 
 val filter : Ralloc.t -> Ralloc.filter
+(** The recovery filter for this structure's node graph (paper §4.5.1). *)

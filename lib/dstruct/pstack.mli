@@ -43,7 +43,10 @@ val push_safe : t -> Ebr.t -> int -> bool
     not link to a node that a popper frees under it). *)
 
 val peek : t -> int option
+(** The top value without popping it. *)
+
 val is_empty : t -> bool
+(** Whether the stack is empty. *)
 
 val length : t -> int
 (** O(n) walk; intended for tests and recovery checks. *)

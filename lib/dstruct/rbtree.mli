@@ -17,7 +17,10 @@ module Make (A : Alloc_iface.S) : sig
   (** Insert or update; true iff the key was new. *)
 
   val find : tree -> int -> int option
+  (** [find t key] is the value bound to [key], if any. *)
+
   val mem : tree -> int -> bool
+  (** Membership test. *)
 
   val delete : tree -> int -> bool
   (** False if the key was absent.  Frees the removed node. *)
@@ -26,6 +29,7 @@ module Make (A : Alloc_iface.S) : sig
   (** In-order (sorted) iteration. *)
 
   val size : tree -> int
+  (** Number of keys (O(n) walk). *)
 
   val check_invariants : tree -> unit
   (** Verify BST order, red-red freedom, equal black heights and parent

@@ -677,6 +677,42 @@ let dump ppf =
       | Derived f -> Format.fprintf ppf "derived   %-36s %.6f@." name (f ()))
     (sorted_metrics ())
 
+(* Prometheus text exposition: metric names sanitized ('.' -> '_'),
+   histograms rendered as summaries (quantile labels + _sum/_count),
+   derived metrics as gauges. *)
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+let prometheus ppf =
+  List.iter
+    (fun (name, m) ->
+      let n = prom_name name in
+      match m with
+      | Counter c ->
+        let v = Counter.read c in
+        if v <> 0 then
+          Format.fprintf ppf "# TYPE %s counter@.%s %d@." n n v
+      | Gauge g ->
+        Format.fprintf ppf "# TYPE %s gauge@.%s %d@." n n (Gauge.read g)
+      | Histogram h ->
+        let s = Histogram.snapshot h in
+        let cnt = Histogram.snap_count s in
+        if cnt <> 0 then begin
+          Format.fprintf ppf "# TYPE %s summary@." n;
+          List.iter
+            (fun q ->
+              Format.fprintf ppf "%s{quantile=\"%g\"} %d@." n q
+                (Histogram.snap_quantile s q))
+            [ 0.5; 0.9; 0.99 ];
+          Format.fprintf ppf "%s_sum %d@.%s_count %d@." n s.sum n cnt
+        end
+      | Derived f ->
+        Format.fprintf ppf "# TYPE %s gauge@.%s %.6f@." n n (f ()))
+    (sorted_metrics ())
+
 let reset () =
   List.iter
     (fun (_, m) ->

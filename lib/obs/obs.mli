@@ -300,6 +300,14 @@ val dump : Format.formatter -> unit
     derived metrics with their computed value.  Counters still at zero
     are omitted (per-size-class arrays register many silent ones). *)
 
+val prometheus : Format.formatter -> unit
+(** Print every registered metric in Prometheus text exposition format:
+    names sanitized ([.] becomes [_]), counters/gauges as themselves,
+    histograms as summaries (p50/p90/p99 [quantile] series plus [_sum] and
+    [_count]), derived metrics as gauges.  Zero-count counters and empty
+    histograms are omitted.  Served by [pkvd]'s STATS reply and
+    [rstat --prometheus]. *)
+
 val reset : unit -> unit
 (** Zero every registered counter, gauge and histogram (derived metrics
     recompute; trace buffers are left alone — see {!Trace.clear}). *)

@@ -29,6 +29,7 @@ let obs_fences = Obs.Counter.make "pmem.fences"
 let obs_cas = Obs.Counter.make "pmem.cas_ops"
 let obs_evictions = Obs.Counter.make "pmem.evictions"
 let obs_flush_dedup = Obs.Counter.make "pmem.flush_dedup"
+let obs_fences_elided = Obs.Counter.make "pmem.fences_elided"
 let obs_pwrite_batches = Obs.Counter.make "pmem.pwrite_batches"
 let obs_drain_ns = Obs.Histogram.make "pmem.drain_ns"
 
@@ -442,6 +443,55 @@ let fence t =
            (iters_of fence_iters !fence_latency_ns)
            (k * iters_of drain_iters !drain_latency_ns))
     end
+
+(* ---- Group commit: per-domain release-fence deferral ------------------- *)
+(* A domain inside a deferral section elides its *release* fences — the
+   post-publish fences whose only job is to bound when an operation becomes
+   durable, not to order one persistent store before another — and records
+   which regions were touched.  [drain_deferred] later issues one real fence
+   per touched region, amortizing the stall over the whole batch (WAL-style
+   group commit).  Ordering fences (content-before-publish) must keep using
+   [fence]; eliding those can tear values because [drain_pending] writes
+   lines back in line-number order, not program order. *)
+
+type defer_state = {
+  mutable defer_active : bool;
+  mutable defer_elided : int; (* release fences elided since last drain *)
+  mutable defer_regions : t list; (* regions with an elided fence pending *)
+}
+
+let defer_key =
+  Domain.DLS.new_key (fun () ->
+      { defer_active = false; defer_elided = 0; defer_regions = [] })
+
+let fence_deferral_active () = (Domain.DLS.get defer_key).defer_active
+let deferred_fences () = (Domain.DLS.get defer_key).defer_elided
+
+let drain_deferred () =
+  let ds = Domain.DLS.get defer_key in
+  let regions = ds.defer_regions in
+  ds.defer_regions <- [];
+  ds.defer_elided <- 0;
+  List.fold_left
+    (fun n t ->
+      fence t;
+      n + 1)
+    0 regions
+
+let set_fence_deferral on =
+  let ds = Domain.DLS.get defer_key in
+  if (not on) && ds.defer_active then ignore (drain_deferred ());
+  ds.defer_active <- on
+
+let fence_release t =
+  let ds = Domain.DLS.get defer_key in
+  if ds.defer_active then begin
+    ds.defer_elided <- ds.defer_elided + 1;
+    Obs.Counter.incr obs_fences_elided;
+    if not (List.memq t ds.defer_regions) then
+      ds.defer_regions <- t :: ds.defer_regions
+  end
+  else fence t
 
 let flush_range t w n =
   if n > 0 then begin

@@ -93,6 +93,48 @@ val fence : t -> unit
     domain's posted flushes in {!Pipelined} mode.  Counted: the {e number}
     of fences is the persistence cost a real machine would pay. *)
 
+val fence_release : t -> unit
+(** A {e release} fence: identical to {!fence} unless the calling domain is
+    inside a fence-deferral section (see {!set_fence_deferral}), in which
+    case it is elided and merely records that region [t] has an outstanding
+    drain obligation.  Use it only for post-publish durability fences — the
+    ones whose sole purpose is to bound {e when} an already-published
+    operation becomes durable.  Ordering fences (persist content {e before}
+    publishing a pointer to it) must keep using {!fence}: the pipeline
+    drains lines in line-number order, so eliding an ordering fence can
+    persist a publish edge before its payload across a crash. *)
+
+(** {2 Group commit (per-domain fence deferral)}
+
+    A server batching writes can enter a deferral section, run many
+    operations whose release fences are elided, then pay {e one} real fence
+    per region with {!drain_deferred} — amortizing the stall over the batch
+    exactly like write-ahead-log group commit.  All state is per-domain
+    ({!Domain.DLS}); other domains are unaffected.
+
+    Safety: while elided release fences are outstanding, freed-and-reused
+    blocks may still be reachable from durable pointers, so deferral
+    requires structures that either leak removed nodes to a post-crash GC
+    ([~reclaim:false]) or use SMR with the pin held across the whole batch
+    (retired nodes then cannot be recycled before the drain). *)
+
+val set_fence_deferral : bool -> unit
+(** Enable/disable release-fence deferral on the calling domain.  Turning
+    it {e off} first drains any outstanding deferred fences. *)
+
+val fence_deferral_active : unit -> bool
+(** Whether the calling domain is inside a deferral section. *)
+
+val drain_deferred : unit -> int
+(** Issue one real {!fence} per region that had a release fence elided on
+    the calling domain since the last drain; returns the number of fences
+    issued (0 when nothing was deferred).  Client acks must be withheld
+    until this returns. *)
+
+val deferred_fences : unit -> int
+(** Number of release fences elided on the calling domain since the last
+    {!drain_deferred} (statistics / tests). *)
+
 val flush_range : t -> int -> int -> unit
 (** [flush_range t w n] flushes the lines covering words [w .. w+n-1]. *)
 

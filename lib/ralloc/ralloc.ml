@@ -174,6 +174,7 @@ let cas t va ~expected ~desired = Pmem.cas t.sb (sb_word t va) ~expected ~desire
 let fetch_add t va d = Pmem.fetch_add t.sb (sb_word t va) d
 let flush t va = if t.persist then Pmem.flush t.sb (sb_word t va)
 let fence t = if t.persist then Pmem.fence t.sb
+let fence_release t = if t.persist then Pmem.fence_release t.sb
 let read_ptr t va = Pptr.decode ~holder:va (load t va)
 let write_ptr t ~at ~target = store t at (Pptr.encode ~holder:at ~target)
 let load_byte t va = Pmem.load_byte t.sb (va - t.sb_base)

@@ -218,6 +218,14 @@ val flush : t -> int -> unit
     opened with [persist:false]). *)
 
 val fence : t -> unit
+(** Ordering fence: drain the calling domain's posted flushes ({!Pmem.fence};
+    no-op when opened with [persist:false]). *)
+
+val fence_release : t -> unit
+(** Release (durability-ack) fence: {!Pmem.fence_release} — elidable under
+    the per-domain group-commit deferral ({!Pmem.set_fence_deferral}).  Use
+    only after the operation is already published; ordering fences must stay
+    {!fence}. *)
 
 val read_ptr : t -> int -> int
 (** [read_ptr t va] loads the word at [va] and decodes it as an off-holder,

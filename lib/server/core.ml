@@ -1,0 +1,421 @@
+(* Server core: acceptor systhreads decode frames and dispatch work items
+   to worker domains through key-sharded bounded queues; workers batch
+   writes and commit them with one deferred-fence drain (group commit).
+   See core.mli for the contract. *)
+
+type config = {
+  heap_path : string;
+  heap_size : int;
+  workers : int;
+  batch : int;
+  batch_usec : int;
+  queue_cap : int;
+}
+
+let default_config ?heap_path () =
+  {
+    heap_path =
+      (match heap_path with Some p -> p | None -> Heap_path.default_heap ());
+    heap_size = Store.default_size;
+    workers = 2;
+    batch = 32;
+    batch_usec = 500;
+    queue_cap = 256;
+  }
+
+(* ------------------------------ telemetry ------------------------------ *)
+
+let hist_op_ns = Obs.Histogram.make "server.op_ns"
+let hist_ack_ns = Obs.Histogram.make "server.ack_ns"
+let hist_batch = Obs.Histogram.make "server.batch_size"
+let ctr_ops = Obs.Counter.make "server.ops"
+let ctr_writes = Obs.Counter.make "server.writes"
+let ctr_busy = Obs.Counter.make "server.busy"
+let ctr_commits = Obs.Counter.make "server.commits"
+let ctr_proto_errors = Obs.Counter.make "server.proto_errors"
+
+(* ------------------------------ mailboxes ------------------------------ *)
+
+(* One mailbox per in-flight request: the connection thread parks on it,
+   the worker fills it — immediately for reads, at commit for writes. *)
+type mailbox = {
+  mb_m : Mutex.t;
+  mb_c : Condition.t;
+  mutable mb_resp : Proto.response option;
+}
+
+let mailbox () =
+  { mb_m = Mutex.create (); mb_c = Condition.create (); mb_resp = None }
+
+let mb_put mb resp =
+  Mutex.lock mb.mb_m;
+  mb.mb_resp <- Some resp;
+  Condition.signal mb.mb_c;
+  Mutex.unlock mb.mb_m
+
+let mb_wait mb =
+  Mutex.lock mb.mb_m;
+  while mb.mb_resp = None do
+    Condition.wait mb.mb_c mb.mb_m
+  done;
+  let r = Option.get mb.mb_resp in
+  Mutex.unlock mb.mb_m;
+  r
+
+type item = { req : Proto.request; mb : mailbox; enq_ns : int }
+
+type t = {
+  cfg : config;
+  st : Store.t;
+  queues : item Squeue.t array;
+  depth_gauges : Obs.Gauge.t array;
+  listen_fd : Unix.file_descr;
+  addr : Unix.sockaddr;
+  mutable acceptor : Thread.t option;
+  mutable domains : unit Domain.t array;
+  conns_m : Mutex.t;
+  mutable conns : (Unix.file_descr * Thread.t) list;
+  stopping : bool Atomic.t;
+  abandon : bool Atomic.t; (* `Abrupt stop: skip the final commit *)
+}
+
+(* ------------------------------ workers -------------------------------- *)
+
+let worker_loop srv q =
+  Pmem.set_fence_deferral true;
+  let st = srv.st in
+  let pending = ref [] (* parked write acks, newest first *)
+  and batch_n = ref 0
+  and pinned = ref false
+  and deadline = ref infinity in
+  let ensure_pinned () =
+    if not !pinned then begin
+      (match st.smr with Some e -> Ebr.pin e | None -> ());
+      pinned := true
+    end
+  in
+  let release_acks to_resp =
+    List.iter
+      (fun (mb, resp, enq_ns) ->
+        Obs.Histogram.record hist_ack_ns (Obs.now_ns () - enq_ns);
+        mb_put mb (to_resp resp))
+      (List.rev !pending);
+    pending := [];
+    batch_n := 0;
+    deadline := infinity
+  in
+  let commit () =
+    if !batch_n > 0 || Pmem.deferred_fences () > 0 then begin
+      ignore (Pmem.drain_deferred ());
+      Obs.Counter.incr ctr_commits;
+      Obs.Histogram.record hist_batch !batch_n
+    end;
+    (* durability first, then let EBR recycle, then tell the clients *)
+    if !pinned then begin
+      (match st.smr with Some e -> Ebr.unpin e | None -> ());
+      pinned := false
+    end;
+    release_acks Fun.id
+  in
+  let park item resp =
+    ensure_pinned ();
+    pending := (item.mb, resp, item.enq_ns) :: !pending;
+    incr batch_n;
+    Obs.Counter.incr ctr_writes;
+    if !batch_n = 1 then
+      deadline :=
+        Unix.gettimeofday () +. (float_of_int srv.cfg.batch_usec *. 1e-6);
+    if !batch_n >= srv.cfg.batch then commit ()
+  in
+  let handle item =
+    let t0 = Obs.now_ns () in
+    Obs.Counter.incr ctr_ops;
+    (match item.req with
+    | Proto.Get k ->
+      mb_put item.mb
+        (match Store.iget st k with
+        | Some v -> Proto.Value v
+        | None -> Proto.Not_found)
+    | Proto.Sget k ->
+      mb_put item.mb
+        (match Store.sget st k with
+        | Some v -> Proto.Svalue v
+        | None -> Proto.Not_found)
+    | Proto.Set (k, v) ->
+      ensure_pinned ();
+      Store.iset st k v;
+      park item Proto.Ok
+    | Proto.Del k ->
+      ensure_pinned ();
+      let existed = Store.idel st k in
+      park item (if existed then Proto.Ok else Proto.Not_found)
+    | Proto.Sset (k, v) ->
+      ensure_pinned ();
+      Store.sset st k v;
+      park item Proto.Ok
+    | Proto.Sdel k ->
+      ensure_pinned ();
+      let existed = Store.sdel st k in
+      park item (if existed then Proto.Ok else Proto.Not_found)
+    | Proto.Flush ->
+      commit ();
+      mb_put item.mb Proto.Ok
+    | Proto.Stats | Proto.Ping ->
+      (* control requests are answered by the acceptor side *)
+      mb_put item.mb Proto.Ok);
+    Obs.Histogram.record hist_op_ns (Obs.now_ns () - t0)
+  in
+  let rec loop () =
+    let timeout_s =
+      if !deadline = infinity then infinity
+      else max 0. (!deadline -. Unix.gettimeofday ())
+    in
+    match Squeue.pop_opt q ~timeout_s with
+    | Some item ->
+      handle item;
+      loop ()
+    | None ->
+      if Squeue.closed q then begin
+        (* drained; final commit unless the stop abandoned the batch *)
+        if Atomic.get srv.abandon then
+          release_acks (fun _ -> Proto.Error "server shutting down")
+        else begin
+          commit ();
+          Ralloc.flush_thread_cache st.heap;
+          match st.smr with Some e -> Ebr.flush e | None -> ()
+        end
+      end
+      else begin
+        commit () (* batch deadline expired *);
+        loop ()
+      end
+  in
+  loop ();
+  (* turning deferral off drains outstanding elided fences — exactly wrong
+     for an abandoned (crash-modelling) batch, so skip it there; the domain
+     is terminating either way *)
+  if not (Atomic.get srv.abandon) then Pmem.set_fence_deferral false
+
+(* ----------------------------- connections ----------------------------- *)
+
+let stats_text srv =
+  Array.iteri
+    (fun i q -> Obs.Gauge.set srv.depth_gauges.(i) (Squeue.length q))
+    srv.queues;
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Obs.prometheus ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let resolved r =
+  let mb = mailbox () in
+  mb_put mb r;
+  mb
+
+(* Route one decoded request; the returned mailbox will (eventually) hold
+   the response.  Keyed requests go to their shard's worker; control
+   requests resolve here, in the connection thread. *)
+let dispatch srv req =
+  match req with
+  | Proto.Ping -> resolved Proto.Ok
+  | Proto.Stats -> resolved (Proto.Text (stats_text srv))
+  | Proto.Flush ->
+    (* commit barrier: every worker must drain its current batch *)
+    let boxes =
+      Array.map
+        (fun q ->
+          let mb = mailbox () in
+          if Squeue.push_force q { req = Proto.Flush; mb; enq_ns = Obs.now_ns () }
+          then Some mb
+          else None)
+        srv.queues
+    in
+    Array.iter (function Some mb -> ignore (mb_wait mb) | None -> ()) boxes;
+    resolved Proto.Ok
+  | _ -> (
+    match Proto.shard_key req with
+    | None -> resolved (Proto.Error "unroutable request")
+    | Some h ->
+      let q = srv.queues.(h mod Array.length srv.queues) in
+      let mb = mailbox () in
+      if Squeue.try_push q { req; mb; enq_ns = Obs.now_ns () } then mb
+      else begin
+        Obs.Counter.incr ctr_busy;
+        resolved Proto.Busy
+      end)
+
+(* A connection is pipelined: while bytes are waiting on the socket we keep
+   decoding and dispatching, parking each request's mailbox in a FIFO, and
+   only block for (and write) responses oldest-first when the socket runs
+   dry or [max_pipeline] requests are in flight.  Responses therefore stay
+   in request order, and one connection can keep a whole group-commit batch
+   in flight — a strict request-reply loop would cap every worker's batch
+   at the number of connections and turn each commit into a deadline wait. *)
+let max_pipeline = 128
+
+let conn_loop srv fd =
+  let pending = Queue.create () in
+  let write_one () =
+    let mb = Queue.pop pending in
+    Proto.write_frame fd (Proto.encode_response (mb_wait mb))
+  in
+  let handle payload =
+    match Proto.decode_request payload with
+    | Ok req -> Queue.push (dispatch srv req) pending
+    | Error msg ->
+      Obs.Counter.incr ctr_proto_errors;
+      Queue.push (resolved (Proto.Error msg)) pending
+  in
+  let rec next () =
+    if Queue.is_empty pending then
+      match Proto.read_frame fd with
+      | None -> ()
+      | Some p ->
+        handle p;
+        next ()
+    else if Queue.length pending >= max_pipeline then begin
+      write_one ();
+      next ()
+    end
+    else
+      match Unix.select [ fd ] [] [] 0. with
+      | [], _, _ ->
+        write_one ();
+        next ()
+      | _ ->
+        (match Proto.read_frame fd with
+        | None ->
+          (* peer finished sending: drain what it is still owed *)
+          while not (Queue.is_empty pending) do
+            write_one ()
+          done
+        | Some p ->
+          handle p;
+          next ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> next ()
+  in
+  (try next () with e -> Printf.eprintf "conn_loop: %s\n%!" (Printexc.to_string e));
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.lock srv.conns_m;
+  srv.conns <- List.filter (fun (f, _) -> f <> fd) srv.conns;
+  Mutex.unlock srv.conns_m
+
+(* The listener is non-blocking and polled with a short select timeout:
+   closing an fd does not wake a thread already blocked in accept(2), so a
+   blocking acceptor would deadlock an in-process [stop] (the daemon only
+   escaped via SIGTERM's EINTR).  [stop] sets [stopping] and the loop exits
+   within one poll interval. *)
+let accept_loop srv =
+  let rec loop () =
+    if Atomic.get srv.stopping then ()
+    else
+      match Unix.select [ srv.listen_fd ] [] [] 0.05 with
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Unix.accept srv.listen_fd with
+        | fd, _ ->
+          Unix.clear_nonblock fd;
+          let th = Thread.create (fun () -> conn_loop srv fd) () in
+          Mutex.lock srv.conns_m;
+          srv.conns <- (fd, th) :: srv.conns;
+          Mutex.unlock srv.conns_m;
+          loop ()
+        | exception
+            Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          loop ()
+        | exception _ -> () (* listener closed (stop) or fatal: quit *))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception _ -> () (* listener closed under us *)
+  in
+  loop ()
+
+(* ------------------------------ lifecycle ------------------------------ *)
+
+let start ?config addr =
+  let cfg =
+    match config with Some c -> c | None -> default_config ()
+  in
+  if cfg.workers < 1 then invalid_arg "Core.start: need at least one worker";
+  (* a serving daemon always wants its telemetry (STATS replies would be
+     empty otherwise); OBS_DISABLED still hard-overrides this *)
+  Obs.set_enabled true;
+  (* a dead client's closed socket must not kill the server *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let st = Store.open_store ~concurrent:true ~size:cfg.heap_size cfg.heap_path in
+  let domain_of_sockaddr = function
+    | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+    | Unix.ADDR_INET _ -> Unix.PF_INET
+  in
+  (match addr with
+  | Unix.ADDR_UNIX path when Sys.file_exists path -> Unix.unlink path
+  | _ -> ());
+  let listen_fd = Unix.socket (domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (match addr with
+  | Unix.ADDR_INET _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
+  | _ -> ());
+  Unix.bind listen_fd addr;
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let queues = Array.init cfg.workers (fun _ -> Squeue.create cfg.queue_cap) in
+  let depth_gauges =
+    Array.init cfg.workers (fun i ->
+        Obs.Gauge.make (Printf.sprintf "server.queue_depth.w%d" i))
+  in
+  let srv =
+    {
+      cfg;
+      st;
+      queues;
+      depth_gauges;
+      listen_fd;
+      addr = Unix.getsockname listen_fd;
+      acceptor = None;
+      domains = [||];
+      conns_m = Mutex.create ();
+      conns = [];
+      stopping = Atomic.make false;
+      abandon = Atomic.make false;
+    }
+  in
+  Obs.register_derived "server.fences_per_op" (fun () ->
+      let ops = Obs.Counter.read ctr_writes in
+      if ops = 0 then 0.
+      else
+        let s = Ralloc.stats st.heap in
+        float_of_int s.fences /. float_of_int ops);
+  srv.domains <-
+    Array.map (fun q -> Domain.spawn (fun () -> worker_loop srv q)) queues;
+  srv.acceptor <- Some (Thread.create (fun () -> accept_loop srv) ());
+  srv
+
+let sockaddr t = t.addr
+let store t = t.st
+
+let stop ?(mode = `Graceful) t =
+  if not (Atomic.exchange t.stopping true) then begin
+    if mode = `Abrupt then Atomic.set t.abandon true;
+    (* no new connections: [stopping] makes the polling acceptor exit
+       within one select interval; only then is the listener closed (the
+       reverse order would race the acceptor's select against the close) *)
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* workers: drain (or abandon) and exit *)
+    Array.iter Squeue.close t.queues;
+    Array.iter Domain.join t.domains;
+    (* wake connection threads blocked on reads, then reap them *)
+    Mutex.lock t.conns_m;
+    let conns = t.conns in
+    Mutex.unlock t.conns_m;
+    List.iter
+      (fun (fd, _) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    List.iter (fun (_, th) -> Thread.join th) conns;
+    (match t.addr with
+    | Unix.ADDR_UNIX path when Sys.file_exists path -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    | _ -> ());
+    if mode = `Graceful then Store.close t.st
+  end

@@ -1,0 +1,65 @@
+(** The pkvd server core: acceptor threads, sharded worker domains, and
+    group-fenced write batching.
+
+    {2 Request pipeline}
+
+    Connections are served by systhreads in the main domain; each decoded
+    request is dispatched by key hash to one of a fixed pool of worker
+    {e domains} through a bounded {!Squeue} (full queue → immediate BUSY
+    reply — backpressure, not buffering).  Equal keys always land on the
+    same worker, so per-key operations stay FIFO.
+
+    {2 Group commit}
+
+    Workers run with {!Pmem.set_fence_deferral} on: every store operation's
+    post-publish release fence is elided and the write's ack is parked.
+    When the batch reaches [batch] writes — or the oldest parked ack is
+    [batch_usec] old — the worker {e commits}: one {!Pmem.drain_deferred}
+    makes the whole batch durable, then all parked acks are released.  A
+    client that saw OK is therefore guaranteed durability; a client that
+    had not yet seen OK may find the write absent after a crash, but never
+    torn (ordering fences inside each operation remain synchronous).
+
+    Workers hold an {!Ebr} pin for the whole batch, so tree nodes retired
+    by an elided-fence delete cannot be recycled before the commit fence —
+    the invariant that makes deferral crash-safe (see {!Pmem.fence_release}).
+
+    {2 Shutdown}
+
+    [stop `Graceful] (the SIGTERM path) closes the queues, lets every
+    worker drain, commit and release its cache, then closes the heap
+    cleanly.  [stop `Abrupt] abandons in-flight batches without a commit —
+    the in-process stand-in for SIGKILL used by crash tests. *)
+
+type config = {
+  heap_path : string;
+  heap_size : int;
+  workers : int;  (** worker domains (queue shards) *)
+  batch : int;  (** max writes per group commit *)
+  batch_usec : int;  (** max age of an unacked write before a forced commit *)
+  queue_cap : int;  (** per-worker queue bound; overflow replies BUSY *)
+}
+
+val default_config : ?heap_path:string -> unit -> config
+(** 2 workers, batch 32, 500 us deadline, queue bound 256, heap at
+    {!Heap_path.default_heap}. *)
+
+type t
+
+val start : ?config:config -> Unix.sockaddr -> t
+(** Open (and if needed recover) the store, bind and listen on the given
+    address (an existing Unix-domain socket file is replaced), and spawn
+    the acceptor thread and worker domains.  Returns once serving. *)
+
+val sockaddr : t -> Unix.sockaddr
+(** The bound address (useful with an ephemeral TCP port). *)
+
+val store : t -> Store.t
+(** The underlying store (bench/test access; live server reads are safe,
+    writes bypass batching and must be avoided). *)
+
+val stop : ?mode:[ `Graceful | `Abrupt ] -> t -> unit
+(** Stop serving.  [`Graceful] (default) drains, commits and closes the
+    heap; [`Abrupt] abandons uncommitted batches (their clients get an
+    ERROR reply) and leaves the heap dirty — pair with
+    {!Ralloc.crash_and_reopen} to simulate a crash in-process. *)

@@ -1,0 +1,24 @@
+let getenv_nonempty v =
+  match Sys.getenv_opt v with Some s when s <> "" -> Some s | _ -> None
+
+let user_tag () =
+  match getenv_nonempty "USER" with
+  | Some u -> u
+  | None -> string_of_int (Unix.getuid ())
+
+let resolve ~env ~runtime_name ~tmp_fmt =
+  match getenv_nonempty env with
+  | Some p -> p
+  | None -> (
+    match getenv_nonempty "XDG_RUNTIME_DIR" with
+    | Some d -> Filename.concat d runtime_name
+    | None ->
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf tmp_fmt (user_tag ())))
+
+let default_heap () =
+  resolve ~env:"PKV_HEAP" ~runtime_name:"pkv-heap" ~tmp_fmt:"pkv-heap-%s"
+
+let default_socket () =
+  resolve ~env:"PKV_SOCKET" ~runtime_name:"pkvd.sock" ~tmp_fmt:"pkvd-%s.sock"

@@ -1,0 +1,18 @@
+(** Per-user default locations for the pkv/pkvd heap and socket.
+
+    The historical default was a shared [/tmp/pkv-heap], which let two
+    users on one machine open (and corrupt) each other's store.  Both
+    [pkv] and [pkvd] now resolve defaults through this module:
+
+    - [$PKV_HEAP] wins if set and non-empty;
+    - else [$XDG_RUNTIME_DIR/pkv-heap] (the per-user runtime directory);
+    - else [<tmpdir>/pkv-heap-<user>] where [<user>] is [$USER] or the
+      numeric uid. *)
+
+val default_heap : unit -> string
+(** Resolve the default heap file path prefix for the calling user. *)
+
+val default_socket : unit -> string
+(** Resolve the default [pkvd] Unix-domain socket path, with the same
+    per-user resolution ([$PKV_SOCKET], then [$XDG_RUNTIME_DIR/pkvd.sock],
+    then [<tmpdir>/pkvd-<user>.sock]). *)

@@ -1,0 +1,85 @@
+type 'a t = {
+  items : 'a Queue.t;
+  cap : int;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable is_closed : bool;
+}
+
+let create cap =
+  if cap <= 0 then invalid_arg "Squeue.create: capacity must be positive";
+  {
+    items = Queue.create ();
+    cap;
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    is_closed = false;
+  }
+
+let try_push t x =
+  Mutex.lock t.m;
+  let ok = (not t.is_closed) && Queue.length t.items < t.cap in
+  if ok then begin
+    Queue.push x t.items;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.m;
+  ok
+
+let push_force t x =
+  Mutex.lock t.m;
+  let ok = not t.is_closed in
+  if ok then begin
+    Queue.push x t.items;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.m;
+  ok
+
+(* The stdlib [Condition] has no timed wait, so a finite timeout is a
+   sleep-poll loop at 50 us granularity — coarse enough to be cheap, fine
+   enough for sub-millisecond batch deadlines.  The infinite case blocks
+   properly in [Condition.wait]. *)
+let poll_interval_s = 50e-6
+
+let pop_opt t ~timeout_s =
+  Mutex.lock t.m;
+  let result =
+    if timeout_s = infinity then begin
+      while Queue.is_empty t.items && not t.is_closed do
+        Condition.wait t.nonempty t.m
+      done;
+      Queue.take_opt t.items
+    end
+    else begin
+      let deadline = Unix.gettimeofday () +. timeout_s in
+      let rec wait () =
+        if (not (Queue.is_empty t.items)) || t.is_closed then
+          Queue.take_opt t.items
+        else if Unix.gettimeofday () >= deadline then None
+        else begin
+          Mutex.unlock t.m;
+          Unix.sleepf poll_interval_s;
+          Mutex.lock t.m;
+          wait ()
+        end
+      in
+      wait ()
+    end
+  in
+  Mutex.unlock t.m;
+  result
+
+let length t =
+  Mutex.lock t.m;
+  let n = Queue.length t.items in
+  Mutex.unlock t.m;
+  n
+
+let closed t = t.is_closed
+
+let close t =
+  Mutex.lock t.m;
+  t.is_closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m

@@ -1,0 +1,38 @@
+(** Bounded multi-producer single-consumer mailbox queue.
+
+    Acceptor threads push decoded requests with {!try_push} (failure means
+    the shard is saturated — the caller replies BUSY, the server's
+    backpressure signal); the owning worker pops with {!pop_opt}, blocking
+    until an item arrives, its batch deadline expires, or the queue is
+    closed.  Control messages use {!push_force}, which ignores the bound
+    so a FLUSH or shutdown can never be dropped. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create cap] makes an empty queue admitting at most [cap] items via
+    {!try_push}. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue unless the queue is full or closed; returns whether the item
+    was accepted. *)
+
+val push_force : 'a t -> 'a -> bool
+(** Enqueue regardless of capacity; returns [false] (item dropped) only on
+    a closed queue, so callers can avoid waiting for a reply that will
+    never come. *)
+
+val pop_opt : 'a t -> timeout_s:float -> 'a option
+(** Dequeue, blocking up to [timeout_s] seconds ([infinity] to wait
+    indefinitely).  [None] means the timeout elapsed, or the queue is
+    closed {e and} drained — disambiguate with {!closed}. *)
+
+val length : 'a t -> int
+(** Current number of queued items. *)
+
+val closed : 'a t -> bool
+(** Whether {!close} has been called. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake blocked poppers; already-queued items
+    remain poppable (drain-then-exit shutdown). *)

@@ -1,0 +1,51 @@
+type t = {
+  heap : Ralloc.t;
+  tree : Dstruct.Nmtree.t;
+  smap : Dstruct.Phashmap.t;
+  smr : Ebr.t option;
+  status : Ralloc.status;
+  recovery : Ralloc.recovery_stats option;
+}
+
+let default_size = 64 * 1024 * 1024
+
+let open_store ?(concurrent = false) ?(size = default_size) path =
+  let heap, status = Ralloc.init ~path ~size () in
+  let smr = if concurrent then Some (Ebr.create heap) else None in
+  (* the CLI frees removed nodes immediately; the server must not, or a
+     deferred release fence could leave a durable edge to a recycled block *)
+  let reclaim = not concurrent in
+  let attach () =
+    ( Dstruct.Nmtree.attach ~reclaim ?smr heap ~root:0,
+      Dstruct.Phashmap.attach ~reclaim heap ~root:1 )
+  in
+  let tree, smap, recovery =
+    match status with
+    | Ralloc.Fresh ->
+      ( Dstruct.Nmtree.create ~reclaim ?smr heap ~root:0,
+        Dstruct.Phashmap.create ~reclaim heap ~root:1 ~buckets:1024,
+        None )
+    | Ralloc.Clean_restart ->
+      let tree, smap = attach () in
+      (tree, smap, None)
+    | Ralloc.Dirty_restart ->
+      (* attach first: recovery needs the structures' filters registered *)
+      let tree, smap = attach () in
+      let r = Ralloc.recover heap in
+      (tree, smap, Some r)
+  in
+  { heap; tree; smap; smr; status; recovery }
+
+let close t = Ralloc.close t.heap
+
+let iset t key value =
+  if not (Dstruct.Nmtree.insert t.tree key value) then begin
+    ignore (Dstruct.Nmtree.delete t.tree key);
+    ignore (Dstruct.Nmtree.insert t.tree key value)
+  end
+
+let iget t key = Dstruct.Nmtree.find t.tree key
+let idel t key = Dstruct.Nmtree.delete t.tree key
+let sset t key value = ignore (Dstruct.Phashmap.set t.smap key value)
+let sget t key = Dstruct.Phashmap.get t.smap key
+let sdel t key = Dstruct.Phashmap.delete t.smap key

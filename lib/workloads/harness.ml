@@ -62,11 +62,13 @@ type row = {
   ext_frag : float;
   redundant_flush_rate : float;
   wasted_fences : int;
+  fences_per_op : float;
 }
 
 let make_row ?(flushes = 0) ?(fences = 0) ?(p50_ns = 0.) ?(p99_ns = 0.)
     ?(occupancy = 0.) ?(ext_frag = 0.) ?(redundant_flush_rate = 0.)
-    ?(wasted_fences = 0) ~figure ~allocator ~threads ~metric ~value () =
+    ?(wasted_fences = 0) ?(fences_per_op = 0.) ~figure ~allocator ~threads
+    ~metric ~value () =
   {
     figure;
     allocator;
@@ -81,6 +83,7 @@ let make_row ?(flushes = 0) ?(fences = 0) ?(p50_ns = 0.) ?(p99_ns = 0.)
     ext_frag;
     redundant_flush_rate;
     wasted_fences;
+    fences_per_op;
   }
 
 (* [run f] while capturing the per-op malloc latency distribution of its
@@ -107,7 +110,9 @@ let pp_row ppf r =
     Format.fprintf ppf " occ=%.3f efrag=%.3f" r.occupancy r.ext_frag;
   if r.redundant_flush_rate > 0. || r.wasted_fences > 0 then
     Format.fprintf ppf " rflush=%.4f wfence=%d" r.redundant_flush_rate
-      r.wasted_fences
+      r.wasted_fences;
+  if r.fences_per_op > 0. then
+    Format.fprintf ppf " f/op=%.3f" r.fences_per_op
 
 let print_header figure title =
   Printf.printf "\n== %s: %s ==\n%-12s %-10s %2s  %12s %-8s\n" figure title
@@ -133,6 +138,7 @@ let columns : (string * (row -> string)) list =
     ("ext_frag", fun r -> Printf.sprintf "%.4f" r.ext_frag);
     ("redundant_flush_rate", fun r -> Printf.sprintf "%.4f" r.redundant_flush_rate);
     ("wasted_fences", fun r -> string_of_int r.wasted_fences);
+    ("fences_per_op", fun r -> Printf.sprintf "%.4f" r.fences_per_op);
   ]
 
 let csv_header = String.concat "," (List.map fst columns)

@@ -40,6 +40,10 @@ type row = {
   wasted_fences : int;
       (** fences that drained an empty pending set over the row's window;
           0 when the checker is off *)
+  fences_per_op : float;
+      (** real fences per application-level operation over the row's
+          window — the group-commit amortization metric of the [server]
+          series; 0 when the row does not measure it *)
 }
 
 val make_row :
@@ -51,6 +55,7 @@ val make_row :
   ?ext_frag:float ->
   ?redundant_flush_rate:float ->
   ?wasted_fences:int ->
+  ?fences_per_op:float ->
   figure:string ->
   allocator:string ->
   threads:int ->

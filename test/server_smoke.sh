@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end crash smoke for pkvd, run on every `dune runtest`:
+#
+#   start pkvd (PCHECK=1) -> bulk-load through pkvc -> kill -9 mid-load
+#   -> rstat --audit must say CLEAN on the dirty image
+#   -> rstat --pcheck-summary must report zero durability violations
+#   -> restart pkvd (recovers), serve a request, SIGTERM (graceful)
+#   -> rstat --audit must say CLEAN on the cleanly closed image
+#
+# Usage: server_smoke.sh PKVD PKVC RSTAT
+set -euo pipefail
+
+PKVD=$1
+PKVC=$2
+RSTAT=$3
+
+heap=./server-smoke-heap
+# Unix socket paths are capped at ~107 bytes and _build paths can exceed
+# that, so the socket lives under /tmp
+sock=$(mktemp -u /tmp/pkvd-smoke-XXXXXX.sock)
+pid=""
+lpid=""
+
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  [ -n "$lpid" ] && kill -9 "$lpid" 2>/dev/null || true
+  rm -f "$sock"
+}
+trap cleanup EXIT
+
+rm -f "$heap".sb "$heap".meta "$heap".desc
+
+PCHECK=1 "$PKVD" --heap "$heap" --socket "$sock" --workers 2 --batch 16 &
+pid=$!
+
+# generous retry: first-fence spin calibration can delay readiness
+"$PKVC" ping --socket "$sock" --retry 300
+
+"$PKVC" load 50000 --socket "$sock" --conns 4 &
+lpid=$!
+sleep 0.5
+
+echo "== kill -9 mid-load =="
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+wait "$lpid" 2>/dev/null || true
+lpid=""
+
+echo "== audit of the dirty image =="
+"$RSTAT" --audit "$heap"
+echo "== persistency-checker replay of recovery =="
+PCHECK=1 "$RSTAT" --pcheck-summary "$heap"
+
+echo "== restart: recovery + service =="
+PCHECK=1 "$PKVD" --heap "$heap" --socket "$sock" --workers 2 --batch 16 &
+pid=$!
+"$PKVC" ping --socket "$sock" --retry 300
+# key 0 -> 0 was in the first acked batch of the load; it must have survived
+v=$("$PKVC" get 0 --socket "$sock")
+[ "$v" = "0" ] || { echo "key 0 recovered as '$v', expected 0"; exit 1; }
+"$PKVC" set 424242 7 --socket "$sock"
+v=$("$PKVC" get 424242 --socket "$sock")
+[ "$v" = "7" ] || { echo "post-recovery set read back '$v', expected 7"; exit 1; }
+
+echo "== graceful shutdown =="
+kill -TERM "$pid"
+wait "$pid" || true
+pid=""
+
+echo "== audit of the cleanly closed image =="
+"$RSTAT" --audit "$heap"
+echo "server-smoke OK"

@@ -1,0 +1,346 @@
+(* pkvd server tests: wire-protocol round-trips (property-based), queue
+   backpressure, the heap-path resolver, and the headline guarantee —
+   crash during service loses no acked write and tears no value. *)
+
+module Proto = Server.Proto
+module Squeue = Server.Squeue
+module Core = Server.Core
+
+let mb = 1 lsl 20
+
+(* ------------------------- protocol round-trip ------------------------- *)
+
+(* Full-range keys: uniform ints plus the sign/overflow edge cases, so the
+   i64 encoding's two's-complement wraparound is actually exercised. *)
+let gen_key =
+  QCheck2.Gen.(
+    oneof [ int; oneofl [ min_int; max_int; -1; 0; 1; 1 lsl 62 ] ])
+
+let gen_request =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun k -> Proto.Get k) gen_key;
+        map2 (fun k v -> Proto.Set (k, v)) gen_key gen_key;
+        map (fun k -> Proto.Del k) gen_key;
+        map (fun k -> Proto.Sget k) string;
+        map2 (fun k v -> Proto.Sset (k, v)) string string;
+        map (fun k -> Proto.Sdel k) string;
+        oneofl [ Proto.Stats; Proto.Flush; Proto.Ping ];
+      ])
+
+let gen_response =
+  QCheck2.Gen.(
+    oneof
+      [
+        oneofl [ Proto.Ok; Proto.Not_found; Proto.Busy ];
+        map (fun v -> Proto.Value v) gen_key;
+        map (fun s -> Proto.Svalue s) string;
+        map (fun s -> Proto.Text s) string;
+        map (fun s -> Proto.Error s) string;
+      ])
+
+let prop_request_roundtrip =
+  QCheck2.Test.make ~name:"request encode/decode round-trip" ~count:500
+    gen_request (fun req ->
+      Proto.decode_request (Proto.encode_request req) = Stdlib.Ok req)
+
+let prop_response_roundtrip =
+  QCheck2.Test.make ~name:"response encode/decode round-trip" ~count:500
+    gen_response (fun resp ->
+      Proto.decode_response (Proto.encode_response resp) = Stdlib.Ok resp)
+
+(* A mangled frame must produce [Error _], never an exception and never a
+   silent wrong parse of a *different* payload length. *)
+let prop_request_truncation =
+  QCheck2.Test.make ~name:"truncated/extended request never crashes decode"
+    ~count:500 gen_request (fun req ->
+      let s = Proto.encode_request req in
+      let chopped = String.sub s 0 (String.length s - 1) in
+      let extended = s ^ "\xff" in
+      (match Proto.decode_request chopped with
+      | Stdlib.Ok r -> String.length s = 1 || r = req (* prefix can't equal *)
+      | Stdlib.Error _ -> true)
+      &&
+      match Proto.decode_request extended with
+      | Stdlib.Ok _ -> false
+      | Stdlib.Error _ -> true)
+
+(* ----------------------------- squeue ---------------------------------- *)
+
+let test_squeue () =
+  let q = Squeue.create 2 in
+  Alcotest.(check bool) "push 1" true (Squeue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Squeue.try_push q 2);
+  Alcotest.(check bool) "push 3 over cap" false (Squeue.try_push q 3);
+  Alcotest.(check int) "len" 2 (Squeue.length q);
+  Alcotest.(check (option int)) "pop 1" (Some 1)
+    (Squeue.pop_opt q ~timeout_s:1.);
+  Alcotest.(check bool) "push 3 after pop" true (Squeue.try_push q 3);
+  Alcotest.(check bool) "force over cap" true (Squeue.push_force q 4);
+  Squeue.close q;
+  Alcotest.(check bool) "push on closed" false (Squeue.try_push q 5);
+  Alcotest.(check bool) "force on closed" false (Squeue.push_force q 5);
+  Alcotest.(check (option int)) "drain 2" (Some 2)
+    (Squeue.pop_opt q ~timeout_s:1.);
+  Alcotest.(check (option int)) "drain 3" (Some 3)
+    (Squeue.pop_opt q ~timeout_s:1.);
+  Alcotest.(check (option int)) "drain 4" (Some 4)
+    (Squeue.pop_opt q ~timeout_s:1.);
+  Alcotest.(check (option int)) "closed+drained" None
+    (Squeue.pop_opt q ~timeout_s:0.05)
+
+let test_squeue_timeout () =
+  let q : int Squeue.t = Squeue.create 4 in
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check (option int)) "timeout pop" None
+    (Squeue.pop_opt q ~timeout_s:0.05);
+  Alcotest.(check bool) "waited" true (Unix.gettimeofday () -. t0 >= 0.04)
+
+(* --------------------------- heap path --------------------------------- *)
+
+let test_heap_path () =
+  Unix.putenv "PKV_HEAP" "/nvm/explicit-heap";
+  Alcotest.(check string) "env override" "/nvm/explicit-heap"
+    (Server.Heap_path.default_heap ());
+  Unix.putenv "PKV_HEAP" "";
+  let d = Server.Heap_path.default_heap () in
+  (* never the historical world-shared fixed path *)
+  Alcotest.(check bool) "not shared /tmp/pkv-heap" false (d = "/tmp/pkv-heap");
+  (match Sys.getenv_opt "XDG_RUNTIME_DIR" with
+  | Some x when x <> "" ->
+    Alcotest.(check string) "runtime dir" (Filename.concat x "pkv-heap") d
+  | _ ->
+    let tag =
+      match Sys.getenv_opt "USER" with
+      | Some u when u <> "" -> u
+      | _ -> string_of_int (Unix.getuid ())
+    in
+    Alcotest.(check bool)
+      "per-user suffix" true
+      (Filename.check_suffix d ("pkv-heap-" ^ tag)));
+  Unix.putenv "PKV_SOCKET" "/run/pkvd.sock";
+  Alcotest.(check string) "socket env override" "/run/pkvd.sock"
+    (Server.Heap_path.default_socket ());
+  Unix.putenv "PKV_SOCKET" ""
+
+(* ------------------------- in-process clients --------------------------- *)
+
+let temp_base () =
+  let f = Filename.temp_file "pkvd-test" "" in
+  Sys.remove f;
+  f
+
+let cleanup_heap base =
+  List.iter
+    (fun ext -> try Sys.remove (base ^ ext) with Sys_error _ -> ())
+    [ ".sb"; ".meta"; ".desc" ]
+
+let connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let send fd req = Proto.write_frame fd (Proto.encode_request req)
+
+let recv fd =
+  match Proto.read_frame fd with
+  | None -> Alcotest.fail "server closed the connection"
+  | Some p -> (
+    match Proto.decode_response p with
+    | Stdlib.Ok r -> r
+    | Stdlib.Error e -> Alcotest.fail ("bad response frame: " ^ e))
+
+(* ------------------------- BUSY backpressure ---------------------------- *)
+
+(* A single worker with a 1-slot queue, hammered by pipelined producers:
+   the shard must shed load with BUSY (and only with BUSY — every request
+   still gets exactly one in-order reply), and the BUSY counter must match
+   what the clients saw. *)
+let test_busy_backpressure () =
+  let base = temp_base () in
+  let sock = base ^ ".sock" in
+  let config =
+    {
+      (Core.default_config ~heap_path:base ()) with
+      heap_size = 32 * mb;
+      workers = 1;
+      batch = 8;
+      batch_usec = 500;
+      queue_cap = 1;
+    }
+  in
+  let srv = Core.start ~config (Unix.ADDR_UNIX sock) in
+  let conns = 4 and per_conn = 250 in
+  let ok = Atomic.make 0 and busy = Atomic.make 0 in
+  let client c =
+    let fd = connect sock in
+    let window = 50 in
+    for round = 0 to (per_conn / window) - 1 do
+      let base_k = (c * 1_000_000) + (round * window) in
+      for i = 0 to window - 1 do
+        send fd (Proto.Set (base_k + i, base_k + i))
+      done;
+      for _ = 1 to window do
+        match recv fd with
+        | Proto.Ok -> Atomic.incr ok
+        | Proto.Busy -> Atomic.incr busy
+        | _ -> Alcotest.fail "expected OK or BUSY"
+      done
+    done;
+    Unix.close fd
+  in
+  let threads = List.init conns (fun c -> Thread.create client c) in
+  List.iter Thread.join threads;
+  Core.stop srv;
+  Alcotest.(check int) "every request answered" (conns * per_conn)
+    (Atomic.get ok + Atomic.get busy);
+  Alcotest.(check bool) "saturated shard sheds load" true (Atomic.get busy > 0);
+  Alcotest.(check bool) "some writes still land" true (Atomic.get ok > 0);
+  cleanup_heap base
+
+(* --------------------- crash during service ----------------------------- *)
+
+(* The durability contract end-to-end: writes acked before a crash are all
+   recovered with their exact values; writes in flight (sent, no ack read)
+   are each either absent or have their exact value — never torn. *)
+let test_crash_during_serve () =
+  let base = temp_base () in
+  let sock = base ^ ".sock" in
+  let config =
+    {
+      (Core.default_config ~heap_path:base ()) with
+      heap_size = 32 * mb;
+      workers = 2;
+      batch = 64;
+      (* long enough that the in-flight tail below is still uncommitted
+         when the abrupt stop lands, short enough that a pipelined
+         connection stalled on a parked ack always unsticks *)
+      batch_usec = 200_000;
+      queue_cap = 4096;
+    }
+  in
+  let srv = Core.start ~config (Unix.ADDR_UNIX sock) in
+  let fd = connect sock in
+  let acked_n = 300 in
+  (* phase 1: acked writes — pipeline them, then FLUSH (a commit barrier)
+     so every parked ack is released before we count replies *)
+  for k = 0 to acked_n - 1 do
+    send fd (Proto.Set (k, (k * 3) + 1))
+  done;
+  for k = 0 to 49 do
+    send fd (Proto.Sset (Printf.sprintf "s%d" k, Printf.sprintf "v%d" k))
+  done;
+  send fd Proto.Flush;
+  for _ = 1 to acked_n + 50 do
+    match recv fd with
+    | Proto.Ok -> ()
+    | _ -> Alcotest.fail "phase 1 write not acked OK"
+  done;
+  (match recv fd with
+  | Proto.Ok -> ()
+  | _ -> Alcotest.fail "flush not acked");
+  (* phase 2: in-flight writes — sent, dispatched, never acked *)
+  let inflight_lo = 1_000_000 in
+  for k = inflight_lo to inflight_lo + 36 do
+    send fd (Proto.Set (k, (k * 7) + 1))
+  done;
+  Unix.sleepf 0.05 (* parked in an uncommitted batch; < batch_usec *);
+  Core.stop ~mode:`Abrupt srv;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* the crash proper: unfenced lines vanish, heap remaps dirty *)
+  let st = Core.store srv in
+  let heap, status = Ralloc.crash_and_reopen st.heap in
+  Alcotest.(check bool) "dirty restart" true (status = Ralloc.Dirty_restart);
+  let tree = Dstruct.Nmtree.attach ~reclaim:false heap ~root:0 in
+  let smap = Dstruct.Phashmap.attach ~reclaim:false heap ~root:1 in
+  let stats = Ralloc.recover heap in
+  Alcotest.(check bool) "recovery found the store" true
+    (stats.reachable_blocks > 0);
+  Dstruct.Nmtree.check_invariants tree;
+  for k = 0 to acked_n - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "acked key %d survives" k)
+      (Some ((k * 3) + 1))
+      (Dstruct.Nmtree.find tree k)
+  done;
+  for k = 0 to 49 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "acked skey s%d survives" k)
+      (Some (Printf.sprintf "v%d" k))
+      (Dstruct.Phashmap.get smap (Printf.sprintf "s%d" k))
+  done;
+  for k = inflight_lo to inflight_lo + 36 do
+    match Dstruct.Nmtree.find tree k with
+    | None -> () (* lost with the uncommitted batch: allowed *)
+    | Some v ->
+      Alcotest.(check int)
+        (Printf.sprintf "in-flight key %d not torn" k)
+        ((k * 7) + 1) v
+  done;
+  Ralloc.close heap;
+  cleanup_heap base
+
+(* ---------------------- graceful stop durability ------------------------ *)
+
+(* SIGTERM-path: a graceful stop commits in-flight batches, so even writes
+   whose acks were never read must all be present after a clean reopen. *)
+let test_graceful_stop_commits () =
+  let base = temp_base () in
+  let sock = base ^ ".sock" in
+  let config =
+    {
+      (Core.default_config ~heap_path:base ()) with
+      heap_size = 32 * mb;
+      workers = 2;
+      batch = 64;
+      batch_usec = 30_000_000;
+      queue_cap = 4096;
+    }
+  in
+  let srv = Core.start ~config (Unix.ADDR_UNIX sock) in
+  let fd = connect sock in
+  for k = 0 to 99 do
+    send fd (Proto.Set (k, k + 7))
+  done;
+  Unix.sleepf 0.3;
+  Core.stop srv (* graceful: drains queues, commits, closes the heap *);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let st = Server.Store.open_store base in
+  Alcotest.(check bool) "clean restart" true
+    (st.status = Ralloc.Clean_restart);
+  for k = 0 to 99 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "key %d committed by graceful stop" k)
+      (Some (k + 7))
+      (Server.Store.iget st k)
+  done;
+  Server.Store.close st;
+  cleanup_heap base
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "proto",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_request_roundtrip;
+            prop_response_roundtrip;
+            prop_request_truncation;
+          ] );
+      ( "squeue",
+        [
+          Alcotest.test_case "bound, close, drain" `Quick test_squeue;
+          Alcotest.test_case "pop timeout" `Quick test_squeue_timeout;
+        ] );
+      ( "paths",
+        [ Alcotest.test_case "per-user resolver" `Quick test_heap_path ] );
+      ( "service",
+        [
+          Alcotest.test_case "BUSY backpressure" `Quick test_busy_backpressure;
+          Alcotest.test_case "crash during serve" `Quick
+            test_crash_during_serve;
+          Alcotest.test_case "graceful stop commits" `Quick
+            test_graceful_stop_commits;
+        ] );
+    ]

@@ -1,0 +1,70 @@
+(* doc_lint FILE...: require an odoc comment on every [val] declaration.
+
+   A val counts as documented when the line directly above it ends with a
+   comment terminator (doc-before style) or when the first line after its
+   declaration — skipping more-indented continuation lines — opens a doc
+   comment (doc-after style).  Anything else is reported and the exit
+   status is 1, which is what lets `dune build @doc` gate interface
+   documentation even where the odoc binary itself is not installed. *)
+
+let indent_of s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && s.[!i] = ' ' do
+    incr i
+  done;
+  !i
+
+let is_blank s = String.trim s = ""
+let starts_with p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let ends_with p s =
+  let lp = String.length p and ls = String.length s in
+  ls >= lp && String.sub s (ls - lp) lp = p
+
+let val_name decl =
+  (* "val foo : ..." or "val ( + ) : ..." -> the token(s) before ':' *)
+  match String.index_opt decl ':' with
+  | Some i -> String.trim (String.sub decl 4 (i - 4))
+  | None -> String.trim decl
+
+let check_file path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = Array.of_list (List.rev !lines) in
+  let n = Array.length lines in
+  let missing = ref [] in
+  for i = 0 to n - 1 do
+    let t = String.trim lines.(i) in
+    if starts_with "val " t then begin
+      let doc_before = i > 0 && ends_with "*)" (String.trim lines.(i - 1)) in
+      let indent = indent_of lines.(i) in
+      let j = ref (i + 1) in
+      while
+        !j < n && (not (is_blank lines.(!j))) && indent_of lines.(!j) > indent
+      do
+        incr j
+      done;
+      let doc_after = !j < n && starts_with "(**" (String.trim lines.(!j)) in
+      if not (doc_before || doc_after) then
+        missing := (i + 1, val_name t) :: !missing
+    end
+  done;
+  List.iter
+    (fun (line, name) ->
+      Printf.printf "%s:%d: undocumented val %s\n" path line name)
+    (List.rev !missing);
+  List.length !missing
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  let total = List.fold_left (fun acc f -> acc + check_file f) 0 files in
+  if total > 0 then begin
+    Printf.printf "doc_lint: %d undocumented val(s)\n" total;
+    exit 1
+  end
