@@ -409,6 +409,21 @@ let bench_server ctx =
           let st = Server.Core.store srv in
           let before = Ralloc.stats st.heap in
           let ack_before = Obs.Histogram.snapshot ack_hist in
+          (* request-span attribution: diff the write-class stage-sum
+             counters across the row so each row reports what share of a
+             SET's life was the (amortized) commit fence vs the batch-fill
+             park — the fence share must shrink as --batch grows *)
+          let stage_idx name =
+            let i = ref (-1) in
+            Array.iteri
+              (fun j s -> if s = name then i := j)
+              Server.Rtrace.stages;
+            !i
+          in
+          let st_fence = stage_idx "fence" and st_park = stage_idx "park" in
+          let fence0 = Server.Rtrace.sum_ns `Write st_fence
+          and park0 = Server.Rtrace.sum_ns `Write st_park
+          and tot0 = Server.Rtrace.total_sum_ns `Write in
           let acked_total = Atomic.make 0 in
           let per_conn = (total_ops + conns - 1) / conns in
           let client cid =
@@ -456,6 +471,20 @@ let bench_server ctx =
                ~p99_ns:(float_of_int (Obs.Histogram.snap_quantile ad 0.99))
                ~fences_per_op:(float_of_int d.fences /. float_of_int acked)
                ());
+          let dtot = Server.Rtrace.total_sum_ns `Write - tot0 in
+          if dtot > 0 && acked > 0 then
+            Printf.printf
+              "             %-10s fence/op=%6.0fns park/op=%9.0fns \
+               fence-share=%5.2f%% park-share=%5.2f%%\n%!"
+              tag
+              (float_of_int (Server.Rtrace.sum_ns `Write st_fence - fence0)
+              /. float_of_int acked)
+              (float_of_int (Server.Rtrace.sum_ns `Write st_park - park0)
+              /. float_of_int acked)
+              (100. *. float_of_int (Server.Rtrace.sum_ns `Write st_fence - fence0)
+              /. float_of_int dtot)
+              (100. *. float_of_int (Server.Rtrace.sum_ns `Write st_park - park0)
+              /. float_of_int dtot);
           List.iter
             (fun ext ->
               try Sys.remove (heap_path ^ ext) with Sys_error _ -> ())
@@ -463,6 +492,8 @@ let bench_server ctx =
           Gc.full_major ())
         [ 1; 4; 16; 64 ])
     [ 1; 2; 4 ];
+  (* cumulative p99 attribution over the whole sweep *)
+  Server.Rtrace.report Format.std_formatter;
   (try Unix.rmdir dir with Unix.Unix_error _ -> ())
 
 let figures =

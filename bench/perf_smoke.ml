@@ -141,4 +141,47 @@ let () =
     exit 1
   end;
   print_endline
-    "perf_smoke: persistency checker is count-transparent and free when off"
+    "perf_smoke: persistency checker is count-transparent and free when off";
+
+  (* Span instrumentation cost contract.  The request-span hooks compiled
+     into Pmem.flush/fence and Ralloc.malloc/free only *time* the
+     primitives — they must never add or absorb a flush or fence, so the
+     counts (and the persistency checker's observation stream) must be
+     byte-identical with spans on and off.  And like every obs toggle,
+     OBS_DISABLED must hold spans off even against set_enabled true. *)
+  let span_counts ~spans =
+    Obs.Span.set_enabled spans;
+    Pmem.Check.set_enabled true;
+    let heap = Ralloc.create ~name:"span-smoke" ~size:(16 * mb) () in
+    let before = Ralloc.stats heap in
+    let ck0 = Pmem.Check.totals () in
+    for _ = 1 to 2000 do
+      let va = Ralloc.malloc heap 64 in
+      Ralloc.free heap va
+    done;
+    let d = Pmem.Stats.diff (Ralloc.stats heap) before in
+    let ckd = Pmem.Check.diff (Pmem.Check.totals ()) ck0 in
+    Pmem.Check.set_enabled false;
+    Obs.Span.set_enabled false;
+    (d.flushes, d.fences, ckd)
+  in
+  let sp_off_f, sp_off_fe, sp_off_ck = span_counts ~spans:false in
+  let sp_on_f, sp_on_fe, sp_on_ck = span_counts ~spans:true in
+  check "span hooks add no flushes"
+    (sp_on_f = sp_off_f);
+  check "span hooks add no fences" (sp_on_fe = sp_off_fe);
+  check "pcheck stream identical with spans on vs off"
+    (sp_on_ck.t_flushes = sp_off_ck.t_flushes
+    && sp_on_ck.t_fences = sp_off_ck.t_fences
+    && sp_on_ck.t_violations = sp_off_ck.t_violations);
+  Unix.putenv "OBS_DISABLED" "1";
+  Obs.Span.set_enabled true;
+  check "OBS_DISABLED holds spans off against set_enabled true"
+    (not (Obs.Span.enabled ()) && not (Obs.Span.on ()));
+  Unix.putenv "OBS_DISABLED" "0";
+  if !failed then begin
+    prerr_endline "perf_smoke: span instrumentation violated its cost contract";
+    exit 1
+  end;
+  print_endline
+    "perf_smoke: span instrumentation is count-transparent and free when off"

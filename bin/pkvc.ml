@@ -101,6 +101,123 @@ let cmd_load socket port retries n start conns strings =
     (Atomic.get done_count) dt
     (float_of_int (Atomic.get done_count) /. dt)
 
+(* ------------------------------ pkvc top ------------------------------- *)
+(* A polling live view over the STATS reply: parse the Prometheus text
+   into a flat table (metric name incl. quantile label -> value), diff
+   consecutive samples for rates and per-stage shares, and redraw. *)
+
+let parse_prom text =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if String.length line > 0 && line.[0] <> '#' then
+        match String.rindex_opt line ' ' with
+        | Some i -> (
+          let name = String.sub line 0 i in
+          match
+            float_of_string_opt (String.sub line (i + 1) (String.length line - i - 1))
+          with
+          | Some v -> Hashtbl.replace tbl name v
+          | None -> ())
+        | None -> ())
+    (String.split_on_char '\n' text);
+  tbl
+
+(* worker-indexed gauge series like server_queue_depth_w0, _w1, ... *)
+let indexed tbl prefix =
+  let lp = String.length prefix in
+  Hashtbl.fold
+    (fun k v acc ->
+      if String.length k > lp && String.sub k 0 lp = prefix then
+        (String.sub k lp (String.length k - lp), v) :: acc
+      else acc)
+    tbl []
+  |> List.sort compare
+
+let stage_names = Server.Rtrace.stages
+
+let render ~raw prev cur dt =
+  if not raw then print_string "\027[2J\027[H";
+  let g k = match Hashtbl.find_opt cur k with Some v -> v | None -> 0.0 in
+  let d k =
+    match prev with
+    | Some p ->
+      g k -. (match Hashtbl.find_opt p k with Some v -> v | None -> 0.0)
+    | None -> g k
+  in
+  let rate k = if dt > 0.0 then d k /. dt else 0.0 in
+  (match prev with
+  | None -> Printf.printf "pkvd top — first sample (lifetime totals)\n"
+  | Some _ -> Printf.printf "pkvd top — %.1fs window\n" dt);
+  if prev = None then
+    Printf.printf "  ops %.0f  writes %.0f  busy %.0f  commits %.0f\n"
+      (g "server_ops") (g "server_writes") (g "server_busy")
+      (g "server_commits")
+  else
+    Printf.printf "  ops/s %.0f  writes/s %.0f  busy/s %.0f  commits/s %.0f\n"
+      (rate "server_ops") (rate "server_writes") (rate "server_busy")
+      (rate "server_commits");
+  let series label prefix =
+    match indexed cur prefix with
+    | [] -> ()
+    | l ->
+      Printf.printf "  %s:" label;
+      List.iter (fun (w, v) -> Printf.printf " w%s=%.0f" w v) l;
+      print_newline ()
+  in
+  series "queue depth" "server_queue_depth_w";
+  series "batch fill" "server_batch_fill_w";
+  List.iter
+    (fun cls ->
+      let sum st = Printf.sprintf "server_span_%s_sum_%s_ns" cls st in
+      let tail st = Printf.sprintf "server_span_%s_tail_%s_ns" cls st in
+      let q st q =
+        Printf.sprintf "span_server_%s_%s_ns{quantile=\"%s\"}" cls st q
+      in
+      let tot = d (sum "total") and ttot = d (tail "total") in
+      if tot > 0.0 then begin
+        Printf.printf
+          "  %s ops — total p50=%.0fus p99=%.0fus — stage share%% (tail%%):\n"
+          cls
+          (g (q "total" "0.5") /. 1e3)
+          (g (q "total" "0.99") /. 1e3);
+        Printf.printf "   ";
+        Array.iter
+          (fun st ->
+            let share = 100.0 *. d (sum st) /. tot in
+            let tshare = if ttot > 0.0 then 100.0 *. d (tail st) /. ttot else 0.0 in
+            if share >= 0.05 || tshare >= 0.05 then
+              Printf.printf " %s %.1f%% (%.1f%%)" st share tshare)
+          stage_names;
+        print_newline ()
+      end)
+    [ "write"; "read" ];
+  flush stdout
+
+let cmd_top socket port retries interval count raw =
+  if interval <= 0.0 then failwith "pkvc top: interval must be positive";
+  let fd = connect ~retries (addr_of socket port) in
+  let raw = raw || not (Unix.isatty Unix.stdout) in
+  let fetch () =
+    match rpc fd Proto.Stats with
+    | Proto.Text s -> parse_prom s
+    | _ -> failwith "pkvc top: unexpected STATS reply"
+  in
+  let prev = ref None in
+  let i = ref 0 in
+  while count = 0 || !i < count do
+    let cur = fetch () in
+    let now = Unix.gettimeofday () in
+    (match !prev with
+    | None -> render ~raw None cur 0.0
+    | Some (p, t) -> render ~raw (Some p) cur (now -. t));
+    prev := Some (cur, now);
+    incr i;
+    if count = 0 || !i < count then Unix.sleepf interval
+  done;
+  Unix.close fd
+
 open Cmdliner
 
 let socket_arg =
@@ -175,6 +292,25 @@ let cmds =
         $ Arg.(
             value & flag
             & info [ "strings" ] ~doc:"Load string bindings instead of ints."));
+    Cmd.v
+      (Cmd.info "top"
+         ~doc:
+           "Live server view: ops/s, per-shard queue depths, batch fill, and \
+            the request-stage latency breakdown, polled from STATS.")
+      Term.(
+        const (fun (s, p, r) interval count raw -> cmd_top s p r interval count raw)
+        $ common
+        $ Arg.(
+            value & opt float 1.0
+            & info [ "interval" ] ~docv:"SECONDS" ~doc:"Polling interval.")
+        $ Arg.(
+            value & opt int 0
+            & info [ "count" ] ~docv:"N"
+                ~doc:"Stop after $(docv) samples (0 = run until ^C).")
+        $ Arg.(
+            value & flag
+            & info [ "raw" ]
+                ~doc:"Append samples instead of redrawing (default off a tty)."));
   ]
 
 let () =

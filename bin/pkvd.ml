@@ -6,7 +6,7 @@
    worker's batch, commit it, and close the heap cleanly; a SIGKILL (or
    power loss) leaves a dirty image that the next open recovers. *)
 
-let run heap size socket port workers batch batch_usec queue_cap =
+let run heap size socket port workers batch batch_usec queue_cap slow_us trace =
   let addr =
     match port with
     | Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
@@ -20,8 +20,17 @@ let run heap size socket port workers batch batch_usec queue_cap =
       batch;
       batch_usec;
       queue_cap;
+      slow_us;
     }
   in
+  (* request-span trace events only exist while Obs.Trace is buffering;
+     the buffer is dumped as Chrome trace_event JSON at graceful stop.
+     Size the ring up front: a wrapped ring drops the oldest events,
+     which can orphan a request's stage spans from their op.* parent. *)
+  if trace <> None then begin
+    Obs.Trace.set_capacity 65_536;
+    Obs.Trace.set_enabled true
+  end;
   let srv = Server.Core.start ~config addr in
   let st = Server.Core.store srv in
   (match st.recovery with
@@ -44,7 +53,12 @@ let run heap size socket port workers batch batch_usec queue_cap =
     Unix.sleepf 0.05
   done;
   Printf.eprintf "pkvd: draining and closing\n%!";
-  Server.Core.stop srv
+  Server.Core.stop srv;
+  match trace with
+  | Some path ->
+    Obs.Trace.write_chrome_trace path;
+    Printf.eprintf "pkvd: wrote Chrome trace to %s\n%!" path
+  | None -> ()
 
 open Cmdliner
 
@@ -96,12 +110,29 @@ let queue_cap_arg =
     & info [ "queue-cap" ] ~docv:"N"
         ~doc:"Per-worker queue bound; overflow returns BUSY.")
 
+let slow_us_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "slow-us" ] ~docv:"T"
+        ~doc:
+          "Log any request slower than $(docv) microseconds to stderr (and \
+           the flight recorder) with its full stage breakdown; 0 disables.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Buffer request-stage span events and write them as Chrome \
+           trace_event JSON to $(docv) on graceful shutdown.")
+
 let () =
   let doc = "Crash-recoverable persistent KV server with group commit" in
   let info = Cmd.info "pkvd" ~doc in
   let term =
     Term.(
       const run $ heap_arg $ size_arg $ socket_arg $ port_arg $ workers_arg
-      $ batch_arg $ batch_usec_arg $ queue_cap_arg)
+      $ batch_arg $ batch_usec_arg $ queue_cap_arg $ slow_us_arg $ trace_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -303,21 +303,26 @@ module Trace = struct
 
   let clear () = Array.iter (fun r -> Atomic.set r.head 0) !rings
 
-  let emit name ts dur =
+  let emit_tid name ts dur tid =
     let r = !rings.(shard ()) in
     let i = Atomic.fetch_and_add r.head 1 land r.mask in
     r.names.(i) <- name;
     r.ts.(i) <- ts;
     r.dur.(i) <- dur;
-    r.tids.(i) <- (Domain.self () :> int)
+    r.tids.(i) <- tid
+
+  let emit name ts dur = emit_tid name ts dur (Domain.self () :> int)
 
   let begin_span () = if !tracing_on then now_ns () else 0
 
   let span name t0 =
     if !tracing_on && t0 <> 0 then emit name t0 (now_ns () - t0)
 
-  let complete name ~ts_ns ~dur_ns =
-    if !tracing_on then emit name ts_ns dur_ns
+  let complete ?tid name ~ts_ns ~dur_ns =
+    if !tracing_on then
+      match tid with
+      | None -> emit name ts_ns dur_ns
+      | Some t -> emit_tid name ts_ns dur_ns t
 
   let instant name = if !tracing_on then emit name (now_ns ()) (-1)
 
@@ -400,6 +405,162 @@ module Trace = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Spans                                                              *)
+(*                                                                    *)
+(* Request-stage timing on top of the registry and the trace ring.  A  *)
+(* stage is an interned small integer owning one latency histogram     *)
+(* ("span.<name>_ns"), so the hot path records with two array loads    *)
+(* and never consults the registry.  Nesting state is one fixed int    *)
+(* pair of arrays per domain (Domain.DLS), so enter/leave allocate     *)
+(* nothing.  The "sink" is an ambient per-domain int array into which  *)
+(* deep layers (ralloc, pmem) add elapsed nanoseconds by channel; a    *)
+(* request pipeline points the sink at the request's own accumulator   *)
+(* array for the duration of its service, and a per-domain scratch     *)
+(* array absorbs adds made while no sink is set, keeping sink_add      *)
+(* branch-free.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Span = struct
+  let spans_on = ref false
+  let set_enabled b = spans_on := b && not (hard_disabled ())
+  let enabled () = !spans_on
+  let on = enabled
+
+  type stage = int
+
+  let max_stages = 256
+  let stage_lock = Mutex.create ()
+  let stage_names = Array.make max_stages ""
+  let stage_hists : Histogram.t option array = Array.make max_stages None
+  let n_stages = ref 0
+
+  let stage name =
+    Mutex.lock stage_lock;
+    let found = ref (-1) in
+    for i = 0 to !n_stages - 1 do
+      if !found < 0 && stage_names.(i) = name then found := i
+    done;
+    let id =
+      if !found >= 0 then !found
+      else if !n_stages >= max_stages then -1
+      else begin
+        let id = !n_stages in
+        stage_names.(id) <- name;
+        stage_hists.(id) <- Some (Histogram.make ("span." ^ name ^ "_ns"));
+        incr n_stages;
+        id
+      end
+    in
+    Mutex.unlock stage_lock;
+    if id < 0 then invalid_arg "Obs.Span.stage: too many stages";
+    id
+
+  let stage_name id =
+    if id >= 0 && id < !n_stages then stage_names.(id) else ""
+
+  let record id dur =
+    if !spans_on then
+      match stage_hists.(id) with
+      | Some h -> Histogram.record h dur
+      | None -> ()
+
+  let stage_count id =
+    match stage_hists.(id) with Some h -> Histogram.count h | None -> 0
+
+  let stage_quantile id q =
+    match stage_hists.(id) with Some h -> Histogram.quantile h q | None -> 0
+
+  (* Flat begin/end pair: the token is the start timestamp (0 = span was
+     started while disabled, end_ then drops it). *)
+  let begin_ () = if !spans_on then now_ns () else 0
+
+  let end_ id t0 =
+    if !spans_on && t0 <> 0 then begin
+      let dur = now_ns () - t0 in
+      record id dur;
+      if !Trace.tracing_on then Trace.emit (stage_name id) t0 dur
+    end
+
+  (* Nested spans: a per-domain stack of (stage, t0) frames.  Frames past
+     max_depth are counted but not stored, so pathological recursion
+     degrades to depth accounting instead of corrupting the stack. *)
+  let max_depth = 32
+
+  type frames = { f_stage : int array; f_t0 : int array; mutable depth : int }
+
+  let stack_key =
+    Domain.DLS.new_key (fun () ->
+        { f_stage = Array.make max_depth 0;
+          f_t0 = Array.make max_depth 0;
+          depth = 0 })
+
+  let enter id =
+    if !spans_on then begin
+      let s = Domain.DLS.get stack_key in
+      if s.depth < max_depth then begin
+        s.f_stage.(s.depth) <- id;
+        s.f_t0.(s.depth) <- now_ns ()
+      end;
+      s.depth <- s.depth + 1
+    end
+
+  let leave _id =
+    let s = Domain.DLS.get stack_key in
+    if s.depth > 0 then begin
+      s.depth <- s.depth - 1;
+      if s.depth < max_depth && !spans_on then begin
+        let id = s.f_stage.(s.depth) in
+        let t0 = s.f_t0.(s.depth) in
+        let dur = now_ns () - t0 in
+        record id dur;
+        if !Trace.tracing_on then Trace.emit (stage_name id) t0 dur
+      end
+    end
+
+  let depth () = (Domain.DLS.get stack_key).depth
+
+  let current () =
+    let s = Domain.DLS.get stack_key in
+    if s.depth = 0 || s.depth > max_depth then None
+    else Some s.f_stage.(s.depth - 1)
+
+  let with_stage id f =
+    if not !spans_on then f ()
+    else begin
+      enter id;
+      Fun.protect ~finally:(fun () -> leave id) f
+    end
+
+  (* Ambient sink *)
+
+  let channels = 4
+  let ch_alloc = 0
+  let ch_persist = 1
+  let ch_fence = 2
+
+  type sinks = { mutable sink : int array; scratch : int array }
+
+  let sink_dls =
+    Domain.DLS.new_key (fun () ->
+        let scratch = Array.make channels 0 in
+        { sink = scratch; scratch })
+
+  let sink_set a =
+    if Array.length a < channels then invalid_arg "Obs.Span.sink_set";
+    (Domain.DLS.get sink_dls).sink <- a
+
+  let sink_clear () =
+    let s = Domain.DLS.get sink_dls in
+    s.sink <- s.scratch
+
+  let sink_add ch d =
+    let a = (Domain.DLS.get sink_dls).sink in
+    a.(ch) <- a.(ch) + d
+
+  let sink_get ch = (Domain.DLS.get sink_dls).sink.(ch)
+end
+
+(* ------------------------------------------------------------------ *)
 (* Persistent flight recorder                                         *)
 (*                                                                    *)
 (* A fixed-size event ring living in a window of simulated NVM, so the *)
@@ -460,6 +621,7 @@ module Flight = struct
     let heap_open = 11
     let heap_close = 12
     let root_set = 13
+    let slow_op = 14
 
     let name = function
       | 1 -> "malloc"
@@ -475,6 +637,7 @@ module Flight = struct
       | 11 -> "heap_open"
       | 12 -> "heap_close"
       | 13 -> "root_set"
+      | 14 -> "slow_op"
       | k -> Printf.sprintf "kind_%d" k
   end
 

@@ -145,8 +145,11 @@ module Trace : sig
   (** [span name t0] records a duration event from [t0] (a {!begin_span}
       result) to now, attributed to the calling domain. *)
 
-  val complete : string -> ts_ns:int -> dur_ns:int -> unit
-  (** Record a duration event with an explicit start and duration. *)
+  val complete : ?tid:int -> string -> ts_ns:int -> dur_ns:int -> unit
+  (** Record a duration event with an explicit start and duration.  [tid]
+      overrides the thread-track id (default: the calling domain id) —
+      request tracing uses synthetic per-request lanes so that spans of
+      overlapping pipelined requests stay properly nested per track. *)
 
   val instant : string -> unit
   (** Record a point event at the current time. *)
@@ -166,6 +169,135 @@ module Trace : sig
 
   val pp_text : Format.formatter -> unit
   (** Human-readable dump of the buffered events, in the same order. *)
+end
+
+(** {1 Spans}
+
+    Request-stage timing built on the registry and the trace ring.  A
+    {e stage} is an interned identifier owning one latency histogram
+    (registered as ["span.<name>_ns"]); recording into it is two array
+    loads plus a histogram record — the registry is consulted only at
+    {!Span.stage} time.  Two usage styles:
+
+    - {b flat} ({!Span.begin_} / {!Span.end_}): the token is just the
+      start timestamp, for straight-line hot paths;
+    - {b nested} ({!Span.enter} / {!Span.leave} / {!Span.with_stage}): a
+      fixed-size per-domain frame stack gives parent linkage and, when
+      {!Trace} is also enabled, emits duration events that nest under
+      enclosing spans on the same domain track.
+
+    Deep layers that cannot see the request they are serving (the
+    allocator, the flush pipeline) report through the ambient {e sink}: a
+    per-domain [int array] of nanosecond accumulators indexed by channel
+    ({!Span.ch_alloc}, {!Span.ch_persist}, {!Span.ch_fence}).  A request
+    pipeline points the sink at the request's own accumulator array for
+    the duration of its service ({!Span.sink_set} / {!Span.sink_clear});
+    while no sink is set, adds land in a per-domain scratch array, so
+    {!Span.sink_add} is branch-free and never observable outside a
+    window.
+
+    Overhead contract: everything is gated on an independent flag
+    ({!Span.set_enabled}, forced off under [OBS_DISABLED]); while
+    disabled, every operation is a flag test, no clock is read, no
+    histogram is touched, and nothing allocates.  While enabled, the
+    per-span cost is two clock reads and one histogram record — no
+    allocation, no flushes, no fences. *)
+
+module Span : sig
+  val set_enabled : bool -> unit
+  (** Independent of the metrics and trace flags; off by default and
+      forced off under [OBS_DISABLED].  Note that span {e histograms} are
+      ordinary registry histograms, so quantiles accumulate only while
+      the metrics flag ({!val:set_enabled}) is also on. *)
+
+  val enabled : unit -> bool
+
+  val on : unit -> bool
+  (** Alias of {!enabled} for hot call sites. *)
+
+  type stage
+  (** An interned stage identifier; cheap to store and compare. *)
+
+  val stage : string -> stage
+  (** Intern [name], creating (or reusing) its ["span.<name>_ns"]
+      histogram.  Call at module initialization, not on hot paths.
+      @raise Invalid_argument past 256 distinct stages. *)
+
+  val stage_name : stage -> string
+  (** The name the stage was interned under ([""] if invalid). *)
+
+  val record : stage -> int -> unit
+  (** [record st dur_ns] adds one observation to the stage histogram (and
+      nothing else).  No-op while spans are disabled. *)
+
+  val stage_count : stage -> int
+  (** Observations recorded into the stage histogram so far. *)
+
+  val stage_quantile : stage -> float -> int
+  (** Quantile of the stage histogram (see {!Histogram.quantile}). *)
+
+  val begin_ : unit -> int
+  (** Start a flat span: the monotonic timestamp, or 0 while disabled
+      (in which case the matching {!end_} drops the span). *)
+
+  val end_ : stage -> int -> unit
+  (** [end_ st t0] records now[-t0] into [st] and, when tracing is on,
+      emits the span to the trace ring on the calling domain's track. *)
+
+  val enter : stage -> unit
+  (** Push a nested span frame on the calling domain's stack.  Frames
+      beyond depth 32 are counted but not timed. *)
+
+  val leave : stage -> unit
+  (** Pop the innermost frame: record its duration under the stage it was
+      {e entered} with (the argument is documentation; mismatched pairs
+      stay well-nested) and emit it to the trace ring when tracing is on.
+      No-op on an empty stack. *)
+
+  val with_stage : stage -> (unit -> 'a) -> 'a
+  (** [with_stage st f] = {!enter}, [f ()], {!leave} — exception-safe. *)
+
+  val depth : unit -> int
+  (** Current nesting depth on the calling domain (0 outside spans). *)
+
+  val current : unit -> stage option
+  (** The innermost open stage on the calling domain — the parent that a
+      new {!enter} would link under. *)
+
+  val channels : int
+  (** Number of sink channels; accumulator arrays must be at least this
+      long. *)
+
+  val ch_alloc : int
+  (** Sink channel: nanoseconds inside [Ralloc.malloc]/[free], net of
+      time the allocator itself spent issuing flushes and fences. *)
+
+  val ch_persist : int
+  (** Sink channel: nanoseconds issuing flushes and draining fences in
+      [Pmem] (ordering fences included, group-commit drains excluded —
+      those are attributed by the server at commit time). *)
+
+  val ch_fence : int
+  (** Sink channel reserved for the request's amortized share of its
+      group-commit fence drain; written by the batching server, not by
+      {!sink_add} from below. *)
+
+  val sink_set : int array -> unit
+  (** Route the calling domain's {!sink_add}s into the given array
+      (accumulate-in-place at the channel index).
+      @raise Invalid_argument if shorter than {!channels}. *)
+
+  val sink_clear : unit -> unit
+  (** Restore the calling domain's sink to its scratch array. *)
+
+  val sink_add : int -> int -> unit
+  (** [sink_add ch d] adds [d] to channel [ch] of the current sink.
+      Branch-free: while no sink is set, the add lands in a per-domain
+      scratch array and is never observed. *)
+
+  val sink_get : int -> int
+  (** Read a channel of the current sink (used to net out nested
+      contributions, e.g. allocator time minus its own flush time). *)
 end
 
 (** {1 Persistent flight recorder}
@@ -214,6 +346,7 @@ module Flight : sig
     val heap_open : int
     val heap_close : int
     val root_set : int
+    val slow_op : int
     val name : int -> string
   end
 

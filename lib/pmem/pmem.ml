@@ -402,7 +402,7 @@ let drain_pending t p =
   end;
   k
 
-let flush t w =
+let flush_impl t w =
   check_word t w;
   Atomic.incr t.flushes;
   Obs.Counter.incr obs_flushes;
@@ -417,7 +417,7 @@ let flush t w =
     write_backing t ~byte_off:(line * line_bytes) ~len:line_bytes;
     spin_iters (iters_of flush_iters !flush_latency_ns)
 
-let fence t =
+let fence_impl t =
   Atomic.incr t.fences;
   Obs.Counter.incr obs_fences;
   if Pcheck.on () then Pcheck.on_fence (shadow t);
@@ -443,6 +443,29 @@ let fence t =
            (iters_of fence_iters !fence_latency_ns)
            (k * iters_of drain_iters !drain_latency_ns))
     end
+
+(* Span accounting shims: when request-stage spans are enabled, the time
+   spent issuing a flush or draining a fence is added to the ambient sink's
+   persist channel, so a server can attribute it to the request being
+   served.  Simulated-NVM traffic is unchanged: the shim is two clock
+   reads around the real operation, nothing more — pcheck event streams
+   and flush/fence counters are byte-identical with spans on or off. *)
+
+let flush t w =
+  if Obs.Span.on () then begin
+    let t0 = Obs.now_ns () in
+    flush_impl t w;
+    Obs.Span.sink_add Obs.Span.ch_persist (Obs.now_ns () - t0)
+  end
+  else flush_impl t w
+
+let fence t =
+  if Obs.Span.on () then begin
+    let t0 = Obs.now_ns () in
+    fence_impl t;
+    Obs.Span.sink_add Obs.Span.ch_persist (Obs.now_ns () - t0)
+  end
+  else fence_impl t
 
 (* ---- Group commit: per-domain release-fence deferral ------------------- *)
 (* A domain inside a deferral section elides its *release* fences — the
@@ -493,7 +516,7 @@ let fence_release t =
   end
   else fence t
 
-let flush_range t w n =
+let flush_range_impl t w n =
   if n > 0 then begin
     check_word t w;
     check_word t (w + n - 1);
@@ -521,6 +544,14 @@ let flush_range t w n =
         ~len:((last - first + 1) * line_bytes);
       spin_iters (iters_of flush_iters !flush_latency_ns * (last - first + 1))
   end
+
+let flush_range t w n =
+  if Obs.Span.on () then begin
+    let t0 = Obs.now_ns () in
+    flush_range_impl t w n;
+    Obs.Span.sink_add Obs.Span.ch_persist (Obs.now_ns () - t0)
+  end
+  else flush_range_impl t w n
 
 let pending_lines t = (Domain.DLS.get t.pending_key).count
 

@@ -509,7 +509,12 @@ let malloc t size =
   check_open t;
   if size < 0 then invalid_arg "Ralloc.malloc: negative size";
   let obs = Obs.on () in
-  let t0 = if obs then Obs.now_ns () else 0 in
+  let sp = Obs.Span.on () in
+  let t0 = if obs || sp then Obs.now_ns () else 0 in
+  (* allocator time reported to the span sink is net of the flush/fence
+     time the allocator itself spends: those nanoseconds accumulate on
+     the persist channel and must not be double-counted *)
+  let p0 = if sp then Obs.Span.sink_get Obs.Span.ch_persist else 0 in
   let va, c =
     if size > Size_class.max_small_size then begin
       if obs then Obs.Counter.incr obs_slow_path;
@@ -547,6 +552,9 @@ let malloc t size =
     if va <> 0 then Obs.Counter.incr obs_alloc_class.(c);
     Obs.Histogram.record obs_malloc_ns (Obs.now_ns () - t0)
   end;
+  if sp then
+    Obs.Span.sink_add Obs.Span.ch_alloc
+      (Obs.now_ns () - t0 - (Obs.Span.sink_get Obs.Span.ch_persist - p0));
   if va <> 0 && Obs.Flight.enabled () then
     flight_record t ~kind:FK.malloc ~a:c ~b:size ~c:(va - t.sb_base) ();
   va
@@ -555,7 +563,9 @@ let free t va =
   check_open t;
   if va <> 0 then begin
     let obs = Obs.on () in
-    let t0 = if obs then Obs.now_ns () else 0 in
+    let sp = Obs.Span.on () in
+    let t0 = if obs || sp then Obs.now_ns () else 0 in
+    let p0 = if sp then Obs.Span.sink_get Obs.Span.ch_persist else 0 in
     let off = va - t.sb_base in
     if off < Layout.sb_first_offset || off >= used_bytes t then
       invalid_arg "Ralloc.free: address outside the heap";
@@ -575,7 +585,10 @@ let free t va =
     if obs then begin
       Obs.Counter.incr obs_free_class.(if Size_class.is_valid_class c then c else 0);
       Obs.Histogram.record obs_free_ns (Obs.now_ns () - t0)
-    end
+    end;
+    if sp then
+      Obs.Span.sink_add Obs.Span.ch_alloc
+        (Obs.now_ns () - t0 - (Obs.Span.sink_get Obs.Span.ch_persist - p0))
   end
 
 let usable_size t va =

@@ -10,6 +10,7 @@ type config = {
   batch : int;
   batch_usec : int;
   queue_cap : int;
+  slow_us : int;
 }
 
 let default_config ?heap_path () =
@@ -21,6 +22,7 @@ let default_config ?heap_path () =
     batch = 32;
     batch_usec = 500;
     queue_cap = 256;
+    slow_us = 0;
   }
 
 (* ------------------------------ telemetry ------------------------------ *)
@@ -62,13 +64,14 @@ let mb_wait mb =
   Mutex.unlock mb.mb_m;
   r
 
-type item = { req : Proto.request; mb : mailbox; enq_ns : int }
+type item = { req : Proto.request; mb : mailbox; enq_ns : int; ctx : Rtrace.ctx }
 
 type t = {
   cfg : config;
   st : Store.t;
   queues : item Squeue.t array;
   depth_gauges : Obs.Gauge.t array;
+  batch_gauges : Obs.Gauge.t array;
   listen_fd : Unix.file_descr;
   addr : Unix.sockaddr;
   mutable acceptor : Thread.t option;
@@ -81,13 +84,18 @@ type t = {
 
 (* ------------------------------ workers -------------------------------- *)
 
-let worker_loop srv q =
+(* Worker-side nested span: the group-commit drain, visible on the worker
+   track in Chrome traces (request stages live on their own lanes). *)
+let sp_commit = Obs.Span.stage "server.commit"
+
+let worker_loop srv wid q =
   Pmem.set_fence_deferral true;
   let st = srv.st in
   let pending = ref [] (* parked write acks, newest first *)
   and batch_n = ref 0
   and pinned = ref false
   and deadline = ref infinity in
+  let batch_g = srv.batch_gauges.(wid) in
   let ensure_pinned () =
     if not !pinned then begin
       (match st.smr with Some e -> Ebr.pin e | None -> ());
@@ -96,17 +104,32 @@ let worker_loop srv q =
   in
   let release_acks to_resp =
     List.iter
-      (fun (mb, resp, enq_ns) ->
+      (fun (mb, resp, enq_ns, ctx) ->
         Obs.Histogram.record hist_ack_ns (Obs.now_ns () - enq_ns);
+        Rtrace.mark_release ctx;
         mb_put mb (to_resp resp))
       (List.rev !pending);
     pending := [];
     batch_n := 0;
+    Obs.Gauge.set batch_g 0;
     deadline := infinity
   in
   let commit () =
     if !batch_n > 0 || Pmem.deferred_fences () > 0 then begin
-      ignore (Pmem.drain_deferred ());
+      if Obs.Span.on () then begin
+        (* time the drain and credit every parked request with its
+           amortized share — the batch pays one fence, each op owns
+           drain/batch of it; the rest of the park interval is fill wait *)
+        Obs.Span.enter sp_commit;
+        let d0 = Obs.now_ns () in
+        ignore (Pmem.drain_deferred ());
+        let dur = Obs.now_ns () - d0 in
+        Obs.Span.leave sp_commit;
+        let share = dur / max 1 !batch_n in
+        List.iter (fun (_, _, _, ctx) -> Rtrace.add_fence_share ctx share)
+          !pending
+      end
+      else ignore (Pmem.drain_deferred ());
       Obs.Counter.incr ctr_commits;
       Obs.Histogram.record hist_batch !batch_n
     end;
@@ -118,26 +141,39 @@ let worker_loop srv q =
     release_acks Fun.id
   in
   let park item resp =
+    (* service is over; sink must be closed before a batch-full commit
+       drains fences that belong to the whole batch, not this op *)
+    Rtrace.mark_service_end item.ctx;
+    Rtrace.sink_close item.ctx;
     ensure_pinned ();
-    pending := (item.mb, resp, item.enq_ns) :: !pending;
+    pending := (item.mb, resp, item.enq_ns, item.ctx) :: !pending;
     incr batch_n;
+    Obs.Gauge.set batch_g !batch_n;
     Obs.Counter.incr ctr_writes;
     if !batch_n = 1 then
       deadline :=
         Unix.gettimeofday () +. (float_of_int srv.cfg.batch_usec *. 1e-6);
     if !batch_n >= srv.cfg.batch then commit ()
   in
+  let reply item resp =
+    Rtrace.mark_service_end item.ctx;
+    Rtrace.sink_close item.ctx;
+    Rtrace.mark_release item.ctx;
+    mb_put item.mb resp
+  in
   let handle item =
     let t0 = Obs.now_ns () in
     Obs.Counter.incr ctr_ops;
+    Rtrace.mark_dequeue item.ctx;
+    Rtrace.sink_open item.ctx;
     (match item.req with
     | Proto.Get k ->
-      mb_put item.mb
+      reply item
         (match Store.iget st k with
         | Some v -> Proto.Value v
         | None -> Proto.Not_found)
     | Proto.Sget k ->
-      mb_put item.mb
+      reply item
         (match Store.sget st k with
         | Some v -> Proto.Svalue v
         | None -> Proto.Not_found)
@@ -159,10 +195,10 @@ let worker_loop srv q =
       park item (if existed then Proto.Ok else Proto.Not_found)
     | Proto.Flush ->
       commit ();
-      mb_put item.mb Proto.Ok
+      reply item Proto.Ok
     | Proto.Stats | Proto.Ping ->
       (* control requests are answered by the acceptor side *)
-      mb_put item.mb Proto.Ok);
+      reply item Proto.Ok);
     Obs.Histogram.record hist_op_ns (Obs.now_ns () - t0)
   in
   let rec loop () =
@@ -216,7 +252,7 @@ let resolved r =
 (* Route one decoded request; the returned mailbox will (eventually) hold
    the response.  Keyed requests go to their shard's worker; control
    requests resolve here, in the connection thread. *)
-let dispatch srv req =
+let dispatch srv req ctx =
   match req with
   | Proto.Ping -> resolved Proto.Ok
   | Proto.Stats -> resolved (Proto.Text (stats_text srv))
@@ -226,7 +262,9 @@ let dispatch srv req =
       Array.map
         (fun q ->
           let mb = mailbox () in
-          if Squeue.push_force q { req = Proto.Flush; mb; enq_ns = Obs.now_ns () }
+          if
+            Squeue.push_force q
+              { req = Proto.Flush; mb; enq_ns = Obs.now_ns (); ctx = Rtrace.null }
           then Some mb
           else None)
         srv.queues
@@ -239,7 +277,13 @@ let dispatch srv req =
     | Some h ->
       let q = srv.queues.(h mod Array.length srv.queues) in
       let mb = mailbox () in
-      if Squeue.try_push q { req; mb; enq_ns = Obs.now_ns () } then mb
+      Rtrace.mark_enqueue ctx;
+      if Squeue.try_push q { req; mb; enq_ns = Obs.now_ns (); ctx } then begin
+        (* classified only on successful enqueue: a BUSY reply has no
+           worker-side stages and must not be attributed *)
+        Rtrace.set_class ctx (if Proto.is_write req then `Write else `Read);
+        mb
+      end
       else begin
         Obs.Counter.incr ctr_busy;
         resolved Proto.Busy
@@ -257,19 +301,31 @@ let max_pipeline = 128
 let conn_loop srv fd =
   let pending = Queue.create () in
   let write_one () =
-    let mb = Queue.pop pending in
-    Proto.write_frame fd (Proto.encode_response (mb_wait mb))
+    let mb, ctx = Queue.pop pending in
+    Proto.write_frame fd (Proto.encode_response (mb_wait mb));
+    Rtrace.finish ctx
   in
-  let handle payload =
+  (* one trace context per frame, born when we start waiting for it; the
+     accept stage therefore covers socket wait + frame read *)
+  let read_req () =
+    let ctx = Rtrace.make () in
+    Rtrace.mark_read_begin ctx;
+    match Proto.read_frame fd with
+    | None -> None
+    | Some p ->
+      Rtrace.mark_read_end ctx;
+      Some (p, ctx)
+  in
+  let handle (payload, ctx) =
     match Proto.decode_request payload with
-    | Ok req -> Queue.push (dispatch srv req) pending
+    | Ok req -> Queue.push (dispatch srv req ctx, ctx) pending
     | Error msg ->
       Obs.Counter.incr ctr_proto_errors;
-      Queue.push (resolved (Proto.Error msg)) pending
+      Queue.push (resolved (Proto.Error msg), Rtrace.null) pending
   in
   let rec next () =
     if Queue.is_empty pending then
-      match Proto.read_frame fd with
+      match read_req () with
       | None -> ()
       | Some p ->
         handle p;
@@ -284,7 +340,7 @@ let conn_loop srv fd =
         write_one ();
         next ()
       | _ ->
-        (match Proto.read_frame fd with
+        (match read_req () with
         | None ->
           (* peer finished sending: drain what it is still owed *)
           while not (Queue.is_empty pending) do
@@ -341,6 +397,7 @@ let start ?config addr =
   (* a serving daemon always wants its telemetry (STATS replies would be
      empty otherwise); OBS_DISABLED still hard-overrides this *)
   Obs.set_enabled true;
+  Obs.Span.set_enabled true;
   (* a dead client's closed socket must not kill the server *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let st = Store.open_store ~concurrent:true ~size:cfg.heap_size cfg.heap_path in
@@ -363,12 +420,20 @@ let start ?config addr =
     Array.init cfg.workers (fun i ->
         Obs.Gauge.make (Printf.sprintf "server.queue_depth.w%d" i))
   in
+  Array.iteri (fun i q -> Squeue.set_gauge q depth_gauges.(i)) queues;
+  let batch_gauges =
+    Array.init cfg.workers (fun i ->
+        Obs.Gauge.make (Printf.sprintf "server.batch_fill.w%d" i))
+  in
+  Rtrace.set_slow_us cfg.slow_us;
+  Rtrace.set_flight (Ralloc.flight st.heap);
   let srv =
     {
       cfg;
       st;
       queues;
       depth_gauges;
+      batch_gauges;
       listen_fd;
       addr = Unix.getsockname listen_fd;
       acceptor = None;
@@ -386,7 +451,7 @@ let start ?config addr =
         let s = Ralloc.stats st.heap in
         float_of_int s.fences /. float_of_int ops);
   srv.domains <-
-    Array.map (fun q -> Domain.spawn (fun () -> worker_loop srv q)) queues;
+    Array.mapi (fun i q -> Domain.spawn (fun () -> worker_loop srv i q)) queues;
   srv.acceptor <- Some (Thread.create (fun () -> accept_loop srv) ());
   srv
 

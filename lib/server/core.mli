@@ -38,11 +38,14 @@ type config = {
   batch : int;  (** max writes per group commit *)
   batch_usec : int;  (** max age of an unacked write before a forced commit *)
   queue_cap : int;  (** per-worker queue bound; overflow replies BUSY *)
+  slow_us : int;
+      (** slow-request log threshold, microseconds; 0 disables (see
+          {!Rtrace.set_slow_us}) *)
 }
 
 val default_config : ?heap_path:string -> unit -> config
-(** 2 workers, batch 32, 500 us deadline, queue bound 256, heap at
-    {!Heap_path.default_heap}. *)
+(** 2 workers, batch 32, 500 us deadline, queue bound 256, slow log off,
+    heap at {!Heap_path.default_heap}. *)
 
 type t
 

@@ -160,6 +160,17 @@ let shard_key = function
   | Sget k | Sset (k, _) | Sdel k -> Some (Hashtbl.hash k)
   | Stats | Flush | Ping -> None
 
+let op_name = function
+  | Get _ -> "GET"
+  | Set _ -> "SET"
+  | Del _ -> "DEL"
+  | Sget _ -> "SGET"
+  | Sset _ -> "SSET"
+  | Sdel _ -> "SDEL"
+  | Stats -> "STATS"
+  | Flush -> "FLUSH"
+  | Ping -> "PING"
+
 (* ------------------------------ framing -------------------------------- *)
 
 let really_read fd buf off len =

@@ -80,6 +80,10 @@ val shard_key : request -> int option
     worker, preserving per-key FIFO order (read-your-writes within a
     connection).  [None] for control requests (STATS/FLUSH/PING). *)
 
+val op_name : request -> string
+(** Wire name of the request's opcode ([GET], [SET], ...), for logs and
+    trace labels. *)
+
 val read_frame : Unix.file_descr -> string option
 (** Read one frame payload; [None] on clean EOF at a frame boundary.
     @raise Failure on oversized frames or truncated input. *)

@@ -1,0 +1,286 @@
+(* Request-scoped stage tracing for the server pipeline.  See rtrace.mli
+   for the stage taxonomy and the attribution contract.
+
+   A live ctx is two small int arrays: seven timestamp slots stamped as
+   the request crosses pipeline boundaries, and an accumulator array that
+   doubles as the worker's Obs.Span sink while the request is being
+   served (so ralloc/pmem report their nanoseconds straight into the
+   request without knowing it exists).  Everything is computed once, at
+   [finish], on the connection thread that wrote the ack. *)
+
+(* timestamp slots *)
+let s_read0 = 0 (* conn thread starts waiting for / reading the frame *)
+let s_read1 = 1 (* frame complete, decode begins *)
+let s_enq = 2 (* decoded and enqueued to the worker shard *)
+let s_deq = 3 (* worker dequeued *)
+let s_svc = 4 (* service done: parked (write) or replied (read) *)
+let s_rel = 5 (* ack released: group fence drained (write) / = s_svc (read) *)
+let s_ack = 6 (* response frame written to the socket *)
+let nslots = 7
+
+type ctx = { ts : int array; accs : int array; mutable cls : int }
+
+let null = { ts = Array.make nslots 0; accs = Array.make Obs.Span.channels 0; cls = -1 }
+
+let make () =
+  if Obs.Span.on () then
+    { ts = Array.make nslots 0; accs = Array.make Obs.Span.channels 0; cls = -1 }
+  else null
+
+let is_live ctx = ctx != null
+
+(* stage indices, pipeline order *)
+let st_accept = 0
+let st_decode = 1
+let st_queue = 2
+let st_service = 3
+let st_alloc = 4
+let st_flush = 5
+let st_fence = 6
+let st_park = 7
+let st_ack = 8
+let nstages = 9
+
+let stages =
+  [| "accept"; "decode"; "queue"; "service"; "alloc"; "flush"; "fence";
+     "park"; "ack" |]
+
+let nclasses = 2
+let class_names = [| "read"; "write" |]
+let ci = function `Read -> 0 | `Write -> 1
+
+(* per-class per-stage instruments, created once at module init *)
+let stage_h =
+  Array.init nclasses (fun c ->
+      Array.init nstages (fun s ->
+          Obs.Span.stage
+            (Printf.sprintf "server.%s.%s" class_names.(c) stages.(s))))
+
+let total_h =
+  Array.init nclasses (fun c ->
+      Obs.Span.stage (Printf.sprintf "server.%s.total" class_names.(c)))
+
+let sum_c =
+  Array.init nclasses (fun c ->
+      Array.init nstages (fun s ->
+          Obs.Counter.make
+            (Printf.sprintf "server.span.%s.sum.%s_ns" class_names.(c)
+               stages.(s))))
+
+let sum_total_c =
+  Array.init nclasses (fun c ->
+      Obs.Counter.make
+        (Printf.sprintf "server.span.%s.sum.total_ns" class_names.(c)))
+
+let tail_c =
+  Array.init nclasses (fun c ->
+      Array.init nstages (fun s ->
+          Obs.Counter.make
+            (Printf.sprintf "server.span.%s.tail.%s_ns" class_names.(c)
+               stages.(s))))
+
+let tail_total_c =
+  Array.init nclasses (fun c ->
+      Obs.Counter.make
+        (Printf.sprintf "server.span.%s.tail.total_ns" class_names.(c)))
+
+let ops_c =
+  Array.init nclasses (fun c ->
+      Obs.Counter.make (Printf.sprintf "server.span.%s.ops" class_names.(c)))
+
+let tail_ops_c =
+  Array.init nclasses (fun c ->
+      Obs.Counter.make
+        (Printf.sprintf "server.span.%s.tail.ops" class_names.(c)))
+
+let cut_g =
+  Array.init nclasses (fun c ->
+      Obs.Gauge.make
+        (Printf.sprintf "server.span.%s.tail_cut_ns" class_names.(c)))
+
+(* The tail threshold is the lifetime p99 of the class's total-latency
+   histogram, cached and refreshed every 256 finishes — computing a
+   quantile per request would walk 449 buckets x 8 shards on the ack
+   path. *)
+let tail_cut = Array.make nclasses 0
+let finishes = Array.init nclasses (fun _ -> Atomic.make 0)
+
+(* slow-request reporting *)
+let slow_ns = ref 0
+let set_slow_us us = slow_ns := if us <= 0 then 0 else us * 1000
+let slow_log : (string -> unit) ref = ref prerr_endline
+let set_slow_log f = slow_log := f
+let flight : Obs.Flight.t option ref = ref None
+let set_flight f = flight := f
+
+(* ------------------------------ marks ---------------------------------- *)
+
+let mark ctx slot = if ctx != null then ctx.ts.(slot) <- Obs.now_ns ()
+let mark_read_begin ctx = mark ctx s_read0
+let mark_read_end ctx = mark ctx s_read1
+let mark_enqueue ctx = mark ctx s_enq
+let mark_dequeue ctx = mark ctx s_deq
+let mark_service_end ctx = mark ctx s_svc
+let mark_release ctx = mark ctx s_rel
+
+let set_class ctx cls = if ctx != null then ctx.cls <- ci cls
+
+let add_fence_share ctx d =
+  if ctx != null then
+    ctx.accs.(Obs.Span.ch_fence) <- ctx.accs.(Obs.Span.ch_fence) + d
+
+let sink_open ctx = if ctx != null then Obs.Span.sink_set ctx.accs
+let sink_close ctx = if ctx != null then Obs.Span.sink_clear ()
+
+(* ------------------------------ finish --------------------------------- *)
+
+(* Synthetic Chrome-trace lanes: pipelined requests on one connection
+   overlap in time, so emitting their spans on the conn thread's track
+   would break nesting.  Each finished request instead gets a round-robin
+   lane id well above any real domain id; overlap within a lane needs two
+   simultaneously-in-flight requests 1024 allocations apart. *)
+let lane_base = 0x1000
+let lane_mask = 0x3ff
+let lane_ctr = Atomic.make 0
+
+let emit_trace cname t d =
+  let lane = lane_base + (Atomic.fetch_and_add lane_ctr 1 land lane_mask) in
+  let child name ts_ns dur_ns =
+    if dur_ns > 0 then Obs.Trace.complete ~tid:lane ("stage." ^ name) ~ts_ns ~dur_ns
+  in
+  Obs.Trace.complete ~tid:lane ("op." ^ cname)
+    ~ts_ns:t.(s_read0)
+    ~dur_ns:(max 0 (t.(s_ack) - t.(s_read0)));
+  child "accept" t.(s_read0) d.(st_accept);
+  child "decode" t.(s_read1) d.(st_decode);
+  child "queue" t.(s_enq) d.(st_queue);
+  (* alloc and flush are carve-outs of the service interval: they have
+     durations but no own boundaries, so they render stacked from the
+     service start, nested one level deeper *)
+  child "service" t.(s_deq) (d.(st_service) + d.(st_alloc) + d.(st_flush));
+  child "alloc" t.(s_deq) d.(st_alloc);
+  child "flush" (t.(s_deq) + d.(st_alloc)) d.(st_flush);
+  (* the drain runs at the end of the park interval, just before release *)
+  child "park" t.(s_svc) d.(st_park);
+  child "fence" (t.(s_rel) - d.(st_fence)) d.(st_fence);
+  child "ack" t.(s_rel) d.(st_ack)
+
+let us ns = (ns + 500) / 1000
+
+let slow_line cname total d =
+  Printf.sprintf
+    "pkvd: slow %s op total=%dus | accept=%d decode=%d queue=%d service=%d \
+     alloc=%d flush=%d fence=%d park=%d ack=%d (us)"
+    cname (us total) (us d.(st_accept)) (us d.(st_decode)) (us d.(st_queue))
+    (us d.(st_service)) (us d.(st_alloc)) (us d.(st_flush)) (us d.(st_fence))
+    (us d.(st_park)) (us d.(st_ack))
+
+let finish ctx =
+  if ctx != null && ctx.cls >= 0 then begin
+    ctx.ts.(s_ack) <- Obs.now_ns ();
+    let c = ctx.cls and t = ctx.ts in
+    let d = Array.make nstages 0 in
+    d.(st_accept) <- max 0 (t.(s_read1) - t.(s_read0));
+    d.(st_decode) <- max 0 (t.(s_enq) - t.(s_read1));
+    d.(st_queue) <- max 0 (t.(s_deq) - t.(s_enq));
+    (* the service interval decomposes into allocator time, flush/fence
+       issue time (both accumulated by the Span sink while this ctx was
+       the worker's sink) and the remainder; clamps only fire on clock
+       anomalies and keep every stage non-negative *)
+    let svc = max 0 (t.(s_svc) - t.(s_deq)) in
+    let alloc = max 0 (min ctx.accs.(Obs.Span.ch_alloc) svc) in
+    let fl = max 0 (min ctx.accs.(Obs.Span.ch_persist) (svc - alloc)) in
+    d.(st_alloc) <- alloc;
+    d.(st_flush) <- fl;
+    d.(st_service) <- svc - alloc - fl;
+    (* the park interval decomposes into this op's amortized share of the
+       group-commit drain and the residual wait for the batch to fill *)
+    let parkw = max 0 (t.(s_rel) - t.(s_svc)) in
+    let fen = max 0 (min ctx.accs.(Obs.Span.ch_fence) parkw) in
+    d.(st_fence) <- fen;
+    d.(st_park) <- parkw - fen;
+    d.(st_ack) <- max 0 (t.(s_ack) - t.(s_rel));
+    (* by construction the stages sum exactly to this *)
+    let total = Array.fold_left ( + ) 0 d in
+    Obs.Span.record total_h.(c) total;
+    Obs.Counter.incr ops_c.(c);
+    Obs.Counter.add sum_total_c.(c) total;
+    for s = 0 to nstages - 1 do
+      Obs.Span.record stage_h.(c).(s) d.(s);
+      Obs.Counter.add sum_c.(c).(s) d.(s)
+    done;
+    let n = Atomic.fetch_and_add finishes.(c) 1 in
+    if n land 255 = 0 then begin
+      tail_cut.(c) <- max 1 (Obs.Span.stage_quantile total_h.(c) 0.99);
+      Obs.Gauge.set cut_g.(c) tail_cut.(c)
+    end;
+    let cut = tail_cut.(c) in
+    if cut > 0 && total >= cut then begin
+      Obs.Counter.incr tail_ops_c.(c);
+      Obs.Counter.add tail_total_c.(c) total;
+      for s = 0 to nstages - 1 do
+        Obs.Counter.add tail_c.(c).(s) d.(s)
+      done
+    end;
+    if Obs.Trace.enabled () then emit_trace class_names.(c) t d;
+    if !slow_ns > 0 && total >= !slow_ns then begin
+      !slow_log (slow_line class_names.(c) total d);
+      match !flight with
+      | Some f when Obs.Flight.enabled () ->
+        Obs.Flight.record f ~kind:Obs.Flight.Kind.slow_op ~a:c ~b:(us total)
+          ~c:(us (d.(st_fence) + d.(st_park)))
+          ()
+      | _ -> ()
+    end
+  end
+
+(* ---------------------------- introspection ---------------------------- *)
+
+let ops cls = Obs.Counter.read ops_c.(ci cls)
+let tail_ops cls = Obs.Counter.read tail_ops_c.(ci cls)
+let sum_ns cls s = Obs.Counter.read sum_c.(ci cls).(s)
+let total_sum_ns cls = Obs.Counter.read sum_total_c.(ci cls)
+let tail_sum_ns cls s = Obs.Counter.read tail_c.(ci cls).(s)
+let tail_total_ns cls = Obs.Counter.read tail_total_c.(ci cls)
+let stage_count cls s = Obs.Span.stage_count stage_h.(ci cls).(s)
+let stage_quantile cls s q = Obs.Span.stage_quantile stage_h.(ci cls).(s) q
+let total_quantile cls q = Obs.Span.stage_quantile total_h.(ci cls) q
+
+let pct num den = if den <= 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let report ppf =
+  Format.fprintf ppf "== pkvd request-stage attribution ==@.";
+  List.iter
+    (fun cls ->
+      let c = ci cls in
+      let n = ops cls in
+      if n > 0 then begin
+        let tot = total_sum_ns cls and ttot = tail_total_ns cls in
+        Format.fprintf ppf
+          "%s ops: %d  total p50=%dus p99=%dus  tail: %d op(s) >= %dus@."
+          class_names.(c) n
+          (us (total_quantile cls 0.5))
+          (us (total_quantile cls 0.99))
+          (tail_ops cls) (us tail_cut.(c));
+        Format.fprintf ppf "  %-8s %9s %11s %9s@." "stage" "share%"
+          "tail-share%" "p99(us)";
+        let top = ref (-1) and top_v = ref (-1) in
+        for s = 0 to nstages - 1 do
+          let tv = tail_sum_ns cls s in
+          if tv > !top_v then begin
+            top_v := tv;
+            top := s
+          end;
+          Format.fprintf ppf "  %-8s %9.1f %11.1f %9d@." stages.(s)
+            (pct (sum_ns cls s) tot)
+            (pct tv ttot)
+            (us (stage_quantile cls s 0.99))
+        done;
+        if !top >= 0 && ttot > 0 then
+          Format.fprintf ppf
+            "  p99-tail %s ops spend %.0f%% of their time in '%s'@."
+            class_names.(c)
+            (pct !top_v ttot)
+            stages.(!top)
+      end)
+    [ `Write; `Read ]

@@ -1,0 +1,147 @@
+(** Request-scoped stage tracing and tail-latency attribution for the
+    server pipeline.
+
+    Every request that reaches a worker carries a {!ctx}: seven monotonic
+    timestamps stamped at pipeline boundaries plus an accumulator array
+    that doubles as the worker's {!Obs.Span} sink while the request is
+    being served.  When the connection thread writes the ack it calls
+    {!finish}, which decomposes the end-to-end latency into nine
+    non-overlapping stages that sum exactly to the recorded total:
+
+    - [accept]  — socket wait + frame read on the connection thread;
+    - [decode]  — request decode and dispatch to the shard queue;
+    - [queue]   — time in the bounded shard queue;
+    - [service] — worker handling net of the two carve-outs below;
+    - [alloc]   — inside [Ralloc.malloc]/[free] (net of its own flushes);
+    - [flush]   — issuing flushes / draining ordering fences in [Pmem];
+    - [fence]   — this op's amortized share of its group-commit drain
+                  (drain duration / batch size, stamped at commit);
+    - [park]    — residual wait for the batch to fill and release;
+    - [ack]     — response encode + socket write.
+
+    Per class (read / write) each stage owns a latency histogram
+    (["span.server.<class>.<stage>_ns"]), an all-requests nanosecond sum
+    and a tail-only nanosecond sum restricted to requests at or above the
+    cached p99 of the class's total latency — so "where does the p99
+    spend its time" is a counter ratio, not a log scan.  All of it is
+    exported through the ordinary registry (STATS / Prometheus), and when
+    {!Obs.Trace} is enabled each finished request additionally emits a
+    nested Chrome-trace span tree on a synthetic per-request lane.
+
+    Overhead contract: with {!Obs.Span} disabled, {!make} returns {!null}
+    and every operation on it is a physical-equality test; nothing is
+    stamped, recorded or allocated.  Live tracing adds clock reads and
+    counter bumps only — no flushes, no fences, no NVM traffic. *)
+
+type ctx
+(** A per-request trace context, created at frame-read time and finished
+    after the ack write.  Not thread-safe: at any moment exactly one
+    thread (conn thread or the owning worker) writes it, handed off
+    through the same queue/mailbox edges as the request itself. *)
+
+val null : ctx
+(** The inert context: every mark and {!finish} on it is a no-op. *)
+
+val make : unit -> ctx
+(** A live context, or {!null} while {!Obs.Span} is disabled. *)
+
+val is_live : ctx -> bool
+(** [false] exactly for {!null}. *)
+
+val set_class : ctx -> [ `Read | `Write ] -> unit
+(** Classify the request once it is routed; contexts never classified
+    (control requests, busy rejections) are skipped by {!finish}. *)
+
+val mark_read_begin : ctx -> unit
+(** Stamp: the connection thread starts waiting for / reading a frame. *)
+
+val mark_read_end : ctx -> unit
+(** Stamp: the frame is complete, decoding begins. *)
+
+val mark_enqueue : ctx -> unit
+(** Stamp: decoded and pushed onto the worker shard queue. *)
+
+val mark_dequeue : ctx -> unit
+(** Stamp: the worker popped the item. *)
+
+val mark_service_end : ctx -> unit
+(** Stamp: service done — parked for group commit (write) or replied
+    (read). *)
+
+val mark_release : ctx -> unit
+(** Stamp: the ack is released to the mailbox; for writes this is after
+    the group fence drained, for reads it coincides with service end. *)
+
+val add_fence_share : ctx -> int -> unit
+(** Credit this request with its amortized share of a group-commit drain,
+    in nanoseconds (the worker calls this for every parked request when
+    the batch commits). *)
+
+val sink_open : ctx -> unit
+(** Route the calling worker's {!Obs.Span} sink into this request's
+    accumulators (alloc / persist channels) for the duration of service. *)
+
+val sink_close : ctx -> unit
+(** Restore the worker's scratch sink. *)
+
+val finish : ctx -> unit
+(** Stamp the ack, decompose the latency, record histograms and sums,
+    update the tail accumulators, emit the Chrome-trace span tree when
+    tracing is on, and report the request to the slow log if it exceeds
+    the {!set_slow_us} threshold.  Call exactly once, after the response
+    frame is written. *)
+
+val set_slow_us : int -> unit
+(** Threshold for the slow-request log, microseconds; [0] (the default)
+    disables it. *)
+
+val set_slow_log : (string -> unit) -> unit
+(** Replace the slow-request reporter (default: [prerr_endline]).  The
+    line carries the full per-stage breakdown in microseconds. *)
+
+val set_flight : Obs.Flight.t option -> unit
+(** Also record slow requests to this flight recorder (kind [slow_op],
+    [a]=class, [b]=total us, [c]=fence+park us) when flight recording is
+    enabled, so the tail survives a crash. *)
+
+val stages : string array
+(** The nine stage names, pipeline order: [accept decode queue service
+    alloc flush fence park ack]. *)
+
+val nstages : int
+(** [Array.length stages]. *)
+
+val ops : [ `Read | `Write ] -> int
+(** Requests finished so far in the class. *)
+
+val tail_ops : [ `Read | `Write ] -> int
+(** Finished requests that were at or above the tail threshold. *)
+
+val sum_ns : [ `Read | `Write ] -> int -> int
+(** Lifetime nanoseconds spent in the given stage index, all requests of
+    the class. *)
+
+val total_sum_ns : [ `Read | `Write ] -> int
+(** Lifetime nanoseconds across all stages of the class. *)
+
+val tail_sum_ns : [ `Read | `Write ] -> int -> int
+(** Like {!sum_ns}, restricted to tail requests. *)
+
+val tail_total_ns : [ `Read | `Write ] -> int
+(** Like {!total_sum_ns}, restricted to tail requests. *)
+
+val stage_count : [ `Read | `Write ] -> int -> int
+(** Observations in the stage histogram — equals {!ops} for every stage
+    once at least one request finished. *)
+
+val stage_quantile : [ `Read | `Write ] -> int -> float -> int
+(** Quantile of a stage's latency histogram, nanoseconds. *)
+
+val total_quantile : [ `Read | `Write ] -> float -> int
+(** Quantile of the class's total-latency histogram, nanoseconds. *)
+
+val report : Format.formatter -> unit
+(** The p99-attribution table: per class, total p50/p99, the tail
+    threshold, and per stage the all-requests share, the tail-only share
+    and the stage p99 — ending with the headline "p99-tail ops spend N%
+    of their time in <stage>". *)

@@ -4,6 +4,7 @@ type 'a t = {
   m : Mutex.t;
   nonempty : Condition.t;
   mutable is_closed : bool;
+  mutable gauge : Obs.Gauge.t option;
 }
 
 let create cap =
@@ -14,13 +15,27 @@ let create cap =
     m = Mutex.create ();
     nonempty = Condition.create ();
     is_closed = false;
+    gauge = None;
   }
+
+(* called with [t.m] held, so the gauge tracks the true length *)
+let update_gauge t =
+  match t.gauge with
+  | Some g -> Obs.Gauge.set g (Queue.length t.items)
+  | None -> ()
+
+let set_gauge t g =
+  Mutex.lock t.m;
+  t.gauge <- Some g;
+  update_gauge t;
+  Mutex.unlock t.m
 
 let try_push t x =
   Mutex.lock t.m;
   let ok = (not t.is_closed) && Queue.length t.items < t.cap in
   if ok then begin
     Queue.push x t.items;
+    update_gauge t;
     Condition.signal t.nonempty
   end;
   Mutex.unlock t.m;
@@ -31,6 +46,7 @@ let push_force t x =
   let ok = not t.is_closed in
   if ok then begin
     Queue.push x t.items;
+    update_gauge t;
     Condition.signal t.nonempty
   end;
   Mutex.unlock t.m;
@@ -67,6 +83,7 @@ let pop_opt t ~timeout_s =
       wait ()
     end
   in
+  if result <> None then update_gauge t;
   Mutex.unlock t.m;
   result
 

@@ -13,6 +13,11 @@ val create : int -> 'a t
 (** [create cap] makes an empty queue admitting at most [cap] items via
     {!try_push}. *)
 
+val set_gauge : 'a t -> Obs.Gauge.t -> unit
+(** Attach a depth gauge: every push and successful pop sets it to the
+    queue length (under the queue lock, so it never drifts), giving a
+    live per-shard depth series in STATS without polling. *)
+
 val try_push : 'a t -> 'a -> bool
 (** Enqueue unless the queue is full or closed; returns whether the item
     was accepted. *)

@@ -38,14 +38,30 @@ let open_store ?(concurrent = false) ?(size = default_size) path =
 
 let close t = Ralloc.close t.heap
 
-let iset t key value =
-  if not (Dstruct.Nmtree.insert t.tree key value) then begin
-    ignore (Dstruct.Nmtree.delete t.tree key);
-    ignore (Dstruct.Nmtree.insert t.tree key value)
-  end
+(* Nested spans around each store operation: on the worker's trace track
+   they enclose the allocator's own events (e.g. ralloc.refill), and the
+   "span.store.*_ns" histograms give structure-level latency without the
+   queueing noise of the request-stage view. *)
+let sp_iset = Obs.Span.stage "store.iset"
+let sp_iget = Obs.Span.stage "store.iget"
+let sp_idel = Obs.Span.stage "store.idel"
+let sp_sset = Obs.Span.stage "store.sset"
+let sp_sget = Obs.Span.stage "store.sget"
+let sp_sdel = Obs.Span.stage "store.sdel"
 
-let iget t key = Dstruct.Nmtree.find t.tree key
-let idel t key = Dstruct.Nmtree.delete t.tree key
-let sset t key value = ignore (Dstruct.Phashmap.set t.smap key value)
-let sget t key = Dstruct.Phashmap.get t.smap key
-let sdel t key = Dstruct.Phashmap.delete t.smap key
+let iset t key value =
+  Obs.Span.with_stage sp_iset (fun () ->
+      if not (Dstruct.Nmtree.insert t.tree key value) then begin
+        ignore (Dstruct.Nmtree.delete t.tree key);
+        ignore (Dstruct.Nmtree.insert t.tree key value)
+      end)
+
+let iget t key = Obs.Span.with_stage sp_iget (fun () -> Dstruct.Nmtree.find t.tree key)
+let idel t key = Obs.Span.with_stage sp_idel (fun () -> Dstruct.Nmtree.delete t.tree key)
+
+let sset t key value =
+  Obs.Span.with_stage sp_sset (fun () ->
+      ignore (Dstruct.Phashmap.set t.smap key value))
+
+let sget t key = Obs.Span.with_stage sp_sget (fun () -> Dstruct.Phashmap.get t.smap key)
+let sdel t key = Obs.Span.with_stage sp_sdel (fun () -> Dstruct.Phashmap.delete t.smap key)

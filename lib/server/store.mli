@@ -39,10 +39,16 @@ val iset : t -> int -> int -> unit
     insert-only, so replace is delete + insert). *)
 
 val iget : t -> int -> int option
+(** Look up an int key in the ordered map. *)
+
 val idel : t -> int -> bool
+(** Remove an int key; [true] if it was bound. *)
 
 val sset : t -> string -> string -> unit
 (** Bind a string key, replacing any existing binding. *)
 
 val sget : t -> string -> string option
+(** Look up a string key in the string map. *)
+
 val sdel : t -> string -> bool
+(** Remove a string key; [true] if it was bound. *)

@@ -104,8 +104,11 @@ let with_alloc_latency f =
 let pp_row ppf r =
   Format.fprintf ppf "%-12s %-10s %2d  %12.4f %-8s flushes=%-9d fences=%d"
     r.figure r.allocator r.threads r.value r.metric r.flushes r.fences;
-  if r.p50_ns > 0. || r.p99_ns > 0. then
+  if r.p50_ns > 0. || r.p99_ns > 0. then begin
     Format.fprintf ppf " p50=%.0fns p99=%.0fns" r.p50_ns r.p99_ns;
+    if r.p50_ns > 0. then
+      Format.fprintf ppf " tail=%.1fx" (r.p99_ns /. r.p50_ns)
+  end;
   if r.occupancy > 0. then
     Format.fprintf ppf " occ=%.3f efrag=%.3f" r.occupancy r.ext_frag;
   if r.redundant_flush_rate > 0. || r.wasted_fences > 0 then
@@ -134,6 +137,12 @@ let columns : (string * (row -> string)) list =
     ("fences", fun r -> string_of_int r.fences);
     ("p50_ns", fun r -> Printf.sprintf "%.0f" r.p50_ns);
     ("p99_ns", fun r -> Printf.sprintf "%.0f" r.p99_ns);
+    (* derived tail ratio: how much worse the p99 is than the median — the
+       one-number tail-latency summary the fig5 plots key on *)
+    ( "tail_ratio",
+      fun r ->
+        if r.p50_ns > 0. then Printf.sprintf "%.2f" (r.p99_ns /. r.p50_ns)
+        else "0.00" );
     ("occupancy", fun r -> Printf.sprintf "%.4f" r.occupancy);
     ("ext_frag", fun r -> Printf.sprintf "%.4f" r.ext_frag);
     ("redundant_flush_rate", fun r -> Printf.sprintf "%.4f" r.redundant_flush_rate);

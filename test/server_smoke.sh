@@ -4,20 +4,25 @@
 #   start pkvd (PCHECK=1) -> bulk-load through pkvc -> kill -9 mid-load
 #   -> rstat --audit must say CLEAN on the dirty image
 #   -> rstat --pcheck-summary must report zero durability violations
-#   -> restart pkvd (recovers), serve a request, SIGTERM (graceful)
+#   -> restart pkvd (recovers, request tracing on), serve requests,
+#      sample `pkvc top`, SIGTERM (graceful)
+#   -> the Chrome trace written at shutdown must parse and its request
+#      spans must nest (trace_check)
 #   -> rstat --audit must say CLEAN on the cleanly closed image
 #
-# Usage: server_smoke.sh PKVD PKVC RSTAT
+# Usage: server_smoke.sh PKVD PKVC RSTAT TRACE_CHECK
 set -euo pipefail
 
 PKVD=$1
 PKVC=$2
 RSTAT=$3
+TRACE_CHECK=$4
 
 heap=./server-smoke-heap
 # Unix socket paths are capped at ~107 bytes and _build paths can exceed
 # that, so the socket lives under /tmp
 sock=$(mktemp -u /tmp/pkvd-smoke-XXXXXX.sock)
+trace=./server-smoke-trace.json
 pid=""
 lpid=""
 
@@ -52,8 +57,10 @@ echo "== audit of the dirty image =="
 echo "== persistency-checker replay of recovery =="
 PCHECK=1 "$RSTAT" --pcheck-summary "$heap"
 
-echo "== restart: recovery + service =="
-PCHECK=1 "$PKVD" --heap "$heap" --socket "$sock" --workers 2 --batch 16 &
+echo "== restart: recovery + service, request tracing on =="
+rm -f "$trace"
+PCHECK=1 "$PKVD" --heap "$heap" --socket "$sock" --workers 2 --batch 16 \
+  --trace "$trace" --slow-us 10000000 &
 pid=$!
 "$PKVC" ping --socket "$sock" --retry 300
 # key 0 -> 0 was in the first acked batch of the load; it must have survived
@@ -63,10 +70,22 @@ v=$("$PKVC" get 0 --socket "$sock")
 v=$("$PKVC" get 424242 --socket "$sock")
 [ "$v" = "7" ] || { echo "post-recovery set read back '$v', expected 7"; exit 1; }
 
+# a traced load, small enough to fit the trace ring
+"$PKVC" load 1000 --socket "$sock" --conns 2 --start 2000000
+
+echo "== pkvc top =="
+top=$("$PKVC" top --socket "$sock" --count 2 --interval 0.2 --raw)
+echo "$top"
+echo "$top" | grep -q "queue depth" || { echo "pkvc top: no queue depths"; exit 1; }
+echo "$top" | grep -q "stage share" || { echo "pkvc top: no stage breakdown"; exit 1; }
+
 echo "== graceful shutdown =="
 kill -TERM "$pid"
 wait "$pid" || true
 pid=""
+
+echo "== trace check =="
+"$TRACE_CHECK" --min-ops 500 "$trace"
 
 echo "== audit of the cleanly closed image =="
 "$RSTAT" --audit "$heap"

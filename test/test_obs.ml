@@ -427,6 +427,229 @@ let test_trace_disabled_inert () =
       | _ -> Alcotest.fail "expected empty traceEvents")
 
 (* ------------------------------------------------------------------ *)
+(* Span API: nesting discipline, sink exactness, hard-off inertness   *)
+(* ------------------------------------------------------------------ *)
+
+(* Interned once: the qcheck properties re-enter these across runs. *)
+let qa_stages =
+  Array.init 4 (fun i -> Obs.Span.stage (Printf.sprintf "qa.s%d" i))
+
+type span_tree = Node of int * span_tree list
+
+let gen_span_forest =
+  QCheck2.Gen.(
+    let tree =
+      sized
+      @@ fix (fun self n ->
+             if n <= 0 then map (fun s -> Node (s, [])) (int_bound 3)
+             else
+               map2
+                 (fun s kids -> Node (s, kids))
+                 (int_bound 3)
+                 (list_size (int_bound 3) (self (n / 4))))
+    in
+    list_size (int_range 1 6) tree)
+
+let rec walk_tree (Node (s, kids)) =
+  Obs.Span.enter qa_stages.(s);
+  (* a little arithmetic so enter/leave timestamps actually advance *)
+  let acc = ref 0 in
+  for i = 1 to 200 do
+    acc := !acc + i
+  done;
+  ignore (Sys.opaque_identity !acc);
+  List.iter walk_tree kids;
+  Obs.Span.leave qa_stages.(s)
+
+let rec tree_nodes (Node (_, kids)) =
+  1 + List.fold_left (fun a t -> a + tree_nodes t) 0 kids
+
+let rec count_stage s (Node (s', kids)) =
+  (if s = s' then 1 else 0)
+  + List.fold_left (fun a t -> a + count_stage s t) 0 kids
+
+(* Walk random forests with spans + tracing on, then require: every
+   enter/leave pair became exactly one Chrome X event, per-tid events are
+   well-nested (stack discipline) with monotone begin timestamps, and the
+   stage histograms counted exactly the walked occurrences. *)
+let span_nesting_prop =
+  QCheck2.Test.make ~name:"span: trace events well-nested and monotone"
+    ~count:30 gen_span_forest (fun forest ->
+      Obs.set_enabled true;
+      Obs.Span.set_enabled true;
+      Obs.Trace.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Trace.set_enabled false;
+          Obs.Span.set_enabled false;
+          Obs.set_enabled false)
+        (fun () ->
+          Obs.Trace.set_capacity 8192 (* also clears the rings *);
+          let counts0 =
+            Array.map (fun s -> Obs.Span.stage_count s) qa_stages
+          in
+          List.iter walk_tree forest;
+          if Obs.Span.depth () <> 0 then
+            QCheck2.Test.fail_report "depth not restored to 0";
+          let nodes = List.fold_left (fun a t -> a + tree_nodes t) 0 forest in
+          Array.iteri
+            (fun i st ->
+              let want =
+                List.fold_left (fun a t -> a + count_stage i t) 0 forest
+              in
+              let got = Obs.Span.stage_count st - counts0.(i) in
+              if got <> want then
+                QCheck2.Test.fail_reportf "stage %d: %d recorded, %d walked"
+                  i got want)
+            qa_stages;
+          let path = Filename.temp_file "obs_span" ".json" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove path)
+            (fun () ->
+              Obs.Trace.write_chrome_trace path;
+              let events =
+                match Json.member "traceEvents" (Json.parse (read_file path)) with
+                | Some (Json.Arr evs) -> evs
+                | _ -> QCheck2.Test.fail_report "no traceEvents array"
+              in
+              let num k ev =
+                match Json.member k ev with
+                | Some (Json.Num f) -> f
+                | _ -> QCheck2.Test.fail_reportf "missing numeric %S" k
+              in
+              let qa =
+                List.filter_map
+                  (fun ev ->
+                    match Json.member "name" ev with
+                    | Some (Json.Str n)
+                      when String.length n >= 3 && String.sub n 0 3 = "qa." ->
+                      Some (int_of_float (num "tid" ev), num "ts" ev, num "dur" ev)
+                    | _ -> None)
+                  events
+              in
+              if List.length qa <> nodes then
+                QCheck2.Test.fail_reportf "%d qa events for %d nodes"
+                  (List.length qa) nodes;
+              (* stack discipline per tid: sort by (ts asc, dur desc) and
+                 require every event to fit inside the enclosing one *)
+              let eps = 0.002 (* us: float slack from the 1ns export grid *) in
+              let by_tid = Hashtbl.create 4 in
+              List.iter
+                (fun (tid, ts, dur) ->
+                  if dur < 0. then QCheck2.Test.fail_report "negative dur";
+                  let l =
+                    Option.value (Hashtbl.find_opt by_tid tid) ~default:[]
+                  in
+                  Hashtbl.replace by_tid tid ((ts, dur) :: l))
+                qa;
+              Hashtbl.iter
+                (fun _tid l ->
+                  let l =
+                    List.sort
+                      (fun (ts1, d1) (ts2, d2) ->
+                        if ts1 <> ts2 then compare ts1 ts2 else compare d2 d1)
+                      l
+                  in
+                  let stack = ref [] in
+                  let last_ts = ref neg_infinity in
+                  List.iter
+                    (fun (ts, dur) ->
+                      if ts < !last_ts then
+                        QCheck2.Test.fail_report "begin timestamps not monotone";
+                      last_ts := ts;
+                      let rec pop () =
+                        match !stack with
+                        | (pts, pdur) :: rest
+                          when ts +. dur > pts +. pdur +. eps ->
+                          (* fully after the open span? then it closed *)
+                          if ts +. eps < pts +. pdur then
+                            QCheck2.Test.fail_report
+                              "event straddles its enclosing span"
+                          else begin
+                            stack := rest;
+                            pop ()
+                          end
+                        | _ -> ()
+                      in
+                      pop ();
+                      (match !stack with
+                      | (pts, _) :: _ when ts +. eps < pts ->
+                        QCheck2.Test.fail_report "event begins before parent"
+                      | _ -> ());
+                      stack := (ts, dur) :: !stack)
+                    l)
+                by_tid;
+              true)))
+
+(* The ambient sink accumulates exactly, channel by channel, and clears
+   back to the unobserved scratch array. *)
+let span_sink_prop =
+  QCheck2.Test.make ~name:"span: sink accumulation is exact" ~count:100
+    QCheck2.Gen.(
+      list_size (int_bound 40)
+        (pair (int_bound (Obs.Span.channels - 1)) (int_bound 10_000)))
+    (fun adds ->
+      Obs.Span.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Obs.Span.set_enabled false)
+        (fun () ->
+          let acc = Array.make Obs.Span.channels 0 in
+          Obs.Span.sink_set acc;
+          let expect = Array.make Obs.Span.channels 0 in
+          List.iter
+            (fun (ch, d) ->
+              expect.(ch) <- expect.(ch) + d;
+              Obs.Span.sink_add ch d)
+            adds;
+          let ok = ref true in
+          for ch = 0 to Obs.Span.channels - 1 do
+            if Obs.Span.sink_get ch <> expect.(ch) then ok := false;
+            if acc.(ch) <> expect.(ch) then ok := false
+          done;
+          Obs.Span.sink_clear ();
+          (* post-clear adds land in scratch, never in the old array *)
+          Obs.Span.sink_add 0 999;
+          if acc.(0) <> expect.(0) then ok := false;
+          !ok))
+
+let test_span_disabled_inert () =
+  Obs.Span.set_enabled false;
+  let st = qa_stages.(0) in
+  let n0 = Obs.Span.stage_count st in
+  Alcotest.(check int) "begin_ is 0 while off" 0 (Obs.Span.begin_ ());
+  Obs.Span.end_ st 0;
+  Obs.Span.enter st;
+  Alcotest.(check int) "enter while off keeps depth 0" 0 (Obs.Span.depth ());
+  Obs.Span.leave st;
+  Obs.Span.record st 1234;
+  Alcotest.(check int) "no tallies while off" n0 (Obs.Span.stage_count st);
+  (* leave on an empty stack must be a no-op even while enabled *)
+  Obs.Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.Span.set_enabled false)
+    (fun () ->
+      Obs.Span.leave st;
+      Alcotest.(check int) "leave on empty stack" 0 (Obs.Span.depth ()))
+
+let test_span_hard_disabled () =
+  Unix.putenv "OBS_DISABLED" "1";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "OBS_DISABLED" "0")
+    (fun () ->
+      Obs.Span.set_enabled true;
+      Alcotest.(check bool)
+        "OBS_DISABLED wins over set_enabled" false
+        (Obs.Span.enabled ());
+      let st = qa_stages.(1) in
+      let n0 = Obs.Span.stage_count st in
+      let t0 = Obs.Span.begin_ () in
+      Alcotest.(check int) "begin_ still 0" 0 t0;
+      Obs.Span.enter st;
+      Obs.Span.leave st;
+      Obs.Span.record st 77;
+      Alcotest.(check int) "tally-free" n0 (Obs.Span.stage_count st))
+
+(* ------------------------------------------------------------------ *)
 (* Harness CSV header stays in sync with the row serializer           *)
 (* ------------------------------------------------------------------ *)
 
@@ -480,6 +703,15 @@ let () =
           Alcotest.test_case "disabled recording is inert" `Quick
             test_disabled_stability;
         ] );
+      ( "span",
+        List.map QCheck_alcotest.to_alcotest
+          [ span_nesting_prop; span_sink_prop ]
+        @ [
+            Alcotest.test_case "disabled span API is inert" `Quick
+              test_span_disabled_inert;
+            Alcotest.test_case "OBS_DISABLED hard-off" `Quick
+              test_span_hard_disabled;
+          ] );
       ( "harness",
         [ Alcotest.test_case "csv header in sync" `Quick test_csv_sync ] );
     ]

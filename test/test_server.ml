@@ -318,6 +318,169 @@ let test_graceful_stop_commits () =
   Server.Store.close st;
   cleanup_heap base
 
+(* --------------------- stage breakdown attribution ---------------------- *)
+
+(* Every acked op must carry a complete stage breakdown: per-class stage
+   histogram counts advance by exactly the acked op count, and the
+   per-stage nanosecond sums add up to the recorded total *exactly* (the
+   total is defined as the fold of the clamped stage durations). *)
+let test_stage_breakdown () =
+  let module Rt = Server.Rtrace in
+  let base = temp_base () in
+  let sock = base ^ ".sock" in
+  let config =
+    {
+      (Core.default_config ~heap_path:base ()) with
+      heap_size = 32 * mb;
+      workers = 2;
+      batch = 8;
+      batch_usec = 500;
+      queue_cap = 4096;
+    }
+  in
+  let stage_counts cls = Array.init Rt.nstages (Rt.stage_count cls) in
+  let stage_sums cls = Array.init Rt.nstages (Rt.sum_ns cls) in
+  let srv = Core.start ~config (Unix.ADDR_UNIX sock) in
+  let w_cnt0 = stage_counts `Write and r_cnt0 = stage_counts `Read in
+  let w_sum0 = stage_sums `Write and r_sum0 = stage_sums `Read in
+  let w_tot0 = Rt.total_sum_ns `Write and r_tot0 = Rt.total_sum_ns `Read in
+  let w_ops0 = Rt.ops `Write and r_ops0 = Rt.ops `Read in
+  let fd = connect sock in
+  let nset = 200 and nget = 100 in
+  for k = 0 to nset - 1 do
+    send fd (Proto.Set (k, k * 2))
+  done;
+  send fd Proto.Flush;
+  for _ = 1 to nset + 1 do
+    match recv fd with
+    | Proto.Ok -> ()
+    | _ -> Alcotest.fail "set/flush not acked OK"
+  done;
+  for k = 0 to nget - 1 do
+    send fd (Proto.Get k)
+  done;
+  for _ = 1 to nget do
+    match recv fd with
+    | Proto.Value _ -> ()
+    | _ -> Alcotest.fail "get not answered with a value"
+  done;
+  Unix.close fd;
+  Core.stop srv;
+  Alcotest.(check int) "write ops counted" nset (Rt.ops `Write - w_ops0);
+  Alcotest.(check int) "read ops counted" nget (Rt.ops `Read - r_ops0);
+  let w_cnt = stage_counts `Write and r_cnt = stage_counts `Read in
+  Array.iteri
+    (fun s name ->
+      Alcotest.(check int)
+        (Printf.sprintf "every acked write recorded stage %s" name)
+        nset
+        (w_cnt.(s) - w_cnt0.(s));
+      Alcotest.(check int)
+        (Printf.sprintf "every acked read recorded stage %s" name)
+        nget
+        (r_cnt.(s) - r_cnt0.(s)))
+    Rt.stages;
+  let w_sum = stage_sums `Write and r_sum = stage_sums `Read in
+  let dsum a0 a = Array.fold_left ( + ) 0 (Array.mapi (fun i v -> v - a0.(i)) a) in
+  Alcotest.(check int) "write stages sum exactly to total"
+    (Rt.total_sum_ns `Write - w_tot0)
+    (dsum w_sum0 w_sum);
+  Alcotest.(check int) "read stages sum exactly to total"
+    (Rt.total_sum_ns `Read - r_tot0)
+    (dsum r_sum0 r_sum);
+  let stage_idx name =
+    let i = ref (-1) in
+    Array.iteri (fun j s -> if s = name then i := j) Rt.stages;
+    !i
+  in
+  let wd name = w_sum.(stage_idx name) - w_sum0.(stage_idx name) in
+  Alcotest.(check bool) "batched writes spent time parked or fencing" true
+    (wd "park" + wd "fence" > 0);
+  Alcotest.(check bool) "writes spent time allocating" true (wd "alloc" > 0);
+  Alcotest.(check bool) "writes spent time flushing" true (wd "flush" > 0);
+  cleanup_heap base
+
+(* ------------------------------ slow log -------------------------------- *)
+
+(* With --slow-us 1 every request trips the slow log: the hook must fire
+   with a full stage breakdown, and the flight recorder must persist
+   slow_op events. *)
+let test_slow_log () =
+  let module Rt = Server.Rtrace in
+  let base = temp_base () in
+  let sock = base ^ ".sock" in
+  let lines = ref [] in
+  Rt.set_slow_log (fun s -> lines := s :: !lines);
+  Obs.Flight.set_enabled true;
+  let config =
+    {
+      (Core.default_config ~heap_path:base ()) with
+      heap_size = 32 * mb;
+      workers = 1;
+      batch = 4;
+      batch_usec = 500;
+      queue_cap = 4096;
+      slow_us = 1;
+    }
+  in
+  let srv = Core.start ~config (Unix.ADDR_UNIX sock) in
+  let st = Core.store srv in
+  let slow0 =
+    match Ralloc.flight st.heap with
+    | Some f -> Obs.Flight.kind_count f Obs.Flight.Kind.slow_op
+    | None -> 0
+  in
+  let fd = connect sock in
+  for k = 0 to 19 do
+    send fd (Proto.Set (k, k))
+  done;
+  send fd Proto.Flush;
+  for _ = 1 to 21 do
+    match recv fd with
+    | Proto.Ok -> ()
+    | _ -> Alcotest.fail "write not acked"
+  done;
+  Unix.close fd;
+  let slow_after =
+    match Ralloc.flight st.heap with
+    | Some f -> Obs.Flight.kind_count f Obs.Flight.Kind.slow_op
+    | None -> 0
+  in
+  Core.stop srv;
+  Obs.Flight.set_enabled false;
+  Rt.set_slow_log prerr_endline;
+  Alcotest.(check bool) "slow hook fired" true (List.length !lines > 0);
+  let line = List.hd !lines in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slow line carries %s" field)
+        true (contains line field))
+    [ "total="; "park="; "fence="; "alloc="; "flush=" ];
+  Alcotest.(check bool) "flight recorded slow_op events" true
+    (slow_after - slow0 > 0);
+  cleanup_heap base
+
+(* Rtrace context creation follows the span switch: under OBS_DISABLED
+   (or with spans off) make returns the shared null context and the whole
+   pipeline's marks are no-ops. *)
+let test_rtrace_hard_off () =
+  Obs.Span.set_enabled false;
+  Alcotest.(check bool) "make is null with spans off" false
+    (Server.Rtrace.is_live (Server.Rtrace.make ()));
+  Unix.putenv "OBS_DISABLED" "1";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "OBS_DISABLED" "0")
+    (fun () ->
+      Obs.Span.set_enabled true;
+      Alcotest.(check bool) "make is null under OBS_DISABLED" false
+        (Server.Rtrace.is_live (Server.Rtrace.make ())))
+
 let () =
   Alcotest.run "server"
     [
@@ -342,5 +505,13 @@ let () =
             test_crash_during_serve;
           Alcotest.test_case "graceful stop commits" `Quick
             test_graceful_stop_commits;
+        ] );
+      ( "rtrace",
+        [
+          Alcotest.test_case "every ack has a full stage breakdown" `Quick
+            test_stage_breakdown;
+          Alcotest.test_case "slow log + flight slow_op" `Quick test_slow_log;
+          Alcotest.test_case "null ctx under OBS_DISABLED" `Quick
+            test_rtrace_hard_off;
         ] );
     ]

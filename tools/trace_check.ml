@@ -1,0 +1,298 @@
+(* trace_check: validate a pkvd Chrome trace_event JSON file.
+
+   Used by the server smoke gate: the file must parse as JSON, every
+   event must carry the trace_event fields, complete ("X") events on the
+   same tid must be well-nested (stack discipline, with a small epsilon
+   for the 1ns export grid), and the request lanes must contain at least
+   --min-ops op.* spans each enclosing several stage.* children.
+
+   Usage: trace_check [--min-ops N] FILE
+   Exit 0 = valid, 1 = criterion violated, 2 = unreadable/bad JSON. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    String.iter (fun c -> expect c) word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char b '"'; advance ()
+        | Some '\\' -> Buffer.add_char b '\\'; advance ()
+        | Some '/' -> Buffer.add_char b '/'; advance ()
+        | Some 'n' -> Buffer.add_char b '\n'; advance ()
+        | Some 't' -> Buffer.add_char b '\t'; advance ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance ()
+        | Some 'b' -> Buffer.add_char b '\b'; advance ()
+        | Some 'f' -> Buffer.add_char b '\012'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "bad \\u escape";
+          pos := !pos + 4;
+          Buffer.add_char b '?'
+        | _ -> fail "bad escape");
+        go ()
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elems []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* float slack for timestamps exported on a 1ns grid as microseconds *)
+let eps = 0.002
+
+let () =
+  let min_ops = ref 1 in
+  let file = ref "" in
+  let rec parse_args = function
+    | "--min-ops" :: n :: rest ->
+      min_ops := int_of_string n;
+      parse_args rest
+    | f :: rest ->
+      file := f;
+      parse_args rest
+    | [] -> ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !file = "" then begin
+    prerr_endline "usage: trace_check [--min-ops N] FILE";
+    exit 2
+  end;
+  let json =
+    try parse (read_file !file)
+    with Bad m | Sys_error m ->
+      Printf.eprintf "trace_check: %s: %s\n" !file m;
+      exit 2
+  in
+  let events =
+    match member "traceEvents" json with
+    | Some (Arr evs) -> evs
+    | _ ->
+      Printf.eprintf "trace_check: %s: no traceEvents array\n" !file;
+      exit 2
+  in
+  let failures = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        incr failures;
+        Printf.eprintf "trace_check: %s\n" m)
+      fmt
+  in
+  (* collect complete events per tid *)
+  let by_tid : (int, (float * float * string) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let n_events = List.length events in
+  List.iter
+    (fun ev ->
+      let str k = match member k ev with Some (Str s) -> Some s | _ -> None in
+      let num k = match member k ev with Some (Num f) -> Some f | _ -> None in
+      match (str "name", str "ph", num "tid", num "ts") with
+      | Some name, Some ph, Some tid, Some ts -> (
+        match ph with
+        | "X" -> (
+          match num "dur" with
+          | Some dur when dur >= 0.0 ->
+            let tid = int_of_float tid in
+            let l =
+              match Hashtbl.find_opt by_tid tid with
+              | Some l -> l
+              | None ->
+                let l = ref [] in
+                Hashtbl.add by_tid tid l;
+                l
+            in
+            l := (ts, dur, name) :: !l
+          | _ -> fail "X event %S without a non-negative dur" name)
+        | "i" | "C" -> ()
+        | ph -> fail "event %S has unknown phase %S" name ph)
+      | _ -> fail "event missing name/ph/tid/ts")
+    events;
+  (* stack discipline per tid, and op.* spans must contain stage.* spans *)
+  let has_prefix p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let ops_seen = ref 0 in
+  let total_children = ref 0 in
+  Hashtbl.iter
+    (fun tid l ->
+      let l =
+        List.sort
+          (fun (ts1, d1, _) (ts2, d2, _) ->
+            if ts1 <> ts2 then compare ts1 ts2 else compare d2 d1)
+          !l
+      in
+      let stack = ref [] in
+      (* (ts, dur, name, children counter) *)
+      List.iter
+        (fun (ts, dur, name) ->
+          let rec pop () =
+            match !stack with
+            | (pts, pdur, pname, kids) :: rest
+              when ts +. dur > pts +. pdur +. eps ->
+              if ts +. eps < pts +. pdur then
+                fail "tid %d: %S [%.3f,%.3f] straddles %S [%.3f,%.3f]" tid
+                  name ts (ts +. dur) pname pts (pts +. pdur)
+              else begin
+                if has_prefix "op." pname then begin
+                  incr ops_seen;
+                  total_children := !total_children + !kids
+                end;
+                stack := rest;
+                pop ()
+              end
+            | _ -> ()
+          in
+          pop ();
+          (match !stack with
+          | (pts, _, pname, kids) :: _ ->
+            if ts +. eps < pts then
+              fail "tid %d: %S begins before its parent %S" tid name pname;
+            if has_prefix "stage." name then incr kids
+          | [] ->
+            if has_prefix "stage." name then
+              fail "tid %d: %S outside any op.* span" tid name);
+          stack := (ts, dur, name, ref 0) :: !stack)
+        l;
+      List.iter
+        (fun (_, _, pname, kids) ->
+          if has_prefix "op." pname then begin
+            incr ops_seen;
+            total_children := !total_children + !kids
+          end)
+        !stack)
+    by_tid;
+  if !ops_seen < !min_ops then
+    fail "only %d op.* spans (need >= %d)" !ops_seen !min_ops;
+  if !ops_seen > 0 && !total_children < 4 * !ops_seen then
+    fail "op.* spans average %.1f stage children (need >= 4)"
+      (float_of_int !total_children /. float_of_int (max 1 !ops_seen));
+  if !failures > 0 then begin
+    Printf.eprintf "trace_check: %s: %d failure(s) over %d events\n" !file
+      !failures n_events;
+    exit 1
+  end;
+  Printf.printf
+    "trace_check: %s: OK (%d events, %d request spans, %.1f stage \
+     children/op)\n"
+    !file n_events !ops_seen
+    (float_of_int !total_children /. float_of_int (max 1 !ops_seen))
