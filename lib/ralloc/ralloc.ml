@@ -60,7 +60,22 @@ let obs_slow_path = Obs.Counter.make "ralloc.slow_path"
 let obs_sb_provisioned = Obs.Counter.make "ralloc.superblock.provisioned"
 let obs_sb_acquire = Obs.Counter.make "ralloc.superblock.acquire"
 let obs_sb_retire = Obs.Counter.make "ralloc.superblock.retire"
+
+(* Constant-time fast-path telemetry: reserve-CAS retries during refill
+   (bounded, see [max_reserve_retries]), blocks evicted by the hysteresis
+   overflow flush, and splice CASes — the per-superblock batched returns
+   that replace per-block frees.  evicted_blocks / splice_cas is the
+   batching factor the eviction achieves. *)
+let obs_refill_retries = Obs.Counter.make "ralloc.refill.retries"
+let obs_tcache_evict = Obs.Counter.make "ralloc.tcache.evicted_blocks"
+let obs_splice = Obs.Counter.make "ralloc.tcache.splice_cas"
 let obs_recover_runs = Obs.Counter.make "ralloc.recover.runs"
+
+(* Slow-path boundary stages for the span profiler: time spent inside a
+   cache refill or an overflow eviction, separated from the malloc/free
+   histograms that blend fast and slow paths. *)
+let span_refill = Obs.Span.stage "ralloc.refill"
+let span_cache_flush = Obs.Span.stage "ralloc.cache_flush"
 
 (* Histograms, not last-value gauges: crash loops and tests run recovery
    many times, and the p50/p99 across runs is the interesting number —
@@ -274,9 +289,12 @@ let take_free_sb t =
 
 let tcaches t = Domain.DLS.get t.tcache_key
 
-(* Hand a brand-new superblock to size class [c], filling the calling
-   domain's cache with every block.  The size information is persisted
-   before any block can be used (the paper's one online flush). *)
+(* Hand a brand-new superblock to size class [c] as the calling domain's
+   owned run: the anchor says Full (every block accounted to the owner)
+   and the cache hands the blocks out sequentially, never touching their
+   link words — O(1) provisioning regardless of the class's block count.
+   The size information is persisted before any block can be used (the
+   paper's one online flush). *)
 let provision_superblock t c tc d =
   CK.set_site site_provision;
   Obs.Counter.incr obs_sb_acquire;
@@ -286,18 +304,39 @@ let provision_superblock t c tc d =
   dstore t d Layout.d_bsize bsz;
   persist_desc t d;
   anchor_store t d { avail = Anchor.no_block; count = 0; state = Full; tag = 0 };
-  let start = t.sb_base + Layout.superblock_offset d in
-  for i = Size_class.blocks_per_superblock c - 1 downto 0 do
-    Tcache.push tc (start + (i * bsz))
-  done
+  Tcache.adopt_run tc ~d
+    ~start:(t.sb_base + Layout.superblock_offset d)
+    ~bsz
+    ~n:(Size_class.blocks_per_superblock c)
 
-(* Refill the cache for class [c]: first from a partially used superblock
-   (reserving its whole free list with one CAS), else from a fresh
-   superblock.  Returns false only when the heap is exhausted. *)
+(* A reserve CAS contends only with frees hitting the same anchor, but a
+   free storm could starve it indefinitely; after this many failures the
+   superblock goes back on its partial list and the refill falls through
+   to provisioning a fresh one — bounded refill latency at the cost of a
+   rare extra superblock.  Every failed CAS bumps [ralloc.refill.retries]. *)
+let max_reserve_retries = 8
+
+(* Refill the cache for class [c] by lazily adopting a whole superblock:
+   a partial superblock's free list is reserved with one CAS and recorded
+   as the cache's owned chain — only its head index and length; the links
+   are already threaded through the blocks, so adoption is O(1) no matter
+   how many blocks change hands (the eager per-block copy this replaces
+   made refill O(blocks/superblock)).  With no partial superblock, a
+   fresh one is adopted as a sequential run.  Returns false only when the
+   heap is exhausted. *)
 let rec refill t c tc =
+  let fresh () =
+    let d = take_free_sb t in
+    if d < 0 then false
+    else begin
+      provision_superblock t c tc d;
+      true
+    end
+  in
   let d = pop_partial t c in
-  if d >= 0 then begin
-    let rec reserve () =
+  if d < 0 then fresh ()
+  else begin
+    let rec reserve retries =
       let a = anchor_load t d in
       if a.state = Empty then begin
         (* fully freed while sitting on the partial list: retire it *)
@@ -305,35 +344,52 @@ let rec refill t c tc =
         Obs.Counter.incr obs_sb_retire;
         if Obs.Flight.enabled () then
           flight_record t ~kind:FK.sb_retire ~a:c ~b:d ();
-        false
+        `Next
+      end
+      else if retries >= max_reserve_retries then begin
+        (* contended beyond the bound: hand it back, provision instead *)
+        push_partial t c d;
+        `Fresh
       end
       else if
         anchor_cas t d ~expected:a
           ~desired:
             { avail = Anchor.no_block; count = 0; state = Full; tag = a.tag + 1 }
-      then begin
-        (* we now own the whole block free list of this superblock *)
-        let sb_off = Layout.superblock_offset d in
-        let start = t.sb_base + sb_off in
-        let bsz = dload t d Layout.d_bsize in
-        let idx = ref a.avail in
-        for _ = 1 to a.count do
-          Tcache.push tc (start + (!idx * bsz));
-          idx := Pmem.load t.sb ((sb_off + (!idx * bsz)) lsr 3)
-        done;
-        a.count > 0
+      then
+        (* we now own this superblock's whole free list *)
+        if a.count = 0 then `Next
+        else begin
+          Tcache.adopt_chain tc ~d
+            ~start:(t.sb_base + Layout.superblock_offset d)
+            ~bsz:(dload t d Layout.d_bsize) ~head:a.avail ~len:a.count;
+          `Adopted
+        end
+      else begin
+        Obs.Counter.incr obs_refill_retries;
+        reserve (retries + 1)
       end
-      else reserve ()
     in
-    if reserve () then true else refill t c tc
+    match reserve 0 with
+    | `Adopted -> true
+    | `Next -> refill t c tc
+    | `Fresh -> fresh ()
+  end
+
+(* O(1) pop from the adopted superblock: the sequential run first (no
+   memory touch at all), then the owned chain (one link-word read).  The
+   caller guarantees [Tcache.has_owned]. *)
+let[@inline] pop_owned t tc =
+  let i = tc.Tcache.run_next in
+  if i < tc.Tcache.run_end then begin
+    tc.Tcache.run_next <- i + 1;
+    tc.Tcache.own_start + (i * tc.Tcache.own_bsz)
   end
   else begin
-    let d = take_free_sb t in
-    if d < 0 then false
-    else begin
-      provision_superblock t c tc d;
-      true
-    end
+    let va = tc.Tcache.own_start + (tc.Tcache.chain_head * tc.Tcache.own_bsz) in
+    let len = tc.Tcache.chain_len - 1 in
+    tc.Tcache.chain_len <- len;
+    if len > 0 then tc.Tcache.chain_head <- load t va;
+    va
   end
 
 (* ------------------------------------------------------------------ *)
@@ -369,21 +425,183 @@ let rec free_block_to_sb t d va =
   end
   else free_block_to_sb t d va
 
-let flush_cache_class t tc =
-  while not (Tcache.is_empty tc) do
-    let va = Tcache.pop tc in
-    let d = Layout.descriptor_of_offset (va - t.sb_base) in
-    free_block_to_sb t d va
+(* Batched returns: evicted cache blocks are grouped per superblock,
+   pre-linked into a chain with plain stores, and spliced back with ONE
+   anchor CAS per superblock — [free_block_to_sb] pays one CAS per block.
+   The chain is built head-first; the tail is the first block grouped,
+   and its link word is patched to the displaced list head inside the CAS
+   loop (rewritten on every retry, published by the CAS, so concurrent
+   owners never see a dangling tail). *)
+let rec splice t d ~head ~tail_va ~len ~bsz =
+  let a = anchor_load t d in
+  store t tail_va a.avail;
+  let count = a.count + len in
+  let state : Anchor.state =
+    if count = Layout.superblock_bytes / bsz then Empty
+    else match a.state with Full -> Partial | s -> s
+  in
+  if anchor_cas t d ~expected:a ~desired:{ avail = head; count; state; tag = a.tag + 1 }
+  then begin
+    Obs.Counter.incr obs_splice;
+    match (a.state, state) with
+    | Full, Empty ->
+      push_free t d;
+      Obs.Counter.incr obs_sb_retire;
+      if Obs.Flight.enabled () then
+        flight_record t ~kind:FK.sb_retire ~a:(dload t d Layout.d_class) ~b:d ()
+    | Full, _ -> push_partial t (dload t d Layout.d_class) d
+    | (Empty | Partial), _ -> ()
+    (* PARTIAL -> EMPTY retires lazily, when popped from the partial list *)
+  end
+  else splice t d ~head ~tail_va ~len ~bsz
+
+(* Allocation-free grouping scratch: a small direct table of open chains,
+   one slot per superblock seen during one eviction.  Per-domain (an
+   eviction never nests inside another on the same domain — splice calls
+   no cache code) and sized so that the common eviction, whose blocks
+   come from a handful of superblocks, builds every chain in one pass; a
+   17th distinct superblock early-splices a victim slot, costing that
+   extra CAS but never more than [free_block_to_sb]'s one per block. *)
+let max_groups = 16
+
+type scratch = {
+  s_d : int array;
+  s_head : int array;
+  s_tail_va : int array;
+  s_len : int array;
+  s_bsz : int array;
+  mutable s_clock : int;  (* round-robin victim cursor *)
+}
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        s_d = Array.make max_groups (-1);
+        s_head = Array.make max_groups 0;
+        s_tail_va = Array.make max_groups 0;
+        s_len = Array.make max_groups 0;
+        s_bsz = Array.make max_groups 0;
+        s_clock = 0;
+      })
+
+let splice_slot t s j =
+  splice t s.s_d.(j) ~head:s.s_head.(j) ~tail_va:s.s_tail_va.(j)
+    ~len:s.s_len.(j) ~bsz:s.s_bsz.(j);
+  s.s_d.(j) <- -1
+
+(* Return [blocks.(0 .. n-1)] to their superblocks, batched: group into
+   per-superblock chains through the scratch table, then splice each. *)
+let return_blocks t blocks n =
+  let s = Domain.DLS.get scratch_key in
+  let groups = ref 0 in
+  for i = 0 to n - 1 do
+    let va = Array.unsafe_get blocks i in
+    let off = va - t.sb_base in
+    let d = Layout.descriptor_of_offset off in
+    let j = ref 0 in
+    while !j < max_groups && s.s_d.(!j) <> d do
+      incr j
+    done;
+    if !j < max_groups then begin
+      (* link the chain head-first through the block's link word *)
+      store t va s.s_head.(!j);
+      s.s_head.(!j) <- (off - Layout.superblock_offset d) / s.s_bsz.(!j);
+      s.s_len.(!j) <- s.s_len.(!j) + 1
+    end
+    else begin
+      let j = ref 0 in
+      while !j < max_groups && s.s_d.(!j) >= 0 do
+        incr j
+      done;
+      let j =
+        if !j < max_groups then !j
+        else begin
+          (* table full: early-splice a rotating victim *)
+          let v = s.s_clock in
+          s.s_clock <- (v + 1) land (max_groups - 1);
+          splice_slot t s v;
+          decr groups;
+          v
+        end
+      in
+      let bsz = dload t d Layout.d_bsize in
+      s.s_d.(j) <- d;
+      s.s_head.(j) <- (off - Layout.superblock_offset d) / bsz;
+      s.s_tail_va.(j) <- va;
+      s.s_len.(j) <- 1;
+      s.s_bsz.(j) <- bsz;
+      incr groups
+    end
+  done;
+  let j = ref 0 in
+  while !groups > 0 && !j < max_groups do
+    if s.s_d.(!j) >= 0 then begin
+      splice_slot t s !j;
+      decr groups
+    end;
+    incr j
   done
 
+(* Hysteresis overflow flush: evict only the OLDEST half of the cache —
+   the bottom of the LIFO array — so the hot top half keeps its reuse
+   locality, and return the evicted blocks batched per superblock. *)
+let flush_cache_half t tc =
+  let n = tc.Tcache.count in
+  let h = n / 2 in
+  if h > 0 then begin
+    Obs.Counter.add obs_tcache_evict h;
+    return_blocks t tc.Tcache.blocks h;
+    Array.blit tc.Tcache.blocks h tc.Tcache.blocks 0 (n - h);
+    tc.Tcache.count <- n - h
+  end
+
+(* Full flush (explicit [flush_thread_cache], [close]): return the array,
+   the owned chain and the owned run alike.  Cold path — walking the
+   owned chain to find its tail is O(len) link reads, but each superblock
+   still takes one splice CAS. *)
+let flush_cache_class t tc =
+  let n = tc.Tcache.count in
+  if n > 0 then begin
+    return_blocks t tc.Tcache.blocks n;
+    tc.Tcache.count <- 0
+  end;
+  if Tcache.has_owned tc then begin
+    let d = tc.Tcache.own_d in
+    let start = tc.Tcache.own_start in
+    let bsz = tc.Tcache.own_bsz in
+    let len = tc.Tcache.chain_len in
+    if len > 0 then begin
+      (* chain links are already threaded; find the tail *)
+      let idx = ref tc.Tcache.chain_head in
+      for _ = 2 to len do
+        idx := load t (start + (!idx * bsz))
+      done;
+      splice t d ~head:tc.Tcache.chain_head
+        ~tail_va:(start + (!idx * bsz))
+        ~len ~bsz
+    end;
+    let r0 = tc.Tcache.run_next and r1 = tc.Tcache.run_end in
+    if r1 > r0 then begin
+      (* the untouched run gets its links written here, on the cold path *)
+      for i = r0 to r1 - 2 do
+        store t (start + (i * bsz)) (i + 1)
+      done;
+      splice t d ~head:r0
+        ~tail_va:(start + ((r1 - 1) * bsz))
+        ~len:(r1 - r0) ~bsz
+    end
+  end;
+  Tcache.release_owned tc
+
+(* Flushes every compartment of the calling domain's caches — also in
+   cache-free mode, where [malloc_one]'s thread-private runs live in the
+   same owned-run fields while the arrays stay empty. *)
 let flush_thread_cache t =
   check_open t;
-  if t.use_tcache then begin
-    let set = tcaches t in
-    for c = 1 to Size_class.count do
-      flush_cache_class t set.(c)
-    done
-  end
+  let set = tcaches t in
+  for c = 1 to Size_class.count do
+    flush_cache_class t set.(c)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Large allocation                                                   *)
@@ -434,70 +652,64 @@ let free_large t d =
 (* block from a partial superblock with an anchor CAS — the profile   *)
 (* of Michael's 2004 allocator, which LRMalloc's caching improved on. *)
 (* The anchor tag makes the read-link-then-CAS pop ABA-safe.          *)
+(*                                                                    *)
+(* A FRESH superblock, though, is adopted as a thread-private run     *)
+(* through the otherwise-unused owned-run fields of the domain's      *)
+(* Tcache slot: provisioning writes no link words (the eager chain it *)
+(* replaces wrote blocks_per_superblock-1 of them) and allocations    *)
+(* served from the run are O(1) private pops.  Frees are untouched —  *)
+(* one CAS each — so the Michael profile is preserved on the free     *)
+(* path and on every allocation that does hit shared state.           *)
 (* ------------------------------------------------------------------ *)
 
-let rec malloc_one t c =
-  let d = pop_partial t c in
-  if d >= 0 then begin
-    let sb_off = Layout.superblock_offset d in
-    let bsz = Size_class.block_size c in
-    let rec take () =
-      let a = anchor_load t d in
-      if a.state = Empty || a.count = 0 then begin
-        if a.state = Empty then begin
-          push_free t d;
-          Obs.Counter.incr obs_sb_retire;
-          if Obs.Flight.enabled () then
-            flight_record t ~kind:FK.sb_retire ~a:c ~b:d ()
-        end;
-        malloc_one t c
-      end
-      else begin
-        let next = Pmem.load t.sb ((sb_off + (a.avail * bsz)) lsr 3) in
-        let desired : Anchor.t =
-          {
-            avail = (if a.count = 1 then Anchor.no_block else next);
-            count = a.count - 1;
-            state = (if a.count = 1 then Full else Partial);
-            tag = a.tag + 1;
-          }
-        in
-        if anchor_cas t d ~expected:a ~desired then begin
-          if a.count > 1 then push_partial t c d;
-          t.sb_base + sb_off + (a.avail * bsz)
-        end
-        else take ()
-      end
-    in
-    take ()
+let rec malloc_one t c tc =
+  let i = tc.Tcache.run_next in
+  if i < tc.Tcache.run_end then begin
+    tc.Tcache.run_next <- i + 1;
+    tc.Tcache.own_start + (i * tc.Tcache.own_bsz)
   end
   else begin
-    let d = take_free_sb t in
-    if d < 0 then 0
-    else begin
-      CK.set_site site_provision;
-      Obs.Counter.incr obs_sb_acquire;
-      if Obs.Flight.enabled () then
-        flight_record t ~kind:FK.sb_acquire ~a:c ~b:d ();
-      let bsz = Size_class.block_size c in
-      dstore t d Layout.d_class c;
-      dstore t d Layout.d_bsize bsz;
-      persist_desc t d;
-      let n = Size_class.blocks_per_superblock c in
+    let d = pop_partial t c in
+    if d >= 0 then begin
       let sb_off = Layout.superblock_offset d in
-      (* chain blocks 1..n-1; block 0 is ours *)
-      for i = 1 to n - 1 do
-        Pmem.store t.sb
-          ((sb_off + (i * bsz)) lsr 3)
-          (if i = n - 1 then Anchor.no_block else i + 1)
-      done;
-      anchor_store t d
-        { avail = (if n > 1 then 1 else Anchor.no_block);
-          count = n - 1;
-          state = (if n > 1 then Partial else Full);
-          tag = 0 };
-      if n > 1 then push_partial t c d;
-      t.sb_base + sb_off
+      let bsz = Size_class.block_size c in
+      let rec take () =
+        let a = anchor_load t d in
+        if a.state = Empty || a.count = 0 then begin
+          if a.state = Empty then begin
+            push_free t d;
+            Obs.Counter.incr obs_sb_retire;
+            if Obs.Flight.enabled () then
+              flight_record t ~kind:FK.sb_retire ~a:c ~b:d ()
+          end;
+          malloc_one t c tc
+        end
+        else begin
+          let next = Pmem.load t.sb ((sb_off + (a.avail * bsz)) lsr 3) in
+          let desired : Anchor.t =
+            {
+              avail = (if a.count = 1 then Anchor.no_block else next);
+              count = a.count - 1;
+              state = (if a.count = 1 then Full else Partial);
+              tag = a.tag + 1;
+            }
+          in
+          if anchor_cas t d ~expected:a ~desired then begin
+            if a.count > 1 then push_partial t c d;
+            t.sb_base + sb_off + (a.avail * bsz)
+          end
+          else take ()
+        end
+      in
+      take ()
+    end
+    else begin
+      let d = take_free_sb t in
+      if d < 0 then 0
+      else begin
+        provision_superblock t c tc d;
+        malloc_one t c tc (* served by the freshly adopted run *)
+      end
     end
   end
 
@@ -525,23 +737,32 @@ let malloc t size =
       let va =
         if not t.use_tcache then begin
           if obs then Obs.Counter.incr obs_slow_path;
-          malloc_one t c
+          malloc_one t c (tcaches t).(c)
         end
         else begin
           let tc = (tcaches t).(c) in
-          if Tcache.is_empty tc then begin
+          (* LIFO array first (recently freed blocks, the reuse test and
+             cache locality want them back first), then the adopted
+             superblock's run/chain — all O(1), no heap CAS *)
+          if tc.Tcache.count > 0 then begin
+            if obs then Obs.Counter.incr obs_tcache_hit;
+            Tcache.pop tc
+          end
+          else if Tcache.has_owned tc then begin
+            if obs then Obs.Counter.incr obs_tcache_hit;
+            pop_owned t tc
+          end
+          else begin
             if obs then begin
               Obs.Counter.incr obs_tcache_miss;
               Obs.Counter.incr obs_slow_path
             end;
             let s0 = Obs.Trace.begin_span () in
+            let r0 = if sp then Obs.now_ns () else 0 in
             let refilled = refill t c tc in
+            if sp then Obs.Span.record span_refill (Obs.now_ns () - r0);
             Obs.Trace.span "ralloc.refill" s0;
-            if refilled then Tcache.pop tc else 0
-          end
-          else begin
-            if obs then Obs.Counter.incr obs_tcache_hit;
-            Tcache.pop tc
+            if refilled then pop_owned t tc else 0
           end
         end
       in
@@ -579,7 +800,14 @@ let free t va =
     else if not t.use_tcache then free_block_to_sb t d va
     else begin
       let tc = (tcaches t).(c) in
-      if Tcache.is_full tc then flush_cache_class t tc;
+      if Tcache.is_full tc then begin
+        (* hysteresis: shed only half, batched one CAS per superblock *)
+        let s0 = Obs.Trace.begin_span () in
+        let f0 = if sp then Obs.now_ns () else 0 in
+        flush_cache_half t tc;
+        if sp then Obs.Span.record span_cache_flush (Obs.now_ns () - f0);
+        Obs.Trace.span "ralloc.cache_flush" s0
+      end;
       Tcache.push tc va
     end;
     if obs then begin
@@ -1507,6 +1735,33 @@ module Debug = struct
     classes : class_report list;
     dirty : bool;
   }
+
+  (* Every block address held by the CALLING domain's caches: the LIFO
+     arrays, the owned chains (walked through their link words) and the
+     owned runs.  Test oracle for the lazy-adoption invariant — these
+     blocks are metadata-allocated yet application-free, and each must
+     appear exactly once. *)
+  let cached_blocks t =
+    check_open t;
+    let set = tcaches t in
+    let acc = ref [] in
+    for c = 1 to Size_class.count do
+      let tc = set.(c) in
+      for i = 0 to tc.Tcache.count - 1 do
+        acc := tc.Tcache.blocks.(i) :: !acc
+      done;
+      let start = tc.Tcache.own_start and bsz = tc.Tcache.own_bsz in
+      let idx = ref tc.Tcache.chain_head in
+      for k = 1 to tc.Tcache.chain_len do
+        let va = start + (!idx * bsz) in
+        acc := va :: !acc;
+        if k < tc.Tcache.chain_len then idx := load t va
+      done;
+      for i = tc.Tcache.run_next to tc.Tcache.run_end - 1 do
+        acc := (start + (i * bsz)) :: !acc
+      done
+    done;
+    !acc
 
   (* Projection of the fuller [census] walk (quiescent use only), kept
      for the pre-census callers (tests, rheap fsck). *)

@@ -105,19 +105,33 @@ val malloc : t -> int -> int
     address, or 0 if the heap is exhausted.  Sizes up to 14336 B are served
     from size-classed superblocks via the per-domain cache; larger sizes
     get whole superblocks.  Lock-free; no flushes except when a superblock
-    is (re)provisioned. *)
+    is (re)provisioned.
+
+    Constant-time in the common case: a cache hit pops the LIFO array or
+    the lazily-adopted superblock (sequential run or owned chain), and
+    even a cache {e miss} is O(1) — refill adopts a whole free list by
+    recording its head and length behind one CAS, never copying it.  The
+    reserve CAS retries at most a small constant number of times before
+    falling through to a fresh superblock ([ralloc.refill.retries]
+    counts the retries). *)
 
 val free : t -> int -> unit
-(** Return a block to the allocator.  Lock-free; flush-free. *)
+(** Return a block to the allocator.  Lock-free; flush-free.
+
+    Constant-time in the common case (a push onto the domain cache); a
+    full cache sheds its oldest half with one splice CAS per {e
+    superblock} rather than per block — O(capacity) stores but 1/2
+    capacity frees of headroom before the next eviction. *)
 
 val usable_size : t -> int -> int
 (** Actual capacity of the block at the given address. *)
 
 val flush_thread_cache : t -> unit
-(** Return the calling domain's cached blocks to their superblocks.  Worker
-    domains should call this before terminating (the moral equivalent of a
-    thread-exit hook); blocks cached by domains that die without it are
-    recovered by the next {!recover}. *)
+(** Return the calling domain's cached blocks — LIFO arrays, owned chains
+    and owned runs alike — to their superblocks.  Worker domains should
+    call this before terminating (the moral equivalent of a thread-exit
+    hook); blocks cached by domains that die without it are recovered by
+    the next {!recover}. *)
 
 (** {1 Persistent roots and filter functions (paper §4.1, §4.5.1)} *)
 
@@ -395,6 +409,15 @@ module Debug : sig
 
   val report : t -> report
   val pp_report : Format.formatter -> report -> unit
+
+  val cached_blocks : t -> int list
+  (** Every block address held by the {e calling} domain's caches — the
+      LIFO arrays, the lazily-adopted owned chains (walked through their
+      link words) and the owned sequential runs.  These blocks are
+      metadata-allocated but application-free; with [flush_thread_cache]
+      they all return to their superblocks.  Test oracle for the
+      adoption invariant (each cached block appears exactly once and in
+      exactly one compartment). *)
 end
 
 (** {1 Internal modules (exposed for tests and benchmarks)} *)

@@ -1,27 +1,99 @@
-type t = { blocks : int array; mutable count : int }
+(* Per-domain, per-class cache: a LIFO array of block addresses plus the
+   descriptor of one lazily-adopted superblock whose free blocks are held
+   as an owned linked chain and/or a never-touched sequential run.  Pure
+   data — the heap accesses needed to pop the chain (reading link words)
+   live in ralloc.ml, which owns the only handle on the regions.
+
+   Hot-path ops are branch-minimal: unsafe array indexing, bounds checked
+   only under TCACHE_DEBUG=1 (the callers in ralloc.ml guard every push
+   with is_full and every pop with is_empty, so a violation here is a
+   caller bug, not an input error). *)
+
+type t = {
+  blocks : int array;
+  mutable count : int;
+  (* lazily-adopted superblock (at most one per class per domain): *)
+  mutable own_d : int;  (* descriptor index, -1 = none *)
+  mutable own_start : int;  (* va of the superblock's first byte *)
+  mutable own_bsz : int;  (* its block size *)
+  mutable chain_head : int;  (* head block index of the owned chain *)
+  mutable chain_len : int;  (* blocks on the owned chain *)
+  mutable run_next : int;  (* next never-allocated block index *)
+  mutable run_end : int;  (* exclusive end of the fresh run *)
+}
+
 type set = t array
 
-(* A cache holds at most one superblock's worth of blocks, as in LRMalloc:
-   a refill moves a whole superblock's free list in, an over-full free
-   flushes the whole cache out. *)
+(* Bounds checking costs a branch per push/pop; the production fast path
+   elides it.  TCACHE_DEBUG=1 turns the checks back on for test runs. *)
+let debug =
+  match Sys.getenv_opt "TCACHE_DEBUG" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+(* A cache's array holds at most one superblock's worth of blocks, as in
+   LRMalloc: an overflowing free evicts half of it (hysteresis), a refill
+   adopts a whole superblock's free list without copying it. *)
 let create_set () =
   Array.init
     (Size_class.count + 1)
     (fun c ->
-      if c = 0 then { blocks = [||]; count = 0 }
-      else
-        { blocks = Array.make (Size_class.blocks_per_superblock c) 0; count = 0 })
+      {
+        blocks =
+          (if c = 0 then [||]
+           else Array.make (Size_class.blocks_per_superblock c) 0);
+        count = 0;
+        own_d = -1;
+        own_start = 0;
+        own_bsz = 0;
+        chain_head = 0;
+        chain_len = 0;
+        run_next = 0;
+        run_end = 0;
+      })
 
 let capacity t = Array.length t.blocks
-let is_empty t = t.count = 0
-let is_full t = t.count = Array.length t.blocks
+let[@inline] is_empty t = t.count = 0
+let[@inline] is_full t = t.count = Array.length t.blocks
 
-let push t va =
-  if is_full t then invalid_arg "Tcache.push: full";
-  t.blocks.(t.count) <- va;
+let[@inline] push t va =
+  if debug && is_full t then invalid_arg "Tcache.push: full";
+  Array.unsafe_set t.blocks t.count va;
   t.count <- t.count + 1
 
-let pop t =
-  if t.count = 0 then invalid_arg "Tcache.pop: empty";
-  t.count <- t.count - 1;
-  t.blocks.(t.count)
+let[@inline] pop t =
+  if debug && t.count = 0 then invalid_arg "Tcache.pop: empty";
+  let n = t.count - 1 in
+  t.count <- n;
+  Array.unsafe_get t.blocks n
+
+(* Owned-superblock bookkeeping (the adoption itself — the anchor CAS and
+   the link-word reads — happens in ralloc.ml). *)
+
+let[@inline] owned t = t.chain_len + (t.run_end - t.run_next)
+let[@inline] has_owned t = owned t > 0
+
+let adopt_chain t ~d ~start ~bsz ~head ~len =
+  t.own_d <- d;
+  t.own_start <- start;
+  t.own_bsz <- bsz;
+  t.chain_head <- head;
+  t.chain_len <- len;
+  t.run_next <- 0;
+  t.run_end <- 0
+
+let adopt_run t ~d ~start ~bsz ~n =
+  t.own_d <- d;
+  t.own_start <- start;
+  t.own_bsz <- bsz;
+  t.chain_head <- 0;
+  t.chain_len <- 0;
+  t.run_next <- 0;
+  t.run_end <- n
+
+let release_owned t =
+  t.own_d <- -1;
+  t.chain_head <- 0;
+  t.chain_len <- 0;
+  t.run_next <- 0;
+  t.run_end <- 0

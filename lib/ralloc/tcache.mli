@@ -1,23 +1,76 @@
 (** Transient per-domain caches of free blocks (paper §4.2, §4.4).
 
-    One stack of block addresses per size class per domain.  Allocations
-    and deallocations are served from these caches without synchronization
-    most of the time.  The caches live only in OCaml (transient) memory; in
-    the event of a crash their contents are recovered by the offline GC. *)
+    One cache per size class per domain, with two compartments:
 
-type t = { blocks : int array; mutable count : int }
+    - a LIFO {e array} of block addresses, filled by [free] and drained
+      by [malloc] without any synchronization;
+    - at most one lazily-{e adopted superblock}: when the array runs dry,
+      refill reserves a partial superblock's whole free list with one
+      anchor CAS and records only its head index and length here — the
+      {e owned chain} — popping one block per allocation by reading that
+      block's link word (O(1), no eager copy).  A freshly provisioned
+      superblock is adopted as an {e owned run} [run_next, run_end): its
+      blocks have never been written, so they are handed out sequentially
+      without even link reads.
+
+    The caches live only in OCaml (transient) memory; after a crash their
+    contents — array, chain and run alike — are unreachable garbage that
+    the offline GC reclaims.  [Ralloc.flush_thread_cache] splices all
+    three compartments back into their superblocks' free lists.
+
+    Array ops are branch-minimal (unsafe indexing): callers must guard
+    {!push} with {!is_full} and {!pop} with {!is_empty}.  Setting
+    [TCACHE_DEBUG=1] in the environment re-enables the bounds checks. *)
+
+type t = {
+  blocks : int array;
+  mutable count : int;
+  mutable own_d : int;  (** adopted superblock's descriptor; -1 = none *)
+  mutable own_start : int;  (** va of its first byte *)
+  mutable own_bsz : int;  (** its block size *)
+  mutable chain_head : int;  (** head block index of the owned chain *)
+  mutable chain_len : int;  (** blocks remaining on the owned chain *)
+  mutable run_next : int;  (** next never-allocated block index *)
+  mutable run_end : int;  (** exclusive end of the owned fresh run *)
+}
 
 type set = t array
 (** Indexed by size class; index 0 is an empty placeholder. *)
+
+val debug : bool
+(** Whether [TCACHE_DEBUG=1] was set at module load: bounds checks on the
+    hot array ops are compiled behind this flag. *)
 
 val create_set : unit -> set
 
 val capacity : t -> int
 val is_empty : t -> bool
+(** Array compartment only; the owned chain/run is {!has_owned}. *)
+
 val is_full : t -> bool
 
 val push : t -> int -> unit
-(** @raise Invalid_argument if full. *)
+(** Unchecked when {!debug} is false; the caller must test {!is_full}.
+    @raise Invalid_argument when full, under [TCACHE_DEBUG=1] only. *)
 
 val pop : t -> int
-(** @raise Invalid_argument if empty. *)
+(** Unchecked when {!debug} is false; the caller must test {!is_empty}.
+    @raise Invalid_argument when empty, under [TCACHE_DEBUG=1] only. *)
+
+val owned : t -> int
+(** Blocks held by the adopted superblock (chain + run). *)
+
+val has_owned : t -> bool
+
+val adopt_chain : t -> d:int -> start:int -> bsz:int -> head:int -> len:int -> unit
+(** Record ownership of a reserved free-list chain: [head] is the first
+    block index, [len] the chain length.  Overwrites any previous
+    (necessarily exhausted) adoption. *)
+
+val adopt_run : t -> d:int -> start:int -> bsz:int -> n:int -> unit
+(** Record ownership of a freshly provisioned superblock's [n] sequential
+    blocks. *)
+
+val release_owned : t -> unit
+(** Forget the adopted superblock (after a splice-back returned its
+    remaining blocks). *)

@@ -58,6 +58,7 @@ type row = {
   fences : int;
   p50_ns : float;
   p99_ns : float;
+  max_ns : float;
   occupancy : float;
   ext_frag : float;
   redundant_flush_rate : float;
@@ -66,9 +67,9 @@ type row = {
 }
 
 let make_row ?(flushes = 0) ?(fences = 0) ?(p50_ns = 0.) ?(p99_ns = 0.)
-    ?(occupancy = 0.) ?(ext_frag = 0.) ?(redundant_flush_rate = 0.)
-    ?(wasted_fences = 0) ?(fences_per_op = 0.) ~figure ~allocator ~threads
-    ~metric ~value () =
+    ?(max_ns = 0.) ?(occupancy = 0.) ?(ext_frag = 0.)
+    ?(redundant_flush_rate = 0.) ?(wasted_fences = 0) ?(fences_per_op = 0.)
+    ~figure ~allocator ~threads ~metric ~value () =
   {
     figure;
     allocator;
@@ -79,6 +80,7 @@ let make_row ?(flushes = 0) ?(fences = 0) ?(p50_ns = 0.) ?(p99_ns = 0.)
     fences;
     p50_ns;
     p99_ns;
+    max_ns;
     occupancy;
     ext_frag;
     redundant_flush_rate;
@@ -109,6 +111,7 @@ let pp_row ppf r =
     if r.p50_ns > 0. then
       Format.fprintf ppf " tail=%.1fx" (r.p99_ns /. r.p50_ns)
   end;
+  if r.max_ns > 0. then Format.fprintf ppf " max=%.0fns" r.max_ns;
   if r.occupancy > 0. then
     Format.fprintf ppf " occ=%.3f efrag=%.3f" r.occupancy r.ext_frag;
   if r.redundant_flush_rate > 0. || r.wasted_fences > 0 then
@@ -138,11 +141,13 @@ let columns : (string * (row -> string)) list =
     ("p50_ns", fun r -> Printf.sprintf "%.0f" r.p50_ns);
     ("p99_ns", fun r -> Printf.sprintf "%.0f" r.p99_ns);
     (* derived tail ratio: how much worse the p99 is than the median — the
-       one-number tail-latency summary the fig5 plots key on *)
-    ( "tail_ratio",
+       one-number tail-latency summary the fig5 plots and the fig_tail
+       series key on (near 1 = constant-time fast path) *)
+    ( "p99_p50_ratio",
       fun r ->
         if r.p50_ns > 0. then Printf.sprintf "%.2f" (r.p99_ns /. r.p50_ns)
         else "0.00" );
+    ("max_ns", fun r -> Printf.sprintf "%.0f" r.max_ns);
     ("occupancy", fun r -> Printf.sprintf "%.4f" r.occupancy);
     ("ext_frag", fun r -> Printf.sprintf "%.4f" r.ext_frag);
     ("redundant_flush_rate", fun r -> Printf.sprintf "%.4f" r.redundant_flush_rate);

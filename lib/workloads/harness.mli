@@ -30,6 +30,11 @@ type row = {
   fences : int;
   p50_ns : float;  (** windowed per-op malloc latency p50; 0 = not measured *)
   p99_ns : float;
+  max_ns : float;
+      (** worst single-op latency in the row's window; 0 = not measured.
+          Only the [fig_tail] series fills it: spikes rarer than 1% of ops
+          (e.g. one refill per 1024 allocations) never surface in the p99,
+          only here. *)
   occupancy : float;
       (** end-of-row heap occupancy from {!Ralloc.census}; 0 when the
           allocator under test does not expose a census *)
@@ -51,6 +56,7 @@ val make_row :
   ?fences:int ->
   ?p50_ns:float ->
   ?p99_ns:float ->
+  ?max_ns:float ->
   ?occupancy:float ->
   ?ext_frag:float ->
   ?redundant_flush_rate:float ->

@@ -94,6 +94,109 @@ let test_crash_after_provisioning () =
   Alcotest.(check bool) "all superblocks reclaimed" true
     (stats.reclaimed_superblocks >= 4)
 
+(* Per-class (allocated, free) block counts from the census, summed over
+   every superblock of the class serving [size] — the oracle the adoption
+   crash tests below check recovery against. *)
+let class_counts heap size =
+  let c = Ralloc.census heap in
+  let cls = Ralloc.Size_class.of_size size in
+  List.fold_left
+    (fun (a, f) (r : Ralloc.Census.class_stats) ->
+      if r.size_class = cls then (a + r.allocated_blocks, f + r.free_blocks)
+      else (a, f))
+    (0, 0) c.Ralloc.Census.classes
+
+(* Crash while a refill's lazily-adopted chain is outstanding: the
+   adopting domain holds a partial superblock's whole free list as a
+   transient linked chain (the anchor says Full, count 0 — every block
+   accounted to the owner).  The crash destroys the chain; recovery must
+   hand every unreached block back to the superblock's free list. *)
+let test_crash_with_adopted_chain () =
+  let heap = Ralloc.create ~name:"adoptchain" ~size:(4 * mb) () in
+  (* build a partial superblock: 100 blocks out, 1 attached, 99 returned *)
+  let blocks = Array.init 100 (fun _ -> Ralloc.malloc heap 512) in
+  Ralloc.store heap blocks.(0) 1;
+  Ralloc.flush_block_range heap blocks.(0) 512;
+  Ralloc.fence heap;
+  Ralloc.set_root heap 0 blocks.(0);
+  for i = 1 to 99 do
+    Ralloc.free heap blocks.(i)
+  done;
+  Ralloc.flush_thread_cache heap;
+  (* this malloc adopts the partial superblock's whole 127-block free
+     list with one CAS; the chain is transient state *)
+  let kept = Ralloc.malloc heap 512 in
+  Ralloc.store heap kept 2;
+  Ralloc.flush_block_range heap kept 512;
+  Ralloc.fence heap;
+  Ralloc.set_root heap 1 kept;
+  let heap, status = Ralloc.crash_and_reopen heap in
+  Alcotest.(check bool) "dirty" true (status = Ralloc.Dirty_restart);
+  ignore (Ralloc.get_root heap 0);
+  ignore (Ralloc.get_root heap 1);
+  let stats = Ralloc.recover heap in
+  Alcotest.(check int) "both attached blocks survive" 2
+    stats.reachable_blocks;
+  let alloc, free = class_counts heap 512 in
+  Alcotest.(check int) "exactly the two attached blocks allocated" 2 alloc;
+  Alcotest.(check int) "the lost chain is free again" 126 free
+
+(* Crash while a freshly provisioned superblock is held as an owned
+   sequential run (no link words were ever written): recovery must
+   rebuild the free list the run never materialized. *)
+let test_crash_with_owned_run () =
+  let heap = Ralloc.create ~name:"ownrun" ~size:(4 * mb) () in
+  (* adopts a fresh 32-block superblock as a run; one block handed out *)
+  let kept = Ralloc.malloc heap 2048 in
+  Ralloc.store heap kept 1;
+  Ralloc.flush_block_range heap kept 2048;
+  Ralloc.fence heap;
+  Ralloc.set_root heap 0 kept;
+  let heap, _ = Ralloc.crash_and_reopen heap in
+  ignore (Ralloc.get_root heap 0);
+  let stats = Ralloc.recover heap in
+  Alcotest.(check int) "attached block survives" 1 stats.reachable_blocks;
+  let alloc, free = class_counts heap 2048 in
+  Alcotest.(check int) "run blocks are not allocated" 1 alloc;
+  Alcotest.(check int) "run blocks rebuilt as free" 31 free
+
+(* Crash in a workload that constantly crosses the splice boundary: the
+   14336 B class caches only 4 blocks, so every other free evicts half
+   the cache and splices pre-linked chains back — the crash lands with
+   splice-published free lists, a part-consumed adopted chain, and
+   cached blocks all in flight at once. *)
+let test_crash_under_eviction_churn () =
+  let heap = Ralloc.create ~name:"splicechurn" ~size:(8 * mb) () in
+  let rng = Random.State.make [| 7 |] in
+  let slots = Array.make 32 0 in
+  for _ = 1 to 2000 do
+    let i = Random.State.int rng 32 in
+    if slots.(i) = 0 then slots.(i) <- Ralloc.malloc heap 14000
+    else begin
+      Ralloc.free heap slots.(i);
+      slots.(i) <- 0
+    end
+  done;
+  (* durably attach one survivor, then crash mid-churn *)
+  let kept = ref 0 in
+  Array.iter (fun va -> if !kept = 0 && va <> 0 then kept := va) slots;
+  Alcotest.(check bool) "a live block exists" true (!kept <> 0);
+  Ralloc.store heap !kept 42;
+  Ralloc.flush_block_range heap !kept 14336;
+  Ralloc.fence heap;
+  Ralloc.set_root heap 0 !kept;
+  let heap, _ = Ralloc.crash_and_reopen heap in
+  ignore (Ralloc.get_root heap 0);
+  let stats = Ralloc.recover heap in
+  Alcotest.(check int) "only the attached block survives" 1
+    stats.reachable_blocks;
+  let post = Ralloc.audit heap in
+  Alcotest.(check bool) "post-recovery audit consistent" true
+    post.Ralloc.Audit.consistent;
+  (* every unattached block is reusable again *)
+  let alloc, _ = class_counts heap 14000 in
+  Alcotest.(check int) "one block allocated" 1 alloc
+
 (* Partial crash (paper §4.5.2): one "process" (domain) dies holding
    blocks in its thread cache; survivors quiesce (flush their caches) and
    run a stop-the-world GC on the LIVE heap, without a system crash.
@@ -123,6 +226,29 @@ let test_partial_crash_quiescent_gc () =
   (* full capacity is available again: fill the heap *)
   let rec fill n = if Ralloc.malloc heap 512 <> 0 then fill (n + 1) else n in
   Alcotest.(check bool) "stranded blocks recovered" true (fill 0 > 3000)
+
+(* Partial crash stranding an adoption: the dying domain holds a whole
+   freshly provisioned superblock as its private run.  The survivor's
+   quiescent GC must reclaim all of it — the anchor says Full, so only
+   the trace knows the blocks are garbage. *)
+let test_partial_crash_stranded_run () =
+  let heap = Ralloc.create ~name:"strandedrun" ~size:(2 * mb) () in
+  let d =
+    Domain.spawn (fun () ->
+        (* adopts a 64-block superblock as an owned run, takes one block,
+           frees it into the cache array, and dies flushing nothing *)
+        let va = Ralloc.malloc heap 1024 in
+        Ralloc.free heap va)
+  in
+  Domain.join d;
+  Ralloc.flush_thread_cache heap;
+  let stats = Ralloc.recover heap in
+  Alcotest.(check int) "nothing reachable" 0 stats.reachable_blocks;
+  Alcotest.(check bool) "stranded superblock reclaimed" true
+    (stats.reclaimed_superblocks >= 1);
+  (* its capacity is fully available again *)
+  let rec fill n = if Ralloc.malloc heap 1024 <> 0 then fill (n + 1) else n in
+  Alcotest.(check bool) "all blocks reusable" true (fill 0 > 1500)
 
 (* Crash with posted-but-undrained flushes (pipelined pmem): a push is in
    flight — its node is written and its lines have been flushed (posted
@@ -231,10 +357,21 @@ let () =
             test_crash_after_provisioning;
           Alcotest.test_case "crash mid-drain" `Quick test_crash_mid_drain;
         ] );
+      ( "adoption",
+        [
+          Alcotest.test_case "crash with adopted chain" `Quick
+            test_crash_with_adopted_chain;
+          Alcotest.test_case "crash with owned run" `Quick
+            test_crash_with_owned_run;
+          Alcotest.test_case "crash under eviction churn" `Quick
+            test_crash_under_eviction_churn;
+        ] );
       ( "partial",
         [
           Alcotest.test_case "quiescent stop-the-world GC" `Quick
             test_partial_crash_quiescent_gc;
+          Alcotest.test_case "stranded owned run" `Quick
+            test_partial_crash_stranded_run;
         ] );
       ( "cycles",
         [

@@ -515,6 +515,58 @@ let prop_random_program =
         live;
       !ok)
 
+(* The lazy-adoption accounting invariant: at any quiescent point, every
+   block the metadata counts as allocated is either application-live or
+   held by exactly ONE compartment of the calling domain's caches — the
+   LIFO array, the owned chain, or the owned run ([Debug.cached_blocks]
+   concatenates all three, so a duplicate there means a block is in two
+   compartments at once).  And after [flush_thread_cache] the caches hold
+   nothing and the metadata agrees with the application exactly. *)
+let prop_adoption_invariant =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 10 300) (pair (int_range 1 14336) bool))
+  in
+  QCheck2.Test.make ~name:"lazy-adoption accounting invariant" ~count:40 gen
+    (fun program ->
+      let t = Ralloc.create ~name:"adoptinv" ~size:(16 * mb) () in
+      let live : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+      let order = ref [] in
+      List.iter
+        (fun (size, do_free) ->
+          match (do_free, !order) with
+          | true, va :: rest ->
+            order := rest;
+            Hashtbl.remove live va;
+            Ralloc.free t va
+          | _ ->
+            let va = Ralloc.malloc t size in
+            if va <> 0 then begin
+              Hashtbl.add live va ();
+              order := va :: !order
+            end)
+        program;
+      let ok = ref true in
+      let cached = Ralloc.Debug.cached_blocks t in
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun va ->
+          if Hashtbl.mem seen va then ok := false (* in two compartments *);
+          Hashtbl.replace seen va ();
+          if Hashtbl.mem live va then ok := false (* cached AND live *);
+          if not (Ralloc.valid_block t va) then ok := false)
+        cached;
+      let c = Ralloc.census t in
+      if
+        c.Ralloc.Census.allocated_blocks
+        <> Hashtbl.length live + List.length cached
+      then ok := false (* a block in NO compartment (or double-counted) *);
+      Ralloc.flush_thread_cache t;
+      if Ralloc.Debug.cached_blocks t <> [] then ok := false;
+      let c = Ralloc.census t in
+      if c.Ralloc.Census.allocated_blocks <> Hashtbl.length live then
+        ok := false;
+      !ok)
+
 let () =
   Alcotest.run "ralloc"
     [
@@ -575,5 +627,9 @@ let () =
             test_audit_after_recovery;
           Alcotest.test_case "audit max_list cap" `Quick test_audit_max_list_cap;
         ] );
-      ("property", [ QCheck_alcotest.to_alcotest prop_random_program ]);
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_random_program;
+          QCheck_alcotest.to_alcotest prop_adoption_invariant;
+        ] );
     ]

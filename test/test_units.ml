@@ -173,10 +173,25 @@ let test_tcache_capacity () =
   TC.push tc 3;
   TC.push tc 4;
   Alcotest.(check bool) "full" true (TC.is_full tc);
-  Alcotest.check_raises "push when full" (Invalid_argument "Tcache.push: full")
-    (fun () -> TC.push tc 5);
+  (* the hot ops are unchecked in production: the bounds checks exist
+     only under TCACHE_DEBUG=1 (callers guard with is_full/is_empty) *)
+  if TC.debug then
+    Alcotest.check_raises "push when full"
+      (Invalid_argument "Tcache.push: full") (fun () -> TC.push tc 5);
   ignore (TC.pop tc);
   Alcotest.(check bool) "not full" false (TC.is_full tc)
+
+(* The debug-gated checks themselves are exercised by the TCACHE_DEBUG=1
+   rule in test/dune, which re-runs this binary with the env var set;
+   this test asserts the flag actually tracks the env var so that rule
+   cannot silently rot. *)
+let test_tcache_debug_flag () =
+  let expected =
+    match Sys.getenv_opt "TCACHE_DEBUG" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false
+  in
+  Alcotest.(check bool) "debug flag mirrors TCACHE_DEBUG" expected TC.debug
 
 let test_tcache_per_class () =
   let set = TC.create_set () in
@@ -249,6 +264,7 @@ let () =
           [
             test_case "lifo" `Quick test_tcache_lifo;
             test_case "capacity" `Quick test_tcache_capacity;
+            test_case "debug flag" `Quick test_tcache_debug_flag;
             test_case "per class" `Quick test_tcache_per_class;
           ] );
       ( "pptr-counter",
