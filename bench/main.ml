@@ -688,10 +688,14 @@ let start_metrics_ticker interval =
     Domain.join d
 
 let run_bench only threads scale csv_path bechamel metrics metrics_interval
-    trace_path pmem_mode pcheck =
+    trace_path pmem_mode pcheck prof_path prof_rate =
   Pmem.set_mode pmem_mode;
   if pcheck then Pmem.Check.set_enabled true;
   if metrics then Obs.set_enabled true;
+  if prof_path <> None then begin
+    Obs.Prof.set_rate prof_rate;
+    Obs.Prof.set_enabled true
+  end;
   let stop_ticker =
     Option.map start_metrics_ticker metrics_interval
   in
@@ -755,7 +759,33 @@ let run_bench only threads scale csv_path bechamel metrics metrics_interval
       Printf.printf
         "\ntrace: wrote %s (load in chrome://tracing or ui.perfetto.dev)\n"
         path)
-    trace_path
+    trace_path;
+  (* heap profile export, format by extension: .collapsed feeds flamegraph
+     scripts, .json is speedscope, anything else gets the text table *)
+  Option.iter
+    (fun path ->
+      (match Filename.extension path with
+      | ".collapsed" | ".folded" ->
+        let buf = Buffer.create 4096 in
+        Obs.Prof.collapsed buf;
+        let oc = open_out path in
+        Buffer.output_buffer oc buf;
+        close_out oc
+      | ".json" ->
+        let buf = Buffer.create 4096 in
+        Obs.Prof.speedscope buf;
+        let oc = open_out path in
+        Buffer.output_buffer oc buf;
+        close_out oc
+      | _ ->
+        let oc = open_out path in
+        let ppf = Format.formatter_of_out_channel oc in
+        Obs.Prof.report ppf;
+        Format.pp_print_flush ppf ();
+        close_out oc);
+      Printf.printf "prof: wrote %s (%d samples, %d sites)\n" path
+        (Obs.Prof.samples ()) (Obs.Prof.site_count ()))
+    prof_path
 
 let () =
   let open Cmdliner in
@@ -841,10 +871,29 @@ let () =
              per-site flush/fence waste report after the run.  Equivalent to \
              setting $(b,PCHECK=1).")
   in
+  let prof =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prof" ] ~docv:"PATH"
+          ~doc:
+            "Enable the sampling heap profiler for the run and write the \
+             allocation-site profile to $(docv): flamegraph collapsed-stack \
+             text for $(b,.collapsed)/$(b,.folded), speedscope JSON for \
+             $(b,.json), a plain text table otherwise.")
+  in
+  let prof_rate =
+    Arg.(
+      value
+      & opt int Obs.Prof.default_rate
+      & info [ "prof-rate" ] ~docv:"BYTES"
+          ~doc:"Profiler sampling rate: roughly one sample per $(docv) \
+                allocated bytes.")
+  in
   let term =
     Term.(
       const run_bench $ only $ threads $ scale $ csv $ bechamel $ metrics
-      $ metrics_interval $ trace $ pmem_mode $ pcheck)
+      $ metrics_interval $ trace $ pmem_mode $ pcheck $ prof $ prof_rate)
   in
   let info =
     Cmd.info "ralloc-bench"

@@ -263,4 +263,133 @@ let () =
     exit 1
   end;
   print_endline
-    "perf_smoke: allocator tails are flat and the churn is zero-waste"
+    "perf_smoke: allocator tails are flat and the churn is zero-waste";
+
+  (* Heap-profiler cost contract.  Off, the profiler must be invisible:
+     zero samples and tallies, an empty provenance ring, and flush/fence
+     counts identical to an uninstrumented run — including when the off
+     comes from OBS_DISABLED overriding set_enabled.  On, its persistence
+     cost is exactly the provenance protocol: 2 flushes + 1 fence per ring
+     entry plus 1 flush + 1 fence per newly persisted site name, nothing
+     else.  The two deltas are solved against each other so an extra op
+     anywhere in the sampling path breaks the cross-check. *)
+  let prof_counts ~prof ~rate =
+    Obs.Prof.reset ();
+    if prof then begin
+      Obs.Prof.set_rate rate;
+      Obs.Prof.set_enabled true
+    end;
+    let heap = Ralloc.create ~name:"prof-smoke" ~size:(16 * mb) () in
+    let ev0 =
+      match Ralloc.prov heap with
+      | Some r -> Obs.Prof.Ring.total_recorded r
+      | None -> 0
+    in
+    let before = Ralloc.stats heap in
+    for _ = 1 to 3000 do
+      let va = Ralloc.malloc heap 64 in
+      Ralloc.free heap va
+    done;
+    let d = Pmem.Stats.diff (Ralloc.stats heap) before in
+    let entries =
+      (match Ralloc.prov heap with
+      | Some r -> Obs.Prof.Ring.total_recorded r
+      | None -> 0)
+      - ev0
+    in
+    let samples = Obs.Prof.samples () in
+    let no_tallies = Obs.Prof.stats () = [] in
+    Obs.Prof.set_enabled false;
+    (d.flushes, d.fences, entries, samples, no_tallies)
+  in
+  let poff_f, poff_fe, poff_ev, poff_s, poff_nt =
+    prof_counts ~prof:false ~rate:4096
+  in
+  let pon_f, pon_fe, pon_ev, pon_s, _ = prof_counts ~prof:true ~rate:4096 in
+  check "profiler off samples nothing" (poff_s = 0 && poff_nt);
+  check "profiler off writes no provenance entries" (poff_ev = 0);
+  check "profiler on samples the workload" (pon_s > 0 && pon_ev > 0);
+  (* entries = sampled allocs + frees of sampled blocks; persists = site
+     names newly written to the persistent table.  Solve persists from the
+     fence delta, then require the flush delta to agree. *)
+  let persists = pon_fe - poff_fe - pon_ev in
+  check
+    (Printf.sprintf
+       "profiler flush cost is 2/entry + 1/site (%d entries, %d sites)"
+       pon_ev persists)
+    (pon_f - poff_f = (2 * pon_ev) + persists);
+  check "profiler site persists are bounded by the interned set"
+    (persists >= 0 && persists <= Obs.Prof.site_count ());
+  Unix.putenv "OBS_DISABLED" "1";
+  let penv_f, penv_fe, penv_ev, penv_s, _ = prof_counts ~prof:true ~rate:4096 in
+  check "OBS_DISABLED forces the profiler off" (not (Obs.Prof.on ()));
+  check "OBS_DISABLED run samples nothing" (penv_s = 0 && penv_ev = 0);
+  check "OBS_DISABLED run adds no flushes or fences"
+    (penv_f = poff_f && penv_fe = poff_fe);
+  Unix.putenv "OBS_DISABLED" "0";
+  Obs.Prof.reset ();
+  if !failed then begin
+    prerr_endline "perf_smoke: heap profiler violated its cost contract";
+    exit 1
+  end;
+  print_endline
+    "perf_smoke: heap profiler is 2F+1F/entry + 1F+1F/site, free when off";
+
+  (* Profiler throughput contract: at the default rate (one sample per
+     512 KiB) the per-allocation cost is a budget decrement riding the
+     DLS fetch malloc already pays, plus one flat-bitmap probe per free.
+     Throughput is measured the way the repo's recorded benchmarks
+     measure it — the standard threadtest workload with metrics on
+     (BENCH_fig5a.json: "compare future runs with metrics on") — and
+     must stay within 5% of the profiler-off run.  Best-of-5 windows on
+     both sides squeeze out scheduler noise; a small absolute slack
+     absorbs timer granularity. *)
+  let tp_param =
+    { Workloads.Threadtest.iterations = 100;
+      objects_per_iter = 1000;
+      object_size = 64 }
+  in
+  let tp_off, tp_on =
+    Obs.set_enabled true;
+    let alloc_off = Baselines.Allocators.make "ralloc" ~size:(64 * mb) in
+    let alloc_on = Baselines.Allocators.make "ralloc" ~size:(64 * mb) in
+    let window alloc prof =
+      if prof then begin
+        Obs.Prof.set_rate Obs.Prof.default_rate;
+        Obs.Prof.set_enabled true
+      end;
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      ignore (Workloads.Threadtest.run alloc ~threads:1 tp_param);
+      let dt = Unix.gettimeofday () -. t0 in
+      Obs.Prof.set_enabled false;
+      dt
+    in
+    (* interleave the off and on windows so clock-frequency and cache
+       drift across the measurement hits both sides equally *)
+    let best_off = ref infinity and best_on = ref infinity in
+    for _ = 1 to 5 do
+      let doff = window alloc_off false in
+      let don = window alloc_on true in
+      if doff < !best_off then best_off := doff;
+      if don < !best_on then best_on := don
+    done;
+    Obs.Prof.reset ();
+    Obs.set_enabled false;
+    (!best_off, !best_on)
+  in
+  Printf.printf
+    "profiler threadtest best-of-5: off %.4fs, on(default rate) %.4fs \
+     (%+.1f%%)\n"
+    tp_off tp_on
+    ((tp_on -. tp_off) /. tp_off *. 100.);
+  check "profiler costs under 5% malloc throughput at the default rate"
+    (tp_on <= (tp_off *. 1.05) +. 0.003);
+  if !failed then begin
+    prerr_endline
+      "perf_smoke: heap profiler exceeded its throughput budget at the \
+       default sampling rate";
+    exit 1
+  end;
+  print_endline
+    "perf_smoke: heap profiler stays within 5% of uninstrumented throughput"

@@ -195,6 +195,84 @@ let render ~raw prev cur dt =
     [ "write"; "read" ];
   flush stdout
 
+(* ------------------------------ pkvc prof ------------------------------ *)
+(* Top allocation sites from the server's heap profiler: pull STATS and
+   pivot the prof_* families (one line per site per family) into a table
+   sorted by estimated live bytes. *)
+
+let cmd_prof socket port retries top =
+  let fd = connect ~retries (addr_of socket port) in
+  let text =
+    match rpc fd Proto.Stats with
+    | Proto.Text s -> s
+    | _ -> failwith "pkvc prof: unexpected STATS reply"
+  in
+  Unix.close fd;
+  let sites = Hashtbl.create 32 in
+  (* family -> (site -> value), parsed from lines like
+     prof_live_bytes{site="store.iset"} 123456 *)
+  let scan line =
+    let line = String.trim line in
+    let take family =
+      let pre = family ^ "{site=\"" in
+      let lp = String.length pre in
+      if String.length line > lp && String.sub line 0 lp = pre then
+        match String.index_from_opt line lp '"' with
+        | Some q ->
+          let site = String.sub line lp (q - lp) in
+          (match String.rindex_opt line ' ' with
+          | Some i -> (
+            match
+              float_of_string_opt
+                (String.sub line (i + 1) (String.length line - i - 1))
+            with
+            | Some v ->
+              let row =
+                match Hashtbl.find_opt sites site with
+                | Some r -> r
+                | None ->
+                  let r = Hashtbl.create 4 in
+                  Hashtbl.replace sites site r;
+                  r
+              in
+              Hashtbl.replace row family v
+            | None -> ())
+          | None -> ())
+        | None -> ()
+    in
+    List.iter take
+      [ "prof_live_bytes"; "prof_live_blocks"; "prof_cum_bytes_total";
+        "prof_cum_blocks_total" ]
+  in
+  List.iter scan (String.split_on_char '\n' text);
+  if Hashtbl.length sites = 0 then
+    print_endline
+      "no profile data (start pkvd with --prof-rate, then apply some load)"
+  else begin
+    let rows =
+      Hashtbl.fold
+        (fun site row acc ->
+          let g f =
+            match Hashtbl.find_opt row f with Some v -> v | None -> 0.0
+          in
+          ( site,
+            g "prof_live_bytes",
+            g "prof_live_blocks",
+            g "prof_cum_bytes_total",
+            g "prof_cum_blocks_total" )
+          :: acc)
+        sites []
+      |> List.sort (fun (_, a, _, _, _) (_, b, _, _, _) -> compare b a)
+    in
+    Printf.printf "%-28s %14s %12s %14s %12s\n" "site" "live_bytes"
+      "live_blocks" "cum_bytes" "cum_blocks";
+    List.iteri
+      (fun i (site, lb, lk, cb, ck) ->
+        if top = 0 || i < top then
+          Printf.printf "%-28s %14.0f %12.0f %14.0f %12.0f\n" site lb lk cb ck)
+      rows
+  end
+
 let cmd_top socket port retries interval count raw =
   if interval <= 0.0 then failwith "pkvc top: interval must be positive";
   let fd = connect ~retries (addr_of socket port) in
@@ -292,6 +370,18 @@ let cmds =
         $ Arg.(
             value & flag
             & info [ "strings" ] ~doc:"Load string bindings instead of ints."));
+    Cmd.v
+      (Cmd.info "prof"
+         ~doc:
+           "Top allocation sites from the server's sampling heap profiler \
+            (pkvd --prof-rate), by estimated live bytes.")
+      Term.(
+        const (fun (s, p, r) top -> cmd_prof s p r top)
+        $ common
+        $ Arg.(
+            value & opt int 20
+            & info [ "top" ] ~docv:"N"
+                ~doc:"Show only the $(docv) largest sites (0 = all)."));
     Cmd.v
       (Cmd.info "top"
          ~doc:

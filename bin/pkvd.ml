@@ -6,7 +6,8 @@
    worker's batch, commit it, and close the heap cleanly; a SIGKILL (or
    power loss) leaves a dirty image that the next open recovers. *)
 
-let run heap size socket port workers batch batch_usec queue_cap slow_us trace =
+let run heap size socket port workers batch batch_usec queue_cap slow_us trace
+    prof_rate metrics_port =
   let addr =
     match port with
     | Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
@@ -21,6 +22,8 @@ let run heap size socket port workers batch batch_usec queue_cap slow_us trace =
       batch_usec;
       queue_cap;
       slow_us;
+      prof_rate;
+      metrics_port;
     }
   in
   (* request-span trace events only exist while Obs.Trace is buffering;
@@ -45,6 +48,11 @@ let run heap size socket port workers batch batch_usec queue_cap slow_us trace =
     | Unix.ADDR_UNIX p -> p
     | Unix.ADDR_INET (_, p) -> Printf.sprintf "127.0.0.1:%d" p)
     workers batch batch_usec;
+  if prof_rate > 0 then
+    Printf.eprintf "pkvd: heap profiler on (1 sample / %d bytes)\n%!" prof_rate;
+  (match metrics_port with
+  | Some p -> Printf.eprintf "pkvd: metrics on http://127.0.0.1:%d/metrics\n%!" p
+  | None -> ());
   let quit = Atomic.make false in
   let request_stop _ = Atomic.set quit true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
@@ -127,12 +135,32 @@ let trace_arg =
           "Buffer request-stage span events and write them as Chrome \
            trace_event JSON to $(docv) on graceful shutdown.")
 
+let prof_rate_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "prof-rate" ] ~docv:"BYTES"
+        ~doc:
+          "Enable the sampling heap profiler: attribute roughly one \
+           allocation per $(docv) allocated bytes to its store-operation \
+           site, durably (survives SIGKILL; see rstat --prof).  0 \
+           disables.")
+
+let metrics_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve the Prometheus exposition over plain HTTP on \
+           127.0.0.1:$(docv) (GET /metrics).")
+
 let () =
   let doc = "Crash-recoverable persistent KV server with group commit" in
   let info = Cmd.info "pkvd" ~doc in
   let term =
     Term.(
       const run $ heap_arg $ size_arg $ socket_arg $ port_arg $ workers_arg
-      $ batch_arg $ batch_usec_arg $ queue_cap_arg $ slow_us_arg $ trace_arg)
+      $ batch_arg $ batch_usec_arg $ queue_cap_arg $ slow_us_arg $ trace_arg
+      $ prof_rate_arg $ metrics_port_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -60,8 +60,45 @@ let free_ns = Obs.Histogram.make "alloc.free_ns"
 let name (I ((module A), _)) = A.name
 let persistent (I ((module A), _)) = A.persistent
 
+(* Per-allocator default provenance site ("alloc.<name>"): when the heap
+   profiler is on and the workload never claimed an ambient site of its
+   own, sampled allocations are at least attributed to the allocator
+   under test.  Interned ids are memoized in a CAS'd assoc list so the
+   hot path never takes the intern lock. *)
+let site_memo : (string * int) list Atomic.t = Atomic.make []
+
+let rec default_site name =
+  match List.assoc_opt name (Atomic.get site_memo) with
+  | Some id -> id
+  | None ->
+      let id = Obs.Prof.site ("alloc." ^ name) in
+      let cur = Atomic.get site_memo in
+      if
+        List.mem_assoc name cur
+        || Atomic.compare_and_set site_memo cur ((name, id) :: cur)
+      then id
+      else default_site name
+
 let malloc (I ((module A), t)) size =
-  if Obs.on () then begin
+  if Obs.Prof.on () then begin
+    (* one DLS fetch covers the read-overwrite-restore of the ambient
+       site; the interned-id memo keeps the common case lock-free *)
+    let slot = Obs.Prof.ambient_slot () in
+    let saved = !slot in
+    if saved = Obs.Prof.unattributed then slot := default_site A.name;
+    let va =
+      if Obs.on () then begin
+        let t0 = Obs.now_ns () in
+        let va = A.malloc t size in
+        Obs.Histogram.record malloc_ns (Obs.now_ns () - t0);
+        va
+      end
+      else A.malloc t size
+    in
+    slot := saved;
+    va
+  end
+  else if Obs.on () then begin
     let t0 = Obs.now_ns () in
     let va = A.malloc t size in
     Obs.Histogram.record malloc_ns (Obs.now_ns () - t0);

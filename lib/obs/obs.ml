@@ -740,25 +740,30 @@ module Flight = struct
       end
     end
 
-  let record t ~kind ?(a = 0) ?(b = 0) ?(c = 0) () =
-    if !recording_on then begin
-      let seq = t.b.fetch_add off_head 1 in
-      let w = header_words + (((seq - 1) land t.mask) * entry_words) in
-      let ts = now_ns () in
-      t.b.store w seq;
-      t.b.store (w + 1) kind;
-      t.b.store (w + 2) a;
-      t.b.store (w + 3) b;
-      t.b.store (w + 4) c;
-      t.b.store (w + 5) ts;
-      t.b.store (w + 6) (checksum seq kind a b c ts);
-      t.b.store (w + 7) 0;
-      let kc = off_counters + (kind land (nkinds - 1)) in
-      ignore (t.b.fetch_add kc 1);
-      t.b.flush w;
-      t.b.flush kc;
-      t.b.fence ()
-    end
+  (* The ungated write path: used by [record] under this module's flag,
+     and by the provenance ring ([Prof.Ring] below) under the profiler's
+     own flag — the two recorders share one entry protocol but toggle
+     independently. *)
+  let record_now t ~kind ?(a = 0) ?(b = 0) ?(c = 0) () =
+    let seq = t.b.fetch_add off_head 1 in
+    let w = header_words + (((seq - 1) land t.mask) * entry_words) in
+    let ts = now_ns () in
+    t.b.store w seq;
+    t.b.store (w + 1) kind;
+    t.b.store (w + 2) a;
+    t.b.store (w + 3) b;
+    t.b.store (w + 4) c;
+    t.b.store (w + 5) ts;
+    t.b.store (w + 6) (checksum seq kind a b c ts);
+    t.b.store (w + 7) 0;
+    let kc = off_counters + (kind land (nkinds - 1)) in
+    ignore (t.b.fetch_add kc 1);
+    t.b.flush w;
+    t.b.flush kc;
+    t.b.fence ()
+
+  let record t ~kind ?a ?b ?c () =
+    if !recording_on then record_now t ~kind ?a ?b ?c ()
 
   (* Every complete entry currently in the ring, oldest first.  After a
      crash these are exactly the events whose [record] had fenced (plus
@@ -804,6 +809,533 @@ module Flight = struct
       List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) evs;
     let torn = torn_slots t in
     if torn > 0 then Format.fprintf ppf "(%d torn slot(s) detected)@." torn
+end
+
+(* ------------------------------------------------------------------ *)
+(* Heap provenance profiler                                           *)
+(*                                                                    *)
+(* A jemalloc-style byte-triggered sampling heap profiler: every       *)
+(* domain keeps a countdown of bytes-to-next-sample; each allocation   *)
+(* decrements it by its size, and the allocation that drives it        *)
+(* through zero is sampled and attributed to the calling domain's      *)
+(* ambient allocation site (interned names, pcheck-style).  A sample   *)
+(* of a block of [s] bytes at rate [r] stands in for ~max(s, r) bytes  *)
+(* and ~max(1, r/s) blocks, which makes the per-site live/cumulative   *)
+(* tallies unbiased estimates of the true census.                      *)
+(*                                                                    *)
+(* The volatile side is the site table + tallies + a sampled-block map *)
+(* (so a free cancels its sample).  The crash-surviving side is the    *)
+(* provenance ring ([Ring], the flight recorder's entry protocol over  *)
+(* its own metadata-region window) plus a persistent interned          *)
+(* site-name table ([Ptab]) so an offline inspector can resolve site   *)
+(* ids without the process that interned them.                         *)
+(*                                                                    *)
+(* Costs: disabled, every hook is one plain-ref flag test.  Enabled,   *)
+(* the malloc path pays one DLS countdown decrement and the free path  *)
+(* one atomic bitmap probe; everything heavier happens only on the     *)
+(* sampled (1-in-rate-bytes) path.                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Prof = struct
+  let prof_on = ref false
+  let default_rate = 512 * 1024
+  let sample_rate = ref default_rate
+
+  (* Budget generation: an allocator may cache its byte countdown in
+     per-domain state it already fetches on its fast path (ralloc keeps
+     it next to the thread caches), saving the extra DLS lookup here.
+     Such caches revalidate against this generation, so set_rate, reset
+     and re-enabling all take effect at the very next allocation instead
+     of after up to a rate's worth of stale budget. *)
+  let budget_gen = ref 1
+  let generation () = !budget_gen
+  let bump_generation () = incr budget_gen
+
+  let set_enabled b =
+    prof_on := b && not (hard_disabled ());
+    bump_generation ()
+
+  let enabled () = !prof_on
+  let on () = !prof_on
+
+  let set_rate r =
+    sample_rate := max 1 r;
+    bump_generation ()
+
+  let rate () = !sample_rate
+
+  (* ---- interned allocation sites (pcheck-style) ---- *)
+
+  let site_lock = Mutex.create ()
+  let site_ids : (string, int) Hashtbl.t = Hashtbl.create 64
+  let site_names = ref (Array.make 16 "")
+  let nsites = ref 0
+
+  let site name =
+    Mutex.lock site_lock;
+    let id =
+      match Hashtbl.find_opt site_ids name with
+      | Some id -> id
+      | None ->
+        let id = !nsites in
+        if id = Array.length !site_names then begin
+          let names = Array.make (2 * id) "" in
+          Array.blit !site_names 0 names 0 id;
+          site_names := names
+        end;
+        !site_names.(id) <- name;
+        Hashtbl.add site_ids name id;
+        incr nsites;
+        id
+    in
+    Mutex.unlock site_lock;
+    id
+
+  let unattributed = site "(unattributed)" (* always id 0 *)
+
+  let site_name id =
+    if id >= 0 && id < !nsites then !site_names.(id) else "(unknown)"
+
+  let site_count () = !nsites
+
+  (* The ambient site is per-domain: the last [set_site] before an
+     allocation owns its sample. *)
+  let site_key = Domain.DLS.new_key (fun () -> ref 0)
+  let set_site id = if !prof_on then Domain.DLS.get site_key := id
+  let current_site () = !(Domain.DLS.get site_key)
+  let ambient_slot () = Domain.DLS.get site_key
+
+  let with_site id f =
+    if not !prof_on then f ()
+    else begin
+      let r = Domain.DLS.get site_key in
+      let saved = !r in
+      r := id;
+      Fun.protect ~finally:(fun () -> r := saved) f
+    end
+
+  (* ---- byte-triggered countdown ---- *)
+
+  let countdown_key = Domain.DLS.new_key (fun () -> ref 0)
+
+  let should_sample size =
+    let c = Domain.DLS.get countdown_key in
+    let v = !c - size in
+    if v > 0 then begin
+      c := v;
+      false
+    end
+    else begin
+      c := !sample_rate;
+      true
+    end
+
+  (* Scaled weights: at rate r, a sampled block of s bytes was picked
+     with probability ~min(1, s/r), so it represents max(s, r) bytes and
+     max(1, r/s) blocks. *)
+  let weights size =
+    let r = !sample_rate and size = max 1 size in
+    if size >= r then (size, 1) else (r, max 1 (r / size))
+
+  (* ---- tallies and the sampled-block map ---- *)
+
+  type stat = {
+    mutable live_blocks : int;
+    mutable live_bytes : int;
+    mutable cum_blocks : int;
+    mutable cum_bytes : int;
+  }
+
+  let tally_lock = Mutex.create ()
+  let tallies : (int, stat) Hashtbl.t = Hashtbl.create 64
+  let sampled : (int, int * int * int) Hashtbl.t = Hashtbl.create 256
+  let samples_total = ref 0
+
+  let tally site =
+    match Hashtbl.find_opt tallies site with
+    | Some s -> s
+    | None ->
+      let s = { live_blocks = 0; live_bytes = 0; cum_blocks = 0; cum_bytes = 0 } in
+      Hashtbl.add tallies site s;
+      s
+
+  (* Quick filter in front of the sampled map: the free path must ask
+     "was this block sampled?" on every free, and the answer is almost
+     always no.  A fixed bitmap of hashed keys turns the common case into
+     one atomic load; bits are only set, so a miss is authoritative and a
+     hit falls through to the locked map.  False-positive rate stays low
+     because live samples number ~live_bytes/rate. *)
+  let filter_words = 8192
+  let filter = Array.make filter_words 0
+
+  let filter_slot key =
+    let h = key * 0x3f58476d1ce4e5b9 in
+    let h = (h lxor (h lsr 29)) land max_int in
+    (h land (filter_words - 1), 1 lsl ((h lsr 13) land 31))
+
+  (* Marks are rare (one per sample) and always made under [tally_lock],
+     so the read-modify-write cannot lose bits; the flat int array keeps
+     the probe a single plain load.  A prober only ever asks about a
+     block whose address it obtained — transitively — from the malloc
+     that set the bit, so the happens-before edge that delivered the
+     address also delivers the bit. *)
+  let filter_mark key =
+    let w, bit = filter_slot key in
+    filter.(w) <- filter.(w) lor bit
+
+  let filter_probably key =
+    let w, bit = filter_slot key in
+    Array.unsafe_get filter w land bit <> 0
+
+  let sample_alloc ~key ~site ~size =
+    let wb, wn = weights size in
+    Mutex.lock tally_lock;
+    filter_mark key;
+    incr samples_total;
+    (* a key can recur without an observed free (crash_and_reopen reuses
+       offsets); the stale sample must be cancelled, not double-counted *)
+    (match Hashtbl.find_opt sampled key with
+    | Some (os, ob, on_) ->
+      let st = tally os in
+      st.live_blocks <- st.live_blocks - on_;
+      st.live_bytes <- st.live_bytes - ob;
+      Hashtbl.remove sampled key
+    | None -> ());
+    Hashtbl.replace sampled key (site, wb, wn);
+    let st = tally site in
+    st.live_blocks <- st.live_blocks + wn;
+    st.live_bytes <- st.live_bytes + wb;
+    st.cum_blocks <- st.cum_blocks + wn;
+    st.cum_bytes <- st.cum_bytes + wb;
+    Mutex.unlock tally_lock
+
+  let note_free ~key =
+    if not (filter_probably key) then None
+    else begin
+      Mutex.lock tally_lock;
+      let r =
+        match Hashtbl.find_opt sampled key with
+        | None -> None
+        | Some (site, wb, wn) ->
+          Hashtbl.remove sampled key;
+          let st = tally site in
+          st.live_blocks <- st.live_blocks - wn;
+          st.live_bytes <- st.live_bytes - wb;
+          Some site
+      in
+      Mutex.unlock tally_lock;
+      r
+    end
+
+  let samples () =
+    Mutex.lock tally_lock;
+    let n = !samples_total in
+    Mutex.unlock tally_lock;
+    n
+
+  type site_stat = {
+    s_site : int;
+    s_name : string;
+    s_live_blocks : int;
+    s_live_bytes : int;
+    s_cum_blocks : int;
+    s_cum_bytes : int;
+  }
+
+  let stats () =
+    Mutex.lock tally_lock;
+    let rows =
+      Hashtbl.fold
+        (fun site st acc ->
+          {
+            s_site = site;
+            s_name = site_name site;
+            s_live_blocks = st.live_blocks;
+            s_live_bytes = st.live_bytes;
+            s_cum_blocks = st.cum_blocks;
+            s_cum_bytes = st.cum_bytes;
+          }
+          :: acc)
+        tallies []
+    in
+    Mutex.unlock tally_lock;
+    List.sort (fun a b -> compare b.s_live_bytes a.s_live_bytes) rows
+
+  let live_bytes () =
+    List.fold_left (fun acc r -> acc + max 0 r.s_live_bytes) 0 (stats ())
+
+  let live_blocks () =
+    List.fold_left (fun acc r -> acc + max 0 r.s_live_blocks) 0 (stats ())
+
+  let reset () =
+    Mutex.lock tally_lock;
+    Hashtbl.reset tallies;
+    Hashtbl.reset sampled;
+    samples_total := 0;
+    Array.fill filter 0 filter_words 0;
+    Mutex.unlock tally_lock;
+    Domain.DLS.get countdown_key := 0;
+    bump_generation ()
+
+  (* ---- exports ---- *)
+
+  let report ppf =
+    let rows = stats () in
+    if rows = [] then Format.fprintf ppf "(no heap samples)@."
+    else begin
+      Format.fprintf ppf "heap profile: %d samples, rate %d bytes@." (samples ())
+        !sample_rate;
+      Format.fprintf ppf "  %-32s %12s %12s %14s %12s@." "site" "live_blocks"
+        "live_bytes" "cum_blocks" "cum_bytes";
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "  %-32s %12d %12d %14d %12d@." r.s_name
+            r.s_live_blocks r.s_live_bytes r.s_cum_blocks r.s_cum_bytes)
+        rows
+    end
+
+  (* Collapsed-stack format (one frame deep: sites, not call stacks),
+     weighted by estimated live bytes — feedable to any flamegraph tool. *)
+  let collapsed buf =
+    List.iter
+      (fun r ->
+        if r.s_live_bytes > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "heap;%s %d\n" r.s_name r.s_live_bytes))
+      (stats ())
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* Speedscope "sampled" profile: one frame per site, one sample per
+     site, weights in estimated live bytes. *)
+  let speedscope buf =
+    let rows = List.filter (fun r -> r.s_live_bytes > 0) (stats ()) in
+    Buffer.add_string buf
+      "{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\",";
+    Buffer.add_string buf "\"shared\":{\"frames\":[";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "{\"name\":\"%s\"}" (json_escape r.s_name)))
+      rows;
+    Buffer.add_string buf "]},\"profiles\":[{\"type\":\"sampled\",";
+    Buffer.add_string buf
+      "\"name\":\"heap (estimated live bytes)\",\"unit\":\"bytes\",";
+    let total =
+      List.fold_left (fun acc r -> acc + r.s_live_bytes) 0 rows
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "\"startValue\":0,\"endValue\":%d,\"samples\":[" total);
+    List.iteri
+      (fun i _ ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "[%d]" i))
+      rows;
+    Buffer.add_string buf "],\"weights\":[";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int r.s_live_bytes))
+      rows;
+    Buffer.add_string buf "]}]}\n"
+
+  let prom_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let prometheus ppf =
+    let rows = stats () in
+    Format.fprintf ppf "# TYPE prof_sample_rate_bytes gauge@.";
+    Format.fprintf ppf "prof_sample_rate_bytes %d@." !sample_rate;
+    Format.fprintf ppf "# TYPE prof_samples_total counter@.";
+    Format.fprintf ppf "prof_samples_total %d@." (samples ());
+    let family name get =
+      Format.fprintf ppf "# TYPE %s gauge@." name;
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "%s{site=\"%s\"} %d@." name (prom_escape r.s_name)
+            (get r))
+        rows
+    in
+    family "prof_live_bytes" (fun r -> r.s_live_bytes);
+    family "prof_live_blocks" (fun r -> r.s_live_blocks);
+    let cum name get =
+      Format.fprintf ppf "# TYPE %s counter@." name;
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "%s{site=\"%s\"} %d@." name (prom_escape r.s_name)
+            (get r))
+        rows
+    in
+    cum "prof_cum_bytes_total" (fun r -> r.s_cum_bytes);
+    cum "prof_cum_blocks_total" (fun r -> r.s_cum_blocks)
+
+  (* ---- crash-surviving side ---- *)
+
+  (* The provenance ring: the flight recorder's checksummed one-line
+     entry protocol (2 flushes + 1 fence per entry, torn tails detected,
+     head cursor rebuilt at attach) over its own window, recording
+     sampled allocations and their frees.  Recording is NOT gated on the
+     flight recorder's flag — the caller gates on [Prof.on]. *)
+  module Ring = struct
+    type t = Flight.t
+
+    let alloc_kind = 1
+    let free_kind = 2
+    let words_for = Flight.words_for
+    let capacity = Flight.capacity
+    let format b ~capacity = Flight.format b ~capacity
+    let attach = Flight.attach
+
+    let record_alloc t ~site ~size ~off =
+      Flight.record_now t ~kind:alloc_kind ~a:site ~b:size ~c:off ()
+
+    let record_free t ~site ~size ~off =
+      Flight.record_now t ~kind:free_kind ~a:site ~b:size ~c:off ()
+
+    type entry = {
+      pseq : int;
+      is_alloc : bool;
+      psite : int;
+      psize : int;
+      poff : int;
+    }
+
+    let entries t =
+      List.filter_map
+        (fun (e : Flight.event) ->
+          if e.kind = alloc_kind || e.kind = free_kind then
+            Some
+              {
+                pseq = e.seq;
+                is_alloc = e.kind = alloc_kind;
+                psite = e.a;
+                psize = e.arg_b;
+                poff = e.c;
+              }
+          else None)
+        (Flight.tail t)
+
+    (* Replay the window: sampled allocations not cancelled by a later
+       free of the same offset — the sampled blocks live at the moment of
+       the crash (as far as the surviving window can tell). *)
+    let live t =
+      let tbl : (int, entry) Hashtbl.t = Hashtbl.create 256 in
+      List.iter
+        (fun e ->
+          if e.is_alloc then Hashtbl.replace tbl e.poff e
+          else Hashtbl.remove tbl e.poff)
+        (entries t);
+      let rows = Hashtbl.fold (fun _ e acc -> e :: acc) tbl [] in
+      List.sort (fun a b -> compare a.pseq b.pseq) rows
+
+    let torn_slots = Flight.torn_slots
+    let total_recorded = Flight.total_recorded
+    let alloc_count t = Flight.kind_count t alloc_kind
+    let free_count t = Flight.kind_count t free_kind
+  end
+
+  (* The persistent interned site-name table: fixed-capacity array of
+     one-line records indexed by site id, written durably the first time
+     a site is sampled on a given heap, so [Ring] entries resolve to
+     names offline.  Record layout: word 0 = name length in bytes (0 =
+     empty slot, stored last so an early eviction reads as empty), words
+     1..7 = up to 49 name bytes packed 7 per word little-endian. *)
+  module Ptab = struct
+    let magic = 0x50524F4653495445 land max_int (* "PROFSITE" *)
+    let header_words = 8
+    let record_words = 8
+    let max_name = 49
+
+    type t = { b : Flight.backend; capacity : int }
+
+    let capacity t = t.capacity
+    let words_for ~capacity = header_words + (capacity * record_words)
+
+    let format (b : Flight.backend) ~capacity =
+      if capacity < 1 || words_for ~capacity > b.Flight.words then
+        invalid_arg "Obs.Prof.Ptab.format: window too small for capacity";
+      b.Flight.store 0 magic;
+      b.Flight.store 1 capacity;
+      for w = header_words to words_for ~capacity - 1 do
+        b.Flight.store w 0
+      done;
+      { b; capacity }
+
+    let attach (b : Flight.backend) =
+      if b.Flight.words < header_words then None
+      else if b.Flight.load 0 <> magic then None
+      else
+        let cap = b.Flight.load 1 in
+        if cap < 1 || words_for ~capacity:cap > b.Flight.words then None
+        else Some { b; capacity = cap }
+
+    (* Durable when it returns: the record is one cache line, so this is
+       1 flush + 1 fence.  Out-of-range ids are skipped (the ring entry
+       then prints as "(site N)" offline). *)
+    let persist t id name =
+      if id >= 0 && id < t.capacity then begin
+        let w0 = header_words + (id * record_words) in
+        let n = min (String.length name) max_name in
+        for wi = 0 to 6 do
+          let word = ref 0 in
+          for bi = 0 to 6 do
+            let i = (wi * 7) + bi in
+            if i < n then word := !word lor (Char.code name.[i] lsl (bi * 8))
+          done;
+          t.b.Flight.store (w0 + 1 + wi) !word
+        done;
+        t.b.Flight.store w0 n;
+        t.b.Flight.flush w0;
+        t.b.Flight.fence ()
+      end
+
+    let name t id =
+      if id < 0 || id >= t.capacity then None
+      else
+        let w0 = header_words + (id * record_words) in
+        let n = t.b.Flight.load w0 in
+        if n <= 0 || n > max_name then None
+        else begin
+          let buf = Bytes.create n in
+          for i = 0 to n - 1 do
+            let wi = i / 7 and bi = i mod 7 in
+            Bytes.set buf i
+              (Char.chr
+                 ((t.b.Flight.load (w0 + 1 + wi) lsr (bi * 8)) land 0xFF))
+          done;
+          Some (Bytes.to_string buf)
+        end
+
+    let count t =
+      let n = ref 0 in
+      for id = 0 to t.capacity - 1 do
+        if name t id <> None then incr n
+      done;
+      !n
+  end
+
 end
 
 (* ------------------------------------------------------------------ *)
@@ -874,7 +1406,10 @@ let prometheus ppf =
         end
       | Derived f ->
         Format.fprintf ppf "# TYPE %s gauge@.%s %.6f@." n n (f ()))
-    (sorted_metrics ())
+    (sorted_metrics ());
+  (* heap-profile families ride along whenever the profiler has (or is
+     collecting) samples, so one scrape serves both *)
+  if Prof.enabled () || Prof.samples () > 0 then Prof.prometheus ppf
 
 let reset () =
   List.iter

@@ -32,12 +32,14 @@ val set_enabled : bool -> unit
 
     If the environment variable [OBS_DISABLED] is set (to anything but
     [""] or ["0"]), every enable toggle in this library — this one,
-    {!Trace.set_enabled} and {!Flight.set_enabled} — becomes a no-op, so
+    {!Trace.set_enabled}, {!Span.set_enabled}, {!Flight.set_enabled} and
+    {!Prof.set_enabled} — becomes a no-op, so
     all instrumentation stays hard-off regardless of what the program
     asks for.  The environment is consulted at toggle time only; the
     recording hot paths still test a single plain flag. *)
 
 val enabled : unit -> bool
+(** Whether metric recording is currently on. *)
 
 val on : unit -> bool
 (** Alias of {!enabled} for hot call sites:
@@ -57,11 +59,16 @@ module Counter : sig
   (** Add one.  No-op while recording is disabled. *)
 
   val add : t -> int -> unit
+  (** Add an arbitrary amount.  No-op while recording is disabled. *)
+
   val read : t -> int
   (** Sum over all shards. *)
 
   val reset : t -> unit
+  (** Zero every shard. *)
+
   val name : t -> string
+  (** The name the counter was registered under. *)
 end
 
 (** {1 Gauges} *)
@@ -70,13 +77,24 @@ module Gauge : sig
   type t
 
   val make : string -> t
+  (** [make name] creates and registers the gauge, or returns the
+      existing gauge of that name.
+      @raise Invalid_argument if [name] is registered as another kind. *)
+
   val set : t -> int -> unit
   (** No-op while recording is disabled. *)
 
   val add : t -> int -> unit
+  (** Adjust by a (possibly negative) delta.  No-op while disabled. *)
+
   val read : t -> int
+  (** Current value (shard-summed). *)
+
   val reset : t -> unit
+  (** Zero the gauge. *)
+
   val name : t -> string
+  (** The name the gauge was registered under. *)
 end
 
 (** {1 Histograms}
@@ -91,19 +109,26 @@ module Histogram : sig
   type t
 
   val make : string -> t
+  (** [make name] creates and registers the histogram, or returns the
+      existing histogram of that name.
+      @raise Invalid_argument if [name] is registered as another kind. *)
 
   val record : t -> int -> unit
   (** [record h v] adds observation [v] (clamped to [0, 2{^31}]).  No-op
       while recording is disabled. *)
 
   val count : t -> int
+  (** Number of observations recorded so far. *)
 
   val quantile : t -> float -> int
   (** [quantile h q] for [q] in [0,1]: an upper bound of the [q]-quantile
       of everything recorded so far (0 if nothing was). *)
 
   val max_value : t -> int
+  (** Largest value recorded, exactly (not bucket-rounded). *)
+
   val mean : t -> float
+  (** Arithmetic mean of everything recorded ([0.] if nothing was). *)
 
   (** A summed, immutable copy of the bucket state — the merge of every
       domain's shard.  Snapshots of the same histogram can be subtracted
@@ -111,14 +136,23 @@ module Histogram : sig
   type snap
 
   val snapshot : t -> snap
+  (** Capture the current merged bucket state. *)
+
   val diff : snap -> snap -> snap
   (** [diff after before].  [max]/[mean] of a diff refer to the [after]
       snapshot's whole history, counts and quantiles to the window. *)
 
   val snap_count : snap -> int
+  (** Observations in the snapshot (or window, for a {!diff}). *)
+
   val snap_quantile : snap -> float -> int
+  (** Quantile over the snapshot, as {!quantile} over a live histogram. *)
+
   val reset : t -> unit
+  (** Zero every bucket in every shard. *)
+
   val name : t -> string
+  (** The name the histogram was registered under. *)
 end
 
 val register_derived : string -> (unit -> float) -> unit
@@ -132,6 +166,7 @@ module Trace : sig
   (** Off by default.  Independent of the metrics flag. *)
 
   val enabled : unit -> bool
+  (** Whether event tracing is currently on. *)
 
   val set_capacity : int -> unit
   (** Events retained per shard (rounded up to a power of two, default
@@ -160,6 +195,7 @@ module Trace : sig
       Negative values are clamped to 0. *)
 
   val clear : unit -> unit
+  (** Drop every buffered event on every shard. *)
 
   val write_chrome_trace : string -> unit
   (** Write every buffered event to a file as Chrome [trace_event] JSON
@@ -211,6 +247,7 @@ module Span : sig
       the metrics flag ({!val:set_enabled}) is also on. *)
 
   val enabled : unit -> bool
+  (** Whether span timing is currently on. *)
 
   val on : unit -> bool
   (** Alias of {!enabled} for hot call sites. *)
@@ -334,20 +371,49 @@ module Flight : sig
       code back to a label for display. *)
   module Kind : sig
     val malloc : int
+    (** A block was allocated ([a]=size class, [b]=block offset). *)
+
     val free : int
+    (** A block was freed ([a]=size class, [b]=block offset). *)
+
     val sb_provision : int
+    (** A fresh superblock was carved from the region tail. *)
+
     val sb_acquire : int
+    (** A partial superblock was adopted from the global heap. *)
+
     val sb_retire : int
+    (** A superblock was returned to the global heap. *)
+
     val txn_commit : int
+    (** A server write batch committed. *)
+
     val txn_abort : int
+    (** A server write batch aborted. *)
+
     val recovery_begin : int
+    (** Post-crash recovery started. *)
+
     val recovery_trace : int
+    (** A recovery garbage-collection pass progressed ([a]=phase). *)
+
     val recovery_done : int
+    (** Recovery finished; the heap is consistent again. *)
+
     val heap_open : int
+    (** The heap was created or attached. *)
+
     val heap_close : int
+    (** The heap was detached cleanly. *)
+
     val root_set : int
+    (** A persistent root slot was updated. *)
+
     val slow_op : int
+    (** An operation exceeded its latency budget ([a]=duration class). *)
+
     val name : int -> string
+    (** Label for a kind code (["?"] for unknown codes). *)
   end
 
   type t
@@ -359,6 +425,7 @@ module Flight : sig
       no NVM traffic, no flushes, no fences — a true no-op. *)
 
   val enabled : unit -> bool
+  (** Whether flight recording is currently on. *)
 
   val words_for : capacity:int -> int
   (** Window size in words needed for a ring of [capacity] entries
@@ -379,6 +446,7 @@ module Flight : sig
       [None] if the window does not hold a valid ring. *)
 
   val capacity : t -> int
+  (** Number of entry slots in the attached ring. *)
 
   val record : t -> kind:int -> ?a:int -> ?b:int -> ?c:int -> unit -> unit
   (** Append one event: claim a slot ([fetch_add] on the head cursor),
@@ -420,9 +488,272 @@ module Flight : sig
       {!attach} this is the durable event count). *)
 
   val pp_event : Format.formatter -> event -> unit
+  (** Print one event as [seq kind(a,b,c) @ts]. *)
 
   val pp_tail : ?limit:int -> Format.formatter -> t -> unit
   (** Print the tail, one event per line, noting torn slots if any. *)
+end
+
+(** {1 Heap provenance profiler}
+
+    A jemalloc-style byte-triggered sampling heap profiler.  Every domain
+    keeps a countdown of bytes-to-next-sample; each allocation decrements
+    it by its size and the allocation that drives it through zero is
+    sampled, attributed to the calling domain's ambient {e allocation
+    site} (an interned name, same discipline as [Pmem.Check.site]), and
+    scaled: a sampled block of [s] bytes at rate [r] stands in for
+    [max(s, r)] estimated bytes and [max(1, r/s)] estimated blocks, so
+    the per-site live/cumulative tallies are unbiased estimates of the
+    true census.  Frees of sampled blocks cancel their samples.
+
+    Attribution survives crashes: sampled allocations and their frees are
+    also written to a persistent {e provenance ring} ({!Prof.Ring}, the
+    flight recorder's checksummed entry protocol over its own
+    metadata-region window) and site names to a persistent interned table
+    ({!Prof.Ptab}), so an offline inspector ([rstat --prof]) can replay
+    which sites allocated the blocks that survived a [kill -9].
+
+    Cost contract: disabled (default, and forced off under
+    [OBS_DISABLED]), every hook is one plain-ref flag test — no NVM
+    traffic, no flushes, no fences, no allocation.  Enabled, the malloc
+    path pays one per-domain countdown decrement and the free path one
+    atomic bitmap probe; ring writes happen only on the sampled path. *)
+
+module Prof : sig
+  val set_enabled : bool -> unit
+  (** Master switch, off by default; independent of every other obs flag
+      and forced off under [OBS_DISABLED]. *)
+
+  val enabled : unit -> bool
+  (** Whether profiling is currently on. *)
+
+  val on : unit -> bool
+  (** Alias of {!enabled} for hot call sites. *)
+
+  val default_rate : int
+  (** The default sampling rate: one sample per 512 KiB allocated. *)
+
+  val set_rate : int -> unit
+  (** Set the sampling rate in bytes (clamped to at least 1).  Takes
+      effect at each domain's next countdown reset. *)
+
+  val rate : unit -> int
+  (** The current sampling rate in bytes. *)
+
+  (** {2 Allocation sites} *)
+
+  val site : string -> int
+  (** [site "store.iset"] interns a site name to a dense id.  Cheap but
+      lock-taking: call at module or heap init, not on hot paths. *)
+
+  val unattributed : int
+  (** The reserved site id 0, ["(unattributed)"] — the ambient site of a
+      domain that never called {!set_site}. *)
+
+  val site_name : int -> string
+  (** The name a site id was interned under (["(unknown)"] if invalid). *)
+
+  val site_count : unit -> int
+  (** Number of interned sites so far. *)
+
+  val set_site : int -> unit
+  (** Make a site the calling domain's ambient owner: subsequent sampled
+      allocations on this domain are attributed to it until the next
+      [set_site].  A no-op while the profiler is disabled. *)
+
+  val current_site : unit -> int
+  (** The calling domain's ambient site (0 = unattributed). *)
+
+  val ambient_slot : unit -> int ref
+  (** The calling domain's ambient-site cell — the ref {!set_site}
+      writes and {!current_site} reads.  For wrappers that install a
+      default site around every allocation (alloc_iface): read,
+      conditionally overwrite, restore, all on one DLS fetch.  Treat the
+      ref as domain-local scratch; never share it across domains. *)
+
+  val with_site : int -> (unit -> 'a) -> 'a
+  (** Run a thunk with the ambient site set, restoring the previous owner
+      afterwards.  Calls the thunk directly when disabled. *)
+
+  (** {2 Sampling hooks (called by the allocator)} *)
+
+  val should_sample : int -> bool
+  (** [should_sample size] decrements the calling domain's countdown by
+      [size] bytes; [true] when this allocation triggered a sample (the
+      countdown then resets to the rate).  Call only while {!on}. *)
+
+  val generation : unit -> int
+  (** The budget generation.  An allocator that keeps its byte countdown
+      in per-domain state it already fetches (saving this module's DLS
+      lookup) must revalidate that cache whenever the generation moves:
+      it is bumped by {!set_rate}, {!set_enabled} and {!reset}, and a
+      stale cache should restart from a zero budget (sample at once). *)
+
+  val sample_alloc : key:int -> site:int -> size:int -> unit
+  (** Record a sampled allocation: [key] identifies the block (the caller
+      mixes its heap id into the offset so two heaps cannot collide),
+      [site] owns it, [size] is the block size the scaled weights derive
+      from. *)
+
+  val note_free : key:int -> int option
+  (** The free-path hook: if [key] was sampled, cancel its live tallies
+      and return its owning site (so the caller can write the provenance
+      free entry); [None] otherwise.  The common miss case is one atomic
+      bitmap probe. *)
+
+  (** {2 Tallies} *)
+
+  type site_stat = {
+    s_site : int;  (** interned site id *)
+    s_name : string;  (** its name *)
+    s_live_blocks : int;  (** estimated blocks currently live *)
+    s_live_bytes : int;  (** estimated bytes currently live *)
+    s_cum_blocks : int;  (** estimated blocks ever allocated *)
+    s_cum_bytes : int;  (** estimated bytes ever allocated *)
+  }
+  (** One site's scaled estimates. *)
+
+  val stats : unit -> site_stat list
+  (** Per-site estimates, largest live-bytes first. *)
+
+  val live_bytes : unit -> int
+  (** Total estimated live bytes across all sites. *)
+
+  val live_blocks : unit -> int
+  (** Total estimated live blocks across all sites. *)
+
+  val samples : unit -> int
+  (** Number of allocations sampled so far. *)
+
+  val reset : unit -> unit
+  (** Drop all tallies, samples and the calling domain's countdown.
+      Interned sites survive. *)
+
+  (** {2 Exports} *)
+
+  val report : Format.formatter -> unit
+  (** Human-readable per-site table of the scaled estimates. *)
+
+  val collapsed : Buffer.t -> unit
+  (** Collapsed-stack lines ([heap;<site> <live_bytes>]), one frame deep,
+      feedable to any flamegraph tool. *)
+
+  val speedscope : Buffer.t -> unit
+  (** A speedscope JSON profile ([type:"sampled"], unit bytes): one frame
+      per site weighted by estimated live bytes. *)
+
+  val prometheus : Format.formatter -> unit
+  (** Prometheus exposition of the profile: [prof_live_bytes{site=}],
+      [prof_live_blocks{site=}], [prof_cum_*_total{site=}],
+      [prof_samples_total] and [prof_sample_rate_bytes].  Also appended
+      to {!val:prometheus} whenever the profiler is enabled or holds
+      samples. *)
+
+  (** {2 Persistent provenance ring}
+
+      The crash-surviving record of sampled allocations and frees: the
+      flight recorder's one-line checksummed entry protocol (2 flushes +
+      1 fence per entry, torn tails detected, head cursor rebuilt at
+      attach) over its own reserved window, with (site, size, offset)
+      payloads.  Recording is {e not} gated on {!Flight.set_enabled} —
+      the allocator gates on {!on} instead. *)
+
+  module Ring : sig
+    type t
+    (** An attached provenance ring. *)
+
+    val words_for : capacity:int -> int
+    (** Window words needed for [capacity] entries (see
+        {!Flight.words_for}). *)
+
+    val format : Flight.backend -> capacity:int -> t
+    (** Initialize a fresh ring in the window; durability is the caller's
+        concern.  @raise Invalid_argument if the window is too small. *)
+
+    val attach : Flight.backend -> t option
+    (** Re-attach to a formatted ring, rebuilding the head cursor;
+        [None] if the window holds no valid ring. *)
+
+    val capacity : t -> int
+    (** Entry slots in the ring. *)
+
+    val record_alloc : t -> site:int -> size:int -> off:int -> unit
+    (** Durably append a sampled-allocation entry (2 flushes + 1 fence).
+        Unconditional: the caller gates on {!on}. *)
+
+    val record_free : t -> site:int -> size:int -> off:int -> unit
+    (** Durably append the free of a sampled block. *)
+
+    type entry = {
+      pseq : int;  (** monotonic sequence number *)
+      is_alloc : bool;  (** allocation or free *)
+      psite : int;  (** interned site id *)
+      psize : int;  (** block size in bytes *)
+      poff : int;  (** block offset in the superblock region *)
+    }
+    (** One decoded provenance entry. *)
+
+    val entries : t -> entry list
+    (** Every complete entry in the ring, oldest first. *)
+
+    val live : t -> entry list
+    (** Replay the window: sampled allocations not cancelled by a later
+        free of the same offset — the sampled blocks live at the crash,
+        as far as the surviving window can tell. *)
+
+    val torn_slots : t -> int
+    (** Slots holding a started-but-incomplete entry. *)
+
+    val total_recorded : t -> int
+    (** Sequence numbers handed out over the ring's life. *)
+
+    val alloc_count : t -> int
+    (** Durable lifetime count of allocation entries (survives wrap). *)
+
+    val free_count : t -> int
+    (** Durable lifetime count of free entries. *)
+  end
+
+  (** {2 Persistent site-name table}
+
+      A fixed-capacity array of one-line records indexed by site id,
+      written durably the first time a site is sampled on a heap, so ring
+      entries resolve to names offline.  The length word is stored last
+      within the record's single line, so a spontaneous eviction that
+      persists the line mid-write reads back as an empty slot, never a
+      torn name. *)
+
+  module Ptab : sig
+    type t
+    (** An attached site-name table. *)
+
+    val max_name : int
+    (** Longest persistable name in bytes (longer names truncate). *)
+
+    val words_for : capacity:int -> int
+    (** Window words needed for [capacity] site records. *)
+
+    val format : Flight.backend -> capacity:int -> t
+    (** Initialize an empty table in the window; durability is the
+        caller's concern.  @raise Invalid_argument if it does not fit. *)
+
+    val attach : Flight.backend -> t option
+    (** Re-attach to a formatted table; [None] if the window holds no
+        valid one. *)
+
+    val capacity : t -> int
+    (** Site-record slots (ids at or above this are not persisted). *)
+
+    val persist : t -> int -> string -> unit
+    (** [persist t id name] durably writes the record for site [id]
+        (1 flush + 1 fence; out-of-range ids are skipped). *)
+
+    val name : t -> int -> string option
+    (** The persisted name of a site id, [None] for empty slots. *)
+
+    val count : t -> int
+    (** Number of non-empty records. *)
+  end
 end
 
 (** {1 Registry} *)

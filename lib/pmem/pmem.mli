@@ -37,8 +37,13 @@ val create : ?name:string -> size_bytes:int -> unit -> t
     messages and file headers. *)
 
 val size_bytes : t -> int
+(** Region capacity in bytes (after line rounding). *)
+
 val size_words : t -> int
+(** Region capacity in 8-byte words. *)
+
 val name : t -> string
+(** The name given at creation ([""] if none). *)
 
 (** {1 Word operations (volatile view)} *)
 
@@ -81,6 +86,7 @@ val set_mode : mode -> unit
     {!Pipelined}). *)
 
 val current_mode : unit -> mode
+(** The persistence cost model currently in effect. *)
 
 val flush : t -> int -> unit
 (** [flush t w] writes the cache line containing word [w] back to the
@@ -180,6 +186,7 @@ val load_byte : t -> int -> int
 (** [load_byte t off] reads the byte at byte-offset [off]. *)
 
 val store_byte : t -> int -> int -> unit
+(** [store_byte t off v] writes byte [v land 0xff] at byte-offset [off]. *)
 
 val store_string : t -> int -> string -> unit
 (** [store_string t off s] copies [s] to byte-offset [off].  Bytes within a
@@ -245,8 +252,13 @@ module Stats : sig
   }
 
   val read : t -> snapshot
+  (** Counts accumulated by the region since creation or {!reset}. *)
+
   val reset : t -> unit
+  (** Zero the region's counters. *)
+
   val diff : snapshot -> snapshot -> snapshot
+  (** [diff after before]: field-wise subtraction, for timed windows. *)
 
   val global : unit -> snapshot
   (** Process-wide totals across every region, read from the [Obs]
@@ -281,7 +293,11 @@ end
     under it. *)
 module Check : sig
   val set_enabled : bool -> unit
+  (** Turn the checker on or off.  Enabling allocates shadow state for
+      regions lazily on their next persistence operation. *)
+
   val enabled : unit -> bool
+  (** Whether the checker is currently on. *)
 
   val on : unit -> bool
   (** Alias of {!enabled} for hot call sites. *)
@@ -294,6 +310,7 @@ module Check : sig
       init, not on the hot path. *)
 
   val site_name : int -> string
+  (** The name a site id was interned under (["?"] if invalid). *)
 
   val set_site : int -> unit
   (** Make a site the calling domain's ambient owner: subsequent
@@ -323,7 +340,10 @@ module Check : sig
   }
 
   val totals : unit -> totals
+  (** Process-wide tallies since load or {!reset}. *)
+
   val diff : totals -> totals -> totals
+  (** [diff after before]: field-wise subtraction, for timed windows. *)
 
   val wasted_flushes : totals -> int
   (** [t_wasted_flush_clean + t_wasted_flush_dup]. *)

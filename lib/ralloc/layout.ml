@@ -6,7 +6,15 @@ let meta_magic = 0
 let meta_dirty = 1
 let meta_heap_size = 2
 let meta_heap_id = 3
+let meta_layout_version = 4
 let meta_free_list_head = 8
+
+(* Bumped whenever the metadata word layout changes incompatibly (a new
+   carve-out moves [meta_words], a field moves).  v2 = the provenance
+   ring + site table carve-outs; images formatted before the version
+   word existed read 0 here.  Attach must refuse a mismatch rather than
+   misread offsets. *)
+let layout_version = 2
 let roots_base = 16
 
 let meta_root i =
@@ -26,7 +34,19 @@ let meta_class_partial_head c = class_records_base + (c * 8) + 1
 let flight_base = class_records_base + ((Size_class.count + 1) * 8) + 8
 let flight_capacity = 256
 let flight_words = Obs.Flight.words_for ~capacity:flight_capacity
-let meta_words = flight_base + flight_words
+
+(* The heap-provenance profiler's crash-surviving state sits after the
+   flight ring: the provenance ring (sampled allocations and their
+   frees, same entry protocol) and the interned site-name table that
+   lets an offline inspector resolve its site ids.  Sizes come from
+   Obs.Prof so the carve-outs can never drift from the writers. *)
+let prov_base = flight_base + flight_words
+let prov_capacity = 1024
+let prov_words = Obs.Prof.Ring.words_for ~capacity:prov_capacity
+let ptab_base = prov_base + prov_words
+let ptab_capacity = 128
+let ptab_words = Obs.Prof.Ptab.words_for ~capacity:ptab_capacity
+let meta_words = ptab_base + ptab_words
 let magic_value = 0x52414C4C4F43 (* "RALLOC" *)
 let sb_size_word = 0
 let sb_used_word = 1

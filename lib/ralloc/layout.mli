@@ -26,6 +26,16 @@ val meta_magic : int
 val meta_dirty : int
 val meta_heap_size : int
 val meta_heap_id : int
+
+val meta_layout_version : int
+(** Word holding the metadata layout version the heap was formatted
+    with.  Images formatted before the word existed read 0. *)
+
+val layout_version : int
+(** The layout version this build writes and requires (2: the
+    provenance-ring and site-table carve-outs).  Attach refuses images
+    stamped with any other version instead of misreading offsets. *)
+
 val meta_free_list_head : int
 val meta_root : int -> int
 (** [meta_root i] for [0 <= i < max_roots]. *)
@@ -45,6 +55,26 @@ val flight_capacity : int
 
 val flight_words : int
 (** Window size, [Obs.Flight.words_for ~capacity:flight_capacity]. *)
+
+val prov_base : int
+(** First word of the provenance-ring window (sampled allocations and
+    their frees, see {!Obs.Prof.Ring}), directly after the flight ring. *)
+
+val prov_capacity : int
+(** Provenance ring capacity in entries (1024, one cache line each). *)
+
+val prov_words : int
+(** Window size, [Obs.Prof.Ring.words_for ~capacity:prov_capacity]. *)
+
+val ptab_base : int
+(** First word of the persistent site-name table window (see
+    {!Obs.Prof.Ptab}), directly after the provenance ring. *)
+
+val ptab_capacity : int
+(** Site-name slots (128; sites with higher ids are not persisted). *)
+
+val ptab_words : int
+(** Window size, [Obs.Prof.Ptab.words_for ~capacity:ptab_capacity]. *)
 
 val meta_words : int
 val magic_value : int

@@ -6,6 +6,17 @@ module Tcache = Tcache
 type gc = { visit : ?filter:filter -> int -> unit }
 and filter = gc -> int -> unit
 
+(* Per-domain allocator state, one DLS fetch per malloc: the thread
+   caches plus the profiler's byte countdown, which rides along so the
+   sampling hook costs a decrement rather than a second DLS lookup.
+   [prof_gen] revalidates the budget against Obs.Prof.generation (rate
+   changes, resets and re-enables restart it from zero = sample now). *)
+type dls_state = {
+  tcs : Tcache.set;
+  mutable prof_budget : int;
+  mutable prof_gen : int;
+}
+
 type t = {
   meta : Pmem.t;
   desc : Pmem.t;
@@ -15,13 +26,22 @@ type t = {
   path : string option;
   nsb : int;
   expansion_sbs : int;
-  tcache_key : Tcache.set Domain.DLS.key;
+  tcache_key : dls_state Domain.DLS.key;
   use_tcache : bool;
   filters : filter option array;
   heap_name : string;
   flight : Obs.Flight.t option;
       (* the persistent flight recorder in the metadata region's reserved
          window; None only for images formatted before the window existed *)
+  prov : Obs.Prof.Ring.t option;
+      (* the persistent provenance ring (sampled allocations and their
+         frees) right after the flight window; None for pre-v2 images *)
+  ptab : Obs.Prof.Ptab.t option;
+      (* persistent interned site-name table resolving the ring's ids *)
+  ptab_persisted : Bytes.t;
+      (* one byte per persistable site id: nonzero once this handle wrote
+         the name to [ptab].  Racy duplicate persists are idempotent. *)
+  hid : int; (* cached meta_heap_id; keys provenance samples per heap *)
   mutable closed : bool;
 }
 
@@ -146,6 +166,39 @@ let flight_record t ~kind ?(a = 0) ?(b = 0) ?(c = 0) () =
     | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Heap-provenance profiler plumbing                                  *)
+(*                                                                    *)
+(* The provenance ring and site-name table share the flight window's  *)
+(* carve-out discipline: reserved, line-aligned tail windows accessed *)
+(* through the abstract Obs.Flight backend so the carve-outs can      *)
+(* never drift from the writers (Layout.prov_base / ptab_base).       *)
+(* ------------------------------------------------------------------ *)
+
+let prov_window meta =
+  Pmem.flight_backend meta ~first_word:Layout.prov_base
+    ~words:Layout.prov_words
+
+let ptab_window meta =
+  Pmem.flight_backend meta ~first_word:Layout.ptab_base
+    ~words:Layout.ptab_words
+
+(* Same rule as the flight ring: a persist:false heap stays flush-free
+   even when the profiler is on. *)
+let prov_backend_of ~persist meta =
+  let b = prov_window meta in
+  if persist then b
+  else { b with Obs.Flight.flush = (fun _ -> ()); fence = (fun () -> ()) }
+
+let ptab_backend_of ~persist meta =
+  let b = ptab_window meta in
+  if persist then b
+  else { b with Obs.Flight.flush = (fun _ -> ()); fence = (fun () -> ()) }
+
+let prov t = t.prov
+let prov_site_name t id =
+  match t.ptab with Some tab -> Obs.Prof.Ptab.name tab id | None -> None
+
+(* ------------------------------------------------------------------ *)
 (* Region access helpers                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -199,6 +252,79 @@ let load_string t va len = Pmem.load_string t.sb (va - t.sb_base) len
 
 let flush_block_range t va len =
   if t.persist && len > 0 then Pmem.flush_range t.sb (sb_word t va) ((len + 7) / 8)
+
+(* ------------------------------------------------------------------ *)
+(* Heap-provenance sampling hooks                                     *)
+(*                                                                    *)
+(* malloc pays one countdown decrement per allocation while the       *)
+(* profiler is on (Obs.Prof.should_sample); everything else — site    *)
+(* lookup, tally update, ring entry, name persist — runs only on the  *)
+(* sampled path, roughly once per sample_rate allocated bytes.  free  *)
+(* pays one atomic bitmap probe (Obs.Prof.note_free) that is          *)
+(* authoritative on miss, so unsampled frees never take a lock.       *)
+(* ------------------------------------------------------------------ *)
+
+(* Samples are keyed by (heap, offset): offsets recur across heaps in
+   one process and across crash_and_reopen generations of the same
+   image, so mix in the persistent heap id. *)
+let prof_key t off = (t.hid * 0x3f58476d1ce4e5b9) lxor off
+
+(* Write the site's name into the persistent table the first time this
+   handle samples it, so an offline inspector can resolve the ring's
+   ids after a crash.  One flush + fence per (handle, site) lifetime. *)
+let prof_persist_site t site =
+  match t.ptab with
+  | None -> ()
+  | Some tab ->
+      if
+        site >= 0
+        && site < Bytes.length t.ptab_persisted
+        && Bytes.get t.ptab_persisted site = '\000'
+      then begin
+        Bytes.set t.ptab_persisted site '\001';
+        Obs.Prof.Ptab.persist tab site (Obs.Prof.site_name site)
+      end
+
+(* The byte countdown lives in [ds] — the per-domain state malloc has
+   already fetched for its thread caches — so the unsampled path is a
+   generation check and one subtraction, no extra DLS lookup. *)
+let prof_note_alloc t ds ~va ~cls =
+  let bsize =
+    if cls = 0 then
+      dload t (Layout.descriptor_of_offset (va - t.sb_base)) Layout.d_bsize
+    else Size_class.block_size cls
+  in
+  let g = Obs.Prof.generation () in
+  if ds.prof_gen <> g then begin
+    ds.prof_gen <- g;
+    ds.prof_budget <- 0
+  end;
+  let b = ds.prof_budget - bsize in
+  if b > 0 then ds.prof_budget <- b
+  else begin
+    ds.prof_budget <- Obs.Prof.rate ();
+    let off = va - t.sb_base in
+    let site = Obs.Prof.current_site () in
+    Obs.Prof.sample_alloc ~key:(prof_key t off) ~site ~size:bsize;
+    match t.prov with
+    | Some ring ->
+        prof_persist_site t site;
+        Obs.Prof.Ring.record_alloc ring ~site ~size:bsize ~off
+    | None -> ()
+  end
+
+(* [d] rather than a block size: the descriptor load for the size is
+   deferred to the sampled-hit path, so the common miss pays only the
+   key mix and one bitmap probe. *)
+let prof_note_free t ~off ~d =
+  match Obs.Prof.note_free ~key:(prof_key t off) with
+  | None -> ()
+  | Some site -> (
+      match t.prov with
+      | Some ring ->
+          Obs.Prof.Ring.record_free ring ~site
+            ~size:(dload t d Layout.d_bsize) ~off
+      | None -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Counted lock-free descriptor lists (Treiber stacks, paper §4.2)    *)
@@ -287,7 +413,8 @@ let take_free_sb t =
 (* Small allocation (paper §4.4)                                      *)
 (* ------------------------------------------------------------------ *)
 
-let tcaches t = Domain.DLS.get t.tcache_key
+let dls t = Domain.DLS.get t.tcache_key
+let tcaches t = (dls t).tcs
 
 (* Hand a brand-new superblock to size class [c] as the calling domain's
    owned run: the anchor says Full (every block accounted to the owner)
@@ -727,6 +854,7 @@ let malloc t size =
      time the allocator itself spends: those nanoseconds accumulate on
      the persist channel and must not be double-counted *)
   let p0 = if sp then Obs.Span.sink_get Obs.Span.ch_persist else 0 in
+  let ds = dls t in
   let va, c =
     if size > Size_class.max_small_size then begin
       if obs then Obs.Counter.incr obs_slow_path;
@@ -737,10 +865,10 @@ let malloc t size =
       let va =
         if not t.use_tcache then begin
           if obs then Obs.Counter.incr obs_slow_path;
-          malloc_one t c (tcaches t).(c)
+          malloc_one t c ds.tcs.(c)
         end
         else begin
-          let tc = (tcaches t).(c) in
+          let tc = ds.tcs.(c) in
           (* LIFO array first (recently freed blocks, the reuse test and
              cache locality want them back first), then the adopted
              superblock's run/chain — all O(1), no heap CAS *)
@@ -778,6 +906,7 @@ let malloc t size =
       (Obs.now_ns () - t0 - (Obs.Span.sink_get Obs.Span.ch_persist - p0));
   if va <> 0 && Obs.Flight.enabled () then
     flight_record t ~kind:FK.malloc ~a:c ~b:size ~c:(va - t.sb_base) ();
+  if va <> 0 && Obs.Prof.on () then prof_note_alloc t ds ~va ~cls:c;
   va
 
 let free t va =
@@ -796,6 +925,7 @@ let free t va =
        persisted block size this event reports) *)
     if Obs.Flight.enabled () then
       flight_record t ~kind:FK.free ~a:c ~b:(dload t d Layout.d_bsize) ~c:off ();
+    if Obs.Prof.on () then prof_note_free t ~off ~d;
     if c = 0 then free_large t d
     else if not t.use_tcache then free_block_to_sb t d va
     else begin
@@ -927,6 +1057,16 @@ let make_handle ?(persist = true) ?sb_base ?(expansion_sbs = 16)
       Obs.Flight.attach (flight_backend_of ~persist meta)
     else None
   in
+  let prov =
+    if Pmem.size_words meta >= Layout.prov_base + Layout.prov_words then
+      Obs.Prof.Ring.attach (prov_backend_of ~persist meta)
+    else None
+  in
+  let ptab =
+    if Pmem.size_words meta >= Layout.ptab_base + Layout.ptab_words then
+      Obs.Prof.Ptab.attach (ptab_backend_of ~persist meta)
+    else None
+  in
   let t =
     {
       meta;
@@ -937,11 +1077,17 @@ let make_handle ?(persist = true) ?sb_base ?(expansion_sbs = 16)
       path;
       nsb;
       expansion_sbs;
-      tcache_key = Domain.DLS.new_key Tcache.create_set;
+      tcache_key =
+        Domain.DLS.new_key (fun () ->
+            { tcs = Tcache.create_set (); prof_budget = 0; prof_gen = 0 });
       use_tcache = tcache;
       filters = Array.make max_roots None;
       heap_name = name;
       flight;
+      prov;
+      ptab;
+      ptab_persisted = Bytes.make Layout.ptab_capacity '\000';
+      hid = Pmem.load meta Layout.meta_heap_id;
       closed = false;
     }
   in
@@ -987,9 +1133,12 @@ let format_heap ?heap_id meta sb sb_bytes =
     Pmem.store meta (Layout.meta_class_block_size c) (Size_class.block_size c);
     Pmem.store meta (Layout.meta_class_partial_head c) Layout.Head.empty
   done;
+  Pmem.store meta Layout.meta_layout_version Layout.layout_version;
   Pmem.store meta Layout.meta_dirty 1;
   ignore
     (Obs.Flight.format (flight_window meta) ~capacity:Layout.flight_capacity);
+  ignore (Obs.Prof.Ring.format (prov_window meta) ~capacity:Layout.prov_capacity);
+  ignore (Obs.Prof.Ptab.format (ptab_window meta) ~capacity:Layout.ptab_capacity);
   Pmem.flush_all meta;
   Pmem.flush_all sb
 
@@ -1036,6 +1185,13 @@ let init ?persist ?sb_base ?expansion_sbs ~path ~size () =
   in
   if existed && Pmem.load meta Layout.meta_magic <> Layout.magic_value then
     failwith ("Ralloc.init: " ^ path ^ " is not a Ralloc heap");
+  if existed then begin
+    let v = Pmem.load meta Layout.meta_layout_version in
+    if v <> Layout.layout_version then
+      failwith
+        (Printf.sprintf "Ralloc.init: %s: heap built by layout v%d, expected v%d"
+           path v Layout.layout_version)
+  end;
   if not existed then format_heap meta sb sb_bytes;
   let t =
     make_handle ?persist ?sb_base ?expansion_sbs ~path:(Some path) ~name ~meta
@@ -1068,6 +1224,12 @@ let open_image ~path =
   let meta = Pmem.load_image ~path:m in
   if Pmem.load meta Layout.meta_magic <> Layout.magic_value then
     failwith ("Ralloc.open_image: " ^ path ^ " is not a Ralloc heap");
+  (let v = Pmem.load meta Layout.meta_layout_version in
+   if v <> Layout.layout_version then
+     failwith
+       (Printf.sprintf
+          "Ralloc.open_image: %s: heap built by layout v%d, expected v%d" path v
+          Layout.layout_version));
   let desc = Pmem.load_image ~path:d in
   let sb = Pmem.load_image ~path:s in
   let t =
@@ -1212,6 +1374,21 @@ let trace_reachable t =
     | None -> conservative_scan va bsize
   done;
   (marks, !reachable, used, used_sbs)
+
+(* Offline reachability predicate on block offsets, for cross-referencing
+   provenance-ring entries against the live set (bin/rstat --prof): runs
+   the same trace as recover/audit once, then answers membership from the
+   mark bitmaps. *)
+let reachable_offsets t =
+  check_open t;
+  let marks, _, used, _ = trace_reachable t in
+  fun off ->
+    match block_info t ~used (t.sb_base + off) with
+    | None -> false
+    | Some (d, idx, _, _) -> (
+        match marks.(d) with
+        | Some bm -> Bytes.get bm idx <> '\000'
+        | None -> false)
 
 let recover ?(domains = 1) t =
   check_open t;

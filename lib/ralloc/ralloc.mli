@@ -76,7 +76,10 @@ val init :
 (** [init ~path ~size ()] creates or re-opens the heap backed by files at
     [path] (the DAX-file equivalent).  On [Dirty_restart] the caller must
     re-register filters with {!get_root} and then call {!recover} before
-    allocating. *)
+    allocating.
+    @raise Failure on an existing image whose stamped metadata-layout
+    version differs from {!Layout.layout_version} ("heap built by layout
+    vN, expected vM") — refusing up front beats misreading offsets. *)
 
 val close : t -> unit
 (** Graceful shutdown: returns the calling domain's cached blocks to their
@@ -91,7 +94,8 @@ val open_image : path:string -> t * status
     [rstat] inspector.  {!audit}, {!census}, and even a trial {!recover}
     may be run against the in-memory copy without mutating the image.
     Status is {!Clean_restart} or {!Dirty_restart} (never {!Fresh}).
-    @raise Failure if the files are missing or not a Ralloc heap. *)
+    @raise Failure if the files are missing, not a Ralloc heap, or built
+    by a different metadata-layout version. *)
 
 val name : t -> string
 val is_dirty : t -> bool
@@ -282,6 +286,32 @@ val flight_record : t -> kind:int -> ?a:int -> ?b:int -> ?c:int -> unit -> unit
 (** Record one event in the heap's flight ring (no-op while the recorder
     is disabled or absent).  Used by the allocator's own hooks and by
     cooperating layers — lib/txn records its commits and aborts here. *)
+
+(** {1 Heap provenance}
+
+    When the sampling profiler is on ([Obs.Prof.set_enabled true]), malloc
+    pays one per-domain countdown decrement per allocation; roughly every
+    {!Obs.Prof.rate} allocated bytes the winning block is attributed to
+    the current interned site ({!Obs.Prof.set_site}) both in the volatile
+    tally table and, durably, in the provenance ring carved out of the
+    metadata region next to the flight window — so [rstat --prof] can say
+    which site allocated the blocks that survived a crash. *)
+
+val prov : t -> Obs.Prof.Ring.t option
+(** The heap's attached provenance ring.  [None] only for images
+    formatted before the layout-v2 carve-out existed. *)
+
+val prov_site_name : t -> int -> string option
+(** Resolve a provenance-ring site id against the heap's persistent
+    site-name table ([None] if the table is absent, the id is out of
+    range, or the slot was never persisted). *)
+
+val reachable_offsets : t -> int -> bool
+(** [reachable_offsets t] traces the heap once from its persistent roots
+    (the same walk {!recover} and {!audit} use) and returns a membership
+    test on block byte-offsets — true iff the offset starts a block
+    reachable from the roots.  Offline attribution uses it to split
+    provenance entries into live vs leaked. *)
 
 (** {1 Census and recoverability audit} *)
 

@@ -11,6 +11,8 @@ type config = {
   batch_usec : int;
   queue_cap : int;
   slow_us : int;
+  prof_rate : int;
+  metrics_port : int option;
 }
 
 let default_config ?heap_path () =
@@ -23,6 +25,8 @@ let default_config ?heap_path () =
     batch_usec = 500;
     queue_cap = 256;
     slow_us = 0;
+    prof_rate = 0;
+    metrics_port = None;
   }
 
 (* ------------------------------ telemetry ------------------------------ *)
@@ -74,6 +78,8 @@ type t = {
   batch_gauges : Obs.Gauge.t array;
   listen_fd : Unix.file_descr;
   addr : Unix.sockaddr;
+  metrics_fd : Unix.file_descr option;
+  mutable metrics_thread : Thread.t option;
   mutable acceptor : Thread.t option;
   mutable domains : unit Domain.t array;
   conns_m : Mutex.t;
@@ -387,6 +393,55 @@ let accept_loop srv =
   in
   loop ()
 
+(* ---------------------------- /metrics HTTP ---------------------------- *)
+
+(* Minimal plain-HTTP exposition of the Prometheus dump (--metrics-port):
+   scrapers should not need the binary STATS protocol.  Same polling
+   acceptor pattern as [accept_loop]; each request is served inline —
+   responses are one small text body and the socket carries a receive
+   timeout, so a stalled scraper cannot wedge the loop for long. *)
+let serve_metrics srv fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0;
+  (* read (and ignore) the request head; GET /metrics and anything else
+     get the same body, which is all a scraper needs from us *)
+  (try ignore (Unix.read fd (Bytes.create 4096) 0 4096)
+   with Unix.Unix_error _ -> ());
+  let body = stats_text srv in
+  let resp =
+    Printf.sprintf
+      "HTTP/1.0 200 OK\r\n\
+       Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\r\n%s"
+      (String.length body) body
+  in
+  try ignore (Unix.write_substring fd resp 0 (String.length resp))
+  with Unix.Unix_error _ -> ()
+
+let metrics_loop srv fd =
+  let rec loop () =
+    if Atomic.get srv.stopping then ()
+    else
+      match Unix.select [ fd ] [] [] 0.05 with
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Unix.accept fd with
+        | cfd, _ ->
+          Unix.clear_nonblock cfd;
+          (try serve_metrics srv cfd with _ -> ());
+          (try Unix.close cfd with Unix.Unix_error _ -> ());
+          loop ()
+        | exception
+            Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          loop ()
+        | exception _ -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception _ -> ()
+  in
+  loop ()
+
 (* ------------------------------ lifecycle ------------------------------ *)
 
 let start ?config addr =
@@ -398,6 +453,10 @@ let start ?config addr =
      empty otherwise); OBS_DISABLED still hard-overrides this *)
   Obs.set_enabled true;
   Obs.Span.set_enabled true;
+  if cfg.prof_rate > 0 then begin
+    Obs.Prof.set_rate cfg.prof_rate;
+    Obs.Prof.set_enabled true
+  end;
   (* a dead client's closed socket must not kill the server *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let st = Store.open_store ~concurrent:true ~size:cfg.heap_size cfg.heap_path in
@@ -427,6 +486,17 @@ let start ?config addr =
   in
   Rtrace.set_slow_us cfg.slow_us;
   Rtrace.set_flight (Ralloc.flight st.heap);
+  let metrics_fd =
+    match cfg.metrics_port with
+    | None -> None
+    | Some port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen fd 16;
+      Unix.set_nonblock fd;
+      Some fd
+  in
   let srv =
     {
       cfg;
@@ -436,6 +506,8 @@ let start ?config addr =
       batch_gauges;
       listen_fd;
       addr = Unix.getsockname listen_fd;
+      metrics_fd;
+      metrics_thread = None;
       acceptor = None;
       domains = [||];
       conns_m = Mutex.create ();
@@ -453,6 +525,9 @@ let start ?config addr =
   srv.domains <-
     Array.mapi (fun i q -> Domain.spawn (fun () -> worker_loop srv i q)) queues;
   srv.acceptor <- Some (Thread.create (fun () -> accept_loop srv) ());
+  (match metrics_fd with
+  | Some fd -> srv.metrics_thread <- Some (Thread.create (fun () -> metrics_loop srv fd) ())
+  | None -> ());
   srv
 
 let sockaddr t = t.addr
@@ -465,7 +540,11 @@ let stop ?(mode = `Graceful) t =
        within one select interval; only then is the listener closed (the
        reverse order would race the acceptor's select against the close) *)
     (match t.acceptor with Some th -> Thread.join th | None -> ());
+    (match t.metrics_thread with Some th -> Thread.join th | None -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.metrics_fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
     (* workers: drain (or abandon) and exit *)
     Array.iter Squeue.close t.queues;
     Array.iter Domain.join t.domains;

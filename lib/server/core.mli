@@ -41,11 +41,18 @@ type config = {
   slow_us : int;
       (** slow-request log threshold, microseconds; 0 disables (see
           {!Rtrace.set_slow_us}) *)
+  prof_rate : int;
+      (** heap-provenance sampling rate in bytes ({!Obs.Prof}); 0 leaves
+          the profiler off *)
+  metrics_port : int option;
+      (** when set, serve the Prometheus exposition as plain HTTP on
+          127.0.0.1:port (GET /metrics), so scrapers need not speak the
+          binary STATS protocol *)
 }
 
 val default_config : ?heap_path:string -> unit -> config
 (** 2 workers, batch 32, 500 us deadline, queue bound 256, slow log off,
-    heap at {!Heap_path.default_heap}. *)
+    profiler off, no metrics port, heap at {!Heap_path.default_heap}. *)
 
 type t
 

@@ -49,19 +49,42 @@ let sp_sset = Obs.Span.stage "store.sset"
 let sp_sget = Obs.Span.stage "store.sget"
 let sp_sdel = Obs.Span.stage "store.sdel"
 
-let iset t key value =
-  Obs.Span.with_stage sp_iset (fun () ->
-      if not (Dstruct.Nmtree.insert t.tree key value) then begin
-        ignore (Dstruct.Nmtree.delete t.tree key);
-        ignore (Dstruct.Nmtree.insert t.tree key value)
-      end)
+(* Matching heap-provenance sites: any allocation sampled inside an
+   operation is attributed to that operation in `pkvc prof` / rstat
+   --prof output.  [Obs.Prof.with_site] calls the thunk directly while
+   the profiler is off. *)
+let pv_iset = Obs.Prof.site "store.iset"
+let pv_iget = Obs.Prof.site "store.iget"
+let pv_idel = Obs.Prof.site "store.idel"
+let pv_sset = Obs.Prof.site "store.sset"
+let pv_sget = Obs.Prof.site "store.sget"
+let pv_sdel = Obs.Prof.site "store.sdel"
 
-let iget t key = Obs.Span.with_stage sp_iget (fun () -> Dstruct.Nmtree.find t.tree key)
-let idel t key = Obs.Span.with_stage sp_idel (fun () -> Dstruct.Nmtree.delete t.tree key)
+let iset t key value =
+  Obs.Prof.with_site pv_iset (fun () ->
+      Obs.Span.with_stage sp_iset (fun () ->
+          if not (Dstruct.Nmtree.insert t.tree key value) then begin
+            ignore (Dstruct.Nmtree.delete t.tree key);
+            ignore (Dstruct.Nmtree.insert t.tree key value)
+          end))
+
+let iget t key =
+  Obs.Prof.with_site pv_iget (fun () ->
+      Obs.Span.with_stage sp_iget (fun () -> Dstruct.Nmtree.find t.tree key))
+
+let idel t key =
+  Obs.Prof.with_site pv_idel (fun () ->
+      Obs.Span.with_stage sp_idel (fun () -> Dstruct.Nmtree.delete t.tree key))
 
 let sset t key value =
-  Obs.Span.with_stage sp_sset (fun () ->
-      ignore (Dstruct.Phashmap.set t.smap key value))
+  Obs.Prof.with_site pv_sset (fun () ->
+      Obs.Span.with_stage sp_sset (fun () ->
+          ignore (Dstruct.Phashmap.set t.smap key value)))
 
-let sget t key = Obs.Span.with_stage sp_sget (fun () -> Dstruct.Phashmap.get t.smap key)
-let sdel t key = Obs.Span.with_stage sp_sdel (fun () -> Dstruct.Phashmap.delete t.smap key)
+let sget t key =
+  Obs.Prof.with_site pv_sget (fun () ->
+      Obs.Span.with_stage sp_sget (fun () -> Dstruct.Phashmap.get t.smap key))
+
+let sdel t key =
+  Obs.Prof.with_site pv_sdel (fun () ->
+      Obs.Span.with_stage sp_sdel (fun () -> Dstruct.Phashmap.delete t.smap key))

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # End-to-end crash smoke for pkvd, run on every `dune runtest`:
 #
-#   start pkvd (PCHECK=1) -> bulk-load through pkvc -> kill -9 mid-load
+#   start pkvd (PCHECK=1, heap profiler on, HTTP /metrics on) ->
+#      bulk-load through pkvc -> scrape /metrics (Prometheus exposition
+#      with prof_* families) -> kill -9 mid-load
 #   -> rstat --audit must say CLEAN on the dirty image
+#   -> rstat --prof must attribute >= 90% of the sampled live bytes to
+#      persisted site names, and a store.* site must appear
 #   -> rstat --pcheck-summary must report zero durability violations
-#   -> restart pkvd (recovers, request tracing on), serve requests,
-#      sample `pkvc top`, SIGTERM (graceful)
+#   -> restart pkvd (recovers, request tracing + profiler on), serve
+#      requests, sample `pkvc top` and `pkvc prof`, SIGTERM (graceful)
 #   -> the Chrome trace written at shutdown must parse and its request
 #      spans must nest (trace_check)
 #   -> rstat --audit must say CLEAN on the cleanly closed image
@@ -35,7 +39,9 @@ trap cleanup EXIT
 
 rm -f "$heap".sb "$heap".meta "$heap".desc
 
-PCHECK=1 "$PKVD" --heap "$heap" --socket "$sock" --workers 2 --batch 16 &
+mport=$((20000 + RANDOM % 20000))
+PCHECK=1 "$PKVD" --heap "$heap" --socket "$sock" --workers 2 --batch 16 \
+  --prof-rate 4096 --metrics-port "$mport" &
 pid=$!
 
 # generous retry: first-fence spin calibration can delay readiness
@@ -44,6 +50,24 @@ pid=$!
 "$PKVC" load 50000 --socket "$sock" --conns 4 &
 lpid=$!
 sleep 0.5
+
+echo "== scrape /metrics over HTTP =="
+metrics=""
+for _ in 1 2 3 4 5; do
+  metrics=$(exec 3<>"/dev/tcp/127.0.0.1/$mport" &&
+    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3 && cat <&3 && exec 3<&-) \
+    && break || { metrics=""; sleep 0.3; }
+done
+[ -n "$metrics" ] || { echo "/metrics: fetch failed"; exit 1; }
+echo "$metrics" | grep -q "200 OK" || { echo "/metrics: no 200"; exit 1; }
+echo "$metrics" | grep -q "^prof_sample_rate_bytes 4096" \
+  || { echo "/metrics: no prof_sample_rate_bytes"; exit 1; }
+echo "$metrics" | grep -q "^prof_samples_total" \
+  || { echo "/metrics: no prof_samples_total"; exit 1; }
+echo "$metrics" | grep -q "^prof_live_bytes{site=" \
+  || { echo "/metrics: no per-site prof_live_bytes"; exit 1; }
+echo "$metrics" | grep -q "^server_ops" \
+  || { echo "/metrics: no server counters"; exit 1; }
 
 echo "== kill -9 mid-load =="
 kill -9 "$pid"
@@ -54,13 +78,24 @@ lpid=""
 
 echo "== audit of the dirty image =="
 "$RSTAT" --audit "$heap"
+
+echo "== crash-surviving allocation-site attribution =="
+prof_out=$("$RSTAT" --prof "$heap")
+echo "$prof_out"
+echo "$prof_out" | grep -q "store\." \
+  || { echo "rstat --prof: no store.* site survived the crash"; exit 1; }
+pct=$(echo "$prof_out" | awk '/^prof_attribution_pct/ { print $2 }')
+[ -n "$pct" ] || { echo "rstat --prof: no prof_attribution_pct line"; exit 1; }
+awk -v p="$pct" 'BEGIN { exit (p >= 90.0) ? 0 : 1 }' \
+  || { echo "rstat --prof: attribution $pct% < 90%"; exit 1; }
+
 echo "== persistency-checker replay of recovery =="
 PCHECK=1 "$RSTAT" --pcheck-summary "$heap"
 
-echo "== restart: recovery + service, request tracing on =="
+echo "== restart: recovery + service, request tracing + profiler on =="
 rm -f "$trace"
 PCHECK=1 "$PKVD" --heap "$heap" --socket "$sock" --workers 2 --batch 16 \
-  --trace "$trace" --slow-us 10000000 &
+  --prof-rate 4096 --trace "$trace" --slow-us 10000000 &
 pid=$!
 "$PKVC" ping --socket "$sock" --retry 300
 # key 0 -> 0 was in the first acked batch of the load; it must have survived
@@ -78,6 +113,12 @@ top=$("$PKVC" top --socket "$sock" --count 2 --interval 0.2 --raw)
 echo "$top"
 echo "$top" | grep -q "queue depth" || { echo "pkvc top: no queue depths"; exit 1; }
 echo "$top" | grep -q "stage share" || { echo "pkvc top: no stage breakdown"; exit 1; }
+
+echo "== pkvc prof =="
+prof=$("$PKVC" prof --socket "$sock" --top 5)
+echo "$prof"
+echo "$prof" | grep -q "live_bytes" || { echo "pkvc prof: no table header"; exit 1; }
+echo "$prof" | grep -q "store\." || { echo "pkvc prof: no store.* site"; exit 1; }
 
 echo "== graceful shutdown =="
 kill -TERM "$pid"

@@ -1,0 +1,354 @@
+(* bench_compare: diff a fresh bench CSV against the recorded baselines.
+
+   Used by the bench smoke gate: the tiny `--scale 0.02` sweep that runs
+   on every `dune runtest` also writes its rows as CSV, and this tool
+   cross-references them with BENCH_fig5a.json / BENCH_fig_tail.json so
+   a silent order-of-magnitude regression in per-op latency or tail
+   behaviour fails CI instead of waiting for the next manual full run.
+
+   Only scale-insensitive columns are compared — per-op latency
+   percentiles and the p99/p50 tail ratio — never wall-clock seconds or
+   flush totals, which shrink with --scale.  Tolerances are deliberately
+   loose (the smoke runs a 2% sample on a shared CI machine); they catch
+   regressions of several-fold, not percent-level drift, which remains
+   the job of recorded full-scale runs.
+
+   Usage: bench_compare BENCH_fig5a.json BENCH_fig_tail.json FRESH.csv
+   Exit 0 = every compared row within tolerance, 1 = violation or
+   nothing comparable, 2 = unreadable input. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    String.iter (fun c -> expect c) word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char b '"'; advance ()
+        | Some '\\' -> Buffer.add_char b '\\'; advance ()
+        | Some '/' -> Buffer.add_char b '/'; advance ()
+        | Some 'n' -> Buffer.add_char b '\n'; advance ()
+        | Some 't' -> Buffer.add_char b '\t'; advance ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance ()
+        | Some 'b' -> Buffer.add_char b '\b'; advance ()
+        | Some 'f' -> Buffer.add_char b '\012'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "bad \\u escape";
+          pos := !pos + 4;
+          Buffer.add_char b '?'
+        | _ -> fail "bad escape");
+        go ()
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected , or }"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected , or ]"
+        in
+        elements ();
+        Arr (List.rev !items)
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('0' .. '9' | '-') -> Num (parse_number ())
+    | Some c -> fail (Printf.sprintf "unexpected %c" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing data";
+  v
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let b = really_input_string ic len in
+    close_in ic;
+    b
+  with Sys_error e ->
+    Printf.eprintf "bench_compare: %s\n" e;
+    exit 2
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let str_field k o = match member k o with Some (Str s) -> s | _ -> ""
+let num_field k o = match member k o with Some (Num f) -> f | _ -> 0.
+
+let rows_of path =
+  let j =
+    try parse (read_file path)
+    with Bad e ->
+      Printf.eprintf "bench_compare: %s: %s\n" path e;
+      exit 2
+  in
+  match member "rows" j with
+  | Some (Arr rows) -> rows
+  | _ ->
+    Printf.eprintf "bench_compare: %s: no \"rows\" array\n" path;
+    exit 2
+
+(* ------------------------------- CSV ------------------------------- *)
+
+let split_csv line = String.split_on_char ',' line
+
+type fresh = {
+  f_figure : string;
+  f_allocator : string;
+  f_threads : int;
+  f_metric : string;
+  f_p50 : float;
+  f_ratio : float;
+}
+
+let parse_csv path =
+  let body = read_file path in
+  match String.split_on_char '\n' (String.trim body) with
+  | [] | [ "" ] ->
+    Printf.eprintf "bench_compare: %s: empty CSV\n" path;
+    exit 2
+  | header :: lines ->
+    let cols = split_csv header in
+    let idx name =
+      let rec go i = function
+        | [] ->
+          Printf.eprintf "bench_compare: %s: no %s column\n" path name;
+          exit 2
+        | c :: _ when c = name -> i
+        | _ :: tl -> go (i + 1) tl
+      in
+      go 0 cols
+    in
+    let i_fig = idx "figure"
+    and i_alloc = idx "allocator"
+    and i_thr = idx "threads"
+    and i_metric = idx "metric"
+    and i_p50 = idx "p50_ns"
+    and i_ratio = idx "p99_p50_ratio" in
+    List.filter_map
+      (fun line ->
+        if String.trim line = "" then None
+        else
+          let fields = Array.of_list (split_csv line) in
+          let get i = if i < Array.length fields then fields.(i) else "" in
+          let numf i =
+            match float_of_string_opt (get i) with Some f -> f | None -> 0.
+          in
+          Some
+            {
+              f_figure = get i_fig;
+              f_allocator = get i_alloc;
+              f_threads = int_of_string_opt (get i_thr) |> Option.value ~default:0;
+              f_metric = get i_metric;
+              f_p50 = numf i_p50;
+              f_ratio = numf i_ratio;
+            })
+      lines
+
+(* ----------------------------- compare ----------------------------- *)
+
+let () =
+  let fig5a_path, fig_tail_path, csv_path =
+    match Sys.argv with
+    | [| _; a; b; c |] -> (a, b, c)
+    | _ ->
+      prerr_endline
+        "usage: bench_compare BENCH_fig5a.json BENCH_fig_tail.json FRESH.csv";
+      exit 2
+  in
+  let base5a = rows_of fig5a_path in
+  let basetail = rows_of fig_tail_path in
+  let fresh = parse_csv csv_path in
+  let compared = ref 0 in
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+
+  (* fig5a: per-op malloc latency medians are scale-insensitive (the
+     smoke runs 2% of the ops but each op costs the same).  Machine and
+     load differences between the recording box and CI are absorbed by a
+     5x factor plus an absolute 200 ns floor. *)
+  List.iter
+    (fun b ->
+      let alloc = str_field "allocator" b in
+      let threads = int_of_float (num_field "threads" b) in
+      let base_p50 = num_field "malloc_p50_ns" b in
+      if base_p50 > 0. then
+        match
+          List.find_opt
+            (fun f ->
+              f.f_figure = "fig5a" && f.f_allocator = alloc
+              && f.f_threads = threads && f.f_p50 > 0.)
+            fresh
+        with
+        | None -> ()
+        | Some f ->
+          incr compared;
+          let limit = (base_p50 *. 5.) +. 200. in
+          Printf.printf "fig5a    %-12s t=%d  p50 %6.0f ns (baseline %6.0f, limit %6.0f)\n"
+            alloc threads f.f_p50 base_p50 limit;
+          if f.f_p50 > limit then
+            violate
+              "fig5a %s t=%d: malloc p50 %.0f ns exceeds %.0f (baseline %.0f x5 +200)"
+              alloc threads f.f_p50 limit base_p50)
+    base5a;
+
+  (* fig_tail: the p99/p50 ratio is the constant-time-fast-path signal
+     and is dimensionless, so it transfers across machines; but the
+     smoke's 2% sample makes the p99 an order statistic over a few
+     hundred ops, where one scheduler blip inflates a DRAM-speed
+     allocator's ratio several-fold.  Hence the wide 4x + 15 allowance:
+     this gate catches a tail collapsed to O(blocks) behaviour (tens of
+     x), while the percent-tight contract lives in perf_smoke, which
+     ranks full-size windows. *)
+  List.iter
+    (fun b ->
+      let alloc = str_field "allocator" b in
+      let size = int_of_float (num_field "size" b) in
+      let op = str_field "op" b in
+      let threads = int_of_float (num_field "threads" b) in
+      let base_ratio = num_field "p99_p50_ratio" b in
+      let csv_alloc =
+        Printf.sprintf "%s@%d/%s" alloc size
+          (if op = "malloc" then "m" else "f")
+      in
+      if base_ratio > 0. then
+        match
+          List.find_opt
+            (fun f ->
+              f.f_figure = "fig_tail" && f.f_allocator = csv_alloc
+              && f.f_threads = threads && f.f_ratio > 0.)
+            fresh
+        with
+        | None -> ()
+        | Some f ->
+          incr compared;
+          let limit = (base_ratio *. 4.) +. 15. in
+          Printf.printf
+            "fig_tail %-16s t=%d  p99/p50 %5.1fx (baseline %5.1fx, limit %5.1fx)\n"
+            csv_alloc threads f.f_ratio base_ratio limit;
+          if f.f_ratio > limit then
+            violate
+              "fig_tail %s t=%d: p99/p50 %.1fx exceeds %.1fx (baseline %.1fx x4 +15)"
+              csv_alloc threads f.f_ratio limit base_ratio)
+    basetail;
+
+  if !compared = 0 then begin
+    prerr_endline
+      "bench_compare: no fresh row matched any baseline row - csv and \
+       baselines have drifted apart";
+    exit 1
+  end;
+  match !violations with
+  | [] ->
+    Printf.printf
+      "bench_compare: %d rows within tolerance of the recorded baselines\n"
+      !compared
+  | vs ->
+    List.iter prerr_endline (List.rev vs);
+    Printf.eprintf "bench_compare: %d of %d compared rows out of tolerance\n"
+      (List.length vs) !compared;
+    exit 1
