@@ -41,6 +41,7 @@ let sweep ctx ~figure ~title ~allocators ~heap_mb ~metric f =
           let ck_before =
             if Pmem.Check.enabled () then Some (Pmem.Check.totals ()) else None
           in
+          let wl0 = Pmem.logical_bytes () and wp0 = Pmem.physical_bytes () in
           let s0 = Obs.Trace.begin_span () in
           let value, p50_ns, p99_ns =
             Workloads.Harness.with_alloc_latency (fun () -> f alloc ~threads)
@@ -70,11 +71,16 @@ let sweep ctx ~figure ~title ~allocators ~heap_mb ~metric f =
             | Some (o, e) -> (o, e)
             | None -> (0., 0.)
           in
+          let write_amp =
+            let dl = Pmem.logical_bytes () - wl0 in
+            if dl = 0 then 0.
+            else float_of_int (Pmem.physical_bytes () - wp0) /. float_of_int dl
+          in
           emit ctx
             (Workloads.Harness.make_row ~figure ~allocator:name ~threads
                ~metric ~value ~flushes:d.flushes ~fences:d.fences ~p50_ns
                ~p99_ns ~occupancy ~ext_frag ~redundant_flush_rate
-               ~wasted_fences ());
+               ~wasted_fences ~write_amp ());
           Gc.full_major ())
         allocators)
     ctx.threads
@@ -495,6 +501,7 @@ let bench_server ctx =
           let st = Server.Core.store srv in
           let before = Ralloc.stats st.heap in
           let ack_before = Obs.Histogram.snapshot ack_hist in
+          let wl0 = Pmem.logical_bytes () and wp0 = Pmem.physical_bytes () in
           (* request-span attribution: diff the write-class stage-sum
              counters across the row so each row reports what share of a
              SET's life was the (amortized) commit fence vs the batch-fill
@@ -556,6 +563,12 @@ let bench_server ctx =
                ~p50_ns:(float_of_int (Obs.Histogram.snap_quantile ad 0.5))
                ~p99_ns:(float_of_int (Obs.Histogram.snap_quantile ad 0.99))
                ~fences_per_op:(float_of_int d.fences /. float_of_int acked)
+               ~write_amp:
+                 (let dl = Pmem.logical_bytes () - wl0 in
+                  if dl = 0 then 0.
+                  else
+                    float_of_int (Pmem.physical_bytes () - wp0)
+                    /. float_of_int dl)
                ());
           let dtot = Server.Rtrace.total_sum_ns `Write - tot0 in
           if dtot > 0 && acked > 0 then
@@ -645,42 +658,71 @@ let bechamel_suite () =
 
 (* ------------------------- CLI ------------------------- *)
 
-(* Periodic snapshot-diff monitor: every [interval] seconds print the
-   window's allocation and persistence-op rates, with windowed latency
-   percentiles — not lifetime averages — so phase changes (provisioning
-   bursts, retire storms) are visible as they happen.  Lines carry a
-   [metrics] prefix to keep them grep-able out of the row stream. *)
+(* Periodic monitor: every [interval] seconds snapshot the standard
+   black-box series (the same [Ralloc.tsdb_global_sources] snapshot path
+   the server's sampler persists) into a private in-memory Tsdb ring,
+   plus windowed latency percentiles — not lifetime averages — so phase
+   changes (provisioning bursts, retire storms) are visible as they
+   happen.  Lines carry a [metrics] prefix to keep them grep-able out of
+   the row stream. *)
 let start_metrics_ticker interval =
   Obs.set_enabled true;
+  Obs.Tsdb.set_enabled true;
   let stop = Atomic.make false in
   let d =
     Domain.spawn (fun () ->
         let t0 = Unix.gettimeofday () in
-        let pmem = ref (Pmem.Stats.global ()) in
-        let mallocs = ref (Obs.Histogram.snapshot Alloc_iface.malloc_ns) in
-        let frees = ref (Obs.Histogram.snapshot Alloc_iface.free_ns) in
+        (* volatile backing: the bench has no one heap to persist into,
+           but recording through a real Tsdb keeps this path and the
+           server's sampler byte-for-byte the same code *)
+        let words = Obs.Tsdb.words_for () in
+        let region = Pmem.create ~size_bytes:(words * 8) () in
+        let db =
+          Obs.Tsdb.format (Pmem.flight_backend region ~first_word:0 ~words)
+        in
+        (* windowed (not lifetime) latency percentile source: each call
+           diffs the histogram against the previous tick's snapshot *)
+        let windowed_q q =
+          let last = ref (Obs.Histogram.snapshot Alloc_iface.malloc_ns) in
+          fun _dt ->
+            let s = Obs.Histogram.snapshot Alloc_iface.malloc_ns in
+            let d = Obs.Histogram.diff s !last in
+            last := s;
+            Obs.Histogram.snap_quantile d q
+        in
+        let sources =
+          Ralloc.tsdb_global_sources ()
+          @ [
+              ("alloc.malloc_p50_ns", windowed_q 0.5);
+              ("alloc.malloc_p99_ns", windowed_q 0.99);
+            ]
+        in
+        let sampler = Obs.Tsdb.Sampler.create db sources in
+        let idx name =
+          match Obs.Tsdb.Sampler.index sampler name with
+          | Some i -> i
+          | None -> invalid_arg ("metrics ticker: unknown series " ^ name)
+        in
+        let i_malloc = idx "alloc.mallocs_s"
+        and i_free = idx "alloc.frees_s"
+        and i_p50 = idx "alloc.malloc_p50_ns"
+        and i_p99 = idx "alloc.malloc_p99_ns"
+        and i_flush = idx "pmem.flush_per_kop"
+        and i_fence = idx "pmem.fence_per_kop"
+        and i_wamp = idx "pmem.write_amp_milli" in
         while not (Atomic.get stop) do
           Unix.sleepf interval;
-          let pmem' = Pmem.Stats.global () in
-          let mallocs' = Obs.Histogram.snapshot Alloc_iface.malloc_ns in
-          let frees' = Obs.Histogram.snapshot Alloc_iface.free_ns in
-          let d = Pmem.Stats.diff pmem' !pmem in
-          let md = Obs.Histogram.diff mallocs' !mallocs in
-          let fd = Obs.Histogram.diff frees' !frees in
-          let rate n = float_of_int n /. interval /. 1000. in
-          Printf.printf
-            "[metrics] t=%6.1fs malloc %7.1f K/s free %7.1f K/s p50=%dns \
-             p99=%dns | flush %7.1f K/s fence %7.1f K/s evict %d\n\
-             %!"
-            (Unix.gettimeofday () -. t0)
-            (rate (Obs.Histogram.snap_count md))
-            (rate (Obs.Histogram.snap_count fd))
-            (Obs.Histogram.snap_quantile md 0.5)
-            (Obs.Histogram.snap_quantile md 0.99)
-            (rate d.flushes) (rate d.fences) d.evictions;
-          pmem := pmem';
-          mallocs := mallocs';
-          frees := frees'
+          let v = Obs.Tsdb.Sampler.tick sampler in
+          if Array.length v > 0 then
+            Printf.printf
+              "[metrics] t=%6.1fs malloc %7.1f K/s free %7.1f K/s p50=%dns \
+               p99=%dns | flush/kop %d fence/kop %d wamp=%.3f\n\
+               %!"
+              (Unix.gettimeofday () -. t0)
+              (float_of_int v.(i_malloc) /. 1000.)
+              (float_of_int v.(i_free) /. 1000.)
+              v.(i_p50) v.(i_p99) v.(i_flush) v.(i_fence)
+              (float_of_int v.(i_wamp) /. 1000.)
         done)
   in
   fun () ->

@@ -6,6 +6,7 @@
      pkvc stats                # Prometheus exposition from the server
      pkvc flush                # force a group commit on every worker
      pkvc ping
+     pkvc watch                # live metrics-black-box dashboard
      pkvc load 10000           # bulk load over --conns connections
 
    Exit codes: 0 ok, 1 not found, 2 busy (backpressure), 3 server error.
@@ -273,6 +274,111 @@ let cmd_prof socket port retries top =
       rows
   end
 
+(* ----------------------------- pkvc watch ------------------------------ *)
+(* Live dashboard over the metrics black box: poll STATS, pick out the
+   tsdb_* ride-along gauges (the sampler's latest fine-ring sample per
+   series) and the slo_breach_total counters, keep a short client-side
+   history per series and redraw with sparklines — the online
+   counterpart of rstat --timeline. *)
+
+let spark_levels =
+  [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+     "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | _ ->
+    let lo = List.fold_left min (List.hd values) values
+    and hi = List.fold_left max (List.hd values) values in
+    String.concat ""
+      (List.map
+         (fun v ->
+           let i =
+             if hi = lo then 0
+             else
+               int_of_float
+                 ((v -. lo) /. (hi -. lo)
+                 *. float_of_int (Array.length spark_levels - 1))
+           in
+           spark_levels.(i))
+         values)
+
+let cmd_watch socket port retries interval count raw =
+  if interval <= 0.0 then failwith "pkvc watch: interval must be positive";
+  let fd = connect ~retries (addr_of socket port) in
+  let raw = raw || not (Unix.isatty Unix.stdout) in
+  let fetch () =
+    match rpc fd Proto.Stats with
+    | Proto.Text s -> parse_prom s
+    | _ -> failwith "pkvc watch: unexpected STATS reply"
+  in
+  let history : (string, float list ref) Hashtbl.t = Hashtbl.create 32 in
+  let push name v =
+    let h =
+      match Hashtbl.find_opt history name with
+      | Some h -> h
+      | None ->
+        let h = ref [] in
+        Hashtbl.replace history name h;
+        h
+    in
+    h := v :: !h;
+    if List.length !h > 40 then h := List.filteri (fun i _ -> i < 40) !h
+  in
+  let i = ref 0 in
+  while count = 0 || !i < count do
+    let cur = fetch () in
+    let series =
+      Hashtbl.fold
+        (fun k v acc ->
+          if String.length k > 5 && String.sub k 0 5 = "tsdb_" then
+            (String.sub k 5 (String.length k - 5), v) :: acc
+          else acc)
+        cur []
+      |> List.sort compare
+    in
+    List.iter (fun (name, v) -> push name v) series;
+    if not raw then print_string "\027[2J\027[H";
+    if series = [] then
+      print_endline
+        "pkvd watch — no black-box series yet (sampler warming up?)"
+    else begin
+      Printf.printf "pkvd watch — metrics black box, latest sample per tick\n";
+      List.iter
+        (fun (name, v) ->
+          let h =
+            match Hashtbl.find_opt history name with
+            | Some h -> List.rev !h
+            | None -> []
+          in
+          Printf.printf "  %-26s %12.0f %s\n" name v (sparkline h))
+        series
+    end;
+    let breaches =
+      Hashtbl.fold
+        (fun k v acc ->
+          let pre = "slo_breach_total{rule=\"" in
+          let lp = String.length pre in
+          if String.length k > lp && String.sub k 0 lp = pre then
+            match String.index_from_opt k lp '"' with
+            | Some q -> (String.sub k lp (q - lp), v) :: acc
+            | None -> acc
+          else acc)
+        cur []
+      |> List.sort compare
+    in
+    if breaches <> [] then begin
+      Printf.printf "  SLO breaches:";
+      List.iter (fun (rule, v) -> Printf.printf " %s=%.0f" rule v) breaches;
+      print_newline ()
+    end;
+    flush stdout;
+    incr i;
+    if count = 0 || !i < count then Unix.sleepf interval
+  done;
+  Unix.close fd
+
 let cmd_top socket port retries interval count raw =
   if interval <= 0.0 then failwith "pkvc top: interval must be positive";
   let fd = connect ~retries (addr_of socket port) in
@@ -389,6 +495,27 @@ let cmds =
             the request-stage latency breakdown, polled from STATS.")
       Term.(
         const (fun (s, p, r) interval count raw -> cmd_top s p r interval count raw)
+        $ common
+        $ Arg.(
+            value & opt float 1.0
+            & info [ "interval" ] ~docv:"SECONDS" ~doc:"Polling interval.")
+        $ Arg.(
+            value & opt int 0
+            & info [ "count" ] ~docv:"N"
+                ~doc:"Stop after $(docv) samples (0 = run until ^C).")
+        $ Arg.(
+            value & flag
+            & info [ "raw" ]
+                ~doc:"Append samples instead of redrawing (default off a tty)."));
+    Cmd.v
+      (Cmd.info "watch"
+         ~doc:
+           "Live dashboard over the server's metrics black box: the latest \
+            persisted sample of every series (sparklined over the poll \
+            history) plus SLO breach totals, polled from STATS.")
+      Term.(
+        const (fun (s, p, r) interval count raw ->
+            cmd_watch s p r interval count raw)
         $ common
         $ Arg.(
             value & opt float 1.0

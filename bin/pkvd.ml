@@ -7,7 +7,7 @@
    power loss) leaves a dirty image that the next open recovers. *)
 
 let run heap size socket port workers batch batch_usec queue_cap slow_us trace
-    prof_rate metrics_port =
+    prof_rate metrics_port slo tick_s =
   let addr =
     match port with
     | Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
@@ -24,6 +24,8 @@ let run heap size socket port workers batch batch_usec queue_cap slow_us trace
       slow_us;
       prof_rate;
       metrics_port;
+      slo;
+      tick_s;
     }
   in
   (* request-span trace events only exist while Obs.Trace is buffering;
@@ -50,6 +52,7 @@ let run heap size socket port workers batch batch_usec queue_cap slow_us trace
     workers batch batch_usec;
   if prof_rate > 0 then
     Printf.eprintf "pkvd: heap profiler on (1 sample / %d bytes)\n%!" prof_rate;
+  if slo <> "" then Printf.eprintf "pkvd: SLO watchdog on (%s)\n%!" slo;
   (match metrics_port with
   | Some p -> Printf.eprintf "pkvd: metrics on http://127.0.0.1:%d/metrics\n%!" p
   | None -> ());
@@ -154,6 +157,28 @@ let metrics_port_arg =
           "Serve the Prometheus exposition over plain HTTP on \
            127.0.0.1:$(docv) (GET /metrics).")
 
+let slo_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "slo" ] ~docv:"RULES"
+        ~doc:
+          "SLO watchdog rules, e.g. $(b,p99_us=500,queue_depth=128): \
+           comma-separated key=threshold clauses over p99_us, queue_depth \
+           and ext_frag, checked once per metrics tick.  Breaches are \
+           counted (slo_breach_total in /metrics) and recorded durably in \
+           the flight recorder; add the bare flag $(b,shed) to refuse new \
+           requests with BUSY while a rule is breached.")
+
+let tick_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "tick" ] ~docv:"SECONDS"
+        ~doc:
+          "Metrics sampler cadence: every $(docv) seconds one fine sample \
+           of every standard series is persisted to the heap's metrics \
+           black box (see rstat --timeline) and the SLO rules are \
+           evaluated.")
+
 let () =
   let doc = "Crash-recoverable persistent KV server with group commit" in
   let info = Cmd.info "pkvd" ~doc in
@@ -161,6 +186,6 @@ let () =
     Term.(
       const run $ heap_arg $ size_arg $ socket_arg $ port_arg $ workers_arg
       $ batch_arg $ batch_usec_arg $ queue_cap_arg $ slow_us_arg $ trace_arg
-      $ prof_rate_arg $ metrics_port_arg)
+      $ prof_rate_arg $ metrics_port_arg $ slo_arg $ tick_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -7,6 +7,7 @@
      rstat --prom <path>          Prometheus text exposition of the census
      rstat --chrome FILE <path>   Chrome trace JSON of recovery phases
      rstat --prof <path>          allocation-site provenance of surviving blocks
+     rstat --timeline <path>      pre-crash metrics timeline from the black box
      rstat --pcheck-summary <path> trial recovery under the persistency checker
 
    Unlike [rheap], rstat never opens the heap for writing: the image files
@@ -238,6 +239,141 @@ let print_prof heap =
          else 100.0 *. float_of_int !attributed /. float_of_int !total)
     end
 
+(* The metrics timeline: reconstruct the black box's sample rings from
+   the (possibly dirty) image and render the last minutes of every
+   series — sparkline over the fine ring, latest/mean/max, a last-60 s
+   anomaly summary (> k sigma deviations from the series' own history),
+   and the flight-recorder events that fall inside the timeline window,
+   so "what was the server doing just before the crash" is one command.
+   Ends with machine-readable lines for the crash-suite gate. *)
+let print_timeline heap =
+  match Ralloc.tsdb heap with
+  | None -> fail "no metrics black box in this image (pre-v3 layout)"
+  | Some db ->
+    let n_series = Obs.Tsdb.series_count db in
+    let fine = Obs.Tsdb.points db `Fine in
+    let mid = Obs.Tsdb.points db `Mid in
+    let coarse = Obs.Tsdb.points db `Coarse in
+    Printf.printf
+      "metrics timeline: %d samples total (%d fine, %d mid, %d coarse \
+       reconstructed, %d torn), %d series\n"
+      (Obs.Tsdb.total_samples db)
+      (List.length fine) (List.length mid) (List.length coarse)
+      (Obs.Tsdb.torn_slots db) n_series;
+    let spark values =
+      (* 8-level Unicode sparkline, scaled to this series' own range *)
+      let lo = List.fold_left min max_int values
+      and hi = List.fold_left max min_int values in
+      let levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                      "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                      "\xe2\x96\x87"; "\xe2\x96\x88" |] in
+      String.concat ""
+        (List.map
+           (fun v ->
+             let i =
+               if hi = lo then 0
+               else (v - lo) * (Array.length levels - 1) / (hi - lo)
+             in
+             levels.(i))
+           values)
+    in
+    let last_ts = ref 0 in
+    for s = 0 to n_series - 1 do
+      let name =
+        match Obs.Tsdb.series_name db s with
+        | Some n -> n
+        | None -> Printf.sprintf "series_%d" s
+      in
+      let pts = Obs.Tsdb.series_points db `Fine s in
+      let values =
+        List.map (fun (_, v) -> int_of_float (Float.round v)) pts
+      in
+      (match List.rev pts with
+      | (ts, _) :: _ -> last_ts := max !last_ts ts
+      | [] -> ());
+      let mean, _sigma = Obs.Tsdb.series_stats db `Fine s in
+      let last = match List.rev values with v :: _ -> v | [] -> 0 in
+      let vmax = List.fold_left max 0 values in
+      (* keep the sparkline to the last 60 fine samples *)
+      let tail_values =
+        let n = List.length values in
+        if n <= 60 then values
+        else List.filteri (fun i _ -> i >= n - 60) values
+      in
+      Printf.printf "%-24s last=%-10d mean=%-10.1f max=%-10d %s\n" name last
+        mean vmax
+        (if tail_values = [] then "(no samples)" else spark tail_values)
+    done;
+    (* last-60 s anomaly summary over the fine ring *)
+    let anomalies = Obs.Tsdb.anomalies ~k:3.0 ~window:60 db in
+    if anomalies = [] then
+      print_endline "anomalies (last 60 samples, >3 sigma): none"
+    else begin
+      print_endline "anomalies (last 60 samples, >3 sigma):";
+      List.iter
+        (fun (a : Obs.Tsdb.anomaly) ->
+          Printf.printf
+            "  %-24s last=%.1f vs mean=%.1f sigma=%.1f (%.1f sigma off)\n"
+            a.an_name a.an_last a.an_mean a.an_sigma
+            (if a.an_sigma > 0. then
+               Float.abs (a.an_last -. a.an_mean) /. a.an_sigma
+             else 0.))
+        anomalies
+    end;
+    (* cross-reference: flight events inside the reconstructed window *)
+    (match Ralloc.flight heap with
+    | None -> ()
+    | Some f ->
+      let window_start =
+        match fine with
+        | p :: _ -> p.Obs.Tsdb.p_ts_ns
+        | [] -> max_int
+      in
+      let events =
+        List.filter
+          (fun (e : Obs.Flight.event) -> e.ts_ns >= window_start)
+          (Obs.Flight.tail f)
+      in
+      let shown =
+        let n = List.length events in
+        if n <= 12 then events else List.filteri (fun i _ -> i >= n - 12) events
+      in
+      Printf.printf "flight events inside the timeline window: %d (last %d):\n"
+        (List.length events) (List.length shown);
+      List.iter
+        (fun (e : Obs.Flight.event) ->
+          Printf.printf "  %+8.1fs %-14s a=%d b=%d c=%d\n"
+            (float_of_int (e.ts_ns - !last_ts) /. 1e9)
+            (Obs.Flight.Kind.name e.kind)
+            e.a e.arg_b e.c)
+        shown);
+    (* machine-readable gate lines *)
+    Printf.printf "tsdb_samples_total %d\n" (Obs.Tsdb.total_samples db);
+    Printf.printf "tsdb_fine_points %d\n" (List.length fine);
+    Printf.printf "tsdb_torn %d\n" (Obs.Tsdb.torn_slots db);
+    (* lifetime per-kind counter, not the tail: breach events are rare
+       next to allocation events and wrap out of the ring in ms *)
+    (match Ralloc.flight heap with
+    | Some f ->
+      Printf.printf "tsdb_slo_breach_events %d\n"
+        (Obs.Flight.kind_count f Obs.Flight.Kind.slo_breach)
+    | None -> ());
+    for s = 0 to n_series - 1 do
+      let name =
+        match Obs.Tsdb.series_name db s with
+        | Some n -> n
+        | None -> Printf.sprintf "series_%d" s
+      in
+      let values =
+        List.map (fun (_, v) -> int_of_float (Float.round v))
+          (Obs.Tsdb.series_points db `Fine s)
+      in
+      let last = match List.rev values with v :: _ -> v | [] -> 0 in
+      Printf.printf "tsdb_series name=%s points=%d last=%d max=%d\n" name
+        (List.length values) last
+        (List.fold_left max 0 values)
+    done
+
 (* The audit verdict.  A dirty image is *expected* to have stale transient
    metadata — that is precisely what recovery rebuilds — so the verdict on
    one is rendered after a trial recovery run against the in-memory copy
@@ -310,11 +446,12 @@ let run_pcheck_summary heap status =
     exit 1
   end
 
-let run path census audit flight prom chrome max_list pcheck_summary prof =
+let run path census audit flight prom chrome max_list pcheck_summary prof
+    timeline =
   let heap, status = open_image path in
   let explicit =
     census || audit || flight <> None || prom || chrome <> None
-    || pcheck_summary || prof
+    || pcheck_summary || prof || timeline
   in
   if prom then print_prom heap status
   else begin
@@ -329,6 +466,7 @@ let run path census audit flight prom chrome max_list pcheck_summary prof =
     (match flight with Some n -> print_flight heap n | None -> ());
     (match chrome with Some file -> write_chrome heap file | None -> ());
     if prof then print_prof heap;
+    if timeline then print_timeline heap;
     if pcheck_summary then run_pcheck_summary heap status;
     if audit then run_audit heap status max_list
   end
@@ -384,6 +522,17 @@ let prof_flag =
            reachability trace (reachable vs leaked bytes).  Requires the \
            image to have run with the heap profiler on (pkvd --prof-rate).")
 
+let timeline_flag =
+  Arg.(
+    value & flag
+    & info [ "timeline" ]
+        ~doc:
+          "Reconstruct the metrics black box (the crash-surviving \
+           time-series rings) from the image and render each series' last \
+           minutes as a sparkline with a >3-sigma anomaly summary and the \
+           flight-recorder events inside the window — the pre-crash \
+           timeline.  The image files are never written.")
+
 let pcheck_summary_flag =
   Arg.(
     value & flag
@@ -402,6 +551,7 @@ let () =
   let term =
     Term.(
       const run $ path_arg $ census_flag $ audit_flag $ flight_arg $ prom_flag
-      $ chrome_arg $ max_list_arg $ pcheck_summary_flag $ prof_flag)
+      $ chrome_arg $ max_list_arg $ pcheck_summary_flag $ prof_flag
+      $ timeline_flag)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -622,6 +622,7 @@ module Flight = struct
     let heap_close = 12
     let root_set = 13
     let slow_op = 14
+    let slo_breach = 15
 
     let name = function
       | 1 -> "malloc"
@@ -638,6 +639,7 @@ module Flight = struct
       | 12 -> "heap_close"
       | 13 -> "root_set"
       | 14 -> "slow_op"
+      | 15 -> "slo_breach"
       | k -> Printf.sprintf "kind_%d" k
   end
 
@@ -1336,6 +1338,462 @@ module Prof = struct
       !n
   end
 
+end
+
+(* ------------------------------------------------------------------ *)
+(* Persistent metrics time-series black box                           *)
+(*                                                                    *)
+(* An aircraft-style flight-data recorder for metrics: a fixed-budget  *)
+(* window of simulated NVM holding three ring buffers of sample        *)
+(* records at increasing aggregation — every tick lands in the fine    *)
+(* ring, every [mid_ratio] ticks their sum is appended to the mid      *)
+(* ring, every [coarse_ratio] ticks to the coarse ring — so after a    *)
+(* crash the image still holds a recent high-resolution timeline plus  *)
+(* hours of coarse history, with no replay needed at recovery: the     *)
+(* downsampling happened at write time.                                *)
+(*                                                                    *)
+(* Geometry, in words relative to the backend window:                 *)
+(*                                                                    *)
+(*   line 0                  magic + fixed geometry descriptor        *)
+(*   max_series lines        series-name records (Ptab discipline:    *)
+(*                           length word stored last in the line)     *)
+(*   fine/mid/coarse rings   capacity * record_words sample records   *)
+(*                                                                    *)
+(* A sample record is [record_lines] consecutive cache lines:         *)
+(*                                                                    *)
+(*   [seq | ts_ns | count | 0 0 0 0 | checksum]   header line         *)
+(*   [v0 .. v7] [v8 .. v15] [v16 .. v23]          value lines         *)
+(*                                                                    *)
+(* where [count] is the number of fine ticks aggregated (1 in the     *)
+(* fine ring) and each value word is the SUM of those ticks' values,  *)
+(* so sums — and therefore means, via count — are conserved exactly   *)
+(* across resolutions.  The checksum covers every field including all *)
+(* value words; value lines are stored before the header line, so a   *)
+(* record whose lines reached the persistent view mid-composition     *)
+(* (spontaneous eviction — the write protocol itself ends in a fence) *)
+(* fails its checksum and is dropped at attach, never misparsed.      *)
+(*                                                                    *)
+(* Write protocol per tick: compose + flush the fine record           *)
+(* ([record_lines] flushes), ditto for a mid/coarse record when the   *)
+(* tick closes their window, then exactly one fence.  Head cursors    *)
+(* are volatile and rebuilt at attach as max(valid seq) + 1, exactly  *)
+(* like the flight recorder's.  Zero work of any kind when disabled.  *)
+(* ------------------------------------------------------------------ *)
+
+module Tsdb = struct
+  let max_series = 24
+  let max_name = 49
+
+  let fine_capacity = 320
+  let mid_capacity = 360
+  let coarse_capacity = 256
+  let mid_ratio = 10
+  let coarse_ratio = 60
+
+  let value_lines = (max_series + 7) / 8
+  let record_lines = 1 + value_lines
+  let record_words = record_lines * 8
+  let header_words = 8
+  let name_words = 8
+  let names_base = header_words
+  let fine_base = names_base + (max_series * name_words)
+  let mid_base = fine_base + (fine_capacity * record_words)
+  let coarse_base = mid_base + (mid_capacity * record_words)
+  let total_words = coarse_base + (coarse_capacity * record_words)
+  let words_for () = total_words
+  let magic = 0x5453444252494E47 land max_int (* "TSDBRING" *)
+
+  let tsdb_on = ref false
+  let set_enabled b = tsdb_on := b && not (hard_disabled ())
+  let enabled () = !tsdb_on
+
+  type ring = [ `Fine | `Mid | `Coarse ]
+
+  let ring_base = function
+    | `Fine -> fine_base
+    | `Mid -> mid_base
+    | `Coarse -> coarse_base
+
+  let ring_capacity = function
+    | `Fine -> fine_capacity
+    | `Mid -> mid_capacity
+    | `Coarse -> coarse_capacity
+
+  let ring_slot = function `Fine -> 0 | `Mid -> 1 | `Coarse -> 2
+
+  type t = {
+    b : Flight.backend;
+    lock : Mutex.t;
+    mutable nseries : int;
+    names : string array;
+    heads : int array; (* next seq per ring: fine, mid, coarse *)
+    acc_mid : int array;
+    acc_coarse : int array;
+    mutable acc_mid_count : int;
+    mutable acc_coarse_count : int;
+  }
+
+  (* Same splitmix-style mix as the flight recorder's checksum, folded
+     over the whole record (header fields then every value word), forced
+     nonzero so a zeroed slot can never look checksummed. *)
+  let mix h v =
+    let h = h lxor (v + 0x1e3779b97f4a7c15 + (h lsl 6) + (h lsr 2)) in
+    let h = h * 0x3f58476d1ce4e5b9 in
+    h lxor (h lsr 27)
+
+  let checksum ~seq ~ts ~count value =
+    let h = mix (mix (mix 0x54534442 seq) ts) count in
+    let h = ref h in
+    for i = 0 to max_series - 1 do
+      h := mix !h (value i)
+    done;
+    let h = !h land max_int in
+    if h = 0 then 1 else h
+
+  let fresh b =
+    {
+      b;
+      lock = Mutex.create ();
+      nseries = 0;
+      names = Array.make max_series "";
+      heads = Array.make 3 1;
+      acc_mid = Array.make max_series 0;
+      acc_coarse = Array.make max_series 0;
+      acc_mid_count = 0;
+      acc_coarse_count = 0;
+    }
+
+  let format (b : Flight.backend) =
+    if b.Flight.words < total_words then
+      invalid_arg "Obs.Tsdb.format: window too small";
+    b.Flight.store 0 magic;
+    b.Flight.store 1 max_series;
+    b.Flight.store 2 fine_capacity;
+    b.Flight.store 3 mid_capacity;
+    b.Flight.store 4 coarse_capacity;
+    b.Flight.store 5 mid_ratio;
+    b.Flight.store 6 coarse_ratio;
+    b.Flight.store 7 0;
+    (* zero the name table and every ring slot: stale image fragments
+       must not parse as series or samples *)
+    for w = names_base to total_words - 1 do
+      b.Flight.store w 0
+    done;
+    fresh b
+
+  (* ---- series-name records (Ptab discipline: length stored last) ---- *)
+
+  let persist_name t id name =
+    let w0 = names_base + (id * name_words) in
+    let n = min (String.length name) max_name in
+    for wi = 0 to 6 do
+      let word = ref 0 in
+      for bi = 0 to 6 do
+        let i = (wi * 7) + bi in
+        if i < n then word := !word lor (Char.code name.[i] lsl (bi * 8))
+      done;
+      t.b.Flight.store (w0 + 1 + wi) !word
+    done;
+    t.b.Flight.store w0 n;
+    t.b.Flight.flush w0;
+    t.b.Flight.fence ()
+
+  let load_name (b : Flight.backend) id =
+    let w0 = names_base + (id * name_words) in
+    let n = b.Flight.load w0 in
+    if n <= 0 || n > max_name then None
+    else begin
+      let buf = Bytes.create n in
+      for i = 0 to n - 1 do
+        let wi = i / 7 and bi = i mod 7 in
+        Bytes.set buf i
+          (Char.chr ((b.Flight.load (w0 + 1 + wi) lsr (bi * 8)) land 0xFF))
+      done;
+      Some (Bytes.to_string buf)
+    end
+
+  (* ---- sample records ---- *)
+
+  type point = {
+    p_seq : int;
+    p_ts_ns : int;
+    p_count : int;
+    p_values : int array; (* SUMS of [p_count] fine ticks, length max_series *)
+  }
+
+  let read_record (b : Flight.backend) base slot =
+    let w0 = base + (slot * record_words) in
+    let seq = b.Flight.load w0 in
+    if seq = 0 then None
+    else
+      let ts = b.Flight.load (w0 + 1) in
+      let count = b.Flight.load (w0 + 2) in
+      let v i = b.Flight.load (w0 + 8 + i) in
+      if b.Flight.load (w0 + 7) <> checksum ~seq ~ts ~count v then None
+      else
+        Some
+          {
+            p_seq = seq;
+            p_ts_ns = ts;
+            p_count = count;
+            p_values = Array.init max_series v;
+          }
+
+  let attach (b : Flight.backend) =
+    if b.Flight.words < total_words then None
+    else if b.Flight.load 0 <> magic then None
+    else if
+      b.Flight.load 1 <> max_series
+      || b.Flight.load 2 <> fine_capacity
+      || b.Flight.load 3 <> mid_capacity
+      || b.Flight.load 4 <> coarse_capacity
+      || b.Flight.load 5 <> mid_ratio
+      || b.Flight.load 6 <> coarse_ratio
+    then None (* formatted by a build with a different geometry *)
+    else begin
+      let t = fresh b in
+      (* rebuild the volatile series table from the persisted names *)
+      let hi_series = ref 0 in
+      for id = 0 to max_series - 1 do
+        match load_name b id with
+        | Some n ->
+          t.names.(id) <- n;
+          hi_series := id + 1
+        | None -> ()
+      done;
+      t.nseries <- !hi_series;
+      (* rebuild each ring's never-flushed head cursor *)
+      List.iter
+        (fun r ->
+          let base = ring_base r and cap = ring_capacity r in
+          let hi = ref 0 in
+          for s = 0 to cap - 1 do
+            match read_record b base s with
+            | Some p -> if p.p_seq > !hi then hi := p.p_seq
+            | None -> ()
+          done;
+          t.heads.(ring_slot r) <- !hi + 1)
+        [ `Fine; `Mid; `Coarse ];
+      Some t
+    end
+
+  let declare t name =
+    Mutex.lock t.lock;
+    let id =
+      let rec find i =
+        if i >= t.nseries then -1
+        else if t.names.(i) = name then i
+        else find (i + 1)
+      in
+      match find 0 with
+      | i when i >= 0 -> i
+      | _ ->
+        if t.nseries >= max_series then begin
+          Mutex.unlock t.lock;
+          invalid_arg "Obs.Tsdb.declare: series table full"
+        end;
+        let id = t.nseries in
+        t.names.(id) <- name;
+        t.nseries <- id + 1;
+        if !tsdb_on then persist_name t id name;
+        id
+    in
+    Mutex.unlock t.lock;
+    id
+
+  let series_count t = t.nseries
+
+  let series_name t id =
+    if id >= 0 && id < t.nseries && t.names.(id) <> "" then Some t.names.(id)
+    else None
+
+  let series_index t name =
+    let rec find i =
+      if i >= t.nseries then None
+      else if t.names.(i) = name then Some i
+      else find (i + 1)
+    in
+    find 0
+
+  (* Compose + flush one record; the caller owns the fence. *)
+  let write_record t r ~ts ~count vals =
+    let base = ring_base r and cap = ring_capacity r in
+    let seq = t.heads.(ring_slot r) in
+    t.heads.(ring_slot r) <- seq + 1;
+    let w0 = base + (((seq - 1) mod cap) * record_words) in
+    let v i = if i < Array.length vals then vals.(i) else 0 in
+    for i = 0 to max_series - 1 do
+      t.b.Flight.store (w0 + 8 + i) (v i)
+    done;
+    t.b.Flight.store w0 seq;
+    t.b.Flight.store (w0 + 1) ts;
+    t.b.Flight.store (w0 + 2) count;
+    t.b.Flight.store (w0 + 3) 0;
+    t.b.Flight.store (w0 + 4) 0;
+    t.b.Flight.store (w0 + 5) 0;
+    t.b.Flight.store (w0 + 6) 0;
+    t.b.Flight.store (w0 + 7) (checksum ~seq ~ts ~count v);
+    for l = 0 to record_lines - 1 do
+      t.b.Flight.flush (w0 + (l * 8))
+    done
+
+  let sample t ~ts_ns values =
+    if !tsdb_on then begin
+      Mutex.lock t.lock;
+      write_record t `Fine ~ts:ts_ns ~count:1 values;
+      for i = 0 to max_series - 1 do
+        let v = if i < Array.length values then values.(i) else 0 in
+        t.acc_mid.(i) <- t.acc_mid.(i) + v;
+        t.acc_coarse.(i) <- t.acc_coarse.(i) + v
+      done;
+      t.acc_mid_count <- t.acc_mid_count + 1;
+      if t.acc_mid_count >= mid_ratio then begin
+        write_record t `Mid ~ts:ts_ns ~count:t.acc_mid_count t.acc_mid;
+        Array.fill t.acc_mid 0 max_series 0;
+        t.acc_mid_count <- 0
+      end;
+      t.acc_coarse_count <- t.acc_coarse_count + 1;
+      if t.acc_coarse_count >= coarse_ratio then begin
+        write_record t `Coarse ~ts:ts_ns ~count:t.acc_coarse_count t.acc_coarse;
+        Array.fill t.acc_coarse 0 max_series 0;
+        t.acc_coarse_count <- 0
+      end;
+      t.b.Flight.fence ();
+      Mutex.unlock t.lock
+    end
+
+  (* ---- read side ---- *)
+
+  let points t r =
+    let base = ring_base r and cap = ring_capacity r in
+    let acc = ref [] in
+    for s = 0 to cap - 1 do
+      match read_record t.b base s with
+      | Some p -> acc := p :: !acc
+      | None -> ()
+    done;
+    List.sort (fun a b -> compare a.p_seq b.p_seq) !acc
+
+  let torn_slots t =
+    let n = ref 0 in
+    List.iter
+      (fun r ->
+        let base = ring_base r and cap = ring_capacity r in
+        for s = 0 to cap - 1 do
+          let w0 = base + (s * record_words) in
+          if t.b.Flight.load w0 <> 0 && read_record t.b base s = None then
+            incr n
+        done)
+      [ `Fine; `Mid; `Coarse ];
+    !n
+
+  let total_samples t = t.heads.(0) - 1
+
+  let series_points t r id =
+    if id < 0 || id >= max_series then []
+    else
+      List.map
+        (fun p ->
+          (p.p_ts_ns, float_of_int p.p_values.(id) /. float_of_int (max 1 p.p_count)))
+        (points t r)
+
+  let mean_sigma values =
+    let n = List.length values in
+    if n = 0 then (0., 0.)
+    else begin
+      let mean = List.fold_left ( +. ) 0. values /. float_of_int n in
+      let var =
+        List.fold_left (fun a v -> a +. ((v -. mean) *. (v -. mean))) 0. values
+        /. float_of_int n
+      in
+      (mean, sqrt var)
+    end
+
+  let series_stats t r id =
+    mean_sigma (List.map snd (series_points t r id))
+
+  type anomaly = {
+    an_series : int;
+    an_name : string;
+    an_last : float; (* mean of the trailing window *)
+    an_mean : float; (* whole-ring mean *)
+    an_sigma : float; (* whole-ring standard deviation *)
+  }
+
+  let anomalies ?(k = 3.0) ?(window = 60) t =
+    let out = ref [] in
+    for id = t.nseries - 1 downto 0 do
+      let pts = List.map snd (series_points t `Fine id) in
+      let n = List.length pts in
+      (* need enough history for the ring mean to be a reference *)
+      if n >= 2 * window then begin
+        let mean, sigma = mean_sigma pts in
+        let tail_pts =
+          List.filteri (fun i _ -> i >= n - window) pts
+        in
+        let last, _ = mean_sigma tail_pts in
+        (* sigma floor: a flat series (sigma 0) breaches on any change *)
+        let floor_s = Float.max sigma (0.02 *. Float.abs mean +. 1e-9) in
+        if Float.abs (last -. mean) > k *. floor_s then
+          out :=
+            {
+              an_series = id;
+              an_name = t.names.(id);
+              an_last = last;
+              an_mean = mean;
+              an_sigma = sigma;
+            }
+            :: !out
+      end
+    done;
+    !out
+
+  (* ---- the sampler: one shared snapshot path ---- *)
+
+  (* A declared set of (name, read) sources ticked periodically: each
+     tick evaluates every source (passing the seconds since the previous
+     tick, 0.0 on the first, so rate series can diff their own state),
+     writes one fine sample, and returns the values so the caller — the
+     bench [metrics] printer, the server's SLO watchdog — can reuse the
+     very snapshot that was persisted instead of re-deriving its own. *)
+  module Sampler = struct
+    type tsdb = t
+
+    type t = {
+      db : tsdb;
+      ids : int array;
+      sources : (float -> int) array;
+      mutable last_ns : int;
+    }
+
+    let create db specs =
+      let specs = Array.of_list specs in
+      {
+        db;
+        ids = Array.map (fun (n, _) -> declare db n) specs;
+        sources = Array.map snd specs;
+        last_ns = 0;
+      }
+
+    let tick s =
+      if not !tsdb_on then [||]
+      else begin
+        let now = now_ns () in
+        let dt =
+          if s.last_ns = 0 then 0.
+          else float_of_int (now - s.last_ns) /. 1e9
+        in
+        s.last_ns <- now;
+        let values = Array.make max_series 0 in
+        Array.iteri
+          (fun i src -> values.(s.ids.(i)) <- src dt)
+          s.sources;
+        sample s.db ~ts_ns:now values;
+        values
+      end
+
+    let index s name = series_index s.db name
+  end
 end
 
 (* ------------------------------------------------------------------ *)

@@ -412,6 +412,10 @@ module Flight : sig
     val slow_op : int
     (** An operation exceeded its latency budget ([a]=duration class). *)
 
+    val slo_breach : int
+    (** An SLO watchdog rule fired ([a]=rule index, [b]=observed value,
+        [c]=threshold, in the rule's own unit). *)
+
     val name : int -> string
     (** Label for a kind code (["?"] for unknown codes). *)
   end
@@ -753,6 +757,203 @@ module Prof : sig
 
     val count : t -> int
     (** Number of non-empty records. *)
+  end
+end
+
+(** {1 Persistent metrics time-series black box}
+
+    An aircraft-style flight-data recorder for {e metrics}: a reserved
+    NVM window holding three ring buffers of checksummed, fenced sample
+    records at increasing aggregation — every sampler tick lands in the
+    fine ring, every {!Tsdb.mid_ratio} ticks their {e sum} is appended
+    to the mid ring, every {!Tsdb.coarse_ratio} ticks to the coarse
+    ring — so a crashed image still holds a recent high-resolution
+    timeline plus hours of coarse history.  Downsampling happens at
+    write time and conserves sums (and therefore means, via the stored
+    tick count), so recovery needs no replay: [rstat --timeline] just
+    re-attaches the rings and reads.
+
+    Same durability discipline as the {!Flight} recorder: records are
+    position-independent, value lines are stored before the checksummed
+    header line so torn records are detected and dropped at attach, head
+    cursors are volatile and rebuilt as max(valid seq) + 1, and each
+    tick costs a bounded number of flushes plus exactly one fence —
+    byte-identical in both pmem modes, and a true no-op while
+    disabled. *)
+
+module Tsdb : sig
+  val max_series : int
+  (** Series-id slots in the window (24); {!declare} beyond this count
+      raises. *)
+
+  val max_name : int
+  (** Longest persistable series name in bytes (longer names
+      truncate). *)
+
+  val fine_capacity : int
+  (** Fine-ring record slots — at a 1 s tick, the last ~5 minutes. *)
+
+  val mid_capacity : int
+  (** Mid-ring record slots — at a 1 s tick, ~1 hour of 10 s sums. *)
+
+  val coarse_capacity : int
+  (** Coarse-ring record slots — at a 1 s tick, ~4 hours of 60 s
+      sums. *)
+
+  val mid_ratio : int
+  (** Fine ticks aggregated into one mid record (10). *)
+
+  val coarse_ratio : int
+  (** Fine ticks aggregated into one coarse record (60). *)
+
+  val record_lines : int
+  (** Cache lines per sample record — also the number of flushes each
+      record's composition issues (the per-tick flush count is
+      [record_lines] for the fine record plus [record_lines] more for
+      each mid/coarse window the tick closes). *)
+
+  val words_for : unit -> int
+  (** Window size in words for the whole black box (header + name table
+      + all three rings); the geometry is fixed at build time, so the
+      metadata-region carve-out can never drift from the writer. *)
+
+  type t
+  (** An attached black box: a window plus its volatile cursors and
+      downsampling accumulators. *)
+
+  val set_enabled : bool -> unit
+  (** Master switch, off by default and forced off under [OBS_DISABLED]
+      (see {!val:set_enabled}).  While off, {!sample} and
+      {!Sampler.tick} return immediately: no NVM traffic, no flushes,
+      no fences, no accumulation. *)
+
+  val enabled : unit -> bool
+  (** Whether time-series recording is currently on. *)
+
+  type ring = [ `Fine | `Mid | `Coarse ]
+  (** The three resolutions, finest first. *)
+
+  val format : Flight.backend -> t
+  (** Initialize a fresh black box in the window: magic, geometry
+      descriptor, zeroed name table and ring slots.  Durability is the
+      caller's concern (heap formatting ends in a full flush).
+      @raise Invalid_argument if the window is smaller than
+      {!words_for}. *)
+
+  val attach : Flight.backend -> t option
+  (** Re-attach to a previously formatted black box, e.g. in a
+      recovered or offline-inspected image: rebuilds the volatile series
+      table from the persisted names and every ring's head cursor from
+      the durable records (torn records — checksum mismatches — are
+      dropped here, never misparsed).  Downsampling accumulators restart
+      empty: up to one partial mid/coarse window is lost, but the fine
+      ring still covers those ticks.  [None] if the window holds no
+      valid black box or one of a different geometry. *)
+
+  val declare : t -> string -> int
+  (** [declare t name] interns a series name to a dense id, durably
+      persisting the name record (1 flush + 1 fence, skipped while
+      disabled) so offline readers can resolve it.  Idempotent per name.
+      Call at sampler startup, not per tick.
+      @raise Invalid_argument past {!max_series} distinct series. *)
+
+  val series_count : t -> int
+  (** Number of declared series. *)
+
+  val series_name : t -> int -> string option
+  (** The name a series id was declared under; [None] for undeclared ids
+      (including ids whose name record was lost to a torn line). *)
+
+  val series_index : t -> string -> int option
+  (** The id a series name was declared under, if any. *)
+
+  val sample : t -> ts_ns:int -> int array -> unit
+  (** [sample t ~ts_ns values] appends one fine record ([values.(i)] is
+      series [i]'s sample; missing trailing entries read as 0) and folds
+      it into the mid/coarse accumulators, emitting their sum records
+      when this tick closes a window.  Bounded flushes + exactly one
+      fence per call; when it returns the fine record is durable.
+      No-op while disabled. *)
+
+  type point = {
+    p_seq : int;  (** 1-based, monotonic over the ring's whole life *)
+    p_ts_ns : int;  (** {!now_ns} of the window's last fine tick *)
+    p_count : int;  (** fine ticks aggregated (1 in the fine ring) *)
+    p_values : int array;
+        (** per-series {e sums} of those ticks, length {!max_series} *)
+  }
+  (** One decoded sample record. *)
+
+  val points : t -> ring -> point list
+  (** Every complete (checksum-valid) record in a ring, oldest first. *)
+
+  val series_points : t -> ring -> int -> (int * float) list
+  (** One series' timeline in a ring, oldest first, as
+      [(ts_ns, mean-per-tick)] — the stored sum divided by the stored
+      count, so the same series plots on the same scale at every
+      resolution. *)
+
+  val series_stats : t -> ring -> int -> float * float
+  (** Mean and standard deviation of one series' per-tick means over a
+      whole ring ([0., 0.] for an empty series). *)
+
+  val torn_slots : t -> int
+  (** Slots across all three rings holding a started-but-incomplete
+      record (nonzero seq, bad checksum). *)
+
+  val total_samples : t -> int
+  (** Fine-ring sequence numbers handed out so far (after {!attach},
+      the durable fine-sample count). *)
+
+  type anomaly = {
+    an_series : int;  (** series id *)
+    an_name : string;  (** its declared name *)
+    an_last : float;  (** mean of the trailing window *)
+    an_mean : float;  (** whole-ring mean *)
+    an_sigma : float;  (** whole-ring standard deviation *)
+  }
+  (** One series flagged by {!anomalies}. *)
+
+  val anomalies : ?k:float -> ?window:int -> t -> anomaly list
+  (** Pre-crash anomaly scan over the fine ring: series whose trailing
+      [window] samples (default 60 — the last minute at a 1 s tick)
+      deviate from the whole-ring mean by more than [k] (default 3)
+      standard deviations.  A sigma floor of 2% of the mean suppresses
+      flat-series false positives; series with fewer than [2 * window]
+      samples are skipped. *)
+
+  (** {2 Sampler}
+
+      The shared snapshot path: a declared set of [(name, read)]
+      sources ticked periodically.  Each tick evaluates every source,
+      persists one fine sample, and returns the values, so every
+      consumer of the snapshot — the bench [\[metrics\]] printer, the
+      server's SLO watchdog, the Prometheus [tsdb_*] gauges — reuses
+      the exact values that were recorded instead of re-deriving its
+      own. *)
+
+  module Sampler : sig
+    type tsdb = t
+    (** The black box a sampler feeds. *)
+
+    type t
+    (** A declared source set bound to one black box. *)
+
+    val create : tsdb -> (string * (float -> int)) list -> t
+    (** [create db sources] declares each named series (see {!declare})
+        and binds its read function.  A source receives the seconds
+        elapsed since the previous tick ([0.] on the first), so rate
+        series can diff state they carry in their own closure. *)
+
+    val tick : t -> int array
+    (** Evaluate every source, persist one fine sample stamped with
+        {!now_ns}, and return the full value array (indexed by series
+        id).  Returns [[||]] without evaluating anything while the
+        black box is disabled — the inert-when-off contract. *)
+
+    val index : t -> string -> int option
+    (** The series id a name was declared under (for picking values out
+        of {!tick}'s array). *)
   end
 end
 

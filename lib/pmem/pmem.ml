@@ -33,6 +33,27 @@ let obs_fences_elided = Obs.Counter.make "pmem.fences_elided"
 let obs_pwrite_batches = Obs.Counter.make "pmem.pwrite_batches"
 let obs_drain_ns = Obs.Histogram.make "pmem.drain_ns"
 
+(* Write-amplification accounting: logical bytes the program stored into
+   the volatile view vs physical bytes the persistence pipeline wrote
+   back to the durable medium (fence drains, synchronous flushes,
+   spontaneous evictions — always whole 64 B lines, which is where the
+   amplification comes from).  Full-image syncs at format/close are
+   deliberately excluded: they would swamp the steady-state ratio the
+   black box tracks.  Both counters are registry counters, so recording
+   is gated on the metrics flag like all other telemetry. *)
+let obs_logical_bytes = Obs.Counter.make "pmem.logical_bytes"
+let obs_physical_bytes = Obs.Counter.make "pmem.physical_bytes"
+
+let logical_bytes () = Obs.Counter.read obs_logical_bytes
+let physical_bytes () = Obs.Counter.read obs_physical_bytes
+
+let write_amp () =
+  let l = logical_bytes () in
+  if l = 0 then 0.
+  else float_of_int (physical_bytes ()) /. float_of_int l
+
+let () = Obs.register_derived "pmem.write_amp" write_amp
+
 (* ------------------------------------------------------------------ *)
 (* NVM latency model                                                   *)
 (*                                                                     *)
@@ -299,6 +320,7 @@ let next_rng t =
 let evict_line t w =
   Atomic.incr t.evictions;
   Obs.Counter.incr obs_evictions;
+  Obs.Counter.add obs_physical_bytes line_bytes;
   let line = w / words_per_line in
   if Pcheck.on () then Pcheck.on_evict (shadow t) ~line;
   raw_flush_line t.vol t.pers line;
@@ -307,6 +329,7 @@ let evict_line t w =
 let store t w v =
   check_word t w;
   raw_store t.vol w v;
+  Obs.Counter.add obs_logical_bytes 8;
   if Pcheck.on () then Pcheck.on_store (shadow t) w;
   if t.evict_threshold > 0 && next_rng t < t.evict_threshold then evict_line t w
 
@@ -317,6 +340,7 @@ let cas t w ~expected ~desired =
   (* a CAS reads the word either way; only a successful one stores *)
   if Pcheck.on () then Pcheck.on_load (shadow t) w;
   let ok = raw_cas t.vol w expected desired in
+  if ok then Obs.Counter.add obs_logical_bytes 8;
   if ok && Pcheck.on () then Pcheck.on_store (shadow t) w;
   if ok && t.evict_threshold > 0 && next_rng t < t.evict_threshold then
     evict_line t w;
@@ -326,6 +350,7 @@ let fetch_add t w d =
   check_word t w;
   Atomic.incr t.cas_ops;
   Obs.Counter.incr obs_cas;
+  Obs.Counter.add obs_logical_bytes 8;
   if Pcheck.on () then begin
     (* read-modify-write: the read can observe a lost word *)
     Pcheck.on_load (shadow t) w;
@@ -398,6 +423,7 @@ let drain_pending t p =
         i := !j + 1
       done
     end;
+    Obs.Counter.add obs_physical_bytes (k * line_bytes);
     p.count <- 0
   end;
   k
@@ -414,6 +440,7 @@ let flush_impl t w =
     spin_iters (iters_of issue_iters !issue_latency_ns)
   | Synchronous ->
     raw_flush_line t.vol t.pers line;
+    Obs.Counter.add obs_physical_bytes line_bytes;
     write_backing t ~byte_off:(line * line_bytes) ~len:line_bytes;
     spin_iters (iters_of flush_iters !flush_latency_ns)
 
@@ -540,6 +567,7 @@ let flush_range_impl t w n =
         Atomic.incr t.flushes;
         raw_flush_line t.vol t.pers line
       done;
+      Obs.Counter.add obs_physical_bytes ((last - first + 1) * line_bytes);
       write_backing t ~byte_off:(first * line_bytes)
         ~len:((last - first + 1) * line_bytes);
       spin_iters (iters_of flush_iters !flush_latency_ns * (last - first + 1))
@@ -628,6 +656,7 @@ let load_byte t off =
 
 let store_byte t off v =
   check_byte t off;
+  Obs.Counter.add obs_logical_bytes 1;
   let w = off lsr 3 and b = off land 7 in
   if Pcheck.on () then begin
     (* the word read-modify-write can observe the lost bytes it keeps *)

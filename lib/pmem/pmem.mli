@@ -266,6 +266,29 @@ module Stats : sig
       enabled.  Useful for interval monitors that have no region handle. *)
 end
 
+(** {1 Write amplification} *)
+
+val logical_bytes : unit -> int
+(** Process-wide bytes the application asked to store: 8 per word
+    {!store}/{!fetch_add}/successful {!cas}, 1 per {!store_byte}.  Read
+    from the [Obs] registry counters, so it advances only while [Obs]
+    metrics are enabled. *)
+
+val physical_bytes : unit -> int
+(** Process-wide bytes actually written back to the durable medium at
+    cache-line granularity: 64 per line drained at a fence (Pipelined),
+    flushed ({!Synchronous}) or evicted.  Full-image syncs at format and
+    close are deliberately excluded — they would swamp the steady-state
+    ratio.  Advances only while [Obs] metrics are enabled. *)
+
+val write_amp : unit -> float
+(** [physical_bytes () / logical_bytes ()] — the write amplification of
+    the persistence pipeline (0. before any logical store).  Values near
+    1 mean flushes coalesce neighbouring stores into shared lines;
+    values near 8 mean every stored word costs its whole line.  Also
+    registered as the derived [Obs] metric ["pmem.write_amp"], so it
+    rides along in Prometheus dumps as [pmem_write_amp]. *)
+
 (** {1 Persistency checking} *)
 
 (** A pmemcheck-style durability tracer over the simulated NVM.  When

@@ -23,11 +23,16 @@ val no_block : int
 (** Sentinel [avail] value meaning "free list is empty" (0xFFFF). *)
 
 val pack : t -> int
+(** Pack an anchor into one word for the descriptor's anchor slot. *)
+
 val unpack : int -> t
+(** Inverse of {!pack}. *)
 
 val max_count : int
 (** Largest representable [count] (65535 ≥ blocks per superblock). *)
 
 val tag_mask : int
+(** Mask of the ABA tag field (28 bits). *)
 
 val pp : Format.formatter -> t -> unit
+(** Human-readable anchor, for debug dumps and test failures. *)

@@ -11,10 +11,10 @@ let meta_free_list_head = 8
 
 (* Bumped whenever the metadata word layout changes incompatibly (a new
    carve-out moves [meta_words], a field moves).  v2 = the provenance
-   ring + site table carve-outs; images formatted before the version
-   word existed read 0 here.  Attach must refuse a mismatch rather than
-   misread offsets. *)
-let layout_version = 2
+   ring + site table carve-outs; v3 = the metrics time-series black
+   box; images formatted before the version word existed read 0 here.
+   Attach must refuse a mismatch rather than misread offsets. *)
+let layout_version = 3
 let roots_base = 16
 
 let meta_root i =
@@ -46,7 +46,14 @@ let prov_words = Obs.Prof.Ring.words_for ~capacity:prov_capacity
 let ptab_base = prov_base + prov_words
 let ptab_capacity = 128
 let ptab_words = Obs.Prof.Ptab.words_for ~capacity:ptab_capacity
-let meta_words = ptab_base + ptab_words
+
+(* The metrics time-series black box closes the metadata tail: three
+   multi-resolution sample rings plus their series-name table, geometry
+   fixed inside Obs.Tsdb so the carve-out can never drift from the
+   writer.  Its arrival is the v2 -> v3 layout bump. *)
+let tsdb_base = ptab_base + ptab_words
+let tsdb_words = Obs.Tsdb.words_for ()
+let meta_words = tsdb_base + tsdb_words
 let magic_value = 0x52414C4C4F43 (* "RALLOC" *)
 let sb_size_word = 0
 let sb_used_word = 1

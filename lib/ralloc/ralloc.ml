@@ -41,6 +41,9 @@ type t = {
   ptab_persisted : Bytes.t;
       (* one byte per persistable site id: nonzero once this handle wrote
          the name to [ptab].  Racy duplicate persists are idempotent. *)
+  tsdb : Obs.Tsdb.t option;
+      (* the metrics time-series black box at the metadata tail; None
+         for pre-v3 images *)
   hid : int; (* cached meta_heap_id; keys provenance samples per heap *)
   mutable closed : bool;
 }
@@ -197,6 +200,19 @@ let ptab_backend_of ~persist meta =
 let prov t = t.prov
 let prov_site_name t id =
   match t.ptab with Some tab -> Obs.Prof.Ptab.name tab id | None -> None
+
+(* The metrics black box at the metadata tail (Layout.tsdb_base), same
+   carve-out discipline again. *)
+let tsdb_window meta =
+  Pmem.flight_backend meta ~first_word:Layout.tsdb_base
+    ~words:Layout.tsdb_words
+
+let tsdb_backend_of ~persist meta =
+  let b = tsdb_window meta in
+  if persist then b
+  else { b with Obs.Flight.flush = (fun _ -> ()); fence = (fun () -> ()) }
+
+let tsdb t = t.tsdb
 
 (* ------------------------------------------------------------------ *)
 (* Region access helpers                                              *)
@@ -1067,6 +1083,11 @@ let make_handle ?(persist = true) ?sb_base ?(expansion_sbs = 16)
       Obs.Prof.Ptab.attach (ptab_backend_of ~persist meta)
     else None
   in
+  let tsdb =
+    if Pmem.size_words meta >= Layout.tsdb_base + Layout.tsdb_words then
+      Obs.Tsdb.attach (tsdb_backend_of ~persist meta)
+    else None
+  in
   let t =
     {
       meta;
@@ -1086,6 +1107,7 @@ let make_handle ?(persist = true) ?sb_base ?(expansion_sbs = 16)
       flight;
       prov;
       ptab;
+      tsdb;
       ptab_persisted = Bytes.make Layout.ptab_capacity '\000';
       hid = Pmem.load meta Layout.meta_heap_id;
       closed = false;
@@ -1139,6 +1161,7 @@ let format_heap ?heap_id meta sb sb_bytes =
     (Obs.Flight.format (flight_window meta) ~capacity:Layout.flight_capacity);
   ignore (Obs.Prof.Ring.format (prov_window meta) ~capacity:Layout.prov_capacity);
   ignore (Obs.Prof.Ptab.format (ptab_window meta) ~capacity:Layout.ptab_capacity);
+  ignore (Obs.Tsdb.format (tsdb_window meta));
   Pmem.flush_all meta;
   Pmem.flush_all sb
 
@@ -2006,3 +2029,75 @@ let reset_stats t =
   Pmem.Stats.reset t.meta;
   Pmem.Stats.reset t.desc;
   Pmem.Stats.reset t.sb
+
+(* ------------------------------------------------------------------ *)
+(* Standard black-box series                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The allocator/pmem series every sampler should record, shared by the
+   bench interval ticker and the server's sampler thread so both paths
+   snapshot through the same code.  Rates are deltas of the process-wide
+   Obs counters over the tick (so they advance only while metrics are
+   on); ratios are scaled to integers (per-mille / milli) because Tsdb
+   records hold word sums.  [tsdb_global_sources] is the heap-free
+   subset (everything read from the process-wide registry);
+   [tsdb_sources] adds the census-derived per-heap series. *)
+let tsdb_global_sources () =
+  let rate read =
+    let last = ref (read ()) in
+    fun dt ->
+      let v = read () in
+      let d = v - !last in
+      last := v;
+      if dt <= 0. then 0 else int_of_float (float_of_int d /. dt)
+  in
+  let sum_classes arr () =
+    Array.fold_left (fun acc c -> acc + Obs.Counter.read c) 0 arr
+  in
+  let pcheck_wf = Obs.Counter.make "pcheck.wasted_flush"
+  and pcheck_ff = Obs.Counter.make "pcheck.wasted_fence" in
+  let per_kop read =
+    (* flushes (or fences) per 1000 allocator operations this tick *)
+    let ops () =
+      sum_classes obs_alloc_class () + sum_classes obs_free_class ()
+    in
+    let last_v = ref (read ()) and last_o = ref (ops ()) in
+    fun _dt ->
+      let v = read () and o = ops () in
+      let dv = v - !last_v and dops = o - !last_o in
+      last_v := v;
+      last_o := o;
+      if dops <= 0 then 0 else dv * 1000 / dops
+  in
+  [
+    ("alloc.mallocs_s", rate (sum_classes obs_alloc_class));
+    ("alloc.frees_s", rate (sum_classes obs_free_class));
+    ( "tcache.hit_pm",
+      fun _dt ->
+        let h = Obs.Counter.read obs_tcache_hit
+        and m = Obs.Counter.read obs_tcache_miss in
+        if h + m = 0 then 0 else h * 1000 / (h + m) );
+    ( "pmem.flush_per_kop",
+      per_kop (fun () -> (Pmem.Stats.global ()).Pmem.Stats.flushes) );
+    ( "pmem.fence_per_kop",
+      per_kop (fun () -> (Pmem.Stats.global ()).Pmem.Stats.fences) );
+    ( "pmem.write_amp_milli",
+      fun _dt -> int_of_float (Pmem.write_amp () *. 1000.) );
+    ("pcheck.wasted_flush_s", rate (fun () -> Obs.Counter.read pcheck_wf));
+    ("pcheck.wasted_fence_s", rate (fun () -> Obs.Counter.read pcheck_ff));
+  ]
+
+let tsdb_sources t =
+  (* One census walk per tick, shared: the occupancy source computes it
+     and parks external fragmentation for the frag source.  Sampler
+     sources run in declaration order, so keep these two adjacent. *)
+  let parked_frag = ref 0 in
+  tsdb_global_sources ()
+  @ [
+      ( "alloc.occupancy_pm",
+        fun _dt ->
+          let c = census t in
+          parked_frag := int_of_float (c.Census.external_frag *. 1000.);
+          int_of_float (c.Census.occupancy *. 1000.) );
+      ("alloc.ext_frag_pm", fun _dt -> !parked_frag);
+    ]

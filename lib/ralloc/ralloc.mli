@@ -98,9 +98,17 @@ val open_image : path:string -> t * status
     by a different metadata-layout version. *)
 
 val name : t -> string
+(** The heap's display name (its path, or the [?name] passed to {!create}). *)
+
 val is_dirty : t -> bool
+(** Whether the persistent dirty indicator is currently set. *)
+
 val capacity_bytes : t -> int
+(** Size of the superblock (data) region in bytes. *)
+
 val persist_enabled : t -> bool
+(** False iff the heap was opened with [persist:false] (the LRMalloc
+    baseline: no flushes, no fences). *)
 
 (** {1 Allocation} *)
 
@@ -151,6 +159,7 @@ and filter = gc -> int -> unit
     tag is treated as a pointer. *)
 
 val max_roots : int
+(** Number of persistent root slots ({!Layout.max_roots}). *)
 
 val set_root : t -> int -> int -> unit
 (** [set_root t i va] durably records [va] as persistent root [i]
@@ -226,7 +235,10 @@ val load : t -> int -> int
     [va] inside an allocated block. *)
 
 val store : t -> int -> int -> unit
+(** [store t va v] atomically writes [v] at 8-aligned virtual address [va]. *)
+
 val cas : t -> int -> expected:int -> desired:int -> bool
+(** Atomic compare-and-swap on the word at [va]; true on success. *)
 
 val fetch_add : t -> int -> int -> int
 (** Atomically add to the word at [va], returning the previous value. *)
@@ -254,9 +266,17 @@ val write_ptr : t -> at:int -> target:int -> unit
     at [va = at]. *)
 
 val load_byte : t -> int -> int
+(** Read the byte at virtual address [va]. *)
+
 val store_byte : t -> int -> int -> unit
+(** Write one byte at virtual address [va]. *)
+
 val store_string : t -> int -> string -> unit
+(** Copy a string byte-by-byte into the block at [va] (no terminator). *)
+
 val load_string : t -> int -> int -> string
+(** [load_string t va len] reads [len] bytes starting at [va]. *)
+
 val flush_block_range : t -> int -> int -> unit
 (** [flush_block_range t va len] flushes the lines covering [len] bytes at [va]. *)
 
@@ -306,6 +326,38 @@ val prov_site_name : t -> int -> string option
     site-name table ([None] if the table is absent, the id is out of
     range, or the slot was never persisted). *)
 
+(** {1 Metrics black box}
+
+    The last carve-out of the metadata region (layout v3) is a
+    crash-surviving time-series recorder ({!Obs.Tsdb}): three
+    multi-resolution sample rings a sampler thread writes checksummed,
+    fenced records into, so an offline inspector ([rstat --timeline])
+    can reconstruct the last minutes of ops/s, queue depth, occupancy
+    and friends from a dirty image. *)
+
+val tsdb : t -> Obs.Tsdb.t option
+(** The heap's attached metrics black box.  [None] only for images
+    formatted before the layout-v3 carve-out existed.  Writes go through
+    the region's normal persistence pipeline except on [persist:false]
+    heaps, where flush and fence are nulled (sampling a baseline heap
+    must not add persistence traffic the allocator itself would not). *)
+
+val tsdb_global_sources : unit -> (string * (float -> int)) list
+(** The heap-free standard series for an {!Obs.Tsdb.Sampler}, read
+    entirely from the process-wide [Obs] registry: malloc/free rates,
+    thread-cache hit rate (per-mille), flushes and fences per 1000
+    allocator ops, write amplification (milli, see {!Pmem.write_amp})
+    and persistency-checker waste rates.  Shared by the bench interval
+    ticker (which has no single heap in scope) and {!tsdb_sources}.
+    Rate sources carry per-call delta state — build the list once per
+    sampler, not per tick. *)
+
+val tsdb_sources : t -> (string * (float -> int)) list
+(** {!tsdb_global_sources} plus the census-derived per-heap series
+    (occupancy and external fragmentation, per-mille; one census walk
+    per tick) — the standard series set the server's sampler thread
+    records into the heap's black box. *)
+
 val reachable_offsets : t -> int -> bool
 (** [reachable_offsets t] traces the heap once from its persistent roots
     (the same walk {!recover} and {!audit} use) and returns a membership
@@ -353,6 +405,7 @@ module Census : sig
   }
 
   val pp : Format.formatter -> t -> unit
+  (** Human-readable census table. *)
 end
 
 val census : t -> Census.t
@@ -394,6 +447,7 @@ module Audit : sig
   }
 
   val pp : Format.formatter -> t -> unit
+  (** Human-readable audit verdict. *)
 end
 
 val audit : ?max_list:int -> t -> Audit.t
@@ -410,6 +464,7 @@ val stats : t -> Pmem.Stats.snapshot
 (** Aggregated persistence-operation counts over the heap's three regions. *)
 
 val reset_stats : t -> unit
+(** Zero the persistence-operation counters of all three regions. *)
 
 (** {1 Introspection} *)
 
@@ -438,7 +493,10 @@ module Debug : sig
   }
 
   val report : t -> report
+  (** Build a report from one walk over the descriptors. *)
+
   val pp_report : Format.formatter -> report -> unit
+  (** Human-readable per-class table. *)
 
   val cached_blocks : t -> int list
   (** Every block address held by the {e calling} domain's caches — the

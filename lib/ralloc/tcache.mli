@@ -42,12 +42,16 @@ val debug : bool
     hot array ops are compiled behind this flag. *)
 
 val create_set : unit -> set
+(** Fresh empty caches, one per size class. *)
 
 val capacity : t -> int
+(** Array-compartment capacity in blocks. *)
+
 val is_empty : t -> bool
 (** Array compartment only; the owned chain/run is {!has_owned}. *)
 
 val is_full : t -> bool
+(** Whether the array compartment is at capacity (guard for {!push}). *)
 
 val push : t -> int -> unit
 (** Unchecked when {!debug} is false; the caller must test {!is_full}.
@@ -61,6 +65,7 @@ val owned : t -> int
 (** Blocks held by the adopted superblock (chain + run). *)
 
 val has_owned : t -> bool
+(** Whether an adopted superblock still holds blocks. *)
 
 val adopt_chain : t -> d:int -> start:int -> bsz:int -> head:int -> len:int -> unit
 (** Record ownership of a reserved free-list chain: [head] is the first

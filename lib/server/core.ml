@@ -13,6 +13,8 @@ type config = {
   slow_us : int;
   prof_rate : int;
   metrics_port : int option;
+  slo : string;
+  tick_s : float;
 }
 
 let default_config ?heap_path () =
@@ -27,6 +29,8 @@ let default_config ?heap_path () =
     slow_us = 0;
     prof_rate = 0;
     metrics_port = None;
+    slo = "";
+    tick_s = 1.0;
   }
 
 (* ------------------------------ telemetry ------------------------------ *)
@@ -39,6 +43,63 @@ let ctr_writes = Obs.Counter.make "server.writes"
 let ctr_busy = Obs.Counter.make "server.busy"
 let ctr_commits = Obs.Counter.make "server.commits"
 let ctr_proto_errors = Obs.Counter.make "server.proto_errors"
+
+(* ---------------------------- SLO watchdog ----------------------------- *)
+
+(* One rule per [--slo] clause.  [r_value] reads the current observable;
+   it is built once the sampler exists, so it can resolve series by
+   index.  Breach counts live in Obs counters ([server.slo_breach.<k>]),
+   re-rendered as [slo_breach_total{rule="<k>"}] in the Prometheus text. *)
+type slo_rule = {
+  r_name : string;
+  r_thresh : float;
+  r_ctr : Obs.Counter.t;
+  mutable r_value : unit -> float;
+}
+
+let slo_keys = [ "p99_us"; "queue_depth"; "ext_frag" ]
+
+(* Grammar: comma-separated [key=threshold] clauses plus the bare flag
+   [shed]; keys are {!slo_keys}.  Returns the rules and the shed flag.
+   @raise Invalid_argument on an unknown key or unparsable threshold. *)
+let parse_slo spec =
+  let shed = ref false in
+  let rules =
+    String.split_on_char ',' spec
+    |> List.filter_map (fun clause ->
+           let clause = String.trim clause in
+           if clause = "" then None
+           else if clause = "shed" then begin
+             shed := true;
+             None
+           end
+           else
+             match String.index_opt clause '=' with
+             | None ->
+               invalid_arg
+                 (Printf.sprintf "--slo: expected key=value, got %S" clause)
+             | Some i ->
+               let k = String.sub clause 0 i
+               and v = String.sub clause (i + 1) (String.length clause - i - 1)
+               in
+               if not (List.mem k slo_keys) then
+                 invalid_arg (Printf.sprintf "--slo: unknown key %S" k);
+               let thresh =
+                 match float_of_string_opt v with
+                 | Some f -> f
+                 | None ->
+                   invalid_arg
+                     (Printf.sprintf "--slo: bad threshold %S for %s" v k)
+               in
+               Some
+                 {
+                   r_name = k;
+                   r_thresh = thresh;
+                   r_ctr = Obs.Counter.make ("server.slo_breach." ^ k);
+                   r_value = (fun () -> 0.);
+                 })
+  in
+  (Array.of_list rules, !shed)
 
 (* ------------------------------ mailboxes ------------------------------ *)
 
@@ -86,6 +147,15 @@ type t = {
   mutable conns : (Unix.file_descr * Thread.t) list;
   stopping : bool Atomic.t;
   abandon : bool Atomic.t; (* `Abrupt stop: skip the final commit *)
+  slo_rules : slo_rule array;
+  slo_shed : bool; (* --slo ...,shed: breaches turn new requests BUSY *)
+  shedding : bool Atomic.t; (* set while the last tick breached a rule *)
+  mutable sampler_thread : Thread.t option;
+  (* latest sampler snapshot for the [tsdb_*] Prometheus ride-along:
+     series names parallel to the last tick's values (single writer —
+     the sampler thread; readers tolerate a mid-tick mix) *)
+  mutable series_names : string array;
+  mutable series_latest : int array;
 }
 
 (* ------------------------------ workers -------------------------------- *)
@@ -240,6 +310,8 @@ let worker_loop srv wid q =
 
 (* ----------------------------- connections ----------------------------- *)
 
+let prom_sanitize s = String.map (fun c -> if c = '.' then '_' else c) s
+
 let stats_text srv =
   Array.iteri
     (fun i q -> Obs.Gauge.set srv.depth_gauges.(i) (Squeue.length q))
@@ -248,6 +320,21 @@ let stats_text srv =
   let ppf = Format.formatter_of_buffer buf in
   Obs.prometheus ppf;
   Format.pp_print_flush ppf ();
+  (* ride-alongs the generic registry cannot express: the black box's
+     latest fine-ring sample per series, and labelled breach totals *)
+  let names = srv.series_names and latest = srv.series_latest in
+  Array.iteri
+    (fun i name ->
+      if i < Array.length latest then
+        Buffer.add_string buf
+          (Printf.sprintf "tsdb_%s %d\n" (prom_sanitize name) latest.(i)))
+    names;
+  Array.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "slo_breach_total{rule=\"%s\"} %d\n" r.r_name
+           (Obs.Counter.read r.r_ctr)))
+    srv.slo_rules;
   Buffer.contents buf
 
 let resolved r =
@@ -277,6 +364,11 @@ let dispatch srv req ctx =
     in
     Array.iter (function Some mb -> ignore (mb_wait mb) | None -> ()) boxes;
     resolved Proto.Ok
+  | _ when Atomic.get srv.shedding ->
+    (* SLO shedding: the watchdog saw a breach last tick; refuse keyed
+       work up front instead of letting the queues amplify the overload *)
+    Obs.Counter.incr ctr_busy;
+    resolved Proto.Busy
   | _ -> (
     match Proto.shard_key req with
     | None -> resolved (Proto.Error "unroutable request")
@@ -442,6 +534,105 @@ let metrics_loop srv fd =
   in
   loop ()
 
+(* ---------------------------- sampler thread --------------------------- *)
+
+(* One systhread snapshots the declared series into the heap's metrics
+   black box every [cfg.tick_s] seconds and evaluates the SLO rules
+   against the tick.  A tick is bounded work — one census walk, a
+   handful of counter reads, four line flushes and one fence — and the
+   sleep is chopped into 50 ms naps so [stop] is honoured within one
+   interval.  The allocator/pmem series come from the same
+   [Ralloc.tsdb_sources] snapshot path the bench ticker uses; the server
+   adds its own: per-class ops/s and p99 from [Rtrace], per-shard queue
+   depth and batch fill. *)
+let sampler_loop srv db =
+  let rate read =
+    let last = ref (read ()) in
+    fun dt ->
+      let v = read () in
+      let d = v - !last in
+      last := v;
+      if dt <= 0. then 0 else int_of_float (float_of_int d /. dt)
+  in
+  (* the black box holds Obs.Tsdb.max_series slots; cap the per-shard
+     series so a wide --workers cannot blow the budget *)
+  let shards = min (Array.length srv.queues) 4 in
+  let sources =
+    Ralloc.tsdb_sources srv.st.heap
+    @ [
+        ("server.read_ops_s", rate (fun () -> Rtrace.ops `Read));
+        ("server.write_ops_s", rate (fun () -> Rtrace.ops `Write));
+        ("server.p99_read_us", fun _ -> Rtrace.total_quantile `Read 0.99 / 1000);
+        ( "server.p99_write_us",
+          fun _ -> Rtrace.total_quantile `Write 0.99 / 1000 );
+      ]
+    @ List.concat
+        (List.init shards (fun i ->
+             [
+               ( Printf.sprintf "server.queue_depth.w%d" i,
+                 fun _ -> Squeue.length srv.queues.(i) );
+               ( Printf.sprintf "server.batch_fill.w%d" i,
+                 fun _ -> Obs.Gauge.read srv.batch_gauges.(i) );
+             ]))
+  in
+  let sampler = Obs.Tsdb.Sampler.create db sources in
+  srv.series_names <- Array.of_list (List.map fst sources);
+  (* resolve each rule's observable against the sampler once; rules read
+     the latest tick through [srv.series_latest] *)
+  let latest name =
+    match Obs.Tsdb.Sampler.index sampler name with
+    | Some i when i < Array.length srv.series_latest ->
+      float_of_int srv.series_latest.(i)
+    | _ -> 0.
+  in
+  let max_of names () = List.fold_left (fun a n -> Float.max a (latest n)) 0. names in
+  Array.iter
+    (fun r ->
+      match r.r_name with
+      | "p99_us" ->
+        r.r_value <- max_of [ "server.p99_read_us"; "server.p99_write_us" ]
+      | "queue_depth" ->
+        r.r_value <-
+          max_of
+            (List.init shards (fun i -> Printf.sprintf "server.queue_depth.w%d" i))
+      | "ext_frag" -> r.r_value <- (fun () -> latest "alloc.ext_frag_pm" /. 1000.)
+      | _ -> ())
+    srv.slo_rules;
+  let tick () =
+    Array.iteri
+      (fun i q -> Obs.Gauge.set srv.depth_gauges.(i) (Squeue.length q))
+      srv.queues;
+    let values = Obs.Tsdb.Sampler.tick sampler in
+    if Array.length values > 0 then srv.series_latest <- values;
+    let breached = ref false in
+    Array.iteri
+      (fun ri r ->
+        let v = r.r_value () in
+        if v > r.r_thresh then begin
+          breached := true;
+          Obs.Counter.incr r.r_ctr;
+          Ralloc.flight_record srv.st.heap ~kind:Obs.Flight.Kind.slo_breach
+            ~a:ri ~b:(int_of_float v)
+            ~c:(int_of_float r.r_thresh)
+            ()
+        end)
+      srv.slo_rules;
+    if srv.slo_shed then Atomic.set srv.shedding !breached
+  in
+  let rec loop next =
+    if Atomic.get srv.stopping then ()
+    else begin
+      Thread.delay 0.05;
+      let now = Unix.gettimeofday () in
+      if now >= next then begin
+        (try tick () with _ -> ());
+        loop (now +. srv.cfg.tick_s)
+      end
+      else loop next
+    end
+  in
+  loop (Unix.gettimeofday () +. srv.cfg.tick_s)
+
 (* ------------------------------ lifecycle ------------------------------ *)
 
 let start ?config addr =
@@ -450,9 +641,14 @@ let start ?config addr =
   in
   if cfg.workers < 1 then invalid_arg "Core.start: need at least one worker";
   (* a serving daemon always wants its telemetry (STATS replies would be
-     empty otherwise); OBS_DISABLED still hard-overrides this *)
+     empty otherwise) and its black boxes — the flight recorder and the
+     metrics timeline are what the post-mortem tooling reads after a
+     kill -9; OBS_DISABLED still hard-overrides all of it *)
   Obs.set_enabled true;
   Obs.Span.set_enabled true;
+  Obs.Flight.set_enabled true;
+  Obs.Tsdb.set_enabled true;
+  let slo_rules, slo_shed = parse_slo cfg.slo in
   if cfg.prof_rate > 0 then begin
     Obs.Prof.set_rate cfg.prof_rate;
     Obs.Prof.set_enabled true
@@ -514,6 +710,12 @@ let start ?config addr =
       conns = [];
       stopping = Atomic.make false;
       abandon = Atomic.make false;
+      slo_rules;
+      slo_shed;
+      shedding = Atomic.make false;
+      sampler_thread = None;
+      series_names = [||];
+      series_latest = [||];
     }
   in
   Obs.register_derived "server.fences_per_op" (fun () ->
@@ -528,6 +730,10 @@ let start ?config addr =
   (match metrics_fd with
   | Some fd -> srv.metrics_thread <- Some (Thread.create (fun () -> metrics_loop srv fd) ())
   | None -> ());
+  (match Ralloc.tsdb st.heap with
+  | Some db ->
+    srv.sampler_thread <- Some (Thread.create (fun () -> sampler_loop srv db) ())
+  | None -> ());
   srv
 
 let sockaddr t = t.addr
@@ -541,6 +747,7 @@ let stop ?(mode = `Graceful) t =
        reverse order would race the acceptor's select against the close) *)
     (match t.acceptor with Some th -> Thread.join th | None -> ());
     (match t.metrics_thread with Some th -> Thread.join th | None -> ());
+    (match t.sampler_thread with Some th -> Thread.join th | None -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (match t.metrics_fd with
     | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())

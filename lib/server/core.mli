@@ -48,11 +48,29 @@ type config = {
       (** when set, serve the Prometheus exposition as plain HTTP on
           127.0.0.1:port (GET /metrics), so scrapers need not speak the
           binary STATS protocol *)
+  slo : string;
+      (** SLO watchdog rules, evaluated once per sampler tick:
+          comma-separated [key=threshold] clauses over the keys [p99_us]
+          (p99 request latency, either op class, microseconds),
+          [queue_depth] (any shard's queue depth) and [ext_frag]
+          (census external fragmentation, a fraction), plus the bare
+          flag [shed] — while the last tick breached any rule, new
+          keyed requests are refused with BUSY.  Each breach increments
+          a per-rule counter (exported as
+          [slo_breach_total{rule="<key>"}]) and records an
+          [slo_breach] event in the heap's flight recorder.  [""]
+          disables the watchdog. *)
+  tick_s : float;
+      (** metrics-sampler tick interval in seconds: every tick, one
+          checksummed sample of the standard series is persisted into
+          the heap's {!Obs.Tsdb} black box and the SLO rules are
+          evaluated *)
 }
 
 val default_config : ?heap_path:string -> unit -> config
 (** 2 workers, batch 32, 500 us deadline, queue bound 256, slow log off,
-    profiler off, no metrics port, heap at {!Heap_path.default_heap}. *)
+    profiler off, no metrics port, no SLO rules, 1 s sampler tick, heap
+    at {!Heap_path.default_heap}. *)
 
 type t
 

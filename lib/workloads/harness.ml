@@ -64,12 +64,13 @@ type row = {
   redundant_flush_rate : float;
   wasted_fences : int;
   fences_per_op : float;
+  write_amp : float; (* physical / logical bytes over the row's window *)
 }
 
 let make_row ?(flushes = 0) ?(fences = 0) ?(p50_ns = 0.) ?(p99_ns = 0.)
     ?(max_ns = 0.) ?(occupancy = 0.) ?(ext_frag = 0.)
     ?(redundant_flush_rate = 0.) ?(wasted_fences = 0) ?(fences_per_op = 0.)
-    ~figure ~allocator ~threads ~metric ~value () =
+    ?(write_amp = 0.) ~figure ~allocator ~threads ~metric ~value () =
   {
     figure;
     allocator;
@@ -86,6 +87,7 @@ let make_row ?(flushes = 0) ?(fences = 0) ?(p50_ns = 0.) ?(p99_ns = 0.)
     redundant_flush_rate;
     wasted_fences;
     fences_per_op;
+    write_amp;
   }
 
 (* [run f] while capturing the per-op malloc latency distribution of its
@@ -118,7 +120,8 @@ let pp_row ppf r =
     Format.fprintf ppf " rflush=%.4f wfence=%d" r.redundant_flush_rate
       r.wasted_fences;
   if r.fences_per_op > 0. then
-    Format.fprintf ppf " f/op=%.3f" r.fences_per_op
+    Format.fprintf ppf " f/op=%.3f" r.fences_per_op;
+  if r.write_amp > 0. then Format.fprintf ppf " wamp=%.2f" r.write_amp
 
 let print_header figure title =
   Printf.printf "\n== %s: %s ==\n%-12s %-10s %2s  %12s %-8s\n" figure title
@@ -153,6 +156,7 @@ let columns : (string * (row -> string)) list =
     ("redundant_flush_rate", fun r -> Printf.sprintf "%.4f" r.redundant_flush_rate);
     ("wasted_fences", fun r -> string_of_int r.wasted_fences);
     ("fences_per_op", fun r -> Printf.sprintf "%.4f" r.fences_per_op);
+    ("write_amp", fun r -> Printf.sprintf "%.4f" r.write_amp);
   ]
 
 let csv_header = String.concat "," (List.map fst columns)

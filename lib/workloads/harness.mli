@@ -49,6 +49,10 @@ type row = {
       (** real fences per application-level operation over the row's
           window — the group-commit amortization metric of the [server]
           series; 0 when the row does not measure it *)
+  write_amp : float;
+      (** physical bytes written back at line granularity / logical bytes
+          stored over the row's window ({!Pmem.write_amp} delta); 0 when
+          not measured *)
 }
 
 val make_row :
@@ -62,6 +66,7 @@ val make_row :
   ?redundant_flush_rate:float ->
   ?wasted_fences:int ->
   ?fences_per_op:float ->
+  ?write_amp:float ->
   figure:string ->
   allocator:string ->
   threads:int ->

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # End-to-end crash smoke for pkvd, run on every `dune runtest`:
 #
-#   start pkvd (PCHECK=1, heap profiler on, HTTP /metrics on) ->
+#   start pkvd (PCHECK=1, heap profiler on, HTTP /metrics on, metrics
+#      sampler at a fast tick, SLO watchdog with a deliberately
+#      unmeetable p99 rule) ->
 #      bulk-load through pkvc -> scrape /metrics (Prometheus exposition
-#      with prof_* families) -> kill -9 mid-load
+#      with prof_*, tsdb_* and slo_breach_total families) -> kill -9
+#      mid-load
+#   -> rstat --timeline must reconstruct the pre-crash series from the
+#      dirty image's metrics black box (samples present, nonzero write
+#      throughput recorded)
 #   -> rstat --audit must say CLEAN on the dirty image
 #   -> rstat --prof must attribute >= 90% of the sampled live bytes to
 #      persisted site names, and a store.* site must appear
@@ -40,8 +46,11 @@ trap cleanup EXIT
 rm -f "$heap".sb "$heap".meta "$heap".desc
 
 mport=$((20000 + RANDOM % 20000))
+# --slo p99_us=1: no real op finishes in a microsecond, so every sampler
+# tick records a breach — the watchdog's counter and flight event are
+# deterministic scrape targets
 PCHECK=1 "$PKVD" --heap "$heap" --socket "$sock" --workers 2 --batch 16 \
-  --prof-rate 4096 --metrics-port "$mport" &
+  --prof-rate 4096 --metrics-port "$mport" --tick 0.2 --slo p99_us=1 &
 pid=$!
 
 # generous retry: first-fence spin calibration can delay readiness
@@ -69,12 +78,53 @@ echo "$metrics" | grep -q "^prof_live_bytes{site=" \
 echo "$metrics" | grep -q "^server_ops" \
   || { echo "/metrics: no server counters"; exit 1; }
 
+echo "== tsdb gauges + SLO breach counter in /metrics =="
+# the sampler ticks every 0.2s; retry until the first tick has published
+# the tsdb_* gauges and the unmeetable p99 rule has breached
+tsdb_ok=""
+for _ in $(seq 1 30); do
+  m=$(exec 3<>"/dev/tcp/127.0.0.1/$mport" &&
+    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3 && cat <&3 && exec 3<&-) || m=""
+  if echo "$m" | grep -q "^tsdb_server_write_ops_s" &&
+     echo "$m" | grep -q "^tsdb_alloc_occupancy_pm" &&
+     echo "$m" | grep -Eq '^slo_breach_total\{rule="p99_us"\} [1-9]'; then
+    tsdb_ok=1; metrics=$m; break
+  fi
+  sleep 0.3
+done
+[ -n "$tsdb_ok" ] || {
+  echo "/metrics: tsdb gauges or slo_breach_total never appeared"
+  echo "$m" | grep -E "^(tsdb_|slo_)" || true
+  exit 1
+}
+echo "$metrics" | grep -E "^(tsdb_server_write_ops_s|slo_breach_total)"
+
 echo "== kill -9 mid-load =="
 kill -9 "$pid"
 wait "$pid" 2>/dev/null || true
 pid=""
 wait "$lpid" 2>/dev/null || true
 lpid=""
+
+echo "== pre-crash metrics timeline from the dirty image =="
+timeline=$("$RSTAT" --timeline "$heap")
+echo "$timeline"
+samples=$(echo "$timeline" | awk '/^tsdb_samples_total/ { print $2 }')
+[ -n "$samples" ] && [ "$samples" -ge 2 ] \
+  || { echo "rstat --timeline: only '$samples' pre-crash samples survived"; exit 1; }
+echo "$timeline" | grep -E '^tsdb_series name=server\.write_ops_s .* max=[1-9]' \
+  >/dev/null \
+  || { echo "rstat --timeline: no pre-crash write throughput recorded"; exit 1; }
+echo "$timeline" | grep -E '^tsdb_series name=server\.queue_depth\.w0 ' \
+  >/dev/null \
+  || { echo "rstat --timeline: no pre-crash queue-depth series"; exit 1; }
+echo "$timeline" | grep -E '^tsdb_series name=alloc\.occupancy_pm .* max=[1-9]' \
+  >/dev/null \
+  || { echo "rstat --timeline: no pre-crash occupancy recorded"; exit 1; }
+# the unmeetable SLO rule must have left durable breach events in the
+# flight recorder (the lifetime kind counter survives ring wrap)
+echo "$timeline" | grep -E '^tsdb_slo_breach_events [1-9]' >/dev/null \
+  || { echo "rstat --timeline: no slo_breach flight events recorded"; exit 1; }
 
 echo "== audit of the dirty image =="
 "$RSTAT" --audit "$heap"
@@ -95,7 +145,7 @@ PCHECK=1 "$RSTAT" --pcheck-summary "$heap"
 echo "== restart: recovery + service, request tracing + profiler on =="
 rm -f "$trace"
 PCHECK=1 "$PKVD" --heap "$heap" --socket "$sock" --workers 2 --batch 16 \
-  --prof-rate 4096 --trace "$trace" --slow-us 10000000 &
+  --prof-rate 4096 --trace "$trace" --slow-us 10000000 --tick 0.2 &
 pid=$!
 "$PKVC" ping --socket "$sock" --retry 300
 # key 0 -> 0 was in the first acked batch of the load; it must have survived
@@ -113,6 +163,12 @@ top=$("$PKVC" top --socket "$sock" --count 2 --interval 0.2 --raw)
 echo "$top"
 echo "$top" | grep -q "queue depth" || { echo "pkvc top: no queue depths"; exit 1; }
 echo "$top" | grep -q "stage share" || { echo "pkvc top: no stage breakdown"; exit 1; }
+
+echo "== pkvc watch =="
+watch=$("$PKVC" watch --socket "$sock" --count 3 --interval 0.4 --raw)
+echo "$watch"
+echo "$watch" | grep -q "server.write_ops_s" \
+  || { echo "pkvc watch: no black-box series"; exit 1; }
 
 echo "== pkvc prof =="
 prof=$("$PKVC" prof --socket "$sock" --top 5)

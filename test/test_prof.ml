@@ -372,7 +372,7 @@ let test_layout_version_guard () =
          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
          go 0
        in
-       has msg "layout v99" && has msg "expected v2"));
+       has msg "layout v99" && has msg "expected v3"));
   (match Ralloc.open_image ~path with
   | _ -> Alcotest.fail "open_image accepted a foreign layout version"
   | exception Failure _ -> ());

@@ -203,6 +203,7 @@ type fresh = {
   f_metric : string;
   f_p50 : float;
   f_ratio : float;
+  f_wamp : float;
 }
 
 let parse_csv path =
@@ -228,7 +229,8 @@ let parse_csv path =
     and i_thr = idx "threads"
     and i_metric = idx "metric"
     and i_p50 = idx "p50_ns"
-    and i_ratio = idx "p99_p50_ratio" in
+    and i_ratio = idx "p99_p50_ratio"
+    and i_wamp = idx "write_amp" in
     List.filter_map
       (fun line ->
         if String.trim line = "" then None
@@ -246,6 +248,7 @@ let parse_csv path =
               f_metric = get i_metric;
               f_p50 = numf i_p50;
               f_ratio = numf i_ratio;
+              f_wamp = numf i_wamp;
             })
       lines
 
@@ -293,7 +296,22 @@ let () =
           if f.f_p50 > limit then
             violate
               "fig5a %s t=%d: malloc p50 %.0f ns exceeds %.0f (baseline %.0f x5 +200)"
-              alloc threads f.f_p50 limit base_p50)
+              alloc threads f.f_p50 limit base_p50;
+          (* write amplification is a dimensionless physical/logical byte
+             ratio, scale- and machine-insensitive for a fixed workload
+             shape.  Only baselines recorded since the column existed
+             carry it — older BENCH_*.json rows skip the comparison. *)
+          let base_wamp = num_field "write_amp" b in
+          if base_wamp > 0. && f.f_wamp > 0. then begin
+            let wlimit = (base_wamp *. 3.) +. 1. in
+            Printf.printf
+              "fig5a    %-12s t=%d  wamp %5.2f (baseline %5.2f, limit %5.2f)\n"
+              alloc threads f.f_wamp base_wamp wlimit;
+            if f.f_wamp > wlimit then
+              violate
+                "fig5a %s t=%d: write_amp %.2f exceeds %.2f (baseline %.2f x3 +1)"
+                alloc threads f.f_wamp wlimit base_wamp
+          end)
     base5a;
 
   (* fig_tail: the p99/p50 ratio is the constant-time-fast-path signal
