@@ -595,6 +595,154 @@ let bench_server ctx =
   Server.Rtrace.report Format.std_formatter;
   (try Unix.rmdir dir with Unix.Unix_error _ -> ())
 
+let bench_server_scale ctx =
+  (* Connection-scaling series for the event-driven server: does a fixed
+     worker/loop pool hold throughput and the amortized-fence result as
+     the connection count crosses the old 128-thread ceiling?  Sweep
+     connections x batch with every connection holding exactly one
+     request in flight — the adversarial shape for group commit, because
+     batches only fill if the event loops can pump enough sockets per
+     wake.  Keys are disjoint per connection (pure inserts), so the
+     fences/op column isolates the commit fence exactly like the
+     `server` figure: ~1 ordering fence per SET plus 1/batch commit
+     fences, and the column must stay flat as connections grow.
+
+     The flush/fence columns count the persistence *protocol* only: the
+     flight recorder durably logs every malloc/free at exactly 2 flushes
+     + 1 fence per event (see Obs.Flight.record), and that telemetry
+     cost — measured precisely by the ring's event counter — is deducted
+     so the row reports what the commit path itself pays.  The deduction
+     is printed once per sweep so nothing is silently dropped. *)
+  Workloads.Harness.print_header "server_scale"
+    "pkvd event loops: Kops/s and fences/op vs connections x batch";
+  let dir = Filename.temp_file "pkvd-scale" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let total_ops = scaled ctx 60_000 in
+  let ack_hist = Obs.Histogram.make "server.ack_ns" in
+  let conn_counts =
+    List.filter (fun c -> c <= total_ops) [ 16; 64; 256; 1024; 4096 ]
+  in
+  List.iter
+    (fun conns ->
+      List.iter
+        (fun batch ->
+          let tag = Printf.sprintf "c%d-b%d" conns batch in
+          let heap_path = Filename.concat dir tag in
+          let sock = heap_path ^ ".sock" in
+          let config =
+            {
+              (Server.Core.default_config ~heap_path ()) with
+              workers = 2;
+              loops = 2;
+              max_conns = conns + 64;
+              batch;
+              batch_usec = 2_000;
+              queue_cap = 4_096;
+            }
+          in
+          let srv = Server.Core.start ~config (Unix.ADDR_UNIX sock) in
+          let st = Server.Core.store srv in
+          let flight_events () =
+            match Ralloc.flight st.heap with
+            | Some f -> Obs.Flight.total_recorded f
+            | None -> 0
+          in
+          let before = Ralloc.stats st.heap in
+          let fl0 = flight_events () in
+          let ack_before = Obs.Histogram.snapshot ack_hist in
+          let wl0 = Pmem.logical_bytes () and wp0 = Pmem.physical_bytes () in
+          let acked_total = Atomic.make 0 in
+          (* a handful of driver threads each own a slab of sockets and
+             run window-1 rounds: send one SET on every owned socket,
+             then read one response from each — [conns] requests in
+             flight with [drivers] threads, not [conns] threads *)
+          let drivers = min 8 conns in
+          let per_driver = conns / drivers in
+          let per_sock = max 1 (total_ops / conns) in
+          let driver d =
+            let fds =
+              Array.init per_driver (fun _ ->
+                  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+                  let rec go n =
+                    match Unix.connect fd (Unix.ADDR_UNIX sock) with
+                    | () -> ()
+                    | exception
+                        Unix.Unix_error
+                          ((Unix.ECONNREFUSED | Unix.EAGAIN), _, _)
+                      when n > 0 ->
+                      Unix.sleepf 0.01;
+                      go (n - 1)
+                  in
+                  go 100;
+                  fd)
+            in
+            let acked = ref 0 in
+            let key = ref (d * 50_000_000) in
+            for _ = 1 to per_sock do
+              Array.iter
+                (fun fd ->
+                  Server.Proto.write_frame fd
+                    (Server.Proto.encode_request
+                       (Server.Proto.Set (!key, !key)));
+                  incr key)
+                fds;
+              Array.iter
+                (fun fd ->
+                  match Server.Proto.read_frame fd with
+                  | Some p -> (
+                    match Server.Proto.decode_response p with
+                    | Ok Server.Proto.Ok -> incr acked
+                    | Ok Server.Proto.Busy -> () (* dropped; key skipped *)
+                    | _ -> failwith "server_scale: unexpected reply")
+                  | None -> failwith "server_scale: connection closed")
+                fds
+            done;
+            Array.iter Unix.close fds;
+            Atomic.fetch_and_add acked_total !acked |> ignore
+          in
+          let t0 = Unix.gettimeofday () in
+          let threads = List.init drivers (fun d -> Thread.create driver d) in
+          List.iter Thread.join threads;
+          let dt = Unix.gettimeofday () -. t0 in
+          let d = Pmem.Stats.diff (Ralloc.stats st.heap) before in
+          let fl = flight_events () - fl0 in
+          let flushes = max 0 (d.flushes - (2 * fl))
+          and fences = max 0 (d.fences - fl) in
+          let ad =
+            Obs.Histogram.diff (Obs.Histogram.snapshot ack_hist) ack_before
+          in
+          let acked = Atomic.get acked_total in
+          Server.Core.stop srv;
+          emit ctx
+            (Workloads.Harness.make_row ~figure:"server_scale" ~allocator:tag
+               ~threads:conns ~metric:"Kops/s"
+               ~value:(float_of_int acked /. dt /. 1_000.)
+               ~flushes ~fences
+               ~p50_ns:(float_of_int (Obs.Histogram.snap_quantile ad 0.5))
+               ~p99_ns:(float_of_int (Obs.Histogram.snap_quantile ad 0.99))
+               ~fences_per_op:(float_of_int fences /. float_of_int (max 1 acked))
+               ~write_amp:
+                 (let dl = Pmem.logical_bytes () - wl0 in
+                  if dl = 0 then 0.
+                  else
+                    float_of_int (Pmem.physical_bytes () - wp0)
+                    /. float_of_int dl)
+               ());
+          if fl > 0 then
+            Printf.printf
+              "             %-10s flight ring: %d events deducted (%d \
+               flushes, %d fences of telemetry)\n%!"
+              tag fl (2 * fl) fl;
+          List.iter
+            (fun ext ->
+              try Sys.remove (heap_path ^ ext) with Sys_error _ -> ())
+            [ ".sb"; ".meta"; ".desc" ];
+          Gc.full_major ())
+        [ 16; 64 ])
+    conn_counts;
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
 let figures =
   [
     ("fig5a", fig5a);
@@ -616,6 +764,7 @@ let figures =
     ("abl_pipeline", ablation_pipeline);
     ("fig_tail", fig_tail);
     ("server", bench_server);
+    ("server_scale", bench_server_scale);
   ]
 
 (* ------------------------- Bechamel micro-suite ------------------------- *)

@@ -102,6 +102,85 @@ let cmd_load socket port retries n start conns strings =
     (Atomic.get done_count) dt
     (float_of_int (Atomic.get done_count) /. dt)
 
+(* Connection-scale bench: hold [conns] open connections while [active]
+   of them do synchronous SET/GET traffic — the client half of the
+   server_scale story.  The idle majority proves the event loops carry a
+   large connection set; the active minority measures what that does to
+   latency.  Reports ops/s and latency quantiles, then pings a few idle
+   connections to prove they survived the load. *)
+let cmd_bench socket port retries conns active n keys =
+  (* connections refused by admission control (BUSY + close) must show up
+     in the report, not kill the client with SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let addr = addr_of socket port in
+  let active = min active conns in
+  let idle_n = conns - active in
+  let idle = Array.init idle_n (fun _ -> connect ~retries addr) in
+  let slice = (n + active - 1) / active in
+  let lat = Array.make_matrix active slice 0 in
+  let counts = Array.make active 0 in
+  let t0 = Unix.gettimeofday () in
+  let worker c =
+    let fd = connect ~retries addr in
+    for i = 0 to slice - 1 do
+      let k = (c * slice) + i in
+      let req =
+        if i land 1 = 0 then Proto.Set (k mod keys, k) else Proto.Get (k mod keys)
+      in
+      let rec send backoff =
+        let s = Obs.now_ns () in
+        match rpc fd req with
+        | Proto.Busy ->
+          Unix.sleepf backoff;
+          send (min 0.05 (backoff *. 2.))
+        | Proto.Error e -> failwith ("pkvc bench: " ^ e)
+        | _ ->
+          lat.(c).(counts.(c)) <- Obs.now_ns () - s;
+          counts.(c) <- counts.(c) + 1
+      in
+      send 0.001
+    done;
+    Unix.close fd
+  in
+  let threads =
+    List.init active (fun c ->
+        Thread.create (fun c -> try worker c with _ -> ()) c)
+  in
+  List.iter Thread.join threads;
+  let dt = Unix.gettimeofday () -. t0 in
+  let all =
+    Array.concat
+      (List.init active (fun c -> Array.sub lat.(c) 0 counts.(c)))
+  in
+  Array.sort compare all;
+  let total = Array.length all in
+  let q p =
+    if total = 0 then 0
+    else all.(min (total - 1) (int_of_float (p *. float_of_int total)))
+  in
+  (* the held-open connections must still be live after the storm *)
+  let survivors = ref 0 in
+  Array.iteri
+    (fun i fd ->
+      if i < 8 then (
+        match rpc fd Proto.Ping with
+        | Proto.Ok -> incr survivors
+        | _ | (exception _) -> ())
+      else incr survivors)
+    idle;
+  Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) idle;
+  Printf.printf
+    "bench: %d conns held (%d idle, %d active), %d ops in %.3fs\n\
+     %.0f ops/s  p50 %.1f us  p99 %.1f us  max %.1f us\n\
+     idle connections alive after load: %s\n"
+    conns idle_n active total dt
+    (float_of_int total /. dt)
+    (float_of_int (q 0.50) /. 1e3)
+    (float_of_int (q 0.99) /. 1e3)
+    (float_of_int (q 1.0) /. 1e3)
+    (if !survivors = idle_n then "ok" else Printf.sprintf "LOST %d" (idle_n - !survivors))
+
 (* ------------------------------ pkvc top ------------------------------- *)
 (* A polling live view over the STATS reply: parse the Prometheus text
    into a flat table (metric name incl. quantile label -> value), diff
@@ -476,6 +555,29 @@ let cmds =
         $ Arg.(
             value & flag
             & info [ "strings" ] ~doc:"Load string bindings instead of ints."));
+    Cmd.v
+      (Cmd.info "bench"
+         ~doc:
+           "Connection-scale bench: hold $(b,--conns) open connections while \
+            $(b,--active) of them run a 50/50 SET/GET load, then report \
+            ops/s and latency quantiles and check the idle connections \
+            survived.")
+      Term.(
+        const (fun (s, p, r) conns active n keys ->
+            cmd_bench s p r conns active n keys)
+        $ common
+        $ Arg.(
+            value & opt int 1024
+            & info [ "conns" ] ~docv:"C"
+                ~doc:"Connections to hold open (idle + active).")
+        $ Arg.(
+            value & opt int 64
+            & info [ "active" ] ~docv:"A"
+                ~doc:"Connections that actually send traffic.")
+        $ Arg.(value & pos 0 int 50_000 & info [] ~docv:"N")
+        $ Arg.(
+            value & opt int 4096
+            & info [ "keys" ] ~docv:"K" ~doc:"Key-space size."));
     Cmd.v
       (Cmd.info "prof"
          ~doc:

@@ -6,8 +6,8 @@
    worker's batch, commit it, and close the heap cleanly; a SIGKILL (or
    power loss) leaves a dirty image that the next open recovers. *)
 
-let run heap size socket port workers batch batch_usec queue_cap slow_us trace
-    prof_rate metrics_port slo tick_s =
+let run heap size socket port workers loops max_conns batch batch_usec
+    queue_cap slow_us trace prof_rate metrics_port slo tick_s =
   let addr =
     match port with
     | Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
@@ -18,6 +18,8 @@ let run heap size socket port workers batch batch_usec queue_cap slow_us trace
       (Server.Core.default_config ~heap_path:heap ()) with
       heap_size = size;
       workers;
+      loops;
+      max_conns;
       batch;
       batch_usec;
       queue_cap;
@@ -44,12 +46,18 @@ let run heap size socket port workers batch batch_usec queue_cap slow_us trace
       r.reachable_blocks
       (r.trace_seconds +. r.rebuild_seconds)
   | None -> ());
-  Printf.eprintf "pkvd: serving %s on %s (%d workers, batch %d, %d us)\n%!"
+  Printf.eprintf
+    "pkvd: serving %s on %s (%d workers, %d %s loop%s, max %d conns, batch %d, \
+     %d us)\n\
+     %!"
     heap
     (match addr with
     | Unix.ADDR_UNIX p -> p
     | Unix.ADDR_INET (_, p) -> Printf.sprintf "127.0.0.1:%d" p)
-    workers batch batch_usec;
+    workers loops
+    (Server.Evloop.backend_name (Server.Evloop.default_backend ()))
+    (if loops = 1 then "" else "s")
+    max_conns batch batch_usec;
   if prof_rate > 0 then
     Printf.eprintf "pkvd: heap profiler on (1 sample / %d bytes)\n%!" prof_rate;
   if slo <> "" then Printf.eprintf "pkvd: SLO watchdog on (%s)\n%!" slo;
@@ -102,6 +110,22 @@ let workers_arg =
   Arg.(
     value & opt int 2
     & info [ "workers" ] ~docv:"N" ~doc:"Worker domains (queue shards).")
+
+let loops_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "loops" ] ~docv:"N"
+        ~doc:
+          "Event-loop threads; each owns a share of the connections \
+           (accepts are dealt round-robin).")
+
+let max_conns_arg =
+  Arg.(
+    value & opt int 8192
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:
+          "Admission-control cap on live connections: a connection accepted \
+           past the cap is sent one BUSY frame and closed.")
 
 let batch_arg =
   Arg.(
@@ -185,7 +209,8 @@ let () =
   let term =
     Term.(
       const run $ heap_arg $ size_arg $ socket_arg $ port_arg $ workers_arg
-      $ batch_arg $ batch_usec_arg $ queue_cap_arg $ slow_us_arg $ trace_arg
-      $ prof_rate_arg $ metrics_port_arg $ slo_arg $ tick_arg)
+      $ loops_arg $ max_conns_arg $ batch_arg $ batch_usec_arg $ queue_cap_arg
+      $ slow_us_arg $ trace_arg $ prof_rate_arg $ metrics_port_arg $ slo_arg
+      $ tick_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,171 @@
+(* Per-connection protocol state machine.  See conn.mli for the
+   contract.  Everything here is sequential (one event-loop thread owns
+   a connection); the only cross-thread traffic is the worker's response
+   value, which the core hands back to the owner thread before calling
+   [fulfil]. *)
+
+type ticket = {
+  tk_ctx : Rtrace.ctx;
+  mutable tk_resp : Proto.response option;
+  mutable tk_done : bool; (* fulfilled and moved to the write queue *)
+}
+
+(* one encoded response frame on its way out *)
+type wslot = { w_buf : Bytes.t; w_ctx : Rtrace.ctx }
+
+type t = {
+  maxp : int;
+  highwater : int;
+  mutable rbuf : Bytes.t;
+  mutable r_lo : int; (* consumed up to *)
+  mutable r_hi : int; (* filled up to *)
+  tickets : ticket Queue.t; (* FIFO ack order; head is next to write *)
+  wq : wslot Queue.t;
+  mutable w_off : int; (* bytes of [Queue.peek wq] already written *)
+  mutable w_bytes : int; (* total unwritten bytes across [wq] *)
+  mutable n_inflight : int;
+  mutable eof : bool;
+}
+
+let create ?(max_pipeline = 128) ?(write_highwater = 256 * 1024) () =
+  {
+    maxp = max_pipeline;
+    highwater = write_highwater;
+    rbuf = Bytes.create 16384;
+    r_lo = 0;
+    r_hi = 0;
+    tickets = Queue.create ();
+    wq = Queue.create ();
+    w_off = 0;
+    w_bytes = 0;
+    n_inflight = 0;
+    eof = false;
+  }
+
+let max_pipeline t = t.maxp
+let buffered_bytes t = t.r_hi - t.r_lo
+let inflight t = t.n_inflight
+let can_dispatch t = t.n_inflight < t.maxp
+let pending_write_bytes t = t.w_bytes
+let want_write t = t.w_bytes > 0
+let set_eof t = t.eof <- true
+let eof t = t.eof
+let idle t = t.n_inflight = 0 && t.w_bytes = 0
+
+let want_read t =
+  (not t.eof) && t.n_inflight < t.maxp && t.w_bytes < t.highwater
+
+(* ------------------------------- reading ------------------------------- *)
+
+let feed t buf off len =
+  let avail = t.r_hi - t.r_lo in
+  let cap = Bytes.length t.rbuf in
+  if t.r_hi + len > cap then
+    if avail + len <= cap then begin
+      (* compact: slide the unconsumed tail to the front *)
+      Bytes.blit t.rbuf t.r_lo t.rbuf 0 avail;
+      t.r_lo <- 0;
+      t.r_hi <- avail
+    end
+    else begin
+      (* grow: double, bounded below by what this feed needs; the frame
+         cap bounds it above because oversized frames error out of
+         [next_frame] before their bodies accumulate *)
+      let ncap = max (2 * cap) (avail + len) in
+      let nbuf = Bytes.create ncap in
+      Bytes.blit t.rbuf t.r_lo nbuf 0 avail;
+      t.rbuf <- nbuf;
+      t.r_lo <- 0;
+      t.r_hi <- avail
+    end;
+  Bytes.blit buf off t.rbuf t.r_hi len;
+  t.r_hi <- t.r_hi + len
+
+let header_len t =
+  let b i = Char.code (Bytes.get t.rbuf (t.r_lo + i)) in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let read_phase t = if t.r_hi - t.r_lo < 4 then `Len else `Body
+
+let next_frame t =
+  let avail = t.r_hi - t.r_lo in
+  if avail < 4 then `Need_more
+  else
+    let len = header_len t in
+    if len > Proto.max_frame then
+      `Error (Printf.sprintf "frame of %d bytes exceeds max_frame" len)
+    else if avail < 4 + len then `Need_more
+    else begin
+      let payload = Bytes.sub_string t.rbuf (t.r_lo + 4) len in
+      t.r_lo <- t.r_lo + 4 + len;
+      if t.r_lo = t.r_hi then begin
+        t.r_lo <- 0;
+        t.r_hi <- 0
+      end;
+      `Frame payload
+    end
+
+(* ------------------------------- writing ------------------------------- *)
+
+let enqueue t ctx =
+  let tk = { tk_ctx = ctx; tk_resp = None; tk_done = false } in
+  Queue.push tk t.tickets;
+  t.n_inflight <- t.n_inflight + 1;
+  tk
+
+let push_frame t tk resp =
+  let payload = Proto.encode_response resp in
+  let len = String.length payload in
+  let buf = Bytes.create (4 + len) in
+  Bytes.set buf 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set buf 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set buf 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set buf 3 (Char.chr (len land 0xff));
+  Bytes.blit_string payload 0 buf 4 len;
+  Queue.push { w_buf = buf; w_ctx = tk.tk_ctx } t.wq;
+  t.w_bytes <- t.w_bytes + 4 + len
+
+let fulfil t tk resp =
+  if not tk.tk_done && tk.tk_resp = None then begin
+    tk.tk_resp <- Some resp;
+    (* release the longest now-resolved prefix of the ack order *)
+    let rec release () =
+      match Queue.peek_opt t.tickets with
+      | Some head -> (
+        match head.tk_resp with
+        | Some r ->
+          ignore (Queue.pop t.tickets);
+          head.tk_done <- true;
+          push_frame t head r;
+          release ()
+        | None -> ())
+      | None -> ()
+    in
+    release ()
+  end
+
+let write_chunk t =
+  match Queue.peek_opt t.wq with
+  | None -> None
+  | Some s ->
+    Some (s.w_buf, t.w_off, Bytes.length s.w_buf - t.w_off)
+
+let advance_write t n =
+  t.w_bytes <- t.w_bytes - n;
+  let finished = ref [] in
+  let rec go n =
+    if n > 0 then begin
+      let s = Queue.peek t.wq in
+      let remaining = Bytes.length s.w_buf - t.w_off in
+      if n >= remaining then begin
+        ignore (Queue.pop t.wq);
+        t.w_off <- 0;
+        t.n_inflight <- t.n_inflight - 1;
+        finished := s.w_ctx :: !finished;
+        go (n - remaining)
+      end
+      else t.w_off <- t.w_off + n
+    end
+  in
+  go n;
+  List.rev !finished

@@ -1,0 +1,122 @@
+(** Per-connection protocol state machine for the event-driven server.
+
+    One [Conn.t] carries everything a connection needs between readiness
+    events — no thread, no blocking call, no fd (the owning event loop
+    does the actual I/O).  Each request walks the lifecycle
+
+    {v
+    reading-length -> reading-body -> decoding -> queued -> parked-on-
+    batch-fence -> writing-ack
+    v}
+
+    with the first two phases driven by {!feed}/{!next_frame} (partial
+    reads resume where they left off), the middle by the core's dispatch
+    into worker squeues, and the last by {!fulfil}/{!write_chunk}/
+    {!advance_write} (partial writes resume too).  Because connections
+    are pipelined, many requests occupy the later phases concurrently;
+    {!ticket}s keep their acks in arrival order no matter the order the
+    workers finish in.
+
+    Buffers are bounded: the read buffer never holds more than one
+    maximum-size frame plus one read chunk, at most [max_pipeline]
+    requests may be in flight, and {!want_read} drops once the pipeline
+    or the write backlog is full so the event loop stops reading and TCP
+    backpressure reaches the client.  The module is purely sequential — one event-loop thread
+    owns each connection — which is what makes it qcheck-testable
+    without any sockets. *)
+
+type t
+(** Connection state: read buffer, in-order ticket queue, write queue. *)
+
+type ticket
+(** One in-flight request's slot in the ack order.  Obtained from
+    {!enqueue} at dispatch time, resolved by {!fulfil} when the worker
+    (or the core, for control frames) produces the response. *)
+
+val create : ?max_pipeline:int -> ?write_highwater:int -> unit -> t
+(** Fresh connection state.  [max_pipeline] (default 128) bounds
+    requests in flight; [write_highwater] (default 256 KiB) is the
+    pending-write byte count past which {!want_read} turns off. *)
+
+val max_pipeline : t -> int
+(** The pipeline bound this connection was created with. *)
+
+val feed : t -> Bytes.t -> int -> int -> unit
+(** [feed t buf off len] appends bytes the event loop just read into the
+    connection's read buffer, compacting/growing it as needed.  The
+    buffer is bounded by the frame cap, not the feed size: oversized
+    frames are rejected by {!next_frame} before their bodies are
+    buffered. *)
+
+val next_frame : t -> [ `Frame of string | `Need_more | `Error of string ]
+(** Try to extract the next complete frame payload from the read buffer.
+    [`Need_more] means the header or body is still partial (the
+    reading-length / reading-body states); [`Error] means the peer sent
+    a frame longer than {!Proto.max_frame} and the connection must be
+    closed.  Callers should gate calls on {!can_dispatch} so frames
+    beyond the pipeline bound stay buffered. *)
+
+val read_phase : t -> [ `Len | `Body ]
+(** Which read state the buffer head is in: [`Len] while fewer than the
+    4 header bytes of the next frame have arrived, [`Body] afterwards.
+    Diagnostic — the state machine itself is driven by {!next_frame}. *)
+
+val buffered_bytes : t -> int
+(** Bytes sitting in the read buffer (fed but not yet extracted). *)
+
+val can_dispatch : t -> bool
+(** Whether another request may enter the pipeline ({!inflight} is below
+    [max_pipeline]). *)
+
+val inflight : t -> int
+(** Requests dispatched but not yet fully written back (tickets issued
+    and unresolved, plus resolved ones still in the write queue). *)
+
+val enqueue : t -> Rtrace.ctx -> ticket
+(** Claim the next ack slot for a decoded request.  Tickets are strictly
+    FIFO: the response for an earlier ticket is always written before a
+    later one's, which is what keeps pipelined responses in request
+    order. *)
+
+val fulfil : t -> ticket -> Proto.response -> unit
+(** Resolve a ticket with its response.  If the ticket is at the head of
+    the order, its frame (and those of any consecutive already-resolved
+    successors) is encoded into the write queue; otherwise the response
+    parks until its turn.  Double-fulfil is ignored (a late worker ack
+    racing a shutdown error ack must not duplicate frames). *)
+
+val want_read : t -> bool
+(** Whether the event loop should keep read interest on this connection:
+    no EOF yet, pipeline not full, write backlog under the highwater
+    mark. *)
+
+val want_write : t -> bool
+(** Whether encoded response bytes are waiting to be written. *)
+
+val write_chunk : t -> (Bytes.t * int * int) option
+(** The next [(buf, off, len)] slice to write, or [None] when the write
+    queue is empty.  The slice is the unwritten remainder of the oldest
+    frame; after a short write, the next call resumes at the new
+    offset. *)
+
+val advance_write : t -> int -> Rtrace.ctx list
+(** Record that [n] bytes of the current {!write_chunk} reached the
+    socket.  Returns the trace contexts of every frame that completed,
+    oldest first, so the core can {!Rtrace.finish} them — the ack stage
+    ends when the last byte is handed to the kernel, matching the
+    blocking implementation's accounting. *)
+
+val pending_write_bytes : t -> int
+(** Encoded bytes not yet written (the write backlog). *)
+
+val set_eof : t -> unit
+(** The peer half-closed: stop expecting new frames.  In-flight requests
+    still complete and their acks still flush; the core closes the
+    connection once {!idle}. *)
+
+val eof : t -> bool
+(** Whether {!set_eof} was called. *)
+
+val idle : t -> bool
+(** No requests in flight and nothing left to write — after EOF, the
+    point at which the connection can be closed without losing acks. *)

@@ -1,12 +1,16 @@
-(* Server core: acceptor systhreads decode frames and dispatch work items
-   to worker domains through key-sharded bounded queues; workers batch
-   writes and commit them with one deferred-fence drain (group commit).
-   See core.mli for the contract. *)
+(* Server core: N event-loop systhreads own non-blocking connections and
+   drive their Conn state machines from an Evloop readiness loop; decoded
+   requests are dispatched to worker domains through key-sharded bounded
+   queues; workers batch writes and commit them with one deferred-fence
+   drain (group commit), handing acks back to the owning loop through a
+   completion list + wakeup.  See core.mli for the contract. *)
 
 type config = {
   heap_path : string;
   heap_size : int;
   workers : int;
+  loops : int;
+  max_conns : int;
   batch : int;
   batch_usec : int;
   queue_cap : int;
@@ -23,6 +27,8 @@ let default_config ?heap_path () =
       (match heap_path with Some p -> p | None -> Heap_path.default_heap ());
     heap_size = Store.default_size;
     workers = 2;
+    loops = 1;
+    max_conns = 8192;
     batch = 32;
     batch_usec = 500;
     queue_cap = 256;
@@ -38,11 +44,16 @@ let default_config ?heap_path () =
 let hist_op_ns = Obs.Histogram.make "server.op_ns"
 let hist_ack_ns = Obs.Histogram.make "server.ack_ns"
 let hist_batch = Obs.Histogram.make "server.batch_size"
+let hist_wake_ns = Obs.Histogram.make "server.loop_wake_ns"
+let hist_ready = Obs.Histogram.make "server.ready_batch"
 let ctr_ops = Obs.Counter.make "server.ops"
 let ctr_writes = Obs.Counter.make "server.writes"
 let ctr_busy = Obs.Counter.make "server.busy"
 let ctr_commits = Obs.Counter.make "server.commits"
 let ctr_proto_errors = Obs.Counter.make "server.proto_errors"
+let ctr_accepts = Obs.Counter.make "server.accepts"
+let ctr_admission_busy = Obs.Counter.make "server.admission_busy"
+let gauge_conns = Obs.Gauge.make "server.conns"
 
 (* ---------------------------- SLO watchdog ----------------------------- *)
 
@@ -101,35 +112,46 @@ let parse_slo spec =
   in
   (Array.of_list rules, !shed)
 
-(* ------------------------------ mailboxes ------------------------------ *)
+(* ----------------------------- work items ------------------------------ *)
 
-(* One mailbox per in-flight request: the connection thread parks on it,
-   the worker fills it — immediately for reads, at commit for writes. *)
-type mailbox = {
-  mb_m : Mutex.t;
-  mb_c : Condition.t;
-  mutable mb_resp : Proto.response option;
+(* One item per in-flight request.  [reply] is how the worker hands the
+   response back: it enqueues a completion on the owning event loop and
+   wakes it — immediately for reads, at commit for writes.  (The old
+   per-request mailbox blocked a connection thread; a state machine has
+   nothing to block.) *)
+type item = {
+  req : Proto.request;
+  reply : Proto.response -> unit;
+  enq_ns : int;
+  ctx : Rtrace.ctx;
 }
 
-let mailbox () =
-  { mb_m = Mutex.create (); mb_c = Condition.create (); mb_resp = None }
+(* ---------------------------- event loops ------------------------------ *)
 
-let mb_put mb resp =
-  Mutex.lock mb.mb_m;
-  mb.mb_resp <- Some resp;
-  Condition.signal mb.mb_c;
-  Mutex.unlock mb.mb_m
+external int_of_fd : Unix.file_descr -> int = "%identity"
 
-let mb_wait mb =
-  Mutex.lock mb.mb_m;
-  while mb.mb_resp = None do
-    Condition.wait mb.mb_c mb.mb_m
-  done;
-  let r = Option.get mb.mb_resp in
-  Mutex.unlock mb.mb_m;
-  r
+(* One per accepted connection, owned by exactly one loop thread. *)
+type conn_entry = {
+  ce_fd : Unix.file_descr;
+  ce_conn : Conn.t;
+  mutable ce_closed : bool;
+  (* trace context of the frame currently being assembled; born when its
+     first bytes arrive, so the accept stage measures frame assembly *)
+  mutable ce_ctx : Rtrace.ctx;
+}
 
-type item = { req : Proto.request; mb : mailbox; enq_ns : int; ctx : Rtrace.ctx }
+type loop_state = {
+  l_id : int;
+  l_ev : Evloop.t;
+  l_conns : (int, conn_entry) Hashtbl.t;
+  l_scratch : Bytes.t;
+  l_gauge : Obs.Gauge.t;
+  (* cross-thread inboxes, drained by the owner after every wait *)
+  l_m : Mutex.t;
+  mutable l_comps : (conn_entry * Conn.ticket * Proto.response) list;
+  mutable l_newfds : Unix.file_descr list;
+  mutable l_unlistened : bool; (* loop 0: listener deregistered on stop *)
+}
 
 type t = {
   cfg : config;
@@ -141,12 +163,15 @@ type t = {
   addr : Unix.sockaddr;
   metrics_fd : Unix.file_descr option;
   mutable metrics_thread : Thread.t option;
-  mutable acceptor : Thread.t option;
   mutable domains : unit Domain.t array;
-  conns_m : Mutex.t;
-  mutable conns : (Unix.file_descr * Thread.t) list;
+  loops : loop_state array;
+  mutable loop_threads : Thread.t list;
+  live_conns : int Atomic.t;
+  next_loop : int Atomic.t;
   stopping : bool Atomic.t;
   abandon : bool Atomic.t; (* `Abrupt stop: skip the final commit *)
+  drained : bool Atomic.t; (* workers joined; loops may exit once idle *)
+  mutable drain_deadline : float;
   slo_rules : slo_rule array;
   slo_shed : bool; (* --slo ...,shed: breaches turn new requests BUSY *)
   shedding : bool Atomic.t; (* set while the last tick breached a rule *)
@@ -180,10 +205,10 @@ let worker_loop srv wid q =
   in
   let release_acks to_resp =
     List.iter
-      (fun (mb, resp, enq_ns, ctx) ->
+      (fun (reply, resp, enq_ns, ctx) ->
         Obs.Histogram.record hist_ack_ns (Obs.now_ns () - enq_ns);
         Rtrace.mark_release ctx;
-        mb_put mb (to_resp resp))
+        reply (to_resp resp))
       (List.rev !pending);
     pending := [];
     batch_n := 0;
@@ -222,7 +247,7 @@ let worker_loop srv wid q =
     Rtrace.mark_service_end item.ctx;
     Rtrace.sink_close item.ctx;
     ensure_pinned ();
-    pending := (item.mb, resp, item.enq_ns, item.ctx) :: !pending;
+    pending := (item.reply, resp, item.enq_ns, item.ctx) :: !pending;
     incr batch_n;
     Obs.Gauge.set batch_g !batch_n;
     Obs.Counter.incr ctr_writes;
@@ -235,7 +260,7 @@ let worker_loop srv wid q =
     Rtrace.mark_service_end item.ctx;
     Rtrace.sink_close item.ctx;
     Rtrace.mark_release item.ctx;
-    mb_put item.mb resp
+    item.reply resp
   in
   let handle item =
     let t0 = Obs.now_ns () in
@@ -273,7 +298,7 @@ let worker_loop srv wid q =
       commit ();
       reply item Proto.Ok
     | Proto.Stats | Proto.Ping ->
-      (* control requests are answered by the acceptor side *)
+      (* control requests are answered by the event-loop side *)
       reply item Proto.Ok);
     Obs.Histogram.record hist_op_ns (Obs.now_ns () - t0)
   in
@@ -308,7 +333,7 @@ let worker_loop srv wid q =
      is terminating either way *)
   if not (Atomic.get srv.abandon) then Pmem.set_fence_deferral false
 
-(* ----------------------------- connections ----------------------------- *)
+(* ----------------------------- stats text ------------------------------ *)
 
 let prom_sanitize s = String.map (fun c -> if c = '.' then '_' else c) s
 
@@ -316,6 +341,7 @@ let stats_text srv =
   Array.iteri
     (fun i q -> Obs.Gauge.set srv.depth_gauges.(i) (Squeue.length q))
     srv.queues;
+  Obs.Gauge.set gauge_conns (Atomic.get srv.live_conns);
   let buf = Buffer.create 4096 in
   let ppf = Format.formatter_of_buffer buf in
   Obs.prometheus ppf;
@@ -337,161 +363,313 @@ let stats_text srv =
     srv.slo_rules;
   Buffer.contents buf
 
-let resolved r =
-  let mb = mailbox () in
-  mb_put mb r;
-  mb
+(* --------------------------- loop plumbing ----------------------------- *)
 
-(* Route one decoded request; the returned mailbox will (eventually) hold
-   the response.  Keyed requests go to their shard's worker; control
-   requests resolve here, in the connection thread. *)
-let dispatch srv req ctx =
-  match req with
-  | Proto.Ping -> resolved Proto.Ok
-  | Proto.Stats -> resolved (Proto.Text (stats_text srv))
-  | Proto.Flush ->
-    (* commit barrier: every worker must drain its current batch *)
-    let boxes =
-      Array.map
+(* Completions cross the worker-domain → loop-thread boundary here: the
+   producer appends under the loop's mutex and wakes it (the wakeup is
+   coalesced inside Evloop, so releasing a 64-ack batch costs one pipe
+   write, not 64). *)
+let complete lp ce tk resp =
+  Mutex.lock lp.l_m;
+  lp.l_comps <- (ce, tk, resp) :: lp.l_comps;
+  Mutex.unlock lp.l_m;
+  Evloop.wakeup lp.l_ev
+
+let close_conn srv lp ce =
+  if not ce.ce_closed then begin
+    ce.ce_closed <- true;
+    Evloop.remove lp.l_ev ce.ce_fd;
+    Hashtbl.remove lp.l_conns (int_of_fd ce.ce_fd);
+    (try Unix.close ce.ce_fd with Unix.Unix_error _ -> ());
+    Atomic.decr srv.live_conns;
+    Obs.Gauge.set gauge_conns (Atomic.get srv.live_conns);
+    Obs.Gauge.set lp.l_gauge (Hashtbl.length lp.l_conns)
+  end
+
+let update_interest srv lp ce =
+  if not ce.ce_closed then
+    Evloop.modify lp.l_ev ce.ce_fd
+      ~read:(Conn.want_read ce.ce_conn && not (Atomic.get srv.stopping))
+      ~write:(Conn.want_write ce.ce_conn)
+
+(* Write as much of the encoded-ack backlog as the socket accepts;
+   partial writes leave the remainder for the next writable event.  A
+   frame's trace ends when its last byte reaches the kernel. *)
+let rec flush_writes srv lp ce =
+  if not ce.ce_closed then
+    match Conn.write_chunk ce.ce_conn with
+    | None -> ()
+    | Some (buf, off, len) -> (
+      match Unix.write ce.ce_fd buf off len with
+      | n ->
+        List.iter Rtrace.finish (Conn.advance_write ce.ce_conn n);
+        if n = len then flush_writes srv lp ce
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_writes srv lp ce
+      | exception Unix.Unix_error _ -> close_conn srv lp ce)
+
+(* Route one decoded request.  Control requests resolve here, in the loop
+   thread; keyed requests go to their shard's worker, which replies
+   through [complete]. *)
+let dispatch srv lp ce payload ctx =
+  let conn = ce.ce_conn in
+  let fulfil_now tk resp = Conn.fulfil conn tk resp in
+  match Proto.decode_request payload with
+  | Error msg ->
+    Obs.Counter.incr ctr_proto_errors;
+    fulfil_now (Conn.enqueue conn Rtrace.null) (Proto.Error msg)
+  | Ok req -> (
+    match req with
+    | Proto.Ping -> fulfil_now (Conn.enqueue conn ctx) Proto.Ok
+    | Proto.Stats ->
+      fulfil_now (Conn.enqueue conn ctx) (Proto.Text (stats_text srv))
+    | Proto.Flush ->
+      (* commit barrier: every worker must drain its current batch; the
+         ack resolves when the last worker reports in *)
+      let tk = Conn.enqueue conn ctx in
+      let left = Atomic.make (Array.length srv.queues) in
+      let done_one _resp =
+        if Atomic.fetch_and_add left (-1) = 1 then complete lp ce tk Proto.Ok
+      in
+      Array.iter
         (fun q ->
-          let mb = mailbox () in
           if
-            Squeue.push_force q
-              { req = Proto.Flush; mb; enq_ns = Obs.now_ns (); ctx = Rtrace.null }
-          then Some mb
-          else None)
+            not
+              (Squeue.push_force q
+                 {
+                   req = Proto.Flush;
+                   reply = done_one;
+                   enq_ns = Obs.now_ns ();
+                   ctx = Rtrace.null;
+                 })
+          then done_one Proto.Ok)
         srv.queues
-    in
-    Array.iter (function Some mb -> ignore (mb_wait mb) | None -> ()) boxes;
-    resolved Proto.Ok
-  | _ when Atomic.get srv.shedding ->
-    (* SLO shedding: the watchdog saw a breach last tick; refuse keyed
-       work up front instead of letting the queues amplify the overload *)
-    Obs.Counter.incr ctr_busy;
-    resolved Proto.Busy
-  | _ -> (
-    match Proto.shard_key req with
-    | None -> resolved (Proto.Error "unroutable request")
-    | Some h ->
-      let q = srv.queues.(h mod Array.length srv.queues) in
-      let mb = mailbox () in
-      Rtrace.mark_enqueue ctx;
-      if Squeue.try_push q { req; mb; enq_ns = Obs.now_ns (); ctx } then begin
-        (* classified only on successful enqueue: a BUSY reply has no
-           worker-side stages and must not be attributed *)
-        Rtrace.set_class ctx (if Proto.is_write req then `Write else `Read);
-        mb
+    | _ when Atomic.get srv.shedding ->
+      (* SLO shedding: the watchdog saw a breach last tick; refuse keyed
+         work up front instead of letting the queues amplify the overload *)
+      Obs.Counter.incr ctr_busy;
+      fulfil_now (Conn.enqueue conn ctx) Proto.Busy
+    | _ -> (
+      match Proto.shard_key req with
+      | None -> fulfil_now (Conn.enqueue conn ctx) (Proto.Error "unroutable request")
+      | Some h ->
+        let q = srv.queues.(h mod Array.length srv.queues) in
+        let tk = Conn.enqueue conn ctx in
+        Rtrace.mark_enqueue ctx;
+        let reply resp = complete lp ce tk resp in
+        if Squeue.try_push q { req; reply; enq_ns = Obs.now_ns (); ctx }
+        then
+          (* classified only on successful enqueue: a BUSY reply has no
+             worker-side stages and must not be attributed *)
+          Rtrace.set_class ctx (if Proto.is_write req then `Write else `Read)
+        else begin
+          Obs.Counter.incr ctr_busy;
+          Conn.fulfil conn tk Proto.Busy
+        end))
+
+(* Extract every complete frame the pipeline bound allows.  A frame's
+   trace context is born when its first bytes arrive, so the accept
+   stage covers frame assembly across however many readiness events it
+   takes. *)
+let rec parse srv lp ce =
+  if not ce.ce_closed then begin
+    let conn = ce.ce_conn in
+    if Conn.buffered_bytes conn > 0 && not (Rtrace.is_live ce.ce_ctx) then begin
+      let ctx = Rtrace.make () in
+      Rtrace.mark_read_begin ctx;
+      ce.ce_ctx <- ctx
+    end;
+    if Conn.can_dispatch conn && not (Atomic.get srv.stopping) then
+      match Conn.next_frame conn with
+      | `Frame payload ->
+        let ctx = ce.ce_ctx in
+        ce.ce_ctx <- Rtrace.null;
+        Rtrace.mark_read_end ctx;
+        dispatch srv lp ce payload ctx;
+        parse srv lp ce
+      | `Need_more -> ()
+      | `Error _ ->
+        Obs.Counter.incr ctr_proto_errors;
+        close_conn srv lp ce
+  end
+
+(* Post-event settling: dispatch what became parseable, write what became
+   writable, then either retire the drained connection or refresh its
+   readiness interest.
+
+   Parse and flush must run to a joint fixpoint, not once each: writing
+   acks frees pipeline slots (inflight is decremented as ack bytes leave),
+   and a deeply pipelined client may have more frames already buffered
+   than [max_pipeline].  Those frames will never be re-announced by the
+   poller — the socket is empty — so if this pass stops while capacity is
+   free and frames are buffered, the connection wedges permanently.  The
+   loop terminates because every iteration strictly shrinks the buffer or
+   the in-flight count; when neither moves (partial frame, or the socket
+   refused the backlog) progress can only come from a future readiness
+   event, and we stop. *)
+let service srv lp ce =
+  let rec settle () =
+    let b0 = Conn.buffered_bytes ce.ce_conn
+    and i0 = Conn.inflight ce.ce_conn in
+    parse srv lp ce;
+    flush_writes srv lp ce;
+    if
+      (not ce.ce_closed)
+      && Conn.buffered_bytes ce.ce_conn > 0
+      && Conn.can_dispatch ce.ce_conn
+      && (Conn.buffered_bytes ce.ce_conn < b0
+         || Conn.inflight ce.ce_conn < i0)
+    then settle ()
+  in
+  if not ce.ce_closed then settle ();
+  if not ce.ce_closed then
+    if Conn.eof ce.ce_conn && Conn.idle ce.ce_conn then close_conn srv lp ce
+    else update_interest srv lp ce
+
+(* One read per readiness event: the multiplexers are level-triggered, so
+   a socket with more buffered bytes is re-reported on the next wait, and
+   a single firehose connection cannot monopolize its loop. *)
+let read_event srv lp ce =
+  (match Unix.read ce.ce_fd lp.l_scratch 0 (Bytes.length lp.l_scratch) with
+  | 0 -> Conn.set_eof ce.ce_conn
+  | n -> Conn.feed ce.ce_conn lp.l_scratch 0 n
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    ()
+  | exception Unix.Unix_error _ -> close_conn srv lp ce);
+  service srv lp ce
+
+let attach _srv lp fd =
+  let ce =
+    { ce_fd = fd; ce_conn = Conn.create (); ce_closed = false; ce_ctx = Rtrace.null }
+  in
+  Hashtbl.replace lp.l_conns (int_of_fd fd) ce;
+  Evloop.add lp.l_ev fd ~read:true ~write:false;
+  Obs.Gauge.set lp.l_gauge (Hashtbl.length lp.l_conns)
+
+(* Accept everything pending (the listener is level-triggered too, but
+   draining it here keeps the accept backlog short under a connect
+   storm).  Admission control: past [max_conns] the client gets one
+   best-effort BUSY frame and an immediate close — the wire-visible
+   analogue of queue-full backpressure. *)
+let accept_burst srv lp =
+  let rec go () =
+    match Unix.accept ~cloexec:false srv.listen_fd with
+    | fd, _ ->
+      Obs.Counter.incr ctr_accepts;
+      if Atomic.get srv.stopping then (
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      else if Atomic.get srv.live_conns >= srv.cfg.max_conns then begin
+        Obs.Counter.incr ctr_admission_busy;
+        (try Proto.write_frame fd (Proto.encode_response Proto.Busy)
+         with _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
       end
       else begin
-        Obs.Counter.incr ctr_busy;
-        resolved Proto.Busy
-      end)
+        Unix.set_nonblock fd;
+        Atomic.incr srv.live_conns;
+        Obs.Gauge.set gauge_conns (Atomic.get srv.live_conns);
+        let li =
+          Atomic.fetch_and_add srv.next_loop 1 mod Array.length srv.loops
+        in
+        let target = srv.loops.(li) in
+        if li = lp.l_id then attach srv target fd
+        else begin
+          Mutex.lock target.l_m;
+          target.l_newfds <- fd :: target.l_newfds;
+          Mutex.unlock target.l_m;
+          Evloop.wakeup target.l_ev
+        end
+      end;
+      go ()
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> () (* listener closed (stop) *)
+  in
+  go ()
 
-(* A connection is pipelined: while bytes are waiting on the socket we keep
-   decoding and dispatching, parking each request's mailbox in a FIFO, and
-   only block for (and write) responses oldest-first when the socket runs
-   dry or [max_pipeline] requests are in flight.  Responses therefore stay
-   in request order, and one connection can keep a whole group-commit batch
-   in flight — a strict request-reply loop would cap every worker's batch
-   at the number of connections and turn each commit into a deadline wait. *)
-let max_pipeline = 128
+let drain_inboxes srv lp =
+  Mutex.lock lp.l_m;
+  let comps = List.rev lp.l_comps and fds = List.rev lp.l_newfds in
+  lp.l_comps <- [];
+  lp.l_newfds <- [];
+  Mutex.unlock lp.l_m;
+  List.iter (fun fd -> attach srv lp fd) fds;
+  (* fulfil first so consecutive acks for one connection coalesce into a
+     single write burst, then settle each touched connection once *)
+  List.iter
+    (fun (ce, tk, resp) ->
+      if not ce.ce_closed then Conn.fulfil ce.ce_conn tk resp)
+    comps;
+  let touched = Hashtbl.create 16 in
+  List.iter
+    (fun ((ce : conn_entry), _, _) ->
+      if not ce.ce_closed then
+        Hashtbl.replace touched (int_of_fd ce.ce_fd) ce)
+    comps;
+  Hashtbl.iter (fun _ ce -> service srv lp ce) touched
 
-let conn_loop srv fd =
-  let pending = Queue.create () in
-  let write_one () =
-    let mb, ctx = Queue.pop pending in
-    Proto.write_frame fd (Proto.encode_response (mb_wait mb));
-    Rtrace.finish ctx
+(* Stop condition for a loop: the server is stopping, the workers are
+   drained (so no completion can still be in flight), both inboxes are
+   empty and every connection has flushed its acks — or the drain
+   deadline passed (a client that stops reading cannot wedge shutdown). *)
+let loop_done srv lp =
+  Atomic.get srv.stopping
+  && Atomic.get srv.drained
+  &&
+  let idle =
+    Mutex.lock lp.l_m;
+    let inbox_empty = lp.l_comps = [] && lp.l_newfds = [] in
+    Mutex.unlock lp.l_m;
+    inbox_empty
+    && Hashtbl.fold
+         (fun _ ce acc -> acc && not (Conn.want_write ce.ce_conn))
+         lp.l_conns true
   in
-  (* one trace context per frame, born when we start waiting for it; the
-     accept stage therefore covers socket wait + frame read *)
-  let read_req () =
-    let ctx = Rtrace.make () in
-    Rtrace.mark_read_begin ctx;
-    match Proto.read_frame fd with
-    | None -> None
-    | Some p ->
-      Rtrace.mark_read_end ctx;
-      Some (p, ctx)
-  in
-  let handle (payload, ctx) =
-    match Proto.decode_request payload with
-    | Ok req -> Queue.push (dispatch srv req ctx, ctx) pending
-    | Error msg ->
-      Obs.Counter.incr ctr_proto_errors;
-      Queue.push (resolved (Proto.Error msg), Rtrace.null) pending
-  in
-  let rec next () =
-    if Queue.is_empty pending then
-      match read_req () with
+  idle || Unix.gettimeofday () > srv.drain_deadline
+
+let loop_run srv lp =
+  let listen_key = int_of_fd srv.listen_fd in
+  if lp.l_id = 0 then Evloop.add lp.l_ev srv.listen_fd ~read:true ~write:false;
+  let on_ready fd ~readable ~writable =
+    let key = int_of_fd fd in
+    if key = listen_key && lp.l_id = 0 then accept_burst srv lp
+    else
+      match Hashtbl.find_opt lp.l_conns key with
       | None -> ()
-      | Some p ->
-        handle p;
-        next ()
-    else if Queue.length pending >= max_pipeline then begin
-      write_one ();
-      next ()
-    end
-    else
-      match Unix.select [ fd ] [] [] 0. with
-      | [], _, _ ->
-        write_one ();
-        next ()
-      | _ ->
-        (match read_req () with
-        | None ->
-          (* peer finished sending: drain what it is still owed *)
-          while not (Queue.is_empty pending) do
-            write_one ()
-          done
-        | Some p ->
-          handle p;
-          next ())
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> next ()
+      | Some ce ->
+        if writable then flush_writes srv lp ce;
+        if readable && not ce.ce_closed then read_event srv lp ce
+        else if not ce.ce_closed then service srv lp ce
   in
-  (try next () with e -> Printf.eprintf "conn_loop: %s\n%!" (Printexc.to_string e));
-  (try Unix.close fd with Unix.Unix_error _ -> ());
-  Mutex.lock srv.conns_m;
-  srv.conns <- List.filter (fun (f, _) -> f <> fd) srv.conns;
-  Mutex.unlock srv.conns_m
-
-(* The listener is non-blocking and polled with a short select timeout:
-   closing an fd does not wake a thread already blocked in accept(2), so a
-   blocking acceptor would deadlock an in-process [stop] (the daemon only
-   escaped via SIGTERM's EINTR).  [stop] sets [stopping] and the loop exits
-   within one poll interval. *)
-let accept_loop srv =
-  let rec loop () =
-    if Atomic.get srv.stopping then ()
-    else
-      match Unix.select [ srv.listen_fd ] [] [] 0.05 with
-      | [], _, _ -> loop ()
-      | _ -> (
-        match Unix.accept srv.listen_fd with
-        | fd, _ ->
-          Unix.clear_nonblock fd;
-          let th = Thread.create (fun () -> conn_loop srv fd) () in
-          Mutex.lock srv.conns_m;
-          srv.conns <- (fd, th) :: srv.conns;
-          Mutex.unlock srv.conns_m;
-          loop ()
-        | exception
-            Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-          ->
-          loop ()
-        | exception _ -> () (* listener closed (stop) or fatal: quit *))
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | exception _ -> () (* listener closed under us *)
-  in
-  loop ()
+  let finished = ref false in
+  while not !finished do
+    let n = Evloop.wait lp.l_ev ~timeout_ms:200 on_ready in
+    let t0 = Obs.now_ns () in
+    if n > 0 then Obs.Histogram.record hist_ready n;
+    if Atomic.get srv.stopping && lp.l_id = 0 && not lp.l_unlistened then begin
+      lp.l_unlistened <- true;
+      Evloop.remove lp.l_ev srv.listen_fd
+    end;
+    drain_inboxes srv lp;
+    Obs.Histogram.record hist_wake_ns (Obs.now_ns () - t0);
+    if loop_done srv lp then finished := true
+  done;
+  (* reap whatever is left (idle conns, or deadline-expired stragglers) *)
+  let leftovers = Hashtbl.fold (fun _ ce acc -> ce :: acc) lp.l_conns [] in
+  List.iter (fun ce -> close_conn srv lp ce) leftovers;
+  Evloop.close lp.l_ev
 
 (* ---------------------------- /metrics HTTP ---------------------------- *)
 
 (* Minimal plain-HTTP exposition of the Prometheus dump (--metrics-port):
-   scrapers should not need the binary STATS protocol.  Same polling
-   acceptor pattern as [accept_loop]; each request is served inline —
-   responses are one small text body and the socket carries a receive
-   timeout, so a stalled scraper cannot wedge the loop for long. *)
+   scrapers should not need the binary STATS protocol.  Polling acceptor;
+   each request is served inline — responses are one small text body and
+   the socket carries a receive timeout, so a stalled scraper cannot
+   wedge the loop for long. *)
 let serve_metrics srv fd =
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
   Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0;
@@ -543,8 +721,8 @@ let metrics_loop srv fd =
    sleep is chopped into 50 ms naps so [stop] is honoured within one
    interval.  The allocator/pmem series come from the same
    [Ralloc.tsdb_sources] snapshot path the bench ticker uses; the server
-   adds its own: per-class ops/s and p99 from [Rtrace], per-shard queue
-   depth and batch fill. *)
+   adds its own: per-class ops/s and p99 from [Rtrace], the live
+   connection count, per-shard queue depth and batch fill. *)
 let sampler_loop srv db =
   let rate read =
     let last = ref (read ()) in
@@ -565,6 +743,7 @@ let sampler_loop srv db =
         ("server.p99_read_us", fun _ -> Rtrace.total_quantile `Read 0.99 / 1000);
         ( "server.p99_write_us",
           fun _ -> Rtrace.total_quantile `Write 0.99 / 1000 );
+        ("server.conns", fun _ -> Atomic.get srv.live_conns);
       ]
     @ List.concat
         (List.init shards (fun i ->
@@ -602,6 +781,7 @@ let sampler_loop srv db =
     Array.iteri
       (fun i q -> Obs.Gauge.set srv.depth_gauges.(i) (Squeue.length q))
       srv.queues;
+    Obs.Gauge.set gauge_conns (Atomic.get srv.live_conns);
     let values = Obs.Tsdb.Sampler.tick sampler in
     if Array.length values > 0 then srv.series_latest <- values;
     let breached = ref false in
@@ -640,6 +820,8 @@ let start ?config addr =
     match config with Some c -> c | None -> default_config ()
   in
   if cfg.workers < 1 then invalid_arg "Core.start: need at least one worker";
+  if cfg.loops < 1 then invalid_arg "Core.start: need at least one event loop";
+  if cfg.max_conns < 1 then invalid_arg "Core.start: need max_conns >= 1";
   (* a serving daemon always wants its telemetry (STATS replies would be
      empty otherwise) and its black boxes — the flight recorder and the
      metrics timeline are what the post-mortem tooling reads after a
@@ -668,7 +850,7 @@ let start ?config addr =
   | Unix.ADDR_INET _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
   | _ -> ());
   Unix.bind listen_fd addr;
-  Unix.listen listen_fd 64;
+  Unix.listen listen_fd 1024;
   Unix.set_nonblock listen_fd;
   let queues = Array.init cfg.workers (fun _ -> Squeue.create cfg.queue_cap) in
   let depth_gauges =
@@ -693,6 +875,20 @@ let start ?config addr =
       Unix.set_nonblock fd;
       Some fd
   in
+  let loops =
+    Array.init cfg.loops (fun i ->
+        {
+          l_id = i;
+          l_ev = Evloop.create ();
+          l_conns = Hashtbl.create 256;
+          l_scratch = Bytes.create 65536;
+          l_gauge = Obs.Gauge.make (Printf.sprintf "server.conns.l%d" i);
+          l_m = Mutex.create ();
+          l_comps = [];
+          l_newfds = [];
+          l_unlistened = false;
+        })
+  in
   let srv =
     {
       cfg;
@@ -704,12 +900,15 @@ let start ?config addr =
       addr = Unix.getsockname listen_fd;
       metrics_fd;
       metrics_thread = None;
-      acceptor = None;
       domains = [||];
-      conns_m = Mutex.create ();
-      conns = [];
+      loops;
+      loop_threads = [];
+      live_conns = Atomic.make 0;
+      next_loop = Atomic.make 0;
       stopping = Atomic.make false;
       abandon = Atomic.make false;
+      drained = Atomic.make false;
+      drain_deadline = infinity;
       slo_rules;
       slo_shed;
       shedding = Atomic.make false;
@@ -726,7 +925,9 @@ let start ?config addr =
         float_of_int s.fences /. float_of_int ops);
   srv.domains <-
     Array.mapi (fun i q -> Domain.spawn (fun () -> worker_loop srv i q)) queues;
-  srv.acceptor <- Some (Thread.create (fun () -> accept_loop srv) ());
+  srv.loop_threads <-
+    Array.to_list
+      (Array.map (fun lp -> Thread.create (fun () -> loop_run srv lp) ()) loops);
   (match metrics_fd with
   | Some fd -> srv.metrics_thread <- Some (Thread.create (fun () -> metrics_loop srv fd) ())
   | None -> ());
@@ -738,32 +939,32 @@ let start ?config addr =
 
 let sockaddr t = t.addr
 let store t = t.st
+let conns t = Atomic.get t.live_conns
 
 let stop ?(mode = `Graceful) t =
   if not (Atomic.exchange t.stopping true) then begin
     if mode = `Abrupt then Atomic.set t.abandon true;
-    (* no new connections: [stopping] makes the polling acceptor exit
-       within one select interval; only then is the listener closed (the
-       reverse order would race the acceptor's select against the close) *)
-    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    (* loops see [stopping] on their next wake: loop 0 deregisters the
+       listener, every loop stops dispatching new frames, but all of
+       them keep pumping completions and ack writes *)
+    Array.iter (fun lp -> Evloop.wakeup lp.l_ev) t.loops;
     (match t.metrics_thread with Some th -> Thread.join th | None -> ());
     (match t.sampler_thread with Some th -> Thread.join th | None -> ());
+    (* workers: drain (or abandon) and exit; their release_acks feed the
+       loops' completion inboxes, which are still being served *)
+    Array.iter Squeue.close t.queues;
+    Array.iter Domain.join t.domains;
+    (* now nothing can produce another completion: let the loops flush
+       the last acks and exit — bounded by the drain deadline so a
+       client that stopped reading cannot wedge shutdown *)
+    t.drain_deadline <- Unix.gettimeofday () +. 2.0;
+    Atomic.set t.drained true;
+    Array.iter (fun lp -> Evloop.wakeup lp.l_ev) t.loops;
+    List.iter Thread.join t.loop_threads;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (match t.metrics_fd with
     | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
     | None -> ());
-    (* workers: drain (or abandon) and exit *)
-    Array.iter Squeue.close t.queues;
-    Array.iter Domain.join t.domains;
-    (* wake connection threads blocked on reads, then reap them *)
-    Mutex.lock t.conns_m;
-    let conns = t.conns in
-    Mutex.unlock t.conns_m;
-    List.iter
-      (fun (fd, _) ->
-        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-      conns;
-    List.iter (fun (_, th) -> Thread.join th) conns;
     (match t.addr with
     | Unix.ADDR_UNIX path when Sys.file_exists path -> (
       try Unix.unlink path with Unix.Unix_error _ -> ())

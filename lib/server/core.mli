@@ -1,13 +1,25 @@
-(** The pkvd server core: acceptor threads, sharded worker domains, and
+(** The pkvd server core: event-loop threads, sharded worker domains, and
     group-fenced write batching.
 
     {2 Request pipeline}
 
-    Connections are served by systhreads in the main domain; each decoded
+    Connections are owned by a small pool of event-loop systhreads
+    ([loops]), each running an {!Evloop} readiness loop (epoll-backed on
+    Linux) over its own set of non-blocking sockets.  Readable bytes are
+    fed into a per-connection {!Conn} state machine; each decoded
     request is dispatched by key hash to one of a fixed pool of worker
     {e domains} through a bounded {!Squeue} (full queue → immediate BUSY
     reply — backpressure, not buffering).  Equal keys always land on the
-    same worker, so per-key operations stay FIFO.
+    same worker, so per-key operations stay FIFO, and each connection's
+    responses are released in request order by its {!Conn} ticket queue.
+    Workers hand finished responses back to the owning loop through a
+    completion inbox plus a coalesced {!Evloop.wakeup}; the loop encodes
+    and writes the ack frames, resuming partial writes on the next
+    writable event.
+
+    Past [max_conns] live connections, new arrivals get one BUSY frame
+    and an immediate close (admission control); the accept backlog is
+    shared round-robin across the loops.
 
     {2 Group commit}
 
@@ -19,6 +31,9 @@
     client that saw OK is therefore guaranteed durability; a client that
     had not yet seen OK may find the write absent after a crash, but never
     torn (ordering fences inside each operation remain synchronous).
+    Parked acks live first in the worker's batch, then (after the commit
+    fence) in the connection's write queue: an ack can be buffered but
+    never precedes its fence onto the wire.
 
     Workers hold an {!Ebr} pin for the whole batch, so tree nodes retired
     by an elided-fence delete cannot be recycled before the commit fence —
@@ -26,15 +41,22 @@
 
     {2 Shutdown}
 
-    [stop `Graceful] (the SIGTERM path) closes the queues, lets every
-    worker drain, commit and release its cache, then closes the heap
-    cleanly.  [stop `Abrupt] abandons in-flight batches without a commit —
-    the in-process stand-in for SIGKILL used by crash tests. *)
+    [stop `Graceful] (the SIGTERM path) stops accepting and dispatching,
+    closes the queues, lets every worker drain, commit and release its
+    cache, lets the loops flush the final acks (bounded by a drain
+    deadline so an unresponsive client cannot wedge shutdown), then
+    closes the heap cleanly.  [stop `Abrupt] abandons in-flight batches
+    without a commit — the in-process stand-in for SIGKILL used by crash
+    tests. *)
 
 type config = {
   heap_path : string;
   heap_size : int;
   workers : int;  (** worker domains (queue shards) *)
+  loops : int;  (** event-loop threads, each owning a connection set *)
+  max_conns : int;
+      (** admission-control cap on live connections; a connection
+          accepted past the cap is sent one BUSY frame and closed *)
   batch : int;  (** max writes per group commit *)
   batch_usec : int;  (** max age of an unacked write before a forced commit *)
   queue_cap : int;  (** per-worker queue bound; overflow replies BUSY *)
@@ -68,16 +90,17 @@ type config = {
 }
 
 val default_config : ?heap_path:string -> unit -> config
-(** 2 workers, batch 32, 500 us deadline, queue bound 256, slow log off,
-    profiler off, no metrics port, no SLO rules, 1 s sampler tick, heap
-    at {!Heap_path.default_heap}. *)
+(** 2 workers, 1 event loop, 8192-connection admission cap, batch 32,
+    500 us deadline, queue bound 256, slow log off, profiler off, no
+    metrics port, no SLO rules, 1 s sampler tick, heap at
+    {!Heap_path.default_heap}. *)
 
 type t
 
 val start : ?config:config -> Unix.sockaddr -> t
 (** Open (and if needed recover) the store, bind and listen on the given
     address (an existing Unix-domain socket file is replaced), and spawn
-    the acceptor thread and worker domains.  Returns once serving. *)
+    the event-loop threads and worker domains.  Returns once serving. *)
 
 val sockaddr : t -> Unix.sockaddr
 (** The bound address (useful with an ephemeral TCP port). *)
@@ -85,6 +108,10 @@ val sockaddr : t -> Unix.sockaddr
 val store : t -> Store.t
 (** The underlying store (bench/test access; live server reads are safe,
     writes bypass batching and must be avoided). *)
+
+val conns : t -> int
+(** Live accepted connections across all loops (the [server.conns]
+    gauge, read directly). *)
 
 val stop : ?mode:[ `Graceful | `Abrupt ] -> t -> unit
 (** Stop serving.  [`Graceful] (default) drains, commits and closes the

@@ -1,0 +1,138 @@
+/* Readiness-notification stubs for Evloop: epoll(7) where the platform
+ * has it, poll(2) everywhere else.  Both waiting entry points release
+ * the OCaml runtime lock around the blocking syscall — a blocked
+ * epoll_wait must not stall the GC (or the other event loops) — so the
+ * event buffer is a Bigarray: its data lives outside the OCaml heap and
+ * the pointer stays valid while the lock is released.
+ *
+ * Event encoding (shared with evloop.ml): one int64 per entry,
+ * (fd << 2) | readable(1) | writable(2).  Error/hangup conditions are
+ * folded into "readable": the caller's read will then observe EOF or
+ * the socket error and close the connection, which is the only sane
+ * reaction anyway.  Errors return -errno as the result value; no OCaml
+ * exceptions are raised from here.
+ */
+
+#include <errno.h>
+#include <poll.h>
+#include <stdint.h>
+#include <stdlib.h>
+
+#include <caml/bigarray.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+
+#define EVL_READ 1
+#define EVL_WRITE 2
+
+#ifdef __linux__
+#include <sys/epoll.h>
+
+CAMLprim value evl_epoll_create(value unit)
+{
+  int fd = epoll_create1(EPOLL_CLOEXEC);
+  return Val_long(fd >= 0 ? fd : -errno);
+}
+
+CAMLprim value evl_epoll_ctl(value vep, value vop, value vfd, value vmask)
+{
+  int op;
+  struct epoll_event ev;
+  long mask = Long_val(vmask);
+  switch (Long_val(vop)) {
+  case 0: op = EPOLL_CTL_ADD; break;
+  case 1: op = EPOLL_CTL_MOD; break;
+  default: op = EPOLL_CTL_DEL; break;
+  }
+  ev.events = 0;
+  if (mask & EVL_READ) ev.events |= EPOLLIN;
+  if (mask & EVL_WRITE) ev.events |= EPOLLOUT;
+  ev.data.fd = (int)Long_val(vfd);
+  if (epoll_ctl((int)Long_val(vep), op, (int)Long_val(vfd), &ev) < 0)
+    return Val_long(-errno);
+  return Val_long(0);
+}
+
+CAMLprim value evl_epoll_wait(value vep, value vbuf, value vmax, value vtmo)
+{
+  /* fetch the data pointer BEFORE releasing the lock */
+  int64_t *out = (int64_t *)Caml_ba_data_val(vbuf);
+  int ep = (int)Long_val(vep);
+  int max = (int)Long_val(vmax);
+  int tmo = (int)Long_val(vtmo);
+  struct epoll_event evs[256];
+  int n, i;
+  if (max > 256) max = 256;
+  caml_release_runtime_system();
+  n = epoll_wait(ep, evs, max, tmo);
+  caml_acquire_runtime_system();
+  if (n < 0) return Val_long(errno == EINTR ? 0 : -errno);
+  for (i = 0; i < n; i++) {
+    long mask = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP))
+      mask |= EVL_READ;
+    if (evs[i].events & EPOLLOUT) mask |= EVL_WRITE;
+    out[i] = ((int64_t)evs[i].data.fd << 2) | mask;
+  }
+  return Val_long(n);
+}
+
+#else /* !__linux__: epoll entry points exist but report ENOSYS */
+
+CAMLprim value evl_epoll_create(value unit) { return Val_long(-ENOSYS); }
+
+CAMLprim value evl_epoll_ctl(value vep, value vop, value vfd, value vmask)
+{
+  (void)vep; (void)vop; (void)vfd; (void)vmask;
+  return Val_long(-ENOSYS);
+}
+
+CAMLprim value evl_epoll_wait(value vep, value vbuf, value vmax, value vtmo)
+{
+  (void)vep; (void)vbuf; (void)vmax; (void)vtmo;
+  return Val_long(-ENOSYS);
+}
+
+#endif
+
+/* Portable fallback: poll(2) over a packed interest set.  buf[0..n-1]
+ * holds (fd << 2) | interest on entry; on return the ready entries are
+ * rewritten compacted at the front as (fd << 2) | ready and the count
+ * is the result.  The pollfd array is C-local, so the bigarray can be
+ * rewritten in place without aliasing it. */
+CAMLprim value evl_poll(value vbuf, value vn, value vtmo)
+{
+  int64_t *buf = (int64_t *)Caml_ba_data_val(vbuf);
+  int n = (int)Long_val(vn);
+  int tmo = (int)Long_val(vtmo);
+  struct pollfd *pfds;
+  int r, i, j = 0;
+  if (n < 0) return Val_long(-EINVAL);
+  pfds = (struct pollfd *)malloc(sizeof(struct pollfd) * (n > 0 ? n : 1));
+  if (pfds == NULL) return Val_long(-ENOMEM);
+  for (i = 0; i < n; i++) {
+    long mask = buf[i] & 3;
+    pfds[i].fd = (int)(buf[i] >> 2);
+    pfds[i].events = 0;
+    if (mask & EVL_READ) pfds[i].events |= POLLIN;
+    if (mask & EVL_WRITE) pfds[i].events |= POLLOUT;
+    pfds[i].revents = 0;
+  }
+  caml_release_runtime_system();
+  r = poll(pfds, (nfds_t)n, tmo);
+  caml_acquire_runtime_system();
+  if (r < 0) {
+    free(pfds);
+    return Val_long(errno == EINTR ? 0 : -errno);
+  }
+  for (i = 0; i < n && j < r; i++) {
+    long mask = 0;
+    if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL))
+      mask |= EVL_READ;
+    if (pfds[i].revents & POLLOUT) mask |= EVL_WRITE;
+    if (mask != 0) buf[j++] = ((int64_t)pfds[i].fd << 2) | mask;
+  }
+  free(pfds);
+  return Val_long(j);
+}

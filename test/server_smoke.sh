@@ -28,6 +28,9 @@ PKVC=$2
 RSTAT=$3
 TRACE_CHECK=$4
 
+# the 1024-connection hold needs >1024 fds on both sides of the socket
+ulimit -n 8192 2>/dev/null || true
+
 heap=./server-smoke-heap
 # Unix socket paths are capped at ~107 bytes and _build paths can exceed
 # that, so the socket lives under /tmp
@@ -35,10 +38,12 @@ sock=$(mktemp -u /tmp/pkvd-smoke-XXXXXX.sock)
 trace=./server-smoke-trace.json
 pid=""
 lpid=""
+bpid=""
 
 cleanup() {
   [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
   [ -n "$lpid" ] && kill -9 "$lpid" 2>/dev/null || true
+  [ -n "$bpid" ] && kill -9 "$bpid" 2>/dev/null || true
   rm -f "$sock"
 }
 trap cleanup EXIT
@@ -98,6 +103,36 @@ done
   exit 1
 }
 echo "$metrics" | grep -E "^(tsdb_server_write_ops_s|slo_breach_total)"
+
+echo "== hold 1024 idle + 64 active connections =="
+# the event loops must hold 4 orders of magnitude more sockets than the
+# old thread-per-connection ceiling (128): 1024 connections, 64 of them
+# driving writes, while the bulk load above keeps running.  The per-loop
+# server.conns gauges must see every socket, and the idle 960 must still
+# answer a ping after the active load finishes.
+benchout=./server-smoke-bench.out
+"$PKVC" bench 5000 --socket "$sock" --conns 1024 --active 64 \
+  --keys 100000 >"$benchout" 2>&1 &
+bpid=$!
+conns_ok=""
+c=""
+for _ in $(seq 1 100); do
+  m=$(exec 3<>"/dev/tcp/127.0.0.1/$mport" &&
+    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3 && cat <&3 && exec 3<&-) || m=""
+  c=$(echo "$m" | awk '/^server_conns /{ print int($2) }')
+  if [ -n "$c" ] && [ "$c" -ge 1024 ]; then conns_ok=1; break; fi
+  sleep 0.2
+done
+[ -n "$conns_ok" ] \
+  || { echo "server_conns never reached 1024 (last: ${c:-none})"; exit 1; }
+echo "server_conns peaked at $c"
+wait "$bpid" || { echo "pkvc bench failed"; cat "$benchout"; exit 1; }
+bpid=""
+cat "$benchout"
+grep -q "1024 conns held" "$benchout" \
+  || { echo "pkvc bench: did not hold 1024 connections"; exit 1; }
+grep -q "idle connections alive after load: ok" "$benchout" \
+  || { echo "pkvc bench: idle connections died under load"; exit 1; }
 
 echo "== kill -9 mid-load =="
 kill -9 "$pid"

@@ -481,6 +481,232 @@ let test_rtrace_hard_off () =
       Alcotest.(check bool) "make is null under OBS_DISABLED" false
         (Server.Rtrace.is_live (Server.Rtrace.make ())))
 
+(* --------------------- conn state machine (qcheck) --------------------- *)
+
+module Conn = Server.Conn
+
+(* The wire form Conn parses: 4-byte big-endian payload length + payload,
+   concatenated.  Built by hand so the test owns the framing, independent
+   of Proto.write_frame. *)
+let wire_frames payloads =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      let n = String.length p in
+      Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+      Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+      Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+      Buffer.add_char b (Char.chr (n land 0xff));
+      Buffer.add_string b p)
+    payloads;
+  Buffer.contents b
+
+let parse_frames s =
+  let n = String.length s in
+  let rec go pos acc =
+    if pos = n then List.rev acc
+    else begin
+      assert (pos + 4 <= n);
+      let len =
+        (Char.code s.[pos] lsl 24)
+        lor (Char.code s.[pos + 1] lsl 16)
+        lor (Char.code s.[pos + 2] lsl 8)
+        lor Char.code s.[pos + 3]
+      in
+      assert (pos + 4 + len <= n);
+      go (pos + 4 + len) (String.sub s (pos + 4) len :: acc)
+    end
+  in
+  go 0 []
+
+(* Any chunking of the byte stream — header split across reads, bodies
+   arriving a byte at a time, several frames in one read — must reassemble
+   exactly the frames that were sent, in order, leaving nothing behind. *)
+let prop_conn_reassembly =
+  QCheck2.Test.make ~name:"arbitrary chunking reassembles exact frames"
+    ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 10) (string_size (int_range 0 64)))
+        (list_size (int_range 0 30) (int_range 1 17)))
+    (fun (payloads, cuts) ->
+      let stream = wire_frames payloads in
+      let c = Conn.create () in
+      let out = ref [] in
+      let rec drain () =
+        match Conn.next_frame c with
+        | `Frame p ->
+          out := p :: !out;
+          drain ()
+        | `Need_more -> ()
+        | `Error e -> Alcotest.failf "unexpected conn error: %s" e
+      in
+      let total = String.length stream in
+      let pos = ref 0 and cuts = ref cuts in
+      while !pos < total do
+        let step =
+          match !cuts with
+          | [] -> total - !pos
+          | s :: tl ->
+            cuts := tl;
+            min s (total - !pos)
+        in
+        Conn.feed c (Bytes.of_string (String.sub stream !pos step)) 0 step;
+        drain ();
+        pos := !pos + step
+      done;
+      List.rev !out = payloads && Conn.buffered_bytes c = 0)
+
+(* Workers finish in any order and the event loop writes in arbitrarily
+   short slices; the bytes that reach the wire must still spell the
+   responses in ticket (request-arrival) order, exactly once each. *)
+let prop_conn_ack_order =
+  QCheck2.Test.make ~name:"partial-write resumption never reorders acks"
+    ~count:300
+    QCheck2.Gen.(
+      pair (int_range 1 24) (list_size (int_range 0 60) (int_range 0 1000)))
+    (fun (n, seeds) ->
+      let c = Conn.create () in
+      let tks =
+        Array.init n (fun _ -> Conn.enqueue c (Server.Rtrace.make ()))
+      in
+      (* a permutation of the fulfil order, derived from the seed list *)
+      let order = Array.init n Fun.id in
+      List.iteri
+        (fun i s ->
+          let a = i mod n and b = s mod n in
+          let t = order.(a) in
+          order.(a) <- order.(b);
+          order.(b) <- t)
+        seeds;
+      let seeds = ref seeds in
+      let next_seed () =
+        match !seeds with
+        | [] -> 7
+        | s :: tl ->
+          seeds := tl;
+          s
+      in
+      let written = Buffer.create 256 in
+      let write_some () =
+        match Conn.write_chunk c with
+        | None -> false
+        | Some (buf, off, len) ->
+          let k = 1 + (next_seed () mod len) in
+          Buffer.add_subbytes written buf off k;
+          ignore (Conn.advance_write c k);
+          true
+      in
+      Array.iter
+        (fun idx ->
+          Conn.fulfil c tks.(idx) (Proto.Value idx);
+          ignore (write_some ()))
+        order;
+      while write_some () do
+        ()
+      done;
+      let resps =
+        List.map Proto.decode_response (parse_frames (Buffer.contents written))
+      in
+      resps = List.init n (fun i -> Stdlib.Ok (Proto.Value i))
+      && Conn.inflight c = 0
+      && Conn.pending_write_bytes c = 0)
+
+(* Deterministic backpressure edges: read interest must drop while the
+   pipeline is full or the write backlog sits over the highwater mark,
+   and return once both drain; a drained connection goes idle after EOF. *)
+let test_conn_backpressure () =
+  let c = Conn.create ~max_pipeline:4 ~write_highwater:16 () in
+  Alcotest.(check bool) "fresh conn wants read" true (Conn.want_read c);
+  let tks = List.init 4 (fun _ -> Conn.enqueue c (Server.Rtrace.make ())) in
+  Alcotest.(check bool) "pipeline full" false (Conn.can_dispatch c);
+  Alcotest.(check bool) "read off while pipeline full" false (Conn.want_read c);
+  List.iter (fun tk -> Conn.fulfil c tk (Proto.Svalue (String.make 64 'x'))) tks;
+  Alcotest.(check bool) "acks pending" true (Conn.want_write c);
+  Alcotest.(check bool) "read off over highwater" false (Conn.want_read c);
+  let rec drain () =
+    match Conn.write_chunk c with
+    | None -> ()
+    | Some (_, _, len) ->
+      ignore (Conn.advance_write c len);
+      drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "read interest restored" true (Conn.want_read c);
+  Alcotest.(check int) "write queue empty" 0 (Conn.pending_write_bytes c);
+  Alcotest.(check bool) "double fulfil ignored" true
+    (match Conn.write_chunk c with None -> true | Some _ -> false);
+  Conn.set_eof c;
+  Alcotest.(check bool) "idle after eof + drain" true (Conn.idle c)
+
+(* --------------------- evloop simulated backend ------------------------ *)
+
+(* The Sim backend never touches the kernel: readiness is whatever the
+   test marks, waits with marked events return them without sleeping, and
+   a zero timeout never blocks — the deterministic substrate the conn /
+   core tests build on. *)
+let test_evloop_sim () =
+  let module Ev = Server.Evloop in
+  let ev = Ev.create ~backend:Ev.Sim () in
+  Alcotest.(check string) "backend name" "sim" (Ev.backend_name (Ev.backend ev));
+  let r1, w1 = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close r1;
+      Unix.close w1)
+    (fun () ->
+      Ev.add ev r1 ~read:true ~write:false;
+      Alcotest.(check bool) "mem" true (Ev.mem ev r1);
+      Alcotest.(check int) "size" 1 (Ev.size ev);
+      let quiet =
+        Ev.wait ev ~timeout_ms:0 (fun _ ~readable:_ ~writable:_ -> ())
+      in
+      Alcotest.(check int) "no marks, no events" 0 quiet;
+      (* latched readiness is delivered once, masked by interest *)
+      Ev.sim_mark ~readable:true ~writable:true ev r1;
+      let got = ref [] in
+      let n =
+        Ev.wait ev ~timeout_ms:0 (fun fd ~readable ~writable ->
+            got := (fd, readable, writable) :: !got)
+      in
+      Alcotest.(check int) "one event" 1 n;
+      (match !got with
+      | [ (fd, rd, wr) ] ->
+        Alcotest.(check bool) "event on the marked fd" true (fd = r1);
+        Alcotest.(check bool) "readable delivered" true rd;
+        Alcotest.(check bool) "write bit masked by interest" false wr
+      | _ -> Alcotest.fail "expected exactly one event");
+      let again =
+        Ev.wait ev ~timeout_ms:0 (fun _ ~readable:_ ~writable:_ -> ())
+      in
+      Alcotest.(check int) "mark consumed by delivery" 0 again;
+      (* marks on fds without interest park until interest arrives *)
+      Ev.sim_mark ~readable:true ev w1;
+      let none =
+        Ev.wait ev ~timeout_ms:0 (fun _ ~readable:_ ~writable:_ -> ())
+      in
+      Alcotest.(check int) "no interest, no delivery" 0 none;
+      Ev.add ev w1 ~read:true ~write:false;
+      let late =
+        Ev.wait ev ~timeout_ms:0 (fun _ ~readable:_ ~writable:_ -> ())
+      in
+      Alcotest.(check int) "parked mark delivered on add" 1 late;
+      (* remove clears any latched readiness *)
+      Ev.sim_mark ~readable:true ev r1;
+      Ev.remove ev r1;
+      Ev.add ev r1 ~read:true ~write:false;
+      let cleared =
+        Ev.wait ev ~timeout_ms:0 (fun _ ~readable:_ ~writable:_ -> ())
+      in
+      Alcotest.(check int) "remove clears the latch" 0 cleared;
+      (* a cross-thread wakeup makes even an infinite wait return *)
+      Ev.wakeup ev;
+      let woken =
+        Ev.wait ev ~timeout_ms:(-1) (fun _ ~readable:_ ~writable:_ -> ())
+      in
+      Alcotest.(check int) "wakeup returns promptly" 0 woken;
+      Ev.close ev)
+
 let () =
   Alcotest.run "server"
     [
@@ -498,6 +724,18 @@ let () =
         ] );
       ( "paths",
         [ Alcotest.test_case "per-user resolver" `Quick test_heap_path ] );
+      ( "conn",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_conn_reassembly; prop_conn_ack_order ]
+        @ [
+            Alcotest.test_case "pipeline + write backpressure" `Quick
+              test_conn_backpressure;
+          ] );
+      ( "evloop",
+        [
+          Alcotest.test_case "sim backend is deterministic" `Quick
+            test_evloop_sim;
+        ] );
       ( "service",
         [
           Alcotest.test_case "BUSY backpressure" `Quick test_busy_backpressure;

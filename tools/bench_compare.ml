@@ -13,7 +13,8 @@
    regressions of several-fold, not percent-level drift, which remains
    the job of recorded full-scale runs.
 
-   Usage: bench_compare BENCH_fig5a.json BENCH_fig_tail.json FRESH.csv
+   Usage: bench_compare BENCH_fig5a.json BENCH_fig_tail.json
+            [BENCH_server_scale.json] FRESH.csv
    Exit 0 = every compared row within tolerance, 1 = violation or
    nothing comparable, 2 = unreadable input. *)
 
@@ -204,6 +205,7 @@ type fresh = {
   f_p50 : float;
   f_ratio : float;
   f_wamp : float;
+  f_fpo : float;
 }
 
 let parse_csv path =
@@ -230,7 +232,8 @@ let parse_csv path =
     and i_metric = idx "metric"
     and i_p50 = idx "p50_ns"
     and i_ratio = idx "p99_p50_ratio"
-    and i_wamp = idx "write_amp" in
+    and i_wamp = idx "write_amp"
+    and i_fpo = idx "fences_per_op" in
     List.filter_map
       (fun line ->
         if String.trim line = "" then None
@@ -249,22 +252,28 @@ let parse_csv path =
               f_p50 = numf i_p50;
               f_ratio = numf i_ratio;
               f_wamp = numf i_wamp;
+              f_fpo = numf i_fpo;
             })
       lines
 
 (* ----------------------------- compare ----------------------------- *)
 
 let () =
-  let fig5a_path, fig_tail_path, csv_path =
+  let fig5a_path, fig_tail_path, server_scale_path, csv_path =
     match Sys.argv with
-    | [| _; a; b; c |] -> (a, b, c)
+    | [| _; a; b; c |] -> (a, b, None, c)
+    | [| _; a; b; s; c |] -> (a, b, Some s, c)
     | _ ->
       prerr_endline
-        "usage: bench_compare BENCH_fig5a.json BENCH_fig_tail.json FRESH.csv";
+        "usage: bench_compare BENCH_fig5a.json BENCH_fig_tail.json \
+         [BENCH_server_scale.json] FRESH.csv";
       exit 2
   in
   let base5a = rows_of fig5a_path in
   let basetail = rows_of fig_tail_path in
+  let basescale =
+    match server_scale_path with Some p -> rows_of p | None -> []
+  in
   let fresh = parse_csv csv_path in
   let compared = ref 0 in
   let violations = ref [] in
@@ -353,6 +362,44 @@ let () =
               "fig_tail %s t=%d: p99/p50 %.1fx exceeds %.1fx (baseline %.1fx x4 +15)"
               csv_alloc threads f.f_ratio limit base_ratio)
     basetail;
+
+  (* server_scale: fences/op is the group-commit contract and is both
+     dimensionless and scale-insensitive — every SET pays its ordering
+     fence plus an amortized share of one commit fence, whether the smoke
+     pushes 1.2K ops or the full run 60K.  It is shape-sensitive at the
+     low end (16 connections cannot fill a 64-slot batch), so each row
+     compares against its own recorded value, never across rows.  The 2x
+     + 0.25 allowance absorbs worse batch fill on a loaded CI box while
+     still catching a broken deferral path, which lands at 2-3 fences/op
+     (every release fence paid immediately).  Throughput and ack latency
+     columns scale with op count and machine and are not compared. *)
+  List.iter
+    (fun b ->
+      let alloc = str_field "allocator" b in
+      let threads = int_of_float (num_field "threads" b) in
+      let base_fpo = num_field "fences_per_op" b in
+      if base_fpo > 0. then
+        match
+          List.find_opt
+            (fun f ->
+              f.f_figure = "server_scale" && f.f_allocator = alloc
+              && f.f_threads = threads && f.f_fpo > 0.)
+            fresh
+        with
+        | None -> ()
+        | Some f ->
+          incr compared;
+          let limit = (base_fpo *. 2.) +. 0.25 in
+          Printf.printf
+            "server_scale %-10s conns=%-4d fences/op %5.3f (baseline %5.3f, \
+             limit %5.3f)\n"
+            alloc threads f.f_fpo base_fpo limit;
+          if f.f_fpo > limit then
+            violate
+              "server_scale %s conns=%d: fences/op %.3f exceeds %.3f \
+               (baseline %.3f x2 +0.25)"
+              alloc threads f.f_fpo limit base_fpo)
+    basescale;
 
   if !compared = 0 then begin
     prerr_endline
